@@ -1,0 +1,118 @@
+//! Criterion microbenches for the performance-critical substrates.
+//!
+//! `selection_decision` is the quantitative backing for the paper's §5.2
+//! claim that the flat PolicyNetwork is infeasible at Netflix scale: the
+//! per-decision cost of the flat softmax grows linearly with the number of
+//! source users, while the hierarchical walk grows logarithmically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use copyattack::cluster::{ClusterTree, TreeMask};
+use copyattack::core::selection::{FlatPolicy, HierarchicalPolicy};
+use copyattack::datagen::{generate, CrossDomainConfig};
+use copyattack::gnn::{PinSageModel, PinSageRecommender};
+use copyattack::mf::BprConfig;
+use copyattack::recsys::{split_dataset, BlackBoxRecommender, ItemId, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn embeddings(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| copyattack::tensor::gaussian(&mut rng, 0.0, 1.0)).collect())
+        .collect()
+}
+
+fn bench_selection_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_decision");
+    for &n_users in &[1_000usize, 4_000, 16_000] {
+        let emb = embeddings(n_users, 8, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = ClusterTree::build_with_depth(&emb, 3, &mut rng);
+        let hier = HierarchicalPolicy::new(&mut rng, tree, 8, 16);
+        let mask = TreeMask::allow_all(hier.tree());
+        let flat = FlatPolicy::new(&mut rng, n_users, 8, 16);
+        let flat_mask = vec![true; n_users];
+        let q = vec![0.1f32; 8];
+
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical", n_users),
+            &n_users,
+            |b, _| {
+                let mut r = StdRng::seed_from_u64(3);
+                b.iter(|| black_box(hier.select(&q, &[], &mask, &mut r).user))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("flat", n_users), &n_users, |b, _| {
+            let mut r = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(flat.select(&q, &[], &flat_mask, &mut r).user))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    group.sample_size(10);
+    for &n_users in &[1_000usize, 4_000] {
+        let emb = embeddings(n_users, 8, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n_users), &n_users, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                black_box(ClusterTree::build_with_depth(&emb, 3, &mut rng).n_internal())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gnn_foldin(c: &mut Criterion) {
+    let world = generate(&CrossDomainConfig::small(9));
+    let mut rng = StdRng::seed_from_u64(6);
+    let split = split_dataset(&world.target, 0.1, &mut rng);
+    let model = PinSageModel::with_random_features(
+        split.train.n_items(),
+        copyattack::gnn::GnnConfig::default(),
+    );
+    let rec = PinSageRecommender::deploy(model, split.train.clone());
+    let profile: Vec<ItemId> = world.target.profile(UserId(0)).to_vec();
+    c.bench_function("gnn_inject_foldin", |b| {
+        b.iter_batched(
+            || rec.clone(),
+            |mut r| black_box(r.inject_user(&profile)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("gnn_top20_query", |b| {
+        b.iter(|| black_box(rec.top_k(UserId(3), 20)))
+    });
+}
+
+fn bench_mf_training(c: &mut Criterion) {
+    let world = generate(&CrossDomainConfig::tiny(10));
+    c.bench_function("bpr_epoch_tiny", |b| {
+        b.iter(|| {
+            let cfg = BprConfig { epochs: 1, seed: 1, ..Default::default() };
+            black_box(copyattack::mf::train(&world.source, &cfg).item_bias[0])
+        })
+    });
+}
+
+fn bench_masked_softmax(c: &mut Criterion) {
+    let logits: Vec<f32> = (0..512).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mask: Vec<bool> = (0..512).map(|i| i % 3 != 0).collect();
+    c.bench_function("masked_softmax_512", |b| {
+        b.iter(|| black_box(copyattack::tensor::ops::masked_softmax(&logits, &mask)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_selection_decision,
+    bench_tree_build,
+    bench_gnn_foldin,
+    bench_mf_training,
+    bench_masked_softmax
+);
+criterion_main!(benches);

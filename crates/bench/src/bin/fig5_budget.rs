@@ -1,0 +1,15 @@
+//! Figures 5 & 6: effect of the profile budget Δ.
+//!
+//! Sweeps the number of copied profiles and reports HR@20 / NDCG@20 for
+//! RandomAttack, TargetAttack-{40,70,100}, and CopyAttack. Figure 5 is the
+//! ML10M-FX panel (`--preset=ml10m`, the default); Figure 6 is ML20M-NF
+//! (`--preset=ml20m`, or use the `fig6_budget` alias binary).
+//!
+//! ```text
+//! cargo run --release -p copyattack-bench --bin fig5_budget -- \
+//!     --preset=ml10m --items=10 --budgets=3,9,15,21,27,33,39,45
+//! ```
+
+fn main() {
+    copyattack_bench::budget_sweep::run("ml10m", "fig5");
+}

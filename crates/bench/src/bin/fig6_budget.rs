@@ -1,0 +1,9 @@
+//! Figure 6 (supplement): effect of the profile budget Δ on ML20M-NF.
+//!
+//! Same sweep as `fig5_budget` with the large preset as the default.
+//! The PolicyNetwork baseline is omitted, as in the paper ("unable to
+//! finish in a reasonable time limit of 48 hours").
+
+fn main() {
+    copyattack_bench::budget_sweep::run("ml20m", "fig6");
+}

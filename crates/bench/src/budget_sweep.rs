@@ -1,0 +1,80 @@
+//! Shared implementation of the Figure 5 / Figure 6 budget sweeps.
+
+use crate::{f4, preset, print_table, write_csv, Args};
+use copyattack::core::AttackConfig;
+use copyattack::pipeline::{Method, Pipeline};
+
+/// Runs the budget sweep. `default_preset` picks the dataset when
+/// `--preset=` is absent; `figure` names the output CSV.
+pub fn run(default_preset: &str, figure: &str) {
+    let args = Args::parse();
+    let preset_name = args.get("preset", default_preset);
+    let seed: u64 = args.get_parse("seed", 42);
+    let mut cfg = preset(&preset_name, seed);
+    cfg.attack.episodes = args.get_parse("episodes", cfg.attack.episodes);
+    let items: usize = args.get_parse("items", 10);
+    let budgets: Vec<usize> = args
+        .get("budgets", "3,9,15,21,27,33,39,45")
+        .split(',')
+        .map(|b| b.parse().expect("bad budget"))
+        .collect();
+
+    eprintln!("building pipeline for preset {preset_name} ...");
+    let pipe = Pipeline::build(&cfg);
+    let items = items.min(pipe.target_items.len());
+    let chosen: Vec<_> = pipe.target_items.iter().copied().take(items).collect();
+
+    let methods = [
+        Method::RandomAttack,
+        Method::TargetAttack(40),
+        Method::TargetAttack(70),
+        Method::TargetAttack(100),
+        Method::CopyAttack,
+    ];
+
+    let mut hr_rows = Vec::new();
+    let mut ndcg_rows = Vec::new();
+    for &budget in &budgets {
+        let mut hr_row = vec![budget.to_string()];
+        let mut ndcg_row = vec![budget.to_string()];
+        for method in methods {
+            let attack_cfg = AttackConfig {
+                budget,
+                query_every: cfg.attack.query_every.min(budget),
+                ..cfg.attack.clone()
+            };
+            let row = pipe.run_method_over_items(method, &chosen, &attack_cfg);
+            eprintln!(
+                "budget {budget:>3} {:<16} HR@20 {:.4} ({:.1}s)",
+                method.label(),
+                row.metrics.hr(20),
+                row.attack_seconds
+            );
+            hr_row.push(f4(row.metrics.hr(20)));
+            ndcg_row.push(f4(row.metrics.ndcg(20)));
+        }
+        hr_rows.push(hr_row);
+        ndcg_rows.push(ndcg_row);
+    }
+
+    let header = [
+        "budget",
+        "RandomAttack",
+        "TargetAttack40",
+        "TargetAttack70",
+        "TargetAttack100",
+        "CopyAttack",
+    ];
+    print_table(
+        &format!("{figure}: HR@20 vs budget on {preset_name} ({items} target items)"),
+        &header,
+        &hr_rows,
+    );
+    print_table(
+        &format!("{figure}: NDCG@20 vs budget on {preset_name}"),
+        &header,
+        &ndcg_rows,
+    );
+    write_csv(&format!("{figure}_budget_hr20_{preset_name}.csv"), &header, &hr_rows);
+    write_csv(&format!("{figure}_budget_ndcg20_{preset_name}.csv"), &header, &ndcg_rows);
+}

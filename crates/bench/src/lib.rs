@@ -1,0 +1,156 @@
+//! Shared plumbing for the experiment binaries: tiny CLI parsing, aligned
+//! table printing, and CSV emission into `results/`.
+//!
+//! Every table and figure of the paper has a `src/bin/*.rs` binary here;
+//! run them with e.g.
+//!
+//! ```text
+//! cargo run --release -p copyattack-bench --bin table2 -- --preset=ml10m --items=50
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use copyattack::pipeline::PipelineConfig;
+
+pub mod budget_sweep;
+
+/// `--key=value` argument bag with typed getters.
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments (ignores anything not `--key=value`).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_args(iter: impl IntoIterator<Item = String>) -> Self {
+        let mut map = HashMap::new();
+        for arg in iter {
+            if let Some(rest) = arg.strip_prefix("--") {
+                if let Some((k, v)) = rest.split_once('=') {
+                    map.insert(k.to_string(), v.to_string());
+                }
+            }
+        }
+        Self { map }
+    }
+
+    /// String value with default.
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Parsed value with default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.map.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+/// Resolves a `--preset=` name into a pipeline configuration.
+///
+/// # Panics
+/// Panics on an unknown preset name.
+pub fn preset(name: &str, seed: u64) -> PipelineConfig {
+    match name {
+        "tiny" => PipelineConfig::tiny(seed),
+        "small" => PipelineConfig::small(seed),
+        "ml10m" => PipelineConfig::ml10m_fx(seed),
+        "ml20m" => PipelineConfig::ml20m_nf(seed),
+        other => panic!("unknown preset {other:?} (expected tiny|small|ml10m|ml20m)"),
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut line = String::new();
+    for (h, w) in header.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    println!("{line}");
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ", w = w);
+        }
+        println!("{line}");
+    }
+}
+
+/// Where CSV outputs go (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file into `results/` and reports the path.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(name);
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(&path, out).expect("write csv");
+    println!("wrote {}", path.display());
+}
+
+/// Formats an f32 with 4 decimals (Table 2 style).
+pub fn f4(x: f32) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats an f32 with 1 decimal.
+pub fn f1(x: f32) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_key_values() {
+        let a = Args::from_args(
+            ["--preset=ml10m", "--items=7", "junk", "--flag"].map(String::from),
+        );
+        assert_eq!(a.get("preset", "tiny"), "ml10m");
+        assert_eq!(a.get_parse("items", 0usize), 7);
+        assert_eq!(a.get_parse("missing", 42u64), 42);
+    }
+
+    #[test]
+    fn presets_resolve() {
+        assert_eq!(preset("tiny", 1).n_target_items, 4);
+        assert_eq!(preset("ml10m", 1).attack.tree_depth, 3);
+        assert_eq!(preset("ml20m", 1).attack.tree_depth, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown preset")]
+    fn unknown_preset_panics() {
+        let _ = preset("nope", 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f4(0.12341), "0.1234");
+        assert_eq!(f1(3.26), "3.3");
+    }
+}

@@ -1,0 +1,139 @@
+//! Equal-size ("balanced") k-means assignment (§4.3.1).
+//!
+//! The paper: "we first apply the traditional K-mean clustering … to obtain
+//! the set of c centroids. Then, we reassign the users to these c centroids
+//! one at a time based on their Euclidean distance to ensure we have a
+//! balanced set of clusters" (sizes off by at most one).
+
+use crate::kmeans::kmeans;
+use ca_tensor::ops::sq_dist;
+use rand::Rng;
+
+/// Runs k-means, then reassigns points to equal-size clusters.
+///
+/// The reassignment considers all (point, centroid) pairs in ascending
+/// distance order and greedily fixes each point to the closest centroid
+/// that still has capacity. Capacities are `⌈n/k⌉` for the first `n mod k`
+/// clusters and `⌊n/k⌋` for the rest, so sizes differ by at most one.
+///
+/// Returns the assignment vector (cluster index per point).
+pub fn balanced_kmeans(
+    points: &[&[f32]],
+    k: usize,
+    max_iters: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    assert!(k > 0 && k <= points.len(), "bad k = {k} for {} points", points.len());
+    let res = kmeans(points, k, max_iters, rng);
+    let n = points.len();
+
+    // Capacity per cluster.
+    let base = n / k;
+    let extra = n % k;
+    let mut capacity: Vec<usize> = (0..k).map(|c| base + usize::from(c < extra)).collect();
+
+    // All pairs sorted by distance.
+    let mut pairs: Vec<(f32, u32, u32)> = Vec::with_capacity(n * k);
+    for (i, p) in points.iter().enumerate() {
+        for (c, centroid) in res.centroids.iter().enumerate() {
+            pairs.push((sq_dist(p, centroid), i as u32, c as u32));
+        }
+    }
+    pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN distances"));
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut assigned = 0usize;
+    for &(_, i, c) in &pairs {
+        let (i, c) = (i as usize, c as usize);
+        if assignment[i] != usize::MAX || capacity[c] == 0 {
+            continue;
+        }
+        assignment[i] = c;
+        capacity[c] -= 1;
+        assigned += 1;
+        if assigned == n {
+            break;
+        }
+    }
+    debug_assert!(assignment.iter().all(|&a| a != usize::MAX));
+    assignment
+}
+
+/// Convenience: groups point indices by their balanced cluster.
+pub fn balanced_groups(
+    points: &[&[f32]],
+    k: usize,
+    max_iters: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    let assignment = balanced_kmeans(points, k, max_iters, rng);
+    let mut groups = vec![Vec::new(); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        groups[c].push(i);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                let a = i as f32 / n as f32 * std::f32::consts::TAU;
+                vec![a.cos(), a.sin()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        for (n, k) in [(30, 4), (31, 4), (33, 4), (10, 3), (7, 7)] {
+            let pts = ring(n);
+            let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+            let mut rng = StdRng::seed_from_u64(1);
+            let groups = balanced_groups(&refs, k, 30, &mut rng);
+            let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            assert!(max - min <= 1, "n={n} k={k} sizes {sizes:?}");
+            assert_eq!(sizes.iter().sum::<usize>(), n);
+        }
+    }
+
+    #[test]
+    fn every_point_is_assigned_exactly_once() {
+        let pts = ring(25);
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let assignment = balanced_kmeans(&refs, 5, 30, &mut rng);
+        assert_eq!(assignment.len(), 25);
+        assert!(assignment.iter().all(|&c| c < 5));
+    }
+
+    #[test]
+    fn balanced_assignment_respects_geometry_for_balanced_data() {
+        // Two blobs of equal size: the balanced constraint should not force
+        // cross-blob mixing.
+        let mut pts: Vec<Vec<f32>> = (0..10).map(|i| vec![0.0, i as f32 * 0.01]).collect();
+        pts.extend((0..10).map(|i| vec![100.0, i as f32 * 0.01]));
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let assignment = balanced_kmeans(&refs, 2, 30, &mut rng);
+        let first = assignment[0];
+        assert!(assignment[..10].iter().all(|&c| c == first));
+        assert!(assignment[10..].iter().all(|&c| c != first));
+    }
+
+    #[test]
+    fn single_cluster_takes_everything() {
+        let pts = ring(9);
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let groups = balanced_groups(&refs, 1, 10, &mut rng);
+        assert_eq!(groups[0].len(), 9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Lloyd's k-means [17] with k-means++ seeding.
+
+use ca_tensor::ops::sq_dist;
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k × dim`.
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster index per input point.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f32,
+}
+
+/// Runs k-means over `points` (each of equal dimension).
+///
+/// Uses k-means++ seeding and at most `max_iters` Lloyd iterations,
+/// stopping early when assignments stabilize. Empty clusters are re-seeded
+/// on the farthest point from its centroid.
+///
+/// # Panics
+/// Panics if `k == 0`, `points.is_empty()`, or `k > points.len()`.
+pub fn kmeans(points: &[&[f32]], k: usize, max_iters: usize, rng: &mut impl Rng) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "no points to cluster");
+    assert!(k <= points.len(), "k = {k} exceeds {} points", points.len());
+    let dim = points[0].len();
+
+    let mut centroids = plus_plus_seed(points, k, rng);
+    let mut assignment = vec![usize::MAX; points.len()];
+
+    for _ in 0..max_iters {
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let c = nearest(p, &centroids);
+            if assignment[i] != c {
+                assignment[i] = c;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignment[i];
+            for (s, &x) in sums[c].iter_mut().zip(p.iter()) {
+                *s += x;
+            }
+            counts[c] += 1;
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed the empty cluster on the point farthest from its
+                // current centroid.
+                let far = (0..points.len())
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(points[a], &centroids[assignment[a]]);
+                        let db = sq_dist(points[b], &centroids[assignment[b]]);
+                        da.partial_cmp(&db).expect("no NaN distances")
+                    })
+                    .expect("non-empty points");
+                centroids[c] = points[far].to_vec();
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f32;
+                }
+            }
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sq_dist(p, &centroids[assignment[i]]))
+        .sum();
+    KMeansResult { centroids, assignment, inertia }
+}
+
+/// k-means++ seeding: first centroid uniform, then each next centroid drawn
+/// with probability proportional to squared distance from the nearest
+/// already-chosen centroid.
+fn plus_plus_seed(points: &[&[f32]], k: usize, rng: &mut impl Rng) -> Vec<Vec<f32>> {
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].to_vec());
+    let mut d2: Vec<f32> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f32 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut u = rng.gen::<f32>() * total;
+            let mut pick = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if u < w {
+                    pick = i;
+                    break;
+                }
+                u -= w;
+            }
+            pick
+        };
+        centroids.push(points[next].to_vec());
+        let c = centroids.last().expect("just pushed");
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, c);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Index of the nearest centroid.
+pub(crate) fn nearest(p: &[f32], centroids: &[Vec<f32>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f32::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(p, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Three well-separated blobs of 20 points each.
+    fn blobs() -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(1);
+        let centers = [[0.0f32, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut pts = Vec::new();
+        for c in &centers {
+            for _ in 0..20 {
+                pts.push(vec![
+                    c[0] + ca_tensor::gaussian(&mut rng, 0.0, 0.5),
+                    c[1] + ca_tensor::gaussian(&mut rng, 0.0, 0.5),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let pts = blobs();
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = kmeans(&refs, 3, 50, &mut rng);
+        // Points within the same blob must share a cluster.
+        for blob in 0..3 {
+            let first = res.assignment[blob * 20];
+            for i in 0..20 {
+                assert_eq!(res.assignment[blob * 20 + i], first, "blob {blob} split");
+            }
+        }
+        // And different blobs must differ.
+        assert_ne!(res.assignment[0], res.assignment[20]);
+        assert_ne!(res.assignment[20], res.assignment[40]);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = blobs();
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let i1 = kmeans(&refs, 1, 50, &mut rng).inertia;
+        let i3 = kmeans(&refs, 3, 50, &mut rng).inertia;
+        assert!(i3 < i1 * 0.2, "k=3 inertia {i3} vs k=1 {i1}");
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0f32, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let res = kmeans(&refs, 3, 50, &mut rng);
+        assert!(res.inertia < 1e-9);
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let pts = vec![vec![1.0f32, 1.0]; 10];
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let res = kmeans(&refs, 3, 20, &mut rng);
+        assert_eq!(res.assignment.len(), 10);
+        assert!(res.inertia < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_k_larger_than_n() {
+        let pts = vec![vec![0.0f32]];
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = kmeans(&refs, 2, 10, &mut rng);
+    }
+}

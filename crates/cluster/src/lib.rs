@@ -1,0 +1,26 @@
+//! Balanced hierarchical clustering tree over source-domain users (§4.3.1)
+//! and the per-target-item masking mechanism (§4.3.2).
+//!
+//! The attack's action space is "pick one of |U^B| source users". The paper
+//! makes that tractable by organizing users into a *balanced* c-ary tree
+//! built by top-down divisive clustering:
+//!
+//! - each **leaf** is one source user (identified by their MF embedding);
+//! - each **non-leaf** hosts a policy network choosing among its c children;
+//! - clusters at every level are forced to equal sizes (±1) so the tree
+//!   depth is `⌈log_c n⌉` — "an unbalanced clustering tree in the worst case
+//!   could result in a linked list of policy networks".
+//!
+//! The masking mechanism then prunes, per target item `v*`, every subtree
+//! none of whose leaf users has `v*` in their profile, shrinking the
+//! explorable action space to the useful region.
+
+pub mod balanced;
+pub mod kmeans;
+pub mod mask;
+pub mod tree;
+
+pub use balanced::balanced_kmeans;
+pub use kmeans::{kmeans, KMeansResult};
+pub use mask::TreeMask;
+pub use tree::{ClusterTree, NodeId, NodeKind};

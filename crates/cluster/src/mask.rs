@@ -1,0 +1,178 @@
+//! The masking mechanism (§4.3.2).
+//!
+//! For each target item `v*`, subtrees containing no user whose profile
+//! includes `v*` are masked: the RL agent can never walk into them. This
+//! shrinks the effective action space to the users that can actually carry
+//! the target item into the target domain.
+
+use crate::tree::{ClusterTree, NodeId};
+use ca_recsys::UserId;
+
+/// Per-node feasibility mask for one target item.
+#[derive(Clone, Debug)]
+pub struct TreeMask {
+    allowed: Vec<bool>,
+    n_allowed_leaves: usize,
+}
+
+impl TreeMask {
+    /// Builds the mask from a per-user predicate (`true` = this user's
+    /// profile contains the target item). An internal node is allowed iff
+    /// any of its descendant leaves is allowed.
+    pub fn for_predicate(tree: &ClusterTree, pred: impl Fn(UserId) -> bool) -> Self {
+        let mut allowed = vec![false; tree.n_nodes()];
+        let mut n_allowed_leaves = 0;
+        // Nodes are created parent-before-child, so a reverse scan sees all
+        // children before their parent.
+        for id in (0..tree.n_nodes()).rev() {
+            if tree.is_leaf(id) {
+                let ok = pred(tree.leaf_user(id));
+                allowed[id] = ok;
+                n_allowed_leaves += usize::from(ok);
+            } else {
+                allowed[id] = tree.children(id).iter().any(|&c| allowed[c]);
+            }
+        }
+        Self { allowed, n_allowed_leaves }
+    }
+
+    /// A mask that allows everything (used by the CopyAttack−Masking
+    /// ablation, where the agent may select any source user).
+    pub fn allow_all(tree: &ClusterTree) -> Self {
+        Self { allowed: vec![true; tree.n_nodes()], n_allowed_leaves: tree.n_leaves() }
+    }
+
+    /// Whether a node may be entered.
+    pub fn allowed(&self, node: NodeId) -> bool {
+        self.allowed[node]
+    }
+
+    /// Feasibility of each child of an internal node, in child order —
+    /// exactly the mask handed to the node's masked softmax.
+    pub fn child_mask(&self, tree: &ClusterTree, node: NodeId) -> Vec<bool> {
+        tree.children(node).iter().map(|&c| self.allowed[c]).collect()
+    }
+
+    /// Number of reachable (allowed) leaves.
+    pub fn n_allowed_leaves(&self) -> usize {
+        self.n_allowed_leaves
+    }
+
+    /// Whether any leaf at all is reachable (false ⇒ the target item has no
+    /// carrier in the source domain; CopyAttack requires `v* ∈ V^A ∩ V^B`).
+    pub fn any_allowed(&self) -> bool {
+        self.n_allowed_leaves > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree(n: usize, fanout: usize) -> ClusterTree {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..4).map(|_| ca_tensor::gaussian(&mut rng, 0.0, 1.0)).collect())
+            .collect();
+        ClusterTree::build(&e, fanout, &mut rng)
+    }
+
+    #[test]
+    fn leaf_masks_follow_predicate() {
+        let t = tree(20, 3);
+        let mask = TreeMask::for_predicate(&t, |u| u.0 % 2 == 0);
+        for id in 0..t.n_nodes() {
+            if t.is_leaf(id) {
+                assert_eq!(mask.allowed(id), t.leaf_user(id).0 % 2 == 0);
+            }
+        }
+        assert_eq!(mask.n_allowed_leaves(), 10);
+    }
+
+    #[test]
+    fn internal_allowed_iff_some_descendant_allowed() {
+        let t = tree(30, 3);
+        let mask = TreeMask::for_predicate(&t, |u| u.0 == 7);
+        // Exactly the ancestors of user 7's leaf are allowed.
+        let mut expect = vec![false; t.n_nodes()];
+        let leaf = t.leaf_of_user(UserId(7));
+        expect[leaf] = true;
+        // Walk up via repeated scans (no parent pointer exposed).
+        loop {
+            let mut changed = false;
+            for id in t.internal_nodes() {
+                if !expect[id] && t.children(id).iter().any(|&c| expect[c]) {
+                    expect[id] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for id in 0..t.n_nodes() {
+            assert_eq!(mask.allowed(id), expect[id], "node {id}");
+        }
+    }
+
+    #[test]
+    fn masked_walk_reaches_only_allowed_users() {
+        let t = tree(40, 4);
+        let good = |u: UserId| u.0 % 5 == 0;
+        let mask = TreeMask::for_predicate(&t, good);
+        // Exhaustively follow every unmasked path.
+        let mut stack = vec![t.root()];
+        while let Some(id) = stack.pop() {
+            if t.is_leaf(id) {
+                assert!(good(t.leaf_user(id)), "reached masked user {}", t.leaf_user(id));
+                continue;
+            }
+            for (&child, ok) in t.children(id).iter().zip(mask.child_mask(&t, id)) {
+                if ok {
+                    stack.push(child);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_allowed_users_remain_reachable() {
+        let t = tree(40, 4);
+        let good = |u: UserId| u.0 % 7 == 0;
+        let mask = TreeMask::for_predicate(&t, good);
+        let mut reached = Vec::new();
+        let mut stack = vec![t.root()];
+        while let Some(id) = stack.pop() {
+            if t.is_leaf(id) {
+                reached.push(t.leaf_user(id).0);
+                continue;
+            }
+            for (&child, ok) in t.children(id).iter().zip(mask.child_mask(&t, id)) {
+                if ok {
+                    stack.push(child);
+                }
+            }
+        }
+        reached.sort_unstable();
+        let expected: Vec<u32> = (0..40).filter(|x| x % 7 == 0).collect();
+        assert_eq!(reached, expected);
+    }
+
+    #[test]
+    fn empty_predicate_blocks_the_root() {
+        let t = tree(12, 3);
+        let mask = TreeMask::for_predicate(&t, |_| false);
+        assert!(!mask.any_allowed());
+        assert!(!mask.allowed(t.root()));
+    }
+
+    #[test]
+    fn allow_all_opens_every_leaf() {
+        let t = tree(12, 3);
+        let mask = TreeMask::allow_all(&t);
+        assert_eq!(mask.n_allowed_leaves(), 12);
+        assert!(mask.allowed(t.root()));
+    }
+}

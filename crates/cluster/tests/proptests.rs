@@ -1,0 +1,112 @@
+//! Property-based tests for balanced clustering and the masked tree.
+
+use ca_cluster::{balanced::balanced_groups, ClusterTree, TreeMask};
+use ca_recsys::UserId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn embeddings(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..4).map(|_| ca_tensor::gaussian(&mut rng, 0.0, 1.0)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn balanced_sizes_differ_by_at_most_one(
+        n in 2usize..80,
+        k_frac in 0.1f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let k = ((n as f64 * k_frac) as usize).clamp(1, n);
+        let pts = embeddings(n, seed);
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00);
+        let groups = balanced_groups(&refs, k, 15, &mut rng);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "n={n} k={k} sizes={sizes:?}");
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn tree_covers_every_user_exactly_once(
+        n in 2usize..120,
+        fanout in 2usize..6,
+        seed in 0u64..300,
+    ) {
+        let e = embeddings(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = ClusterTree::build(&e, fanout, &mut rng);
+        prop_assert_eq!(tree.n_leaves(), n);
+        let mut seen = vec![0u32; n];
+        for id in 0..tree.n_nodes() {
+            if tree.is_leaf(id) {
+                seen[tree.leaf_user(id).idx()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic(
+        n in 4usize..200,
+        fanout in 2usize..6,
+        seed in 0u64..200,
+    ) {
+        let e = embeddings(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = ClusterTree::build(&e, fanout, &mut rng);
+        let bound = (n as f64).log(fanout as f64).ceil() as usize + 1;
+        prop_assert!(
+            tree.depth() <= bound,
+            "n={n} c={fanout}: depth {} > bound {bound}",
+            tree.depth()
+        );
+    }
+
+    #[test]
+    fn mask_soundness_and_completeness(
+        n in 2usize..80,
+        fanout in 2usize..5,
+        modulus in 1u32..10,
+        seed in 0u64..200,
+    ) {
+        let e = embeddings(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = ClusterTree::build(&e, fanout, &mut rng);
+        let pred = |u: UserId| u.0 % modulus == 0;
+        let mask = TreeMask::for_predicate(&tree, pred);
+
+        // Soundness: every reachable leaf satisfies the predicate.
+        // Completeness: every satisfying user is reachable.
+        let mut reached = vec![false; n];
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            if !mask.allowed(id) {
+                continue;
+            }
+            if tree.is_leaf(id) {
+                let u = tree.leaf_user(id);
+                prop_assert!(pred(u), "reached masked user {u}");
+                reached[u.idx()] = true;
+            } else {
+                stack.extend_from_slice(tree.children(id));
+            }
+        }
+        for u in 0..n as u32 {
+            if pred(UserId(u)) {
+                prop_assert!(reached[u as usize], "allowed user u{u} unreachable");
+            }
+        }
+        prop_assert_eq!(
+            mask.n_allowed_leaves(),
+            (0..n as u32).filter(|&u| pred(UserId(u))).count()
+        );
+    }
+}

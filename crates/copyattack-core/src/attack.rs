@@ -1,0 +1,561 @@
+//! The CopyAttack agent: selection + crafting + injection/query loop with
+//! REINFORCE training (§4), including the CopyAttack−Masking and
+//! CopyAttack−Length ablations.
+
+use crate::config::AttackConfig;
+use crate::crafting::{clip_around_target, CraftingPolicy, CraftingSample};
+use crate::env::AttackEnvironment;
+use crate::reinforce::{discounted_returns, Baseline};
+use crate::selection::{HierarchicalPolicy, SelectionSample};
+use crate::source::SourceDomain;
+use ca_cluster::{ClusterTree, TreeMask};
+use ca_nn::GradClip;
+use ca_recsys::{BlackBoxRecommender, ItemId, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which CopyAttack components are enabled (for the paper's ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CopyAttackVariant {
+    /// Use the per-target-item masking mechanism (§4.3.2).
+    pub masking: bool,
+    /// Use the profile-crafting policy (§4.4).
+    pub crafting: bool,
+}
+
+impl CopyAttackVariant {
+    /// The full framework.
+    pub fn full() -> Self {
+        Self { masking: true, crafting: true }
+    }
+
+    /// CopyAttack−Masking: any source user may be selected. The paper also
+    /// removes crafting here "since the attack has larger probability to
+    /// select the user profile without the target items".
+    pub fn no_masking() -> Self {
+        Self { masking: false, crafting: false }
+    }
+
+    /// CopyAttack−Length: masking on, crafting removed (raw profiles are
+    /// injected).
+    pub fn no_crafting() -> Self {
+        Self { masking: true, crafting: false }
+    }
+}
+
+/// Result of one attack episode (training or final execution).
+#[derive(Clone, Debug)]
+pub struct AttackOutcome {
+    /// The Eq. 1 reward after the last query (fraction of pretend users
+    /// with the target item in their Top-k list).
+    pub final_reward: f32,
+    /// Profiles injected.
+    pub injections: usize,
+    /// Top-k queries issued.
+    pub queries: u64,
+    /// Mean length of the injected (crafted) profiles — Table 2's
+    /// "# Average Items per User Profile".
+    pub avg_items_per_profile: f32,
+    /// The source users that were copied.
+    pub selected_users: Vec<UserId>,
+}
+
+/// The CopyAttack agent for one target item.
+pub struct CopyAttackAgent {
+    cfg: AttackConfig,
+    variant: CopyAttackVariant,
+    policy: HierarchicalPolicy,
+    crafting: CraftingPolicy,
+    baseline: Baseline,
+    mask: TreeMask,
+    target_src: ItemId,
+    rng: StdRng,
+    episode_rewards: Vec<f32>,
+}
+
+impl CopyAttackAgent {
+    /// Builds the agent: clustering tree over source-user MF embeddings,
+    /// per-node policy networks, crafting policy, and the target-item mask.
+    ///
+    /// # Panics
+    /// Panics on an invalid config or when masking leaves no selectable
+    /// user (the target item must exist in the source domain).
+    pub fn new(
+        cfg: AttackConfig,
+        variant: CopyAttackVariant,
+        src: &SourceDomain<'_>,
+        target_src: ItemId,
+    ) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid attack config: {e}"));
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let tree = ClusterTree::build_with_depth(&src.user_embeddings(), cfg.tree_depth, &mut rng);
+        let policy =
+            HierarchicalPolicy::with_encoder(&mut rng, tree, src.dim(), cfg.hidden, cfg.encoder);
+        let crafting = CraftingPolicy::new(&mut rng, src.dim(), cfg.hidden, cfg.clip_fractions());
+        // Masking is goal-dependent: promotion needs profiles *containing*
+        // the target item (they are the only ones that can move its
+        // aggregates); demotion inverts the predicate — injecting carriers
+        // would raise the item's interaction count and promote it, so the
+        // agent selects among non-carriers and learns which of them lift
+        // competing items past the target.
+        let mask = if variant.masking {
+            match cfg.goal {
+                crate::config::AttackGoal::Promote => {
+                    TreeMask::for_predicate(policy.tree(), |u| src.has_item(u, target_src))
+                }
+                crate::config::AttackGoal::Demote => {
+                    TreeMask::for_predicate(policy.tree(), |u| !src.has_item(u, target_src))
+                }
+            }
+        } else {
+            TreeMask::allow_all(policy.tree())
+        };
+        assert!(
+            mask.any_allowed(),
+            "no selectable source user for target item {target_src} under goal {:?}",
+            cfg.goal
+        );
+        let baseline = Baseline::new(cfg.budget);
+        Self {
+            baseline,
+            mask,
+            target_src,
+            rng,
+            episode_rewards: Vec::new(),
+            policy,
+            crafting,
+            cfg,
+            variant,
+        }
+    }
+
+    /// The clustering tree (for inspection).
+    pub fn tree(&self) -> &ClusterTree {
+        self.policy.tree()
+    }
+
+    /// The source-domain id of the item currently under attack.
+    pub fn target(&self) -> ItemId {
+        self.target_src
+    }
+
+    /// Switches the agent to a new target item, rebuilding the mask while
+    /// *keeping* the trained policy networks, RNN, crafting policy, and
+    /// baseline. Because the state contains the target item's embedding
+    /// `q_{v*}`, a policy trained on several targets can generalize to
+    /// items it never attacked — see [`crate::campaign`].
+    ///
+    /// # Panics
+    /// Panics when the new target has no selectable user under the mask.
+    pub fn retarget(&mut self, src: &SourceDomain<'_>, target_src: ItemId) {
+        self.target_src = target_src;
+        self.mask = if self.variant.masking {
+            match self.cfg.goal {
+                crate::config::AttackGoal::Promote => {
+                    TreeMask::for_predicate(self.policy.tree(), |u| src.has_item(u, target_src))
+                }
+                crate::config::AttackGoal::Demote => {
+                    TreeMask::for_predicate(self.policy.tree(), |u| !src.has_item(u, target_src))
+                }
+            }
+        } else {
+            TreeMask::allow_all(self.policy.tree())
+        };
+        assert!(
+            self.mask.any_allowed(),
+            "no selectable source user for target item {target_src} under goal {:?}",
+            self.cfg.goal
+        );
+    }
+
+    /// Final rewards of every training episode so far.
+    pub fn episode_rewards(&self) -> &[f32] {
+        &self.episode_rewards
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &AttackConfig {
+        &self.cfg
+    }
+
+    /// Runs a single *learning* episode against `env` (used by
+    /// [`crate::campaign::Campaign`] to interleave targets).
+    pub fn train_one_episode<R: BlackBoxRecommender>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        env: &mut AttackEnvironment<R>,
+    ) -> AttackOutcome {
+        let outcome = self.episode(src, env, true);
+        self.episode_rewards.push(outcome.final_reward);
+        outcome
+    }
+
+    /// Trains for `cfg.episodes` episodes, each against a fresh environment
+    /// produced by `make_env` (a clone of the clean target system). Returns
+    /// the per-episode final rewards (the learning curve).
+    pub fn train<R: BlackBoxRecommender>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        mut make_env: impl FnMut() -> AttackEnvironment<R>,
+    ) -> Vec<f32> {
+        let episodes = self.cfg.episodes;
+        let mut curve = Vec::with_capacity(episodes);
+        for _ in 0..episodes {
+            let mut env = make_env();
+            let outcome = self.episode(src, &mut env, true);
+            curve.push(outcome.final_reward);
+            self.episode_rewards.push(outcome.final_reward);
+        }
+        curve
+    }
+
+    /// Runs one attack episode with the current policy, updating nothing.
+    /// Use after [`CopyAttackAgent::train`] for the evaluation run whose
+    /// polluted system is measured.
+    pub fn execute<R: BlackBoxRecommender>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        env: &mut AttackEnvironment<R>,
+    ) -> AttackOutcome {
+        self.episode(src, env, false)
+    }
+
+    /// One episode of the MDP: select → craft → inject → (periodically)
+    /// query.
+    fn episode<R: BlackBoxRecommender>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        env: &mut AttackEnvironment<R>,
+        learn: bool,
+    ) -> AttackOutcome {
+        let budget = self.cfg.budget;
+        let q_target: Vec<f32> = src.item_embedding(self.target_src).to_vec();
+        let mut selected: Vec<UserId> = Vec::with_capacity(budget);
+        let mut sel_samples: Vec<Option<SelectionSample>> = Vec::with_capacity(budget);
+        let mut craft_samples: Vec<Option<CraftingSample>> = Vec::with_capacity(budget);
+        let mut rewards: Vec<f32> = Vec::with_capacity(budget);
+        let mut total_items = 0usize;
+        let mut last_reward = 0.0f32;
+
+        for t in 0..budget {
+            // --- selection -------------------------------------------------
+            let (user, sample) = if t == 0 {
+                // The first action is seeded at random (§4.3.3): the RNN has
+                // nothing to encode yet.
+                (self.policy.random_allowed_user(&self.mask, &mut self.rng), None)
+            } else {
+                let prev: Vec<&[f32]> =
+                    selected.iter().map(|&u| src.user_embedding(u)).collect();
+                let s = self.policy.select(&q_target, &prev, &self.mask, &mut self.rng);
+                (s.user, Some(s))
+            };
+            selected.push(user);
+            sel_samples.push(sample);
+
+            // --- crafting --------------------------------------------------
+            let raw_profile = src.data.profile(user);
+            let (crafted_src, craft_sample) = if self.variant.crafting
+                && src.has_item(user, self.target_src)
+            {
+                let (fraction, cs) = self.crafting.sample(
+                    src.user_embedding(user),
+                    &q_target,
+                    &mut self.rng,
+                );
+                (clip_around_target(raw_profile, self.target_src, fraction), Some(cs))
+            } else {
+                (raw_profile.to_vec(), None)
+            };
+            craft_samples.push(craft_sample);
+
+            // --- injection & query ----------------------------------------
+            let profile_tgt = src.translate(&crafted_src);
+            total_items += profile_tgt.len();
+            env.inject(&profile_tgt);
+            let reward = if (t + 1) % self.cfg.query_every == 0 || t + 1 == budget {
+                let r = self.cfg.goal.reward(env.query_reward());
+                last_reward = r;
+                r
+            } else {
+                0.0
+            };
+            rewards.push(reward);
+            // Terminal: "in the case when fewer user profiles are enough to
+            // successfully satisfy the promotion task, the process stops."
+            if reward >= 1.0 {
+                break;
+            }
+        }
+
+        if learn {
+            self.update(&sel_samples, &craft_samples, &rewards);
+        }
+
+        AttackOutcome {
+            final_reward: last_reward,
+            injections: env.injections(),
+            queries: env.queries(),
+            avg_items_per_profile: if selected.is_empty() {
+                0.0
+            } else {
+                total_items as f32 / selected.len() as f32
+            },
+            selected_users: selected,
+        }
+    }
+
+    /// REINFORCE update over one episode with the per-step baseline and
+    /// global-norm clipping.
+    fn update(
+        &mut self,
+        sel_samples: &[Option<SelectionSample>],
+        craft_samples: &[Option<CraftingSample>],
+        rewards: &[f32],
+    ) {
+        let returns = discounted_returns(rewards, self.cfg.discount);
+        let mut policy_grads = self.policy.zero_grads();
+        let mut craft_grads = self.crafting.zero_grad();
+        let mut any_craft = false;
+        for (t, &g) in returns.iter().enumerate() {
+            let adv = self.baseline.advantage(t, g);
+            self.baseline.update(t, g);
+            if let Some(s) = &sel_samples[t] {
+                self.policy.accumulate(s, adv, &mut policy_grads);
+            }
+            if let Some(c) = &craft_samples[t] {
+                self.crafting.accumulate(c, adv, &mut craft_grads);
+                any_craft = true;
+            }
+        }
+        let clip = GradClip { max_norm: self.cfg.grad_clip };
+        policy_grads.scale(clip.scale_for(policy_grads.norm()));
+        self.policy.apply(&policy_grads, self.cfg.lr);
+        if any_craft {
+            craft_grads.scale(clip.scale_for(craft_grads.norm()));
+            self.crafting.apply(&craft_grads, self.cfg.lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_mf::BprConfig;
+    use ca_recsys::{Dataset, DatasetBuilder};
+
+    /// A contrived target platform where the reward is fully determined by
+    /// *which* users are copied: the item enters the pretend users' Top-k
+    /// once at least 3 injected profiles came from "good" source users
+    /// (ids 0..10). This isolates the RL loop from the recommender.
+    struct CountingRec {
+        good_injections: usize,
+        n_users: usize,
+        target: ItemId,
+        threshold: usize,
+        goodness: Vec<bool>, // per injected profile, decided by its length marker
+    }
+
+    impl BlackBoxRecommender for CountingRec {
+        fn top_k(&self, _user: UserId, k: usize) -> Vec<ItemId> {
+            if self.good_injections >= self.threshold {
+                vec![self.target; k.min(1)]
+            } else {
+                vec![ItemId(9999); k.min(1)]
+            }
+        }
+        fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+            // Profiles from good users carry the marker item 777.
+            if profile.contains(&ItemId(777)) {
+                self.good_injections += 1;
+            }
+            self.goodness.push(profile.contains(&ItemId(777)));
+            let id = UserId(self.n_users as u32);
+            self.n_users += 1;
+            id
+        }
+        fn catalog_size(&self) -> usize {
+            10_000
+        }
+    }
+
+    /// Source domain: 30 users; users 0..10 ("good") have profiles
+    /// containing the target item 5 and the marker 77; the rest only have
+    /// filler items.
+    fn source_world() -> (Dataset, Vec<ItemId>) {
+        let mut b = DatasetBuilder::new(100);
+        for u in 0..30u32 {
+            let mut profile = vec![ItemId(u % 50 + 20)];
+            if u < 10 {
+                profile.push(ItemId(5)); // target (source id)
+                profile.push(ItemId(77)); // marker
+            }
+            profile.push(ItemId((u * 7) % 20));
+            b.user(&profile);
+        }
+        // Source item s maps to target item s*10 + 7 (marker 77 → 777).
+        let map: Vec<ItemId> = (0..100).map(|s| ItemId(s * 10 + 7)).collect();
+        (b.build(), map)
+    }
+
+    fn quick_cfg() -> AttackConfig {
+        AttackConfig {
+            budget: 6,
+            n_pretend: 1,
+            query_every: 2,
+            episodes: 40,
+            tree_depth: 2,
+            lr: 0.05,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn masking_restricts_selection_to_carriers() {
+        let (ds, map) = source_world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let mut agent =
+            CopyAttackAgent::new(quick_cfg(), CopyAttackVariant::full(), &src, ItemId(5));
+        let mut env = AttackEnvironment::new(
+            CountingRec {
+                good_injections: 0,
+                n_users: 0,
+                target: ItemId(57),
+                threshold: 3,
+                goodness: vec![],
+            },
+            vec![UserId(0)],
+            ItemId(57),
+            5,
+            6,
+        );
+        let outcome = agent.execute(&src, &mut env);
+        for u in &outcome.selected_users {
+            assert!(u.0 < 10, "masked agent selected non-carrier {u}");
+        }
+    }
+
+    #[test]
+    fn unmasked_variant_can_select_anyone_and_skips_crafting() {
+        let (ds, map) = source_world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let mut agent =
+            CopyAttackAgent::new(quick_cfg(), CopyAttackVariant::no_masking(), &src, ItemId(5));
+        let rec = CountingRec {
+            good_injections: 0,
+            n_users: 0,
+            target: ItemId(57),
+            threshold: 3,
+            goodness: vec![],
+        };
+        let mut env = AttackEnvironment::new(rec, vec![UserId(0)], ItemId(57), 5, 6);
+        let outcome = agent.execute(&src, &mut env);
+        assert_eq!(outcome.injections, outcome.selected_users.len());
+    }
+
+    #[test]
+    fn training_improves_reward_on_the_contrived_bandit() {
+        let (ds, map) = source_world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        // Without masking the agent must *learn* to pick good users.
+        let cfg = AttackConfig { episodes: 300, lr: 0.1, ..quick_cfg() };
+        let mut agent =
+            CopyAttackAgent::new(cfg, CopyAttackVariant { masking: false, crafting: false }, &src, ItemId(5));
+        let curve = agent.train(&src, || {
+            AttackEnvironment::new(
+                CountingRec {
+                    good_injections: 0,
+                    n_users: 0,
+                    target: ItemId(57),
+                    threshold: 3,
+                    goodness: vec![],
+                },
+                vec![UserId(0)],
+                ItemId(57),
+                5,
+                6,
+            )
+        });
+        let early: f32 = curve[..50].iter().sum::<f32>() / 50.0;
+        let late: f32 = curve[curve.len() - 50..].iter().sum::<f32>() / 50.0;
+        assert!(
+            late > early + 0.1,
+            "no learning: early {early:.3} late {late:.3} (curve {curve:?})"
+        );
+    }
+
+    #[test]
+    fn masked_full_variant_succeeds_immediately_on_the_bandit() {
+        // With masking, every selectable user is good, so the attack should
+        // reach reward 1 within the first episodes and stop early.
+        let (ds, map) = source_world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let mut agent = CopyAttackAgent::new(
+            quick_cfg(),
+            CopyAttackVariant::no_crafting(),
+            &src,
+            ItemId(5),
+        );
+        let mut env = AttackEnvironment::new(
+            CountingRec {
+                good_injections: 0,
+                n_users: 0,
+                target: ItemId(57),
+                threshold: 3,
+                goodness: vec![],
+            },
+            vec![UserId(0)],
+            ItemId(57),
+            5,
+            6,
+        );
+        let outcome = agent.execute(&src, &mut env);
+        assert_eq!(outcome.final_reward, 1.0);
+        // Early termination: 3 good injections, queries every 2 → stops at 4.
+        assert!(outcome.injections <= 4, "no early stop: {}", outcome.injections);
+    }
+
+    #[test]
+    fn crafted_profiles_are_shorter_on_average() {
+        let (ds, map) = source_world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let run = |variant: CopyAttackVariant, seed: u64| {
+            let cfg = AttackConfig { seed, ..quick_cfg() };
+            let mut agent = CopyAttackAgent::new(cfg, variant, &src, ItemId(5));
+            let mut env = AttackEnvironment::new(
+                CountingRec {
+                    good_injections: 0,
+                    n_users: 0,
+                    target: ItemId(57),
+                    threshold: 999,
+                    goodness: vec![],
+                },
+                vec![UserId(0)],
+                ItemId(57),
+                5,
+                6,
+            );
+            agent.execute(&src, &mut env).avg_items_per_profile
+        };
+        // Average over seeds to avoid one-off sampling flukes.
+        let crafted: f32 =
+            (0..5).map(|s| run(CopyAttackVariant::full(), s)).sum::<f32>() / 5.0;
+        let raw: f32 =
+            (0..5).map(|s| run(CopyAttackVariant::no_crafting(), s)).sum::<f32>() / 5.0;
+        assert!(crafted < raw, "crafted {crafted} !< raw {raw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no selectable source user")]
+    fn rejects_target_absent_from_source() {
+        let (ds, map) = source_world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let _ = CopyAttackAgent::new(quick_cfg(), CopyAttackVariant::full(), &src, ItemId(99));
+    }
+}

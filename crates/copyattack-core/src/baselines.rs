@@ -1,0 +1,375 @@
+//! The paper's baseline attacks (§5.1.4): RandomAttack, the
+//! TargetAttack-{40,70,100} family, and the flat PolicyNetwork agent.
+
+use crate::attack::AttackOutcome;
+use crate::config::AttackConfig;
+use crate::crafting::{clip_around_target, CraftingPolicy, CraftingSample};
+use crate::env::AttackEnvironment;
+use crate::reinforce::{discounted_returns, Baseline};
+use crate::selection::{FlatPolicy, FlatSample};
+use crate::source::SourceDomain;
+use ca_nn::GradClip;
+use ca_recsys::{BlackBoxRecommender, ItemId, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// RandomAttack: copies uniformly random source-domain user profiles, no
+/// constraint, no crafting. "Randomly sample cross-domain user profiles to
+/// attack the target recommender systems."
+pub fn random_attack<R: BlackBoxRecommender>(
+    src: &SourceDomain<'_>,
+    env: &mut AttackEnvironment<R>,
+    rng: &mut impl Rng,
+) -> AttackOutcome {
+    let mut selected = Vec::new();
+    let mut total_items = 0usize;
+    while !env.exhausted() {
+        let u = UserId(rng.gen_range(0..src.n_users() as u32));
+        let profile = src.translate(src.data.profile(u));
+        total_items += profile.len();
+        env.inject(&profile);
+        selected.push(u);
+    }
+    finish(env, selected, total_items)
+}
+
+/// TargetAttack-⌊100·fraction⌋: samples source users whose profiles contain
+/// the target item and clips each profile to `fraction` of its length
+/// around the target (fraction 1.0 = TargetAttack100, no crafting).
+///
+/// Users are drawn without replacement until the carrier pool is exhausted,
+/// then with replacement.
+pub fn target_attack<R: BlackBoxRecommender>(
+    src: &SourceDomain<'_>,
+    env: &mut AttackEnvironment<R>,
+    target_src: ItemId,
+    fraction: f32,
+    rng: &mut impl Rng,
+) -> AttackOutcome {
+    let mut pool = src.users_with_item(target_src);
+    assert!(!pool.is_empty(), "target item {target_src} has no carrier in the source domain");
+    pool.shuffle(rng);
+    let mut selected = Vec::new();
+    let mut total_items = 0usize;
+    let mut i = 0usize;
+    while !env.exhausted() {
+        let u = if i < pool.len() { pool[i] } else { pool[rng.gen_range(0..pool.len())] };
+        i += 1;
+        let raw = src.data.profile(u);
+        let crafted = clip_around_target(raw, target_src, fraction);
+        let profile = src.translate(&crafted);
+        total_items += profile.len();
+        env.inject(&profile);
+        selected.push(u);
+    }
+    finish(env, selected, total_items)
+}
+
+fn finish<R: BlackBoxRecommender>(
+    env: &mut AttackEnvironment<R>,
+    selected: Vec<UserId>,
+    total_items: usize,
+) -> AttackOutcome {
+    let final_reward = env.query_reward();
+    AttackOutcome {
+        final_reward,
+        injections: env.injections(),
+        queries: env.queries(),
+        avg_items_per_profile: if selected.is_empty() {
+            0.0
+        } else {
+            total_items as f32 / selected.len() as f32
+        },
+        selected_users: selected,
+    }
+}
+
+/// The PolicyNetwork baseline: the same RL loop as CopyAttack but with one
+/// flat softmax over all source users instead of the clustering tree
+/// (crafting retained). Per-decision cost is O(|U^B|), which is the
+/// baseline the paper could not finish within 48 hours on Netflix.
+pub struct FlatPolicyAgent {
+    cfg: AttackConfig,
+    policy: FlatPolicy,
+    crafting: CraftingPolicy,
+    baseline: Baseline,
+    user_mask: Vec<bool>,
+    target_src: ItemId,
+    rng: StdRng,
+}
+
+impl FlatPolicyAgent {
+    /// Builds the agent with the target-item user mask.
+    pub fn new(cfg: AttackConfig, src: &SourceDomain<'_>, target_src: ItemId) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid attack config: {e}"));
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let policy = FlatPolicy::new(&mut rng, src.n_users(), src.dim(), cfg.hidden);
+        let crafting = CraftingPolicy::new(&mut rng, src.dim(), cfg.hidden, cfg.clip_fractions());
+        let user_mask: Vec<bool> = (0..src.n_users())
+            .map(|u| {
+                let has = src.has_item(UserId(u as u32), target_src);
+                match cfg.goal {
+                    crate::config::AttackGoal::Promote => has,
+                    crate::config::AttackGoal::Demote => !has,
+                }
+            })
+            .collect();
+        assert!(
+            user_mask.iter().any(|&m| m),
+            "target item {target_src} has no carrier in the source domain"
+        );
+        let baseline = Baseline::new(cfg.budget);
+        Self { baseline, user_mask, target_src, rng, policy, crafting, cfg }
+    }
+
+    /// Trains for `cfg.episodes` episodes (see
+    /// [`crate::attack::CopyAttackAgent::train`]).
+    pub fn train<R: BlackBoxRecommender>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        mut make_env: impl FnMut() -> AttackEnvironment<R>,
+    ) -> Vec<f32> {
+        let mut curve = Vec::with_capacity(self.cfg.episodes);
+        for _ in 0..self.cfg.episodes {
+            let mut env = make_env();
+            let o = self.episode(src, &mut env, true);
+            curve.push(o.final_reward);
+        }
+        curve
+    }
+
+    /// One evaluation episode without learning.
+    pub fn execute<R: BlackBoxRecommender>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        env: &mut AttackEnvironment<R>,
+    ) -> AttackOutcome {
+        self.episode(src, env, false)
+    }
+
+    fn episode<R: BlackBoxRecommender>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        env: &mut AttackEnvironment<R>,
+        learn: bool,
+    ) -> AttackOutcome {
+        let budget = self.cfg.budget;
+        let q_target: Vec<f32> = src.item_embedding(self.target_src).to_vec();
+        let mut selected: Vec<UserId> = Vec::new();
+        let mut sel_samples: Vec<Option<FlatSample>> = Vec::new();
+        let mut craft_samples: Vec<Option<CraftingSample>> = Vec::new();
+        let mut rewards = Vec::new();
+        let mut total_items = 0usize;
+        let mut last_reward = 0.0;
+
+        for t in 0..budget {
+            let (user, sample) = if t == 0 {
+                let allowed: Vec<u32> = self
+                    .user_mask
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                (UserId(allowed[self.rng.gen_range(0..allowed.len())]), None)
+            } else {
+                let prev: Vec<&[f32]> =
+                    selected.iter().map(|&u| src.user_embedding(u)).collect();
+                let s = self.policy.select(&q_target, &prev, &self.user_mask, &mut self.rng);
+                (s.user, Some(s))
+            };
+            selected.push(user);
+            sel_samples.push(sample);
+
+            let raw = src.data.profile(user);
+            let (crafted, cs) = if src.has_item(user, self.target_src) {
+                let (fraction, cs) =
+                    self.crafting.sample(src.user_embedding(user), &q_target, &mut self.rng);
+                (clip_around_target(raw, self.target_src, fraction), Some(cs))
+            } else {
+                (raw.to_vec(), None)
+            };
+            craft_samples.push(cs);
+
+            let profile = src.translate(&crafted);
+            total_items += profile.len();
+            env.inject(&profile);
+            let r = if (t + 1) % self.cfg.query_every == 0 || t + 1 == budget {
+                let r = self.cfg.goal.reward(env.query_reward());
+                last_reward = r;
+                r
+            } else {
+                0.0
+            };
+            rewards.push(r);
+            if r >= 1.0 {
+                break;
+            }
+        }
+
+        if learn {
+            let returns = discounted_returns(&rewards, self.cfg.discount);
+            let mut grads = self.policy.zero_grads();
+            let mut craft_grads = self.crafting.zero_grad();
+            let mut any_craft = false;
+            for (t, &g) in returns.iter().enumerate() {
+                let adv = self.baseline.advantage(t, g);
+                self.baseline.update(t, g);
+                if let Some(s) = &sel_samples[t] {
+                    self.policy.accumulate(s, adv, &mut grads);
+                }
+                if let Some(c) = &craft_samples[t] {
+                    self.crafting.accumulate(c, adv, &mut craft_grads);
+                    any_craft = true;
+                }
+            }
+            let clip = GradClip { max_norm: self.cfg.grad_clip };
+            self.policy.apply(&grads, self.cfg.lr);
+            if any_craft {
+                craft_grads.scale(clip.scale_for(craft_grads.norm()));
+                self.crafting.apply(&craft_grads, self.cfg.lr);
+            }
+        }
+
+        AttackOutcome {
+            final_reward: last_reward,
+            injections: env.injections(),
+            queries: env.queries(),
+            avg_items_per_profile: if selected.is_empty() {
+                0.0
+            } else {
+                total_items as f32 / selected.len() as f32
+            },
+            selected_users: selected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_mf::BprConfig;
+    use ca_recsys::{Dataset, DatasetBuilder};
+
+    /// Trivial platform: top-1 list is always item 0; reward only meaningful
+    /// through the metering (these tests target selection/crafting logic).
+    struct NullRec {
+        n_users: usize,
+    }
+    impl BlackBoxRecommender for NullRec {
+        fn top_k(&self, _u: UserId, k: usize) -> Vec<ItemId> {
+            (0..k as u32).map(ItemId).collect()
+        }
+        fn inject_user(&mut self, _p: &[ItemId]) -> UserId {
+            let id = UserId(self.n_users as u32);
+            self.n_users += 1;
+            id
+        }
+        fn catalog_size(&self) -> usize {
+            1000
+        }
+    }
+
+    fn world() -> (Dataset, Vec<ItemId>) {
+        let mut b = DatasetBuilder::new(50);
+        for u in 0..40u32 {
+            let mut profile: Vec<ItemId> =
+                (0..6).map(|i| ItemId((u + i * 5) % 45 + 5)).collect();
+            if u % 4 == 0 {
+                profile.insert(3, ItemId(2)); // carrier users
+            }
+            b.user(&profile);
+        }
+        let map: Vec<ItemId> = (0..50).map(ItemId).collect();
+        (b.build(), map)
+    }
+
+    #[test]
+    fn random_attack_spends_exactly_the_budget() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let mut env =
+            AttackEnvironment::new(NullRec { n_users: 0 }, vec![UserId(0)], ItemId(2), 5, 12);
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = random_attack(&src, &mut env, &mut rng);
+        assert_eq!(o.injections, 12);
+        assert_eq!(o.selected_users.len(), 12);
+        assert!(o.avg_items_per_profile > 0.0);
+    }
+
+    #[test]
+    fn target_attack_selects_only_carriers() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let mut env =
+            AttackEnvironment::new(NullRec { n_users: 0 }, vec![UserId(0)], ItemId(2), 5, 15);
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = target_attack(&src, &mut env, ItemId(2), 0.7, &mut rng);
+        for u in &o.selected_users {
+            assert!(src.has_item(*u, ItemId(2)), "non-carrier {u} selected");
+        }
+        // 10 carriers, budget 15 → replacement kicks in.
+        assert_eq!(o.injections, 15);
+    }
+
+    #[test]
+    fn clipping_fraction_controls_profile_length() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let run = |fraction: f32| {
+            let mut env = AttackEnvironment::new(
+                NullRec { n_users: 0 },
+                vec![UserId(0)],
+                ItemId(2),
+                5,
+                10,
+            );
+            let mut rng = StdRng::seed_from_u64(3);
+            target_attack(&src, &mut env, ItemId(2), fraction, &mut rng).avg_items_per_profile
+        };
+        let l40 = run(0.4);
+        let l70 = run(0.7);
+        let l100 = run(1.0);
+        assert!(l40 < l70 && l70 < l100, "{l40} {l70} {l100}");
+        // Carrier profiles have 7 items.
+        assert!((l100 - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn flat_agent_masks_non_carriers() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let cfg = AttackConfig {
+            budget: 8,
+            query_every: 4,
+            episodes: 2,
+            tree_depth: 2,
+            seed: 4,
+            ..Default::default()
+        };
+        let mut agent = FlatPolicyAgent::new(cfg, &src, ItemId(2));
+        let mut env =
+            AttackEnvironment::new(NullRec { n_users: 0 }, vec![UserId(0)], ItemId(2), 5, 8);
+        let o = agent.execute(&src, &mut env);
+        for u in &o.selected_users {
+            assert!(src.has_item(*u, ItemId(2)), "flat agent picked non-carrier {u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no carrier")]
+    fn target_attack_rejects_absent_item() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let mut env =
+            AttackEnvironment::new(NullRec { n_users: 0 }, vec![UserId(0)], ItemId(3), 5, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = target_attack(&src, &mut env, ItemId(3), 0.5, &mut rng);
+    }
+}

@@ -1,0 +1,244 @@
+//! Multi-target attack campaigns (extension).
+//!
+//! The paper's problem statement promotes "a carefully chosen subset of
+//! items", and CopyAttack's state deliberately contains the target item's
+//! embedding `q_{v*}` — which means one set of policy networks can be
+//! trained across *several* target items and, because selection conditions
+//! on the item embedding, generalize to target items it never queried
+//! about (zero-shot transfer within the overlap catalog).
+//!
+//! A campaign trains round-robin over its target set, sharing the
+//! clustering tree, the per-node policies, the RNN, the crafting policy,
+//! and the REINFORCE baseline; per-item masks are rebuilt on each switch.
+
+use crate::attack::{AttackOutcome, CopyAttackAgent, CopyAttackVariant};
+use crate::config::AttackConfig;
+use crate::env::AttackEnvironment;
+use crate::source::SourceDomain;
+use ca_recsys::{BlackBoxRecommender, ItemId};
+
+/// A multi-target attack campaign sharing one agent across items.
+pub struct Campaign {
+    agent: CopyAttackAgent,
+    targets: Vec<ItemId>,
+}
+
+impl Campaign {
+    /// Builds the shared agent over `targets` (source-domain ids).
+    ///
+    /// # Panics
+    /// Panics if `targets` is empty or any target has no source carrier.
+    pub fn new(
+        cfg: AttackConfig,
+        variant: CopyAttackVariant,
+        src: &SourceDomain<'_>,
+        targets: Vec<ItemId>,
+    ) -> Self {
+        assert!(!targets.is_empty(), "a campaign needs at least one target");
+        let agent = CopyAttackAgent::new(cfg, variant, src, targets[0]);
+        let mut campaign = Self { agent, targets };
+        // Validate every target's mask up front (retarget panics on an
+        // uncarried item, which we want at construction, not mid-training).
+        let all = campaign.targets.clone();
+        for &t in &all {
+            campaign.agent.retarget(src, t);
+        }
+        campaign.agent.retarget(src, all[0]);
+        campaign
+    }
+
+    /// The campaign's target set.
+    pub fn targets(&self) -> &[ItemId] {
+        &self.targets
+    }
+
+    /// Read access to the shared agent.
+    pub fn agent(&self) -> &CopyAttackAgent {
+        &self.agent
+    }
+
+    /// Trains for `cfg.episodes` episodes, rotating through the target set
+    /// round-robin. `make_env` receives the *source-domain* target id of
+    /// the episode and must produce an environment attacking that item.
+    /// Returns the learning curve (final reward per episode).
+    pub fn train<R: BlackBoxRecommender>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        mut make_env: impl FnMut(ItemId) -> AttackEnvironment<R>,
+    ) -> Vec<f32> {
+        let episodes = self.agent.config().episodes;
+        let mut curve = Vec::with_capacity(episodes);
+        for e in 0..episodes {
+            let t = self.targets[e % self.targets.len()];
+            self.agent.retarget(src, t);
+            let mut env = make_env(t);
+            let outcome = self.agent.train_one_episode(src, &mut env);
+            curve.push(outcome.final_reward);
+        }
+        curve
+    }
+
+    /// Executes one attack on `target` — which may be an item the campaign
+    /// never trained on (zero-shot transfer) — without learning.
+    pub fn execute_on<R: BlackBoxRecommender>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        target_src: ItemId,
+        env: &mut AttackEnvironment<R>,
+    ) -> AttackOutcome {
+        self.agent.retarget(src, target_src);
+        self.agent.execute(src, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_mf::BprConfig;
+    use ca_recsys::{Dataset, DatasetBuilder, UserId};
+
+    /// Counting fake platform (same flavor as the attack.rs tests): reward
+    /// fires once enough injected profiles carried the marker item.
+    struct CountingRec {
+        good: usize,
+        n_users: usize,
+        target: ItemId,
+        threshold: usize,
+    }
+    impl BlackBoxRecommender for CountingRec {
+        fn top_k(&self, _u: UserId, k: usize) -> Vec<ItemId> {
+            if self.good >= self.threshold {
+                vec![self.target; k.min(1)]
+            } else {
+                vec![ItemId(9999); k.min(1)]
+            }
+        }
+        fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+            if profile.contains(&ItemId(777)) {
+                self.good += 1;
+            }
+            let id = UserId(self.n_users as u32);
+            self.n_users += 1;
+            id
+        }
+        fn catalog_size(&self) -> usize {
+            10_000
+        }
+    }
+
+    /// 40 source users; items 3, 5, 9 each carried by a distinct third of
+    /// the "good" users (who also carry marker 77).
+    fn world() -> (Dataset, Vec<ItemId>) {
+        let mut b = DatasetBuilder::new(100);
+        for u in 0..40u32 {
+            let mut profile = vec![ItemId(u % 30 + 30)];
+            if u < 15 {
+                profile.push(ItemId(3 + 2 * (u % 3))); // one of {3, 5, 7}
+                profile.push(ItemId(77));
+            }
+            profile.push(ItemId((u * 11) % 25));
+            b.user(&profile);
+        }
+        let map: Vec<ItemId> = (0..100).map(|s| ItemId(s * 10 + 7)).collect();
+        (b.build(), map)
+    }
+
+    fn cfg() -> AttackConfig {
+        AttackConfig {
+            budget: 6,
+            n_pretend: 1,
+            query_every: 2,
+            episodes: 30,
+            tree_depth: 2,
+            lr: 0.05,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn campaign_trains_across_targets_and_masks_correctly() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let targets = vec![ItemId(3), ItemId(5)];
+        let mut campaign =
+            Campaign::new(cfg(), CopyAttackVariant::no_crafting(), &src, targets);
+        let curve = campaign.train(&src, |t| {
+            AttackEnvironment::new(
+                CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
+                vec![UserId(0)],
+                map[t.idx()],
+                5,
+                6,
+            )
+        });
+        assert_eq!(curve.len(), 30);
+        // Every executed selection must respect the *current* target's mask.
+        for &t in &[ItemId(3), ItemId(5)] {
+            let mut env = AttackEnvironment::new(
+                CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
+                vec![UserId(0)],
+                map[t.idx()],
+                5,
+                6,
+            );
+            let o = campaign.execute_on(&src, t, &mut env);
+            for u in &o.selected_users {
+                assert!(src.has_item(*u, t), "campaign selected non-carrier {u} for {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shot_target_respects_its_own_mask() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        // Train on {3, 5}; execute on 7 which the campaign never saw.
+        let mut campaign = Campaign::new(
+            cfg(),
+            CopyAttackVariant::no_crafting(),
+            &src,
+            vec![ItemId(3), ItemId(5)],
+        );
+        campaign.train(&src, |t| {
+            AttackEnvironment::new(
+                CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
+                vec![UserId(0)],
+                map[t.idx()],
+                5,
+                6,
+            )
+        });
+        let unseen = ItemId(7);
+        let mut env = AttackEnvironment::new(
+            CountingRec { good: 0, n_users: 0, target: map[unseen.idx()], threshold: 2 },
+            vec![UserId(0)],
+            map[unseen.idx()],
+            5,
+            6,
+        );
+        let o = campaign.execute_on(&src, unseen, &mut env);
+        assert!(!o.selected_users.is_empty());
+        for u in &o.selected_users {
+            assert!(src.has_item(*u, unseen), "zero-shot mask violated by {u}");
+        }
+        // All carriers are marker users, so the bandit reward fires.
+        assert_eq!(o.final_reward, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no selectable source user")]
+    fn campaign_rejects_uncarried_target_up_front() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let _ = Campaign::new(
+            cfg(),
+            CopyAttackVariant::full(),
+            &src,
+            vec![ItemId(3), ItemId(99)],
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The black-box attacking environment (§4.2, §4.5).
+//!
+//! Wraps the target recommender behind the query/inject interface, owns the
+//! attacker's pretend users, and computes the Eq. 1 reward:
+//!
+//! ```text
+//! r(s_t, a_t) = (1/|U^A*|) Σ_i HR(u^A_{i*}, v*, k)
+//! ```
+
+use ca_recsys::blackbox::MeteredRecommender;
+use ca_recsys::{BlackBoxRecommender, Dataset, ItemId, UserId};
+use rand::Rng;
+
+/// The attacker's handle on the target platform for one attack run.
+pub struct AttackEnvironment<R: BlackBoxRecommender> {
+    rec: MeteredRecommender<R>,
+    pretend: Vec<UserId>,
+    target: ItemId,
+    reward_k: usize,
+    injected: usize,
+    budget: usize,
+}
+
+impl<R: BlackBoxRecommender> AttackEnvironment<R> {
+    /// Wraps a recommender for an attack on `target`. `pretend` are the
+    /// attacker-controlled accounts established beforehand (see
+    /// [`establish_pretend_users`]).
+    pub fn new(
+        rec: R,
+        pretend: Vec<UserId>,
+        target: ItemId,
+        reward_k: usize,
+        budget: usize,
+    ) -> Self {
+        assert!(!pretend.is_empty(), "need at least one pretend user");
+        Self { rec: MeteredRecommender::new(rec), pretend, target, reward_k, injected: 0, budget }
+    }
+
+    /// The item under promotion.
+    pub fn target(&self) -> ItemId {
+        self.target
+    }
+
+    /// Remaining injection budget.
+    pub fn remaining_budget(&self) -> usize {
+        self.budget - self.injected
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.injected >= self.budget
+    }
+
+    /// Profiles injected so far in this run.
+    pub fn injections(&self) -> usize {
+        self.injected
+    }
+
+    /// Top-k queries issued so far in this run.
+    pub fn queries(&self) -> u64 {
+        self.rec.queries()
+    }
+
+    /// Injects one crafted profile.
+    ///
+    /// # Panics
+    /// Panics if the budget is exhausted (the caller must check the
+    /// terminal condition).
+    pub fn inject(&mut self, profile: &[ItemId]) -> UserId {
+        assert!(!self.exhausted(), "injection budget exhausted");
+        self.injected += 1;
+        self.rec.inject_user(profile)
+    }
+
+    /// Queries the pretend users' Top-k lists and returns the Eq. 1 reward:
+    /// the fraction whose list contains the target item.
+    pub fn query_reward(&mut self) -> f32 {
+        let mut hits = 0usize;
+        for i in 0..self.pretend.len() {
+            let u = self.pretend[i];
+            let list = self.rec.top_k_counted(u, self.reward_k);
+            if list.contains(&self.target) {
+                hits += 1;
+            }
+        }
+        hits as f32 / self.pretend.len() as f32
+    }
+
+    /// Consumes the environment, returning the (polluted) recommender for
+    /// owner-side evaluation.
+    pub fn into_recommender(self) -> R {
+        self.rec.into_inner()
+    }
+
+    /// Owner-side view of the recommender (not part of the attacker
+    /// surface; used by the experiment harness for final metrics).
+    pub fn recommender(&self) -> &R {
+        self.rec.inner()
+    }
+}
+
+/// Creates `n` pretend users on the platform before the attack starts.
+///
+/// The paper assumes "a set of pretend users that the attacker had already
+/// established in the target domain". We give each a plausible mainstream
+/// profile: `profile_len` items sampled by popularity from the public
+/// catalog (an attacker can see what is popular by browsing), ordered
+/// arbitrarily. Returns their account ids.
+pub fn establish_pretend_users<R: BlackBoxRecommender>(
+    rec: &mut R,
+    visible_popularity: &Dataset,
+    n: usize,
+    profile_len: usize,
+    rng: &mut impl Rng,
+) -> Vec<UserId> {
+    let n_items = visible_popularity.n_items();
+    assert!(profile_len <= n_items, "pretend profile longer than catalog");
+    // Popularity-proportional sampling with add-one smoothing.
+    let mut cdf = Vec::with_capacity(n_items);
+    let mut acc = 0.0f64;
+    for v in 0..n_items {
+        acc += 1.0 + visible_popularity.item_popularity(ItemId(v as u32)) as f64;
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut profile: Vec<ItemId> = Vec::with_capacity(profile_len);
+        let mut guard = 0u32;
+        while profile.len() < profile_len {
+            let u: f64 = rng.gen::<f64>() * total;
+            let pos = cdf.partition_point(|&c| c < u).min(n_items - 1);
+            let item = ItemId(pos as u32);
+            if !profile.contains(&item) {
+                profile.push(item);
+            }
+            guard += 1;
+            if guard > 100_000 {
+                break;
+            }
+        }
+        ids.push(rec.inject_user(&profile));
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_recsys::DatasetBuilder;
+
+    /// Fake recommender: recommends items in descending popularity, where
+    /// popularity is the number of injected users containing the item.
+    struct PopRec {
+        n_items: usize,
+        counts: Vec<usize>,
+        n_users: usize,
+    }
+
+    impl PopRec {
+        fn new(n_items: usize) -> Self {
+            Self { n_items, counts: vec![0; n_items], n_users: 0 }
+        }
+    }
+
+    impl BlackBoxRecommender for PopRec {
+        fn top_k(&self, _user: UserId, k: usize) -> Vec<ItemId> {
+            let mut idx: Vec<usize> = (0..self.n_items).collect();
+            idx.sort_by_key(|&v| std::cmp::Reverse(self.counts[v]));
+            idx.into_iter().take(k).map(|v| ItemId(v as u32)).collect()
+        }
+        fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+            for &v in profile {
+                self.counts[v.idx()] += 1;
+            }
+            let id = UserId(self.n_users as u32);
+            self.n_users += 1;
+            id
+        }
+        fn catalog_size(&self) -> usize {
+            self.n_items
+        }
+    }
+
+    #[test]
+    fn reward_tracks_promotion() {
+        let mut rec = PopRec::new(50);
+        // Make items 0..5 popular baseline.
+        for v in 0..5u32 {
+            for _ in 0..10 {
+                rec.inject_user(&[ItemId(v)]);
+            }
+        }
+        let pretend = vec![UserId(0), UserId(1)];
+        let target = ItemId(40);
+        let mut env = AttackEnvironment::new(rec, pretend, target, 3, 30);
+        assert_eq!(env.query_reward(), 0.0);
+        // Push the target into the top 3 by injecting it repeatedly.
+        for _ in 0..20 {
+            env.inject(&[target]);
+        }
+        assert_eq!(env.query_reward(), 1.0);
+        assert_eq!(env.injections(), 20);
+        assert!(env.queries() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget exhausted")]
+    fn budget_is_enforced() {
+        let rec = PopRec::new(10);
+        let mut env = AttackEnvironment::new(rec, vec![UserId(0)], ItemId(0), 3, 2);
+        env.inject(&[ItemId(1)]);
+        env.inject(&[ItemId(1)]);
+        assert!(env.exhausted());
+        env.inject(&[ItemId(1)]);
+    }
+
+    #[test]
+    fn pretend_users_have_requested_profiles() {
+        let mut b = DatasetBuilder::new(20);
+        for u in 0..10u32 {
+            b.user(&[ItemId(u % 3)]); // items 0..3 popular
+        }
+        let visible = b.build();
+        let mut rec = PopRec::new(20);
+        let mut rng = rand::rngs::mock::StepRng::new(42, 0x9E3779B97F4A7C15);
+        let ids = establish_pretend_users(&mut rec, &visible, 5, 4, &mut rng);
+        assert_eq!(ids.len(), 5);
+        assert_eq!(rec.n_users, 5);
+        // Each pretend user contributed 4 interactions.
+        let total: usize = rec.counts.iter().sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn remaining_budget_counts_down() {
+        let rec = PopRec::new(10);
+        let mut env = AttackEnvironment::new(rec, vec![UserId(0)], ItemId(0), 3, 5);
+        assert_eq!(env.remaining_budget(), 5);
+        env.inject(&[ItemId(2)]);
+        assert_eq!(env.remaining_budget(), 4);
+        assert!(!env.exhausted());
+    }
+}

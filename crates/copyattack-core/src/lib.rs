@@ -1,0 +1,36 @@
+//! CopyAttack: reinforcement-learning black-box attack on recommender
+//! systems via copying cross-domain user profiles (Fan et al., ICDE 2021).
+//!
+//! The attack promotes a target item `v*` in a black-box target recommender
+//! by copying *real* user profiles from a source domain that shares items
+//! with the target domain. Three components (Figure 2 of the paper):
+//!
+//! 1. **User-profile selection** ([`selection`]) — a hierarchical-structure
+//!    policy gradient over a balanced clustering tree of source users, with
+//!    per-target-item masking;
+//! 2. **User-profile crafting** ([`crafting`]) — a policy network choosing a
+//!    clipping window `w ∈ {10%, …, 100%}` applied around the target item;
+//! 3. **Injection & queries** ([`env`]) — crafted profiles are injected
+//!    through the black-box interface; the reward is the target item's hit
+//!    ratio in the Top-k lists of the attacker's pretend users (Eq. 1).
+//!
+//! [`attack::CopyAttackAgent`] ties the pieces together with REINFORCE
+//! training ([`reinforce`]); [`baselines`] provides the paper's comparison
+//! methods (RandomAttack, TargetAttack-40/70/100, the flat PolicyNetwork,
+//! and the CopyAttack−Masking / CopyAttack−Length ablations).
+
+pub mod attack;
+pub mod baselines;
+pub mod campaign;
+pub mod config;
+pub mod crafting;
+pub mod env;
+pub mod reinforce;
+pub mod selection;
+pub mod source;
+
+pub use attack::{AttackOutcome, CopyAttackAgent, CopyAttackVariant};
+pub use campaign::Campaign;
+pub use config::{AttackConfig, AttackGoal};
+pub use env::AttackEnvironment;
+pub use source::SourceDomain;

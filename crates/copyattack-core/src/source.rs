@@ -1,0 +1,114 @@
+//! The attacker's view of the source domain.
+//!
+//! Under the threat model the attacker fully *observes* the source domain
+//! (it can crawl public profiles there) but can only *act* on the target
+//! domain through the black-box interface. This struct bundles what the
+//! attacker has: the source interaction data, MF embeddings pretrained on
+//! it (§4.3.1), and the item alignment between catalogs.
+
+use ca_mf::MfModel;
+use ca_recsys::{Dataset, ItemId, UserId};
+
+/// Attacker-side source-domain bundle.
+pub struct SourceDomain<'a> {
+    /// Source-domain interactions (source item ids).
+    pub data: &'a Dataset,
+    /// MF embeddings pretrained on the source domain: `p_u` for the
+    /// clustering tree and RNN state, `q_v` for the policy-state item half.
+    pub mf: &'a MfModel,
+    /// Alignment: source item id → target item id.
+    pub to_target: &'a [ItemId],
+}
+
+impl SourceDomain<'_> {
+    /// Translates a source profile into target-domain item ids, preserving
+    /// sequence order.
+    pub fn translate(&self, profile: &[ItemId]) -> Vec<ItemId> {
+        profile.iter().map(|&v| self.to_target[v.idx()]).collect()
+    }
+
+    /// Whether the source user's profile contains the (source-domain id of
+    /// the) target item.
+    pub fn has_item(&self, u: UserId, v_src: ItemId) -> bool {
+        self.data.contains(u, v_src)
+    }
+
+    /// All source users whose profiles contain `v_src`.
+    pub fn users_with_item(&self, v_src: ItemId) -> Vec<UserId> {
+        self.data.item_profile(v_src).to_vec()
+    }
+
+    /// The source user embeddings, cloned row-wise (tree-construction
+    /// input).
+    pub fn user_embeddings(&self) -> Vec<Vec<f32>> {
+        (0..self.data.n_users())
+            .map(|u| self.mf.user_vec(UserId(u as u32)).to_vec())
+            .collect()
+    }
+
+    /// `p_u` for one user.
+    pub fn user_embedding(&self, u: UserId) -> &[f32] {
+        self.mf.user_vec(u)
+    }
+
+    /// `q_v` for one source item.
+    pub fn item_embedding(&self, v_src: ItemId) -> &[f32] {
+        self.mf.item_vec(v_src)
+    }
+
+    /// Embedding dimensionality `e`.
+    pub fn dim(&self) -> usize {
+        self.mf.dim()
+    }
+
+    /// Number of source users.
+    pub fn n_users(&self) -> usize {
+        self.data.n_users()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_mf::BprConfig;
+    use ca_recsys::DatasetBuilder;
+
+    fn setup() -> (Dataset, MfModel, Vec<ItemId>) {
+        let mut b = DatasetBuilder::new(6);
+        b.user(&[ItemId(0), ItemId(1)]);
+        b.user(&[ItemId(2), ItemId(3), ItemId(1)]);
+        b.user(&[ItemId(5)]);
+        let ds = b.build();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        // Source item s maps to target item s * 10.
+        let map: Vec<ItemId> = (0..6).map(|s| ItemId(s * 10)).collect();
+        (ds, mf, map)
+    }
+
+    #[test]
+    fn translate_preserves_order() {
+        let (ds, mf, map) = setup();
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let t = src.translate(&[ItemId(2), ItemId(0), ItemId(5)]);
+        assert_eq!(t, vec![ItemId(20), ItemId(0), ItemId(50)]);
+    }
+
+    #[test]
+    fn users_with_item_matches_profiles() {
+        let (ds, mf, map) = setup();
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        assert_eq!(src.users_with_item(ItemId(1)), vec![UserId(0), UserId(1)]);
+        assert!(src.has_item(UserId(2), ItemId(5)));
+        assert!(!src.has_item(UserId(0), ItemId(5)));
+    }
+
+    #[test]
+    fn embeddings_have_mf_dimension() {
+        let (ds, mf, map) = setup();
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        assert_eq!(src.dim(), 8);
+        assert_eq!(src.user_embeddings().len(), 3);
+        assert_eq!(src.user_embedding(UserId(1)).len(), 8);
+        assert_eq!(src.item_embedding(ItemId(3)).len(), 8);
+    }
+}

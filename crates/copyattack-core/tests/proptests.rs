@@ -1,0 +1,86 @@
+//! Property-based tests for crafting and REINFORCE invariants.
+
+use ca_recsys::ItemId;
+use copyattack_core::crafting::clip_around_target;
+use copyattack_core::reinforce::discounted_returns;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn clipping_invariants_hold(
+        len in 1usize..60,
+        target_pos in 0usize..60,
+        level in 1usize..=10,
+    ) {
+        let target_pos = target_pos % len;
+        let profile: Vec<ItemId> = (0..len as u32).map(ItemId).collect();
+        let target = profile[target_pos];
+        let fraction = level as f32 / 10.0;
+        let clipped = clip_around_target(&profile, target, fraction);
+
+        // 1. The target item always survives.
+        prop_assert!(clipped.contains(&target));
+        // 2. Window length is round(fraction * len), clamped to [1, len].
+        let expected = ((fraction * len as f32).round() as usize).clamp(1, len);
+        prop_assert_eq!(clipped.len(), expected);
+        // 3. The window is a contiguous subsequence (order preserved).
+        let start = clipped[0].0 as usize;
+        for (i, &v) in clipped.iter().enumerate() {
+            prop_assert_eq!(v.0 as usize, start + i, "window not contiguous");
+        }
+        // 4. Full fraction is the identity.
+        if level == 10 {
+            prop_assert_eq!(clipped, profile);
+        }
+    }
+
+    #[test]
+    fn clipping_is_centered_away_from_edges(
+        len in 10usize..50,
+        level in 2usize..9,
+    ) {
+        // With the target in the middle, the window straddles it.
+        let profile: Vec<ItemId> = (0..len as u32).map(ItemId).collect();
+        let mid = len / 2;
+        let target = profile[mid];
+        let clipped = clip_around_target(&profile, target, level as f32 / 10.0);
+        let pos_in_window = clipped.iter().position(|&v| v == target).unwrap();
+        // Not pinned to either end unless the window is tiny.
+        if clipped.len() >= 3 {
+            prop_assert!(pos_in_window > 0, "target at left edge of centered window");
+            prop_assert!(
+                pos_in_window < clipped.len() - 1,
+                "target at right edge of centered window"
+            );
+        }
+    }
+
+    #[test]
+    fn discounted_returns_are_bounded(
+        rewards in prop::collection::vec(0.0f32..1.0, 1..40),
+        gamma in 0.0f32..1.0,
+    ) {
+        let g = discounted_returns(&rewards, gamma);
+        prop_assert_eq!(g.len(), rewards.len());
+        let bound = 1.0 / (1.0 - gamma.min(0.999)) + 1e-3;
+        for (t, &gt) in g.iter().enumerate() {
+            prop_assert!(gt >= rewards[t] - 1e-6, "G_t below immediate reward");
+            prop_assert!(gt <= bound, "G_t {gt} above geometric bound {bound}");
+        }
+    }
+
+    #[test]
+    fn discounted_returns_satisfy_bellman(
+        rewards in prop::collection::vec(-2.0f32..2.0, 2..30),
+        gamma in 0.0f32..1.0,
+    ) {
+        let g = discounted_returns(&rewards, gamma);
+        for t in 0..rewards.len() - 1 {
+            let rhs = rewards[t] + gamma * g[t + 1];
+            prop_assert!((g[t] - rhs).abs() < 1e-4, "Bellman violated at {t}");
+        }
+        prop_assert!((g[rewards.len() - 1] - rewards[rewards.len() - 1]).abs() < 1e-6);
+    }
+}

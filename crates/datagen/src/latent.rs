@@ -1,0 +1,127 @@
+//! Ground-truth latent factor model behind the synthetic data.
+//!
+//! This is the "world model" the generator samples from; it is kept in the
+//! output so tests and analyses can compare learned structure (MF
+//! embeddings, k-means clusters) against the truth.
+
+use ca_tensor::init::gaussian_vec;
+use ca_tensor::ops;
+use rand::Rng;
+
+/// Ground-truth latent state for one generated cross-domain world.
+#[derive(Clone, Debug)]
+pub struct LatentTruth {
+    /// Latent dimensionality.
+    pub dim: usize,
+    /// Cluster centers, `n_clusters` unit vectors.
+    pub centers: Vec<Vec<f32>>,
+    /// Item latent vectors (unit length), indexed by *target* item id.
+    /// Overlapping items share these vectors across domains.
+    pub item_vecs: Vec<Vec<f32>>,
+    /// Item cluster assignment.
+    pub item_cluster: Vec<usize>,
+    /// Zipf popularity weight per item (sums to 1).
+    pub item_pop: Vec<f32>,
+    /// Target-domain user vectors (unit length).
+    pub target_user_vecs: Vec<Vec<f32>>,
+    /// Target-domain user cluster assignment.
+    pub target_user_cluster: Vec<usize>,
+    /// Source-domain user vectors (unit length).
+    pub source_user_vecs: Vec<Vec<f32>>,
+    /// Source-domain user cluster assignment.
+    pub source_user_cluster: Vec<usize>,
+}
+
+/// Normalizes `v` to unit length in place (no-op for the zero vector).
+pub fn normalize(v: &mut [f32]) {
+    let n = ops::l2_norm(v);
+    if n > 0.0 {
+        ops::scale(v, 1.0 / n);
+    }
+}
+
+/// Samples a unit vector near `center`: `center + N(0, noise²)` normalized.
+pub fn around(rng: &mut impl Rng, center: &[f32], noise: f32) -> Vec<f32> {
+    let mut v: Vec<f32> = center.to_vec();
+    let jitter = gaussian_vec(rng, center.len(), 0.0, noise);
+    ops::axpy(1.0, &jitter, &mut v);
+    normalize(&mut v);
+    v
+}
+
+/// Samples `n` unit cluster centers.
+pub fn sample_centers(rng: &mut impl Rng, n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| {
+            let mut c = gaussian_vec(rng, dim, 0.0, 1.0);
+            normalize(&mut c);
+            c
+        })
+        .collect()
+}
+
+/// Zipf weights: weight of the item with popularity rank `r` (0-based) is
+/// `(r + 1)^-alpha`, normalized to sum to 1. `ranks[i]` gives item `i`'s
+/// rank.
+pub fn zipf_weights(ranks: &[usize], alpha: f32) -> Vec<f32> {
+    let mut w: Vec<f32> = ranks.iter().map(|&r| ((r + 1) as f32).powf(-alpha)).collect();
+    let sum: f32 = w.iter().sum();
+    ops::scale(&mut w, 1.0 / sum);
+    w
+}
+
+impl LatentTruth {
+    /// Ground-truth affinity between a user vector and item `v`
+    /// (cosine, since all vectors are unit length).
+    pub fn affinity(&self, user_vec: &[f32], item: usize) -> f32 {
+        ops::dot(user_vec, &self.item_vecs[item])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalize_produces_unit_vectors() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((ops::l2_norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn around_stays_near_center_for_small_noise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let center = {
+            let mut c = vec![1.0, 0.0, 0.0, 0.0];
+            normalize(&mut c);
+            c
+        };
+        let v = around(&mut rng, &center, 0.1);
+        assert!(ops::dot(&v, &center) > 0.9, "cos = {}", ops::dot(&v, &center));
+    }
+
+    #[test]
+    fn zipf_weights_sum_to_one_and_decay() {
+        let ranks: Vec<usize> = (0..100).collect();
+        let w = zipf_weights(&ranks, 1.0);
+        let sum: f32 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(w[0] > w[10] && w[10] > w[99]);
+        // Head heaviness: rank-0 weight is ~ 1/H(100) ≈ 0.19 for alpha=1.
+        assert!(w[0] > 0.1);
+    }
+
+    #[test]
+    fn centers_are_unit_length() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for c in sample_centers(&mut rng, 6, 8) {
+            assert!((ops::l2_norm(&c) - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the cross-domain world generator.
+
+use ca_datagen::{generate, CrossDomainConfig, DomainConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CrossDomainConfig> {
+    (
+        2usize..5,            // clusters
+        20usize..50,          // target items
+        2usize..6,            // latent dim
+        0u64..1000,           // seed
+        10usize..40,          // target users
+        15usize..60,          // source users
+    )
+        .prop_map(|(clusters, items, dim, seed, t_users, s_users)| {
+            let overlap = (items * 2) / 3;
+            CrossDomainConfig {
+                latent_dim: dim,
+                n_clusters: clusters,
+                n_target_items: items,
+                n_overlap: overlap,
+                target: DomainConfig {
+                    n_users: t_users,
+                    profile_len_mean: 5.0,
+                    profile_len_min: 2,
+                    profile_len_max: 10.min(items),
+                },
+                source: DomainConfig {
+                    n_users: s_users,
+                    profile_len_mean: 6.0,
+                    profile_len_min: 2,
+                    profile_len_max: 10.min(overlap),
+                },
+                popularity_alpha: 1.0,
+                affinity_beta: 2.0,
+                user_noise: 0.4,
+                item_noise: 0.6,
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_worlds_are_internally_consistent(cfg in arb_config()) {
+        prop_assert!(cfg.validate().is_ok());
+        let world = generate(&cfg);
+        prop_assert!(world.target.check_consistency().is_ok());
+        prop_assert!(world.source.check_consistency().is_ok());
+
+        // Alignment is a bijection between the source catalog and a subset
+        // of the target catalog.
+        prop_assert_eq!(world.source_to_target.len(), cfg.n_overlap);
+        let mut seen = vec![false; cfg.n_target_items];
+        for &t in &world.source_to_target {
+            prop_assert!(t.idx() < cfg.n_target_items);
+            prop_assert!(!seen[t.idx()], "duplicate alignment target");
+            seen[t.idx()] = true;
+        }
+        for (t, s) in world.target_to_source.iter().enumerate() {
+            if let Some(s) = s {
+                prop_assert_eq!(world.source_to_target[s.idx()].idx(), t);
+            }
+        }
+
+        // Profile lengths respect the configured bounds.
+        for u in world.target.users() {
+            let l = world.target.profile(u).len();
+            prop_assert!(l >= cfg.target.profile_len_min && l <= cfg.target.profile_len_max);
+        }
+
+        // Ground truth has matching shapes.
+        prop_assert_eq!(world.truth.item_vecs.len(), cfg.n_target_items);
+        prop_assert_eq!(world.truth.target_user_vecs.len(), cfg.target.n_users);
+        prop_assert_eq!(world.truth.source_user_vecs.len(), cfg.source.n_users);
+        let pop_sum: f32 = world.truth.item_pop.iter().sum();
+        prop_assert!((pop_sum - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn same_seed_same_world(cfg in arb_config()) {
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        prop_assert_eq!(a.stats(), b.stats());
+        for u in a.source.users() {
+            prop_assert_eq!(a.source.profile(u), b.source.profile(u));
+        }
+    }
+}

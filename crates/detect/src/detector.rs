@@ -1,0 +1,147 @@
+//! Unsupervised z-score outlier detector over profile features.
+
+use crate::features::ProfileFeatures;
+
+/// Detector fitted on the population's feature distribution. Profiles far
+/// from the population mean (in standardized feature space) are flagged.
+#[derive(Clone, Debug)]
+pub struct ZScoreDetector {
+    means: [f32; 4],
+    stds: [f32; 4],
+}
+
+impl ZScoreDetector {
+    /// Fits the feature means/stds on the (assumed mostly-genuine)
+    /// population.
+    ///
+    /// # Panics
+    /// Panics on an empty population.
+    pub fn fit(population: &[ProfileFeatures]) -> Self {
+        assert!(!population.is_empty(), "cannot fit a detector on zero profiles");
+        let n = population.len() as f32;
+        let mut means = [0.0f32; 4];
+        for f in population {
+            for (m, x) in means.iter_mut().zip(f.as_vec()) {
+                *m += x;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n;
+        }
+        let mut vars = [0.0f32; 4];
+        for f in population {
+            for k in 0..4 {
+                let d = f.as_vec()[k] - means[k];
+                vars[k] += d * d;
+            }
+        }
+        let stds =
+            std::array::from_fn(|k| (vars[k] / n).sqrt().max(1e-6));
+        Self { means, stds }
+    }
+
+    /// Anomaly score: L2 norm of the standardized feature vector. Higher =
+    /// more suspicious.
+    pub fn score(&self, f: &ProfileFeatures) -> f32 {
+        let v = f.as_vec();
+        let mut acc = 0.0;
+        for ((x, m), s) in v.iter().zip(&self.means).zip(&self.stds) {
+            let z = (x - m) / s;
+            acc += z * z;
+        }
+        acc.sqrt()
+    }
+}
+
+/// AUC of separating fake from genuine profiles by anomaly score (1.0 =
+/// detector always ranks fakes above genuine; 0.5 = chance — perfect
+/// evasion).
+pub fn detection_auc(genuine_scores: &[f32], fake_scores: &[f32]) -> f32 {
+    assert!(!genuine_scores.is_empty() && !fake_scores.is_empty());
+    let mut wins = 0.0f64;
+    for &f in fake_scores {
+        for &g in genuine_scores {
+            if f > g {
+                wins += 1.0;
+            } else if (f - g).abs() < 1e-12 {
+                wins += 0.5;
+            }
+        }
+    }
+    (wins / (genuine_scores.len() as f64 * fake_scores.len() as f64)) as f32
+}
+
+/// Precision of the top-`n` most suspicious profiles: the fraction of
+/// flagged profiles that are actually fake.
+pub fn precision_at_n(genuine_scores: &[f32], fake_scores: &[f32], n: usize) -> f32 {
+    let mut all: Vec<(f32, bool)> = genuine_scores
+        .iter()
+        .map(|&s| (s, false))
+        .chain(fake_scores.iter().map(|&s| (s, true)))
+        .collect();
+    all.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN scores"));
+    let n = n.min(all.len());
+    if n == 0 {
+        return 0.0;
+    }
+    all[..n].iter().filter(|(_, fake)| *fake).count() as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(len: f32, pop: f32, tail: f32, coh: f32) -> ProfileFeatures {
+        ProfileFeatures { len, mean_pop_pct: pop, tail_fraction: tail, coherence: coh }
+    }
+
+    fn population() -> Vec<ProfileFeatures> {
+        (0..50)
+            .map(|i| {
+                let t = i as f32 / 50.0;
+                f(10.0 + t * 5.0, 0.5 + 0.1 * (t - 0.5), 0.05, 0.4 + 0.1 * t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn population_members_score_low() {
+        let pop = population();
+        let det = ZScoreDetector::fit(&pop);
+        let typical = det.score(&pop[25]);
+        let outlier = det.score(&f(100.0, 0.99, 0.9, 0.0));
+        assert!(outlier > typical * 5.0, "outlier {outlier} vs typical {typical}");
+    }
+
+    #[test]
+    fn auc_is_one_for_separable_scores() {
+        assert_eq!(detection_auc(&[1.0, 2.0], &[3.0, 4.0]), 1.0);
+    }
+
+    #[test]
+    fn auc_is_half_for_identical_scores() {
+        let auc = detection_auc(&[1.0, 1.0, 1.0], &[1.0, 1.0]);
+        assert!((auc - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn auc_is_zero_when_fakes_score_lower() {
+        assert_eq!(detection_auc(&[5.0, 6.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn precision_at_n_flags_the_top() {
+        let genuine = vec![0.1, 0.2, 0.3];
+        let fake = vec![10.0, 11.0];
+        assert_eq!(precision_at_n(&genuine, &fake, 2), 1.0);
+        assert!((precision_at_n(&genuine, &fake, 4) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_feature_does_not_divide_by_zero() {
+        let pop: Vec<ProfileFeatures> = (0..10).map(|_| f(5.0, 0.5, 0.0, 0.3)).collect();
+        let det = ZScoreDetector::fit(&pop);
+        let s = det.score(&f(5.0, 0.5, 0.0, 0.3));
+        assert!(s.is_finite());
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-profile detection features.
+
+use ca_recsys::{Dataset, ItemId};
+use ca_tensor::{ops, Matrix};
+
+/// Implicit-feedback profile statistics used by the detector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfileFeatures {
+    /// Number of interactions.
+    pub len: f32,
+    /// Mean popularity percentile of the profile's items (0 = coldest,
+    /// 1 = most popular).
+    pub mean_pop_pct: f32,
+    /// Fraction of the profile in the bottom popularity decile.
+    pub tail_fraction: f32,
+    /// Mean pairwise cosine similarity of the profile's item embeddings.
+    pub coherence: f32,
+}
+
+impl ProfileFeatures {
+    /// The features as a fixed-order vector (for the z-score detector).
+    pub fn as_vec(&self) -> [f32; 4] {
+        [self.len, self.mean_pop_pct, self.tail_fraction, self.coherence]
+    }
+}
+
+/// Precomputed popularity percentiles for a catalog.
+#[derive(Clone, Debug)]
+pub struct PopularityIndex {
+    pct: Vec<f32>,
+}
+
+impl PopularityIndex {
+    /// Ranks items by interaction count in `ds`; `pct[v] = rank / (n-1)`.
+    pub fn build(ds: &Dataset) -> Self {
+        let n = ds.n_items();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&v| ds.item_popularity(ItemId(v as u32)));
+        let mut pct = vec![0.0; n];
+        for (rank, &v) in order.iter().enumerate() {
+            pct[v] = if n > 1 { rank as f32 / (n - 1) as f32 } else { 0.0 };
+        }
+        Self { pct }
+    }
+
+    /// Popularity percentile of an item.
+    pub fn percentile(&self, v: ItemId) -> f32 {
+        self.pct[v.idx()]
+    }
+}
+
+/// Extracts features for one profile. `item_emb` provides the coherence
+/// geometry (e.g. MF item embeddings trained on the clean data);
+/// `pop` the popularity percentiles.
+///
+/// For pairwise coherence, profiles longer than 30 items use a stride so
+/// the cost stays O(30²).
+pub fn extract_features(
+    profile: &[ItemId],
+    pop: &PopularityIndex,
+    item_emb: &Matrix,
+) -> ProfileFeatures {
+    let len = profile.len() as f32;
+    if profile.is_empty() {
+        return ProfileFeatures { len: 0.0, mean_pop_pct: 0.0, tail_fraction: 0.0, coherence: 0.0 };
+    }
+    let mean_pop_pct =
+        profile.iter().map(|&v| pop.percentile(v)).sum::<f32>() / len;
+    let tail_fraction =
+        profile.iter().filter(|&&v| pop.percentile(v) < 0.1).count() as f32 / len;
+
+    // Subsample long profiles for the quadratic coherence term.
+    let stride = profile.len().div_ceil(30);
+    let sample: Vec<ItemId> = profile.iter().copied().step_by(stride).collect();
+    let mut coh = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..sample.len() {
+        for j in (i + 1)..sample.len() {
+            coh += ops::cosine(item_emb.row(sample[i].idx()), item_emb.row(sample[j].idx()));
+            pairs += 1;
+        }
+    }
+    let coherence = if pairs > 0 { coh / pairs as f32 } else { 1.0 };
+    ProfileFeatures { len, mean_pop_pct, tail_fraction, coherence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_recsys::DatasetBuilder;
+
+    fn graded_ds() -> Dataset {
+        // Item v has v interactions.
+        let mut b = DatasetBuilder::new(10);
+        for u in 0..9u32 {
+            let profile: Vec<ItemId> = ((u + 1)..10).map(ItemId).collect();
+            b.user(&profile);
+        }
+        b.build()
+    }
+
+    fn identity_emb(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn popularity_percentiles_are_ordered() {
+        let ds = graded_ds();
+        let pop = PopularityIndex::build(&ds);
+        assert!(pop.percentile(ItemId(9)) > pop.percentile(ItemId(5)));
+        assert!(pop.percentile(ItemId(5)) > pop.percentile(ItemId(0)));
+        assert_eq!(pop.percentile(ItemId(9)), 1.0);
+        assert_eq!(pop.percentile(ItemId(0)), 0.0);
+    }
+
+    #[test]
+    fn popular_profile_scores_high_popularity() {
+        let ds = graded_ds();
+        let pop = PopularityIndex::build(&ds);
+        let emb = identity_emb(10);
+        let popular = extract_features(&[ItemId(9), ItemId(8)], &pop, &emb);
+        let cold = extract_features(&[ItemId(0), ItemId(1)], &pop, &emb);
+        assert!(popular.mean_pop_pct > cold.mean_pop_pct);
+        assert!(cold.tail_fraction > popular.tail_fraction);
+    }
+
+    #[test]
+    fn orthogonal_items_have_zero_coherence() {
+        let ds = graded_ds();
+        let pop = PopularityIndex::build(&ds);
+        let emb = identity_emb(10);
+        let f = extract_features(&[ItemId(1), ItemId(2), ItemId(3)], &pop, &emb);
+        assert!(f.coherence.abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_direction_items_have_unit_coherence() {
+        let ds = graded_ds();
+        let pop = PopularityIndex::build(&ds);
+        // All items share one embedding direction.
+        let emb = Matrix::from_fn(10, 4, |_, c| if c == 0 { 1.0 } else { 0.0 });
+        let f = extract_features(&[ItemId(1), ItemId(5), ItemId(9)], &pop, &emb);
+        assert!((f.coherence - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_profile_is_all_zero() {
+        let ds = graded_ds();
+        let pop = PopularityIndex::build(&ds);
+        let emb = identity_emb(10);
+        let f = extract_features(&[], &pop, &emb);
+        assert_eq!(f.len, 0.0);
+        assert_eq!(f.as_vec(), [0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn long_profiles_are_subsampled_not_skipped() {
+        let ds = graded_ds();
+        let pop = PopularityIndex::build(&ds);
+        let emb = Matrix::from_fn(10, 4, |_, c| if c == 0 { 1.0 } else { 0.0 });
+        let long: Vec<ItemId> = (0..10u32).cycle().take(100).map(ItemId).collect();
+        // Dedup happens at dataset level, but features accept raw slices.
+        let f = extract_features(&long, &pop, &emb);
+        assert_eq!(f.len, 100.0);
+        assert!((f.coherence - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,33 @@
+//! Shilling-attack detection substrate.
+//!
+//! The paper's motivation (§1) is that classical data-poisoning profiles
+//! "present very different patterns from real profiles" and are caught by
+//! detectors [2, 5, 22, 26]. This crate implements an unsupervised detector
+//! in that family, adapted to implicit feedback, so the repository can
+//! *measure* the claim that copied cross-domain profiles are harder to
+//! detect than generated ones (see `examples/detection_evasion.rs` and the
+//! `detect_evasion` experiment binary).
+//!
+//! Features per user profile (implicit-feedback analogues of RDMA/WDMA-
+//! style statistics):
+//!
+//! - **length** — fake profiles are often uniformly sized;
+//! - **mean popularity percentile** — "average attack" profiles stuff
+//!   popular filler items;
+//! - **tail fraction** — fraction of interactions on bottom-decile items
+//!   (promotion targets are usually obscure);
+//! - **coherence** — mean pairwise cosine similarity of the profile's item
+//!   embeddings: random filler is less coherent than genuine taste.
+//!
+//! The detector standardizes features over the population and scores each
+//! profile by the L2 norm of its z-vector.
+
+pub mod detector;
+pub mod features;
+pub mod screen;
+pub mod synthetic;
+
+pub use detector::{detection_auc, precision_at_n, ZScoreDetector};
+pub use features::{extract_features, ProfileFeatures};
+pub use screen::ScreenedRecommender;
+pub use synthetic::naive_fake_profiles;

@@ -1,0 +1,100 @@
+//! Classical generated fake profiles, for comparison against copied ones.
+//!
+//! The "average/random attack" family [15] builds each fake profile from
+//! the promotion target plus popular filler items — precisely the pattern
+//! detectors catch. CopyAttack's pitch is that *copied* profiles do not
+//! look like this.
+
+use ca_recsys::{Dataset, ItemId};
+use rand::Rng;
+
+/// Generates `n` classical fake promotion profiles: the target item plus
+/// `filler_len` fillers sampled proportionally to popularity.
+pub fn naive_fake_profiles(
+    visible: &Dataset,
+    target: ItemId,
+    n: usize,
+    filler_len: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<ItemId>> {
+    let n_items = visible.n_items();
+    assert!(filler_len < n_items, "filler longer than catalog");
+    let mut cdf = Vec::with_capacity(n_items);
+    let mut acc = 0.0f64;
+    for v in 0..n_items {
+        acc += 1.0 + visible.item_popularity(ItemId(v as u32)) as f64;
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let mut profile = vec![target];
+            let mut guard = 0u32;
+            while profile.len() < filler_len + 1 {
+                let u: f64 = rng.gen::<f64>() * total;
+                let pos = cdf.partition_point(|&c| c < u).min(n_items - 1);
+                let item = ItemId(pos as u32);
+                if !profile.contains(&item) {
+                    profile.push(item);
+                }
+                guard += 1;
+                if guard > 100_000 {
+                    break;
+                }
+            }
+            profile
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_recsys::DatasetBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn visible() -> Dataset {
+        let mut b = DatasetBuilder::new(30);
+        for u in 0..20u32 {
+            b.user(&[ItemId(u % 5)]); // items 0..5 popular
+        }
+        b.build()
+    }
+
+    #[test]
+    fn profiles_contain_target_and_requested_length() {
+        let ds = visible();
+        let mut rng = StdRng::seed_from_u64(1);
+        let fakes = naive_fake_profiles(&ds, ItemId(25), 8, 6, &mut rng);
+        assert_eq!(fakes.len(), 8);
+        for p in &fakes {
+            assert_eq!(p[0], ItemId(25));
+            assert_eq!(p.len(), 7);
+            let mut q = p.clone();
+            q.sort();
+            q.dedup();
+            assert_eq!(q.len(), 7, "duplicates in fake profile");
+        }
+    }
+
+    #[test]
+    fn fillers_skew_popular() {
+        let ds = visible();
+        let mut rng = StdRng::seed_from_u64(2);
+        let fakes = naive_fake_profiles(&ds, ItemId(25), 50, 4, &mut rng);
+        let mut popular = 0usize;
+        let mut total = 0usize;
+        for p in &fakes {
+            for &v in &p[1..] {
+                if v.0 < 5 {
+                    popular += 1;
+                }
+                total += 1;
+            }
+        }
+        // Items 0..5 hold 20 of the 50 smoothed mass units; expect well
+        // above the uniform 5/30 share.
+        assert!(popular as f32 / total as f32 > 0.3, "{popular}/{total}");
+    }
+}

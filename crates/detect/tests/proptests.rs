@@ -1,0 +1,75 @@
+//! Property-based tests for the detector substrate.
+
+use ca_detect::detector::{detection_auc, precision_at_n, ZScoreDetector};
+use ca_detect::features::ProfileFeatures;
+use proptest::prelude::*;
+
+fn feats(len: f32, pop: f32, tail: f32, coh: f32) -> ProfileFeatures {
+    ProfileFeatures { len, mean_pop_pct: pop, tail_fraction: tail, coherence: coh }
+}
+
+proptest! {
+    #[test]
+    fn auc_is_bounded(
+        genuine in prop::collection::vec(0.0f32..10.0, 1..30),
+        fake in prop::collection::vec(0.0f32..10.0, 1..30),
+    ) {
+        let auc = detection_auc(&genuine, &fake);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Complementarity: swapping the classes mirrors around 0.5.
+        let swapped = detection_auc(&fake, &genuine);
+        prop_assert!((auc + swapped - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn precision_is_bounded_and_monotone_total(
+        genuine in prop::collection::vec(0.0f32..10.0, 1..20),
+        fake in prop::collection::vec(0.0f32..10.0, 1..20),
+        n in 1usize..40,
+    ) {
+        let p = precision_at_n(&genuine, &fake, n);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Flagging everything yields exactly the fake base rate.
+        let all = genuine.len() + fake.len();
+        let p_all = precision_at_n(&genuine, &fake, all);
+        let base = fake.len() as f32 / all as f32;
+        prop_assert!((p_all - base).abs() < 1e-5);
+    }
+
+    #[test]
+    fn detector_scores_are_finite_and_nonnegative(
+        pop_feats in prop::collection::vec(
+            (1.0f32..100.0, 0.0f32..1.0, 0.0f32..1.0, -1.0f32..1.0),
+            2..40,
+        ),
+        probe in (1.0f32..100.0, 0.0f32..1.0, 0.0f32..1.0, -1.0f32..1.0),
+    ) {
+        let population: Vec<ProfileFeatures> =
+            pop_feats.iter().map(|&(a, b, c, d)| feats(a, b, c, d)).collect();
+        let det = ZScoreDetector::fit(&population);
+        for f in &population {
+            let s = det.score(f);
+            prop_assert!(s.is_finite() && s >= 0.0);
+        }
+        let s = det.score(&feats(probe.0, probe.1, probe.2, probe.3));
+        prop_assert!(s.is_finite() && s >= 0.0);
+    }
+
+    #[test]
+    fn farther_outliers_score_higher(
+        scale in 1.5f32..10.0,
+    ) {
+        // Population with genuine variance in every feature (a constant
+        // feature would make any deviation on it dominate the score).
+        let population: Vec<ProfileFeatures> = (0..20)
+            .map(|i| {
+                let t = i as f32 / 20.0;
+                feats(10.0 + 2.0 * t, 0.4 + 0.2 * t, 0.05 + 0.1 * t, 0.2 + 0.2 * t)
+            })
+            .collect();
+        let det = ZScoreDetector::fit(&population);
+        let near = det.score(&feats(12.0, 0.5, 0.1, 0.3));
+        let far = det.score(&feats(12.0 * scale, 0.5, 0.1, 0.3));
+        prop_assert!(far > near, "near {near} far {far}");
+    }
+}

@@ -1,0 +1,36 @@
+//! PinSage-like inductive GNN recommender — the black-box target model.
+//!
+//! §5.1.3 of the paper adopts PinSage [24], an industrial graph neural
+//! network over the user–item bipartite graph that "aggregates the local
+//! neighbors (users/items) in an inductive way". The essential property the
+//! attack depends on is that *inductiveness*: when a new user registers and
+//! interacts, the platform can compute the user's representation — and
+//! refresh the representations of the items they touched — from neighbor
+//! aggregation alone, without retraining. Injected profiles therefore shift
+//! the target item's representation immediately.
+//!
+//! The model implemented here keeps that structure at the paper's scale:
+//!
+//! ```text
+//! m_u = mean_{v ∈ P_u} q_v                       (item→user aggregation)
+//! h_u = MLP_user(m_u)                            (user tower)
+//! n_v = mean_{u ∈ P_v} h_u                       (user→item aggregation)
+//! h_v = q_v + MLP_item(n_v)                      (item tower, residual)
+//! score(u, v) = ⟨h_u, h_v⟩ + b_v
+//! ```
+//!
+//! Training is BPR over the 80% training split with the neighbor aggregates
+//! `n_v` held stale within an epoch and refreshed between epochs (the
+//! standard large-graph trick; PinSage itself trains on sampled, effectively
+//! stale neighborhoods). Early stopping follows §5.1.3: patience 5 on
+//! validation HR@10.
+
+pub mod config;
+pub mod model;
+pub mod recommender;
+pub mod train;
+
+pub use config::GnnConfig;
+pub use model::PinSageModel;
+pub use recommender::PinSageRecommender;
+pub use train::{train, train_with_features, TrainReport};

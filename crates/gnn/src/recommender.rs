@@ -1,0 +1,269 @@
+//! The deployed recommender: model + live interaction data + representation
+//! caches, with inductive fold-in of injected users.
+
+use crate::model::PinSageModel;
+use ca_recsys::{BlackBoxRecommender, Dataset, ItemId, Scorer, UserId};
+use ca_tensor::ops;
+
+/// Representation caches for the current state of the platform.
+#[derive(Clone, Debug)]
+pub struct Caches {
+    /// `h_u` per user.
+    pub h_user: Vec<Vec<f32>>,
+    /// Running sum of `h_u` over each item's interacting users.
+    pub n_item_sum: Vec<Vec<f32>>,
+    /// Number of users aggregated per item.
+    pub n_item_cnt: Vec<usize>,
+    /// `h_v` per item.
+    pub h_item: Vec<Vec<f32>>,
+}
+
+impl Caches {
+    /// Computes all caches from scratch.
+    pub fn compute(model: &PinSageModel, data: &Dataset) -> Self {
+        let dim = model.dim();
+        let h_user: Vec<Vec<f32>> =
+            data.users().map(|u| model.user_repr(data.profile(u))).collect();
+        let mut n_item_sum = vec![vec![0.0; dim]; data.n_items()];
+        let mut n_item_cnt = vec![0usize; data.n_items()];
+        for (u, hu) in h_user.iter().enumerate() {
+            for &v in data.profile(UserId(u as u32)) {
+                ops::axpy(1.0, hu, &mut n_item_sum[v.idx()]);
+                n_item_cnt[v.idx()] += 1;
+            }
+        }
+        let h_item = (0..data.n_items())
+            .map(|v| {
+                let n_v = mean_from_sum(&n_item_sum[v], n_item_cnt[v]);
+                model.item_repr(ItemId(v as u32), &n_v, n_item_cnt[v])
+            })
+            .collect();
+        Self { h_user, n_item_sum, n_item_cnt, h_item }
+    }
+
+    /// The user→item aggregate `n_v`.
+    pub fn n_item(&self, v: ItemId) -> Vec<f32> {
+        mean_from_sum(&self.n_item_sum[v.idx()], self.n_item_cnt[v.idx()])
+    }
+}
+
+fn mean_from_sum(sum: &[f32], cnt: usize) -> Vec<f32> {
+    let mut m = sum.to_vec();
+    if cnt > 0 {
+        ops::scale(&mut m, 1.0 / cnt as f32);
+    }
+    m
+}
+
+/// A deployed PinSage recommender: the black-box system under attack.
+#[derive(Clone, Debug)]
+pub struct PinSageRecommender {
+    model: PinSageModel,
+    data: Dataset,
+    caches: Caches,
+}
+
+impl PinSageRecommender {
+    /// Deploys a trained model over the platform's interaction data.
+    pub fn deploy(model: PinSageModel, data: Dataset) -> Self {
+        assert_eq!(model.n_items(), data.n_items(), "model/catalog mismatch");
+        let caches = Caches::compute(&model, &data);
+        Self { model, data, caches }
+    }
+
+    /// The platform's interaction data (owner-side access; not visible to
+    /// the attacker).
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The underlying model (owner-side access).
+    pub fn model(&self) -> &PinSageModel {
+        &self.model
+    }
+
+    /// Current representation caches (owner-side access).
+    pub fn caches(&self) -> &Caches {
+        &self.caches
+    }
+
+    /// Rebuilds all caches from scratch (used by tests to validate the
+    /// incremental fold-in).
+    pub fn refresh_all(&mut self) {
+        self.caches = Caches::compute(&self.model, &self.data);
+    }
+
+    /// Scores every item for `user`, excluding their own profile, and
+    /// returns the best `k` item ids in descending score order.
+    fn rank_unseen(&self, user: UserId, k: usize) -> Vec<ItemId> {
+        let hu = &self.caches.h_user[user.idx()];
+        let mut scored: Vec<(f32, u32)> = Vec::with_capacity(self.data.n_items());
+        for v in 0..self.data.n_items() {
+            let item = ItemId(v as u32);
+            if self.data.contains(user, item) {
+                continue;
+            }
+            let s = self.model.score_reprs(hu, &self.caches.h_item[v], item);
+            scored.push((s, v as u32));
+        }
+        let k = k.min(scored.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        // Partial selection then sort of the head: O(n + k log k).
+        let nth = (k - 1).min(scored.len() - 1);
+        scored.select_nth_unstable_by(nth, |a, b| {
+            b.0.partial_cmp(&a.0).expect("scores must not be NaN")
+        });
+        scored.truncate(k);
+        scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
+        scored.into_iter().map(|(_, v)| ItemId(v)).collect()
+    }
+}
+
+impl Scorer for PinSageRecommender {
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        self.model.score_reprs(
+            &self.caches.h_user[user.idx()],
+            &self.caches.h_item[item.idx()],
+            item,
+        )
+    }
+}
+
+impl BlackBoxRecommender for PinSageRecommender {
+    fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
+        self.rank_unseen(user, k)
+    }
+
+    /// Registers a new account with `profile` and folds it in inductively:
+    /// the new user's representation is computed from the item embeddings,
+    /// and the aggregates / representations of exactly the touched items are
+    /// refreshed. No retraining happens — mirroring both PinSage's
+    /// inductive deployment and the paper's fixed-target-model setting.
+    fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+        let uid = self.data.add_user(profile);
+        // `add_user` dedups; read back the stored profile.
+        let stored: Vec<ItemId> = self.data.profile(uid).to_vec();
+        let hu = self.model.user_repr(&stored);
+        for &v in &stored {
+            ops::axpy(1.0, &hu, &mut self.caches.n_item_sum[v.idx()]);
+            self.caches.n_item_cnt[v.idx()] += 1;
+            let n_v = self.caches.n_item(v);
+            self.caches.h_item[v.idx()] =
+                self.model.item_repr(v, &n_v, self.caches.n_item_cnt[v.idx()]);
+        }
+        self.caches.h_user.push(hu);
+        uid
+    }
+
+    fn catalog_size(&self) -> usize {
+        self.data.n_items()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GnnConfig;
+    use ca_recsys::DatasetBuilder;
+
+    fn tiny_platform() -> PinSageRecommender {
+        let mut b = DatasetBuilder::new(12);
+        for u in 0..8u32 {
+            let profile: Vec<ItemId> = (0..4).map(|i| ItemId((u + i * 3) % 12)).collect();
+            b.user(&profile);
+        }
+        let data = b.build();
+        let model = PinSageModel::with_random_features(12, GnnConfig::default());
+        PinSageRecommender::deploy(model, data)
+    }
+
+    #[test]
+    fn top_k_excludes_profile_items() {
+        let rec = tiny_platform();
+        for u in 0..8u32 {
+            let user = UserId(u);
+            for v in rec.top_k(user, 5) {
+                assert!(!rec.data().contains(user, v), "{user} recommended seen item {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_by_score() {
+        let rec = tiny_platform();
+        let list = rec.top_k(UserId(0), 6);
+        for w in list.windows(2) {
+            assert!(rec.score(UserId(0), w[0]) >= rec.score(UserId(0), w[1]));
+        }
+    }
+
+    #[test]
+    fn top_k_matches_exhaustive_argmax() {
+        let rec = tiny_platform();
+        let user = UserId(2);
+        let list = rec.top_k(user, 3);
+        let mut best: Vec<(f32, ItemId)> = (0..12u32)
+            .map(ItemId)
+            .filter(|&v| !rec.data().contains(user, v))
+            .map(|v| (rec.score(user, v), v))
+            .collect();
+        best.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let expected: Vec<ItemId> = best.into_iter().take(3).map(|(_, v)| v).collect();
+        assert_eq!(list, expected);
+    }
+
+    #[test]
+    fn incremental_foldin_matches_full_recompute() {
+        let mut rec = tiny_platform();
+        let profile = vec![ItemId(0), ItemId(5), ItemId(11)];
+        rec.inject_user(&profile);
+        rec.inject_user(&[ItemId(5), ItemId(6)]);
+        let incremental = rec.clone();
+        rec.refresh_all();
+        for v in 0..12 {
+            for k in 0..8 {
+                let a = incremental.caches().h_item[v][k];
+                let b = rec.caches().h_item[v][k];
+                assert!((a - b).abs() < 1e-5, "h_item[{v}][{k}]: {a} vs {b}");
+            }
+        }
+        for (u, (a, b)) in
+            incremental.caches().h_user.iter().zip(rec.caches().h_user.iter()).enumerate()
+        {
+            for k in 0..8 {
+                assert!((a[k] - b[k]).abs() < 1e-5, "h_user[{u}][{k}]");
+            }
+        }
+    }
+
+    #[test]
+    fn injection_changes_touched_item_reprs_only() {
+        let mut rec = tiny_platform();
+        let before = rec.caches().h_item.clone();
+        rec.inject_user(&[ItemId(7)]);
+        for v in 0..12 {
+            let changed = rec.caches().h_item[v] != before[v];
+            assert_eq!(changed, v == 7, "item {v} changed={changed}");
+        }
+    }
+
+    #[test]
+    fn injected_user_gets_representation_and_recommendations() {
+        let mut rec = tiny_platform();
+        let uid = rec.inject_user(&[ItemId(1), ItemId(2)]);
+        assert_eq!(uid.idx(), 8);
+        let list = rec.top_k(uid, 4);
+        assert_eq!(list.len(), 4);
+        assert!(!list.contains(&ItemId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "model/catalog mismatch")]
+    fn deploy_rejects_mismatched_catalog() {
+        let data = DatasetBuilder::new(5).build();
+        let model = PinSageModel::with_random_features(6, GnnConfig::default());
+        let _ = PinSageRecommender::deploy(model, data);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the deployed recommender: fold-in consistency,
+//! top-k correctness, and ranking invariants under arbitrary injections.
+
+use ca_gnn::{GnnConfig, PinSageModel, PinSageRecommender};
+use ca_recsys::{BlackBoxRecommender, DatasetBuilder, ItemId, Scorer, UserId};
+use proptest::prelude::*;
+
+fn platform(n_items: usize, profiles: &[Vec<u32>], seed: u64) -> PinSageRecommender {
+    let mut b = DatasetBuilder::new(n_items);
+    for p in profiles {
+        let items: Vec<ItemId> = p.iter().map(|&v| ItemId(v % n_items as u32)).collect();
+        b.user(&items);
+    }
+    let model =
+        PinSageModel::with_random_features(n_items, GnnConfig { seed, ..Default::default() });
+    PinSageRecommender::deploy(model, b.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn incremental_foldin_equals_full_recompute(
+        profiles in prop::collection::vec(prop::collection::vec(0u32..15, 1..6), 2..8),
+        injections in prop::collection::vec(prop::collection::vec(0u32..15, 1..6), 1..6),
+        seed in 0u64..100,
+    ) {
+        let mut rec = platform(15, &profiles, seed);
+        for inj in &injections {
+            let items: Vec<ItemId> = inj.iter().map(|&v| ItemId(v)).collect();
+            rec.inject_user(&items);
+        }
+        let incremental = rec.clone();
+        rec.refresh_all();
+        for v in 0..15 {
+            for k in 0..8 {
+                let a = incremental.caches().h_item[v][k];
+                let b = rec.caches().h_item[v][k];
+                prop_assert!((a - b).abs() < 1e-4, "h_item[{v}][{k}]: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_unseen(
+        profiles in prop::collection::vec(prop::collection::vec(0u32..20, 1..8), 2..10),
+        k in 1usize..10,
+        seed in 0u64..100,
+    ) {
+        let rec = platform(20, &profiles, seed);
+        for u in 0..profiles.len() as u32 {
+            let user = UserId(u);
+            let list = rec.top_k(user, k);
+            prop_assert!(list.len() <= k);
+            for w in list.windows(2) {
+                prop_assert!(rec.score(user, w[0]) >= rec.score(user, w[1]));
+            }
+            for v in &list {
+                prop_assert!(!rec.data().contains(user, *v));
+            }
+            // No duplicates.
+            let mut sorted = list.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), list.len());
+        }
+    }
+
+    #[test]
+    fn injection_never_shrinks_target_degree_channel(
+        profiles in prop::collection::vec(prop::collection::vec(0u32..12, 1..5), 2..6),
+        target in 0u32..12,
+        n_inject in 1usize..8,
+        seed in 0u64..50,
+    ) {
+        let mut rec = platform(12, &profiles, seed);
+        let before = rec.caches().n_item_cnt[target as usize];
+        for _ in 0..n_inject {
+            rec.inject_user(&[ItemId(target)]);
+        }
+        let after = rec.caches().n_item_cnt[target as usize];
+        prop_assert_eq!(after, before + n_inject);
+    }
+}

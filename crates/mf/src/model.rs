@@ -1,0 +1,94 @@
+//! The factorization model: one embedding row per user and per item.
+
+use ca_recsys::{ItemId, Scorer, UserId};
+use ca_tensor::init::gaussian_matrix;
+use ca_tensor::{ops, Matrix};
+use rand::Rng;
+
+/// Latent-factor model `score(u, v) = ⟨p_u, q_v⟩ + b_v`.
+#[derive(Clone, Debug)]
+pub struct MfModel {
+    /// User embeddings, `n_users × dim`.
+    pub user_emb: Matrix,
+    /// Item embeddings, `n_items × dim`.
+    pub item_emb: Matrix,
+    /// Item popularity bias.
+    pub item_bias: Vec<f32>,
+}
+
+impl MfModel {
+    /// Fresh model with `N(0, 0.1²)` embeddings (the paper's initialization).
+    pub fn new(rng: &mut impl Rng, n_users: usize, n_items: usize, dim: usize) -> Self {
+        Self {
+            user_emb: gaussian_matrix(rng, n_users, dim, 0.0, 0.1),
+            item_emb: gaussian_matrix(rng, n_items, dim, 0.0, 0.1),
+            item_bias: vec![0.0; n_items],
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.user_emb.cols()
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.user_emb.rows()
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.item_emb.rows()
+    }
+
+    /// The user embedding `p_u`.
+    pub fn user_vec(&self, u: UserId) -> &[f32] {
+        self.user_emb.row(u.idx())
+    }
+
+    /// The item embedding `q_v`.
+    pub fn item_vec(&self, v: ItemId) -> &[f32] {
+        self.item_emb.row(v.idx())
+    }
+}
+
+impl Scorer for MfModel {
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        ops::dot(self.user_emb.row(user.idx()), self.item_emb.row(item.idx()))
+            + self.item_bias[item.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_model_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = MfModel::new(&mut rng, 10, 20, 8);
+        assert_eq!(m.n_users(), 10);
+        assert_eq!(m.n_items(), 20);
+        assert_eq!(m.dim(), 8);
+        assert_eq!(m.user_vec(UserId(3)).len(), 8);
+    }
+
+    #[test]
+    fn score_is_dot_plus_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = MfModel::new(&mut rng, 2, 2, 4);
+        m.item_bias[1] = 0.5;
+        let expected = ops::dot(m.user_vec(UserId(0)), m.item_vec(ItemId(1))) + 0.5;
+        assert!((m.score(UserId(0), ItemId(1)) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn initial_embeddings_are_small() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = MfModel::new(&mut rng, 100, 100, 8);
+        let max = m.user_emb.as_slice().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        assert!(max < 1.0, "N(0,0.1) init should stay small, saw {max}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Property-based tests for BPR matrix factorization.
+
+use ca_mf::{train, BprConfig, MfModel};
+use ca_recsys::{DatasetBuilder, ItemId, Scorer, UserId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn training_is_finite_and_deterministic(
+        profiles in prop::collection::vec(prop::collection::vec(0u32..20, 1..8), 2..12),
+        seed in 0u64..200,
+    ) {
+        let mut b = DatasetBuilder::new(20);
+        for p in &profiles {
+            let items: Vec<ItemId> = p.iter().map(|&v| ItemId(v)).collect();
+            b.user(&items);
+        }
+        let ds = b.build();
+        let cfg = BprConfig { epochs: 3, seed, ..Default::default() };
+        let a = train(&ds, &cfg);
+        let b2 = train(&ds, &cfg);
+        prop_assert_eq!(a.user_emb.as_slice(), b2.user_emb.as_slice());
+        for &x in a.user_emb.as_slice().iter().chain(a.item_emb.as_slice()) {
+            prop_assert!(x.is_finite());
+        }
+        for u in ds.users() {
+            for v in ds.items() {
+                prop_assert!(a.score(u, v).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_model_shapes_follow_arguments(
+        n_users in 1usize..50,
+        n_items in 1usize..50,
+        dim in 1usize..16,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = MfModel::new(&mut rng, n_users, n_items, dim);
+        prop_assert_eq!(m.n_users(), n_users);
+        prop_assert_eq!(m.n_items(), n_items);
+        prop_assert_eq!(m.dim(), dim);
+        prop_assert_eq!(m.user_vec(UserId(0)).len(), dim);
+    }
+}

@@ -1,0 +1,36 @@
+//! NeuMF-style neural collaborative filtering — a *second* target-model
+//! family for the attack.
+//!
+//! The paper's evaluation protocol follows NCF [13] (He et al., WWW 2017),
+//! and its target model is the inductive PinSage. This crate adds the other
+//! archetype of deployed deep recommenders: a **transductive** model with
+//! free user/item embeddings (GMF ⊕ MLP fusion) that cannot fold new users
+//! in functionally — instead the platform **fine-tunes periodically** on
+//! fresh interactions, which is exactly how classical data poisoning
+//! reaches such models.
+//!
+//! Having both families lets the repository ask questions the paper
+//! couldn't: does CopyAttack's query-driven selection transfer across
+//! model families (`examples/cross_domain_transfer.rs` for ItemKNN,
+//! `tests/` for NCF), and how does attack latency differ between fold-in
+//! (instant) and retrain-cycle (delayed) platforms?
+//!
+//! Architecture (NeuMF-lite, single fused embedding table per side):
+//!
+//! ```text
+//! score(u, v) = ⟨w, p_u ⊙ q_v⟩ + MLP([p_u ⊕ q_v])
+//! ```
+//!
+//! trained with BPR; new users are onboarded by initializing their
+//! embedding at the mean of their profile items' embeddings and running a
+//! few local SGD steps (the "incremental onboarding" every production
+//! system has), with injected interactions entering the global fine-tune
+//! on the configured cadence.
+
+pub mod model;
+pub mod recommender;
+pub mod train;
+
+pub use model::{NcfConfig, NcfModel};
+pub use recommender::NcfRecommender;
+pub use train::{fine_tune_user, train, NcfTrainReport};

@@ -1,0 +1,208 @@
+//! Deployed NCF platform: onboarding + periodic fine-tune on fresh data.
+//!
+//! Unlike the inductive PinSage deployment (fold-in, instant), a
+//! transductive platform absorbs new interactions in batches: every
+//! `refresh_every` new accounts it fine-tunes on the fresh interactions.
+//! Data poisoning reaches the model exactly through that loop — injected
+//! `(user, target)` pairs pull the target item's embedding toward the
+//! injected users during the refresh.
+
+use crate::model::NcfModel;
+use crate::train::{bpr_step, fine_tune_user};
+use ca_recsys::{BlackBoxRecommender, Dataset, ItemId, Scorer, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deployed NCF recommender.
+#[derive(Clone, Debug)]
+pub struct NcfRecommender {
+    model: NcfModel,
+    data: Dataset,
+    /// Global fine-tune after every this many new accounts.
+    refresh_every: usize,
+    /// Fine-tune passes over the fresh interactions per refresh.
+    refresh_epochs: usize,
+    fresh_users: Vec<UserId>,
+    rng: StdRng,
+}
+
+impl NcfRecommender {
+    /// Deploys a trained model over its training data.
+    ///
+    /// # Panics
+    /// Panics if model and data disagree on shapes or `refresh_every` is 0.
+    pub fn deploy(model: NcfModel, data: Dataset, refresh_every: usize, refresh_epochs: usize) -> Self {
+        assert_eq!(model.n_users(), data.n_users(), "model/user-base mismatch");
+        assert_eq!(model.n_items(), data.n_items(), "model/catalog mismatch");
+        assert!(refresh_every > 0, "refresh cadence must be positive");
+        let seed = model.cfg.seed.wrapping_add(0xD1CE);
+        Self {
+            model,
+            data,
+            refresh_every,
+            refresh_epochs,
+            fresh_users: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Owner-side data access.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Owner-side model access.
+    pub fn model(&self) -> &NcfModel {
+        &self.model
+    }
+
+    /// Accounts waiting for the next global refresh.
+    pub fn pending_refresh(&self) -> usize {
+        self.fresh_users.len()
+    }
+
+    /// Runs the global fine-tune immediately (the "nightly retrain"),
+    /// consuming the fresh-interaction buffer.
+    pub fn refresh(&mut self) {
+        for _ in 0..self.refresh_epochs {
+            for &u in &self.fresh_users {
+                let profile: Vec<ItemId> = self.data.profile(u).to_vec();
+                for &pos in &profile {
+                    let neg = loop {
+                        use rand::Rng;
+                        let cand = ItemId(self.rng.gen_range(0..self.data.n_items() as u32));
+                        if cand != pos && !self.data.contains(u, cand) {
+                            break cand;
+                        }
+                    };
+                    bpr_step(&mut self.model, u, pos, neg);
+                }
+            }
+        }
+        self.fresh_users.clear();
+    }
+}
+
+impl Scorer for NcfRecommender {
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        self.model.score(user, item)
+    }
+}
+
+impl BlackBoxRecommender for NcfRecommender {
+    fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
+        let mut scored: Vec<(f32, u32)> = (0..self.data.n_items() as u32)
+            .map(ItemId)
+            .filter(|&v| !self.data.contains(user, v))
+            .map(|v| (self.model.score(user, v), v.0))
+            .collect();
+        scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN scores"));
+        scored.truncate(k);
+        scored.into_iter().map(|(_, v)| ItemId(v)).collect()
+    }
+
+    fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+        let uid = self.data.add_user(profile);
+        let stored: Vec<ItemId> = self.data.profile(uid).to_vec();
+        let mid = self.model.onboard_user(&stored);
+        debug_assert_eq!(uid, mid);
+        // Local onboarding fine-tune (only the new user's embedding moves).
+        fine_tune_user(&mut self.model, &self.data, uid, 2, &mut self.rng);
+        self.fresh_users.push(uid);
+        if self.fresh_users.len() >= self.refresh_every {
+            self.refresh();
+        }
+        uid
+    }
+
+    fn catalog_size(&self) -> usize {
+        self.data.n_items()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NcfConfig;
+    use crate::train::train;
+    use ca_recsys::{split_dataset, DatasetBuilder};
+
+    fn platform(refresh_every: usize) -> NcfRecommender {
+        let mut b = DatasetBuilder::new(30);
+        for u in 0..40u32 {
+            let base: u32 = if u < 20 { 0 } else { 15 };
+            let profile: Vec<ItemId> =
+                (0..8u32).map(|i| ItemId(base + (u * 5 + i) % 15)).collect();
+            b.user(&profile);
+        }
+        let ds = b.build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = split_dataset(&ds, 0.1, &mut rng);
+        let cfg = NcfConfig { max_epochs: 10, seed: 2, ..Default::default() };
+        let (model, _) = train(&split.train, &split.validation, &cfg);
+        NcfRecommender::deploy(model, split.train, refresh_every, 2)
+    }
+
+    #[test]
+    fn top_k_excludes_seen_and_is_sorted() {
+        let rec = platform(3);
+        let list = rec.top_k(UserId(0), 6);
+        assert_eq!(list.len(), 6);
+        for w in list.windows(2) {
+            assert!(rec.score(UserId(0), w[0]) >= rec.score(UserId(0), w[1]));
+        }
+        for v in &list {
+            assert!(!rec.data().contains(UserId(0), *v));
+        }
+    }
+
+    #[test]
+    fn refresh_fires_on_cadence() {
+        let mut rec = platform(3);
+        rec.inject_user(&[ItemId(1)]);
+        rec.inject_user(&[ItemId(2)]);
+        assert_eq!(rec.pending_refresh(), 2);
+        rec.inject_user(&[ItemId(3)]);
+        assert_eq!(rec.pending_refresh(), 0, "refresh must fire at the cadence");
+    }
+
+    #[test]
+    fn poisoning_reaches_the_model_through_refresh() {
+        let mut rec = platform(5);
+        // Cold-ish target item for group-0 users.
+        let target = ItemId(14);
+        let probe = UserId(0);
+        let before = rec.score(probe, target);
+        // Inject users pairing the target with group-0's items.
+        for _ in 0..10 {
+            let mut profile = vec![target];
+            profile.extend((0..6u32).map(ItemId));
+            rec.inject_user(&profile);
+        }
+        assert_eq!(rec.pending_refresh(), 0);
+        let after = rec.score(probe, target);
+        assert!(
+            after > before,
+            "refresh-cycle poisoning failed: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn injections_between_refreshes_still_get_onboarded() {
+        let mut rec = platform(100); // refresh far away
+        let uid = rec.inject_user(&[ItemId(0), ItemId(1)]);
+        // The new account must already receive personalized rankings.
+        let list = rec.top_k(uid, 5);
+        assert_eq!(list.len(), 5);
+        assert!(!list.contains(&ItemId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh cadence")]
+    fn zero_cadence_rejected() {
+        let rec = platform(3);
+        let model = rec.model().clone();
+        let data = rec.data().clone();
+        let _ = NcfRecommender::deploy(model, data, 0, 1);
+    }
+}

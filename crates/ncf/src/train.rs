@@ -1,0 +1,234 @@
+//! BPR training and incremental fine-tuning for the NCF model.
+
+use crate::model::{NcfConfig, NcfModel};
+use ca_recsys::eval::RankingEval;
+use ca_recsys::{Dataset, HeldOut, ItemId, UserId};
+use ca_tensor::ops::sigmoid;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Training summary.
+#[derive(Clone, Debug)]
+pub struct NcfTrainReport {
+    /// Epochs run (≤ max with early stopping).
+    pub epochs_run: usize,
+    /// Validation HR@10 per epoch.
+    pub val_hr10_history: Vec<f32>,
+    /// Best validation HR@10.
+    pub best_val_hr10: f32,
+}
+
+/// Trains an [`NcfModel`] on the training split with early stopping.
+pub fn train(train_ds: &Dataset, validation: &[HeldOut], cfg: &NcfConfig) -> (NcfModel, NcfTrainReport) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xACE));
+    let mut model = NcfModel::new(train_ds.n_users(), train_ds.n_items(), cfg.clone());
+    let mut pairs: Vec<(UserId, ItemId)> = train_ds.interactions().collect();
+    let n_items = train_ds.n_items() as u32;
+
+    let mut val_sample: Vec<HeldOut> = validation.to_vec();
+    val_sample.shuffle(&mut rng);
+    val_sample.truncate(500);
+
+    let mut history = Vec::new();
+    let mut best = f32::NEG_INFINITY;
+    let mut since_best = 0usize;
+    let mut epochs_run = 0usize;
+
+    for _ in 0..cfg.max_epochs {
+        pairs.shuffle(&mut rng);
+        for &(u, pos) in &pairs {
+            let neg = loop {
+                let cand = ItemId(rng.gen_range(0..n_items));
+                if cand != pos && !train_ds.contains(u, cand) {
+                    break cand;
+                }
+            };
+            bpr_step(&mut model, u, pos, neg);
+        }
+        epochs_run += 1;
+
+        let ev = RankingEval { seen: train_ds, ks: vec![10] };
+        let mut val_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(31337));
+        let hr10 = ev.evaluate(&model, &val_sample, &mut val_rng).hr(10);
+        history.push(hr10);
+        if hr10 > best + 1e-5 {
+            best = hr10;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= cfg.patience {
+                break;
+            }
+        }
+    }
+    let report = NcfTrainReport {
+        epochs_run,
+        val_hr10_history: history,
+        best_val_hr10: if best.is_finite() { best } else { 0.0 },
+    };
+    (model, report)
+}
+
+/// One BPR-SGD step on `(u, v⁺, v⁻)` through both branches.
+pub(crate) fn bpr_step(model: &mut NcfModel, u: UserId, pos: ItemId, neg: ItemId) {
+    let lr = model.cfg.lr;
+    let reg = model.cfg.reg;
+    let dim = model.cfg.dim;
+
+    let x_pos = model.fusion_input(u, pos);
+    let x_neg = model.fusion_input(u, neg);
+    let (out_pos, cache_pos) = model.mlp.forward(&x_pos);
+    let (out_neg, cache_neg) = model.mlp.forward(&x_neg);
+    let gmf = |m: &NcfModel, v: ItemId| -> f32 {
+        let pu = m.p.row(u.idx());
+        let qv = m.q.row(v.idx());
+        (0..dim).map(|k| m.w_gmf[k] * pu[k] * qv[k]).sum()
+    };
+    let s_pos = gmf(model, pos) + out_pos[0];
+    let s_neg = gmf(model, neg) + out_neg[0];
+    let g = sigmoid(s_pos - s_neg) - 1.0; // dL/ds⁺, negative
+
+    // MLP branch: backward both passes, collect input grads.
+    let mut grad = model.mlp.zero_grad();
+    let gx_pos = model.mlp.backward(&cache_pos, &[g], &mut grad);
+    let gx_neg = model.mlp.backward(&cache_neg, &[-g], &mut grad);
+    model.mlp.sgd_step(&grad, lr);
+
+    // Embedding and GMF-weight updates (copy rows first: the rows alias).
+    let pu: Vec<f32> = model.p.row(u.idx()).to_vec();
+    let qp: Vec<f32> = model.q.row(pos.idx()).to_vec();
+    let qn: Vec<f32> = model.q.row(neg.idx()).to_vec();
+    for k in 0..dim {
+        let w = model.w_gmf[k];
+        // dL/dp_u[k]: GMF from both scores + MLP input grads.
+        let d_pu = g * w * (qp[k] - qn[k]) + gx_pos[k] + gx_neg[k];
+        let d_qp = g * w * pu[k] + gx_pos[dim + k];
+        let d_qn = -g * w * pu[k] + gx_neg[dim + k];
+        let d_w = g * pu[k] * (qp[k] - qn[k]);
+        model.p[(u.idx(), k)] -= lr * (d_pu + reg * pu[k]);
+        model.q[(pos.idx(), k)] -= lr * (d_qp + reg * qp[k]);
+        model.q[(neg.idx(), k)] -= lr * (d_qn + reg * qn[k]);
+        model.w_gmf[k] -= lr * d_w;
+    }
+}
+
+/// Local fine-tuning of a *single user's* embedding on their interactions
+/// (incremental onboarding): `epochs` BPR passes over the user's profile,
+/// updating only `p_u` (item embeddings, GMF weights, and the MLP stay
+/// frozen — the platform does not retrain globally for one signup).
+pub fn fine_tune_user(
+    model: &mut NcfModel,
+    data: &Dataset,
+    user: UserId,
+    epochs: usize,
+    rng: &mut impl Rng,
+) {
+    let dim = model.cfg.dim;
+    let lr = model.cfg.lr;
+    let n_items = data.n_items() as u32;
+    let profile: Vec<ItemId> = data.profile(user).to_vec();
+    if profile.is_empty() {
+        return;
+    }
+    for _ in 0..epochs {
+        for &pos in &profile {
+            let neg = loop {
+                let cand = ItemId(rng.gen_range(0..n_items));
+                if cand != pos && !data.contains(user, cand) {
+                    break cand;
+                }
+            };
+            let x_pos = model.fusion_input(user, pos);
+            let x_neg = model.fusion_input(user, neg);
+            let (out_pos, cache_pos) = model.mlp.forward(&x_pos);
+            let (out_neg, cache_neg) = model.mlp.forward(&x_neg);
+            let pu: Vec<f32> = model.p.row(user.idx()).to_vec();
+            let qp = model.q.row(pos.idx());
+            let qn = model.q.row(neg.idx());
+            let gmf_pos: f32 = (0..dim).map(|k| model.w_gmf[k] * pu[k] * qp[k]).sum();
+            let gmf_neg: f32 = (0..dim).map(|k| model.w_gmf[k] * pu[k] * qn[k]).sum();
+            let g = sigmoid(gmf_pos + out_pos[0] - gmf_neg - out_neg[0]) - 1.0;
+            // Only p_u moves; reuse the MLP backward for its input grads.
+            let mut scratch = model.mlp.zero_grad();
+            let gx_pos = model.mlp.backward(&cache_pos, &[g], &mut scratch);
+            let gx_neg = model.mlp.backward(&cache_neg, &[-g], &mut scratch);
+            for k in 0..dim {
+                let d_pu = g * model.w_gmf[k] * (qp[k] - qn[k]) + gx_pos[k] + gx_neg[k];
+                model.p[(user.idx(), k)] -= lr * d_pu;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_recsys::{split_dataset, DatasetBuilder, Scorer};
+
+    fn polarized(n_per_group: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(30);
+        for u in 0..2 * n_per_group {
+            let base: u32 = if u < n_per_group { 0 } else { 15 };
+            let profile: Vec<ItemId> =
+                (0..8u32).map(|i| ItemId(base + (u as u32 * 5 + i) % 15)).collect();
+            b.user(&profile);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn training_beats_random_ranking() {
+        let ds = polarized(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = split_dataset(&ds, 0.1, &mut rng);
+        let cfg = NcfConfig { max_epochs: 15, seed: 2, ..Default::default() };
+        let (_m, report) = train(&split.train, &split.validation, &cfg);
+        assert!(
+            report.best_val_hr10 > 0.3,
+            "val HR@10 {} (history {:?})",
+            report.best_val_hr10,
+            report.val_hr10_history
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = polarized(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = split_dataset(&ds, 0.1, &mut rng);
+        let cfg = NcfConfig { max_epochs: 3, seed: 4, ..Default::default() };
+        let (a, ra) = train(&split.train, &split.validation, &cfg);
+        let (b, rb) = train(&split.train, &split.validation, &cfg);
+        assert_eq!(ra.val_hr10_history, rb.val_hr10_history);
+        assert_eq!(a.p.as_slice(), b.p.as_slice());
+    }
+
+    #[test]
+    fn fine_tune_raises_own_profile_scores() {
+        let ds = polarized(20);
+        let mut rng = StdRng::seed_from_u64(5);
+        let split = split_dataset(&ds, 0.1, &mut rng);
+        let cfg = NcfConfig { max_epochs: 10, seed: 6, ..Default::default() };
+        let (mut model, _) = train(&split.train, &split.validation, &cfg);
+
+        // Onboard a user and fine-tune their embedding locally.
+        let mut data = split.train.clone();
+        let profile: Vec<ItemId> = (0..5u32).map(ItemId).collect();
+        let uid = data.add_user(&profile);
+        let mid = model.onboard_user(&profile);
+        assert_eq!(uid, mid);
+        // BPR fine-tuning improves the *margin* between profile items and
+        // the rest of the catalog (absolute scores may move either way).
+        let margin = |m: &NcfModel| {
+            let own: f32 = profile.iter().map(|&v| m.score(uid, v)).sum::<f32>()
+                / profile.len() as f32;
+            let rest: f32 = (5..30u32).map(|v| m.score(uid, ItemId(v))).sum::<f32>() / 25.0;
+            own - rest
+        };
+        let before = margin(&model);
+        fine_tune_user(&mut model, &data, uid, 5, &mut rng);
+        let after = margin(&model);
+        assert!(after > before, "fine-tune did not improve the margin: {before} -> {after}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Categorical policy head: masked softmax over logits, sampling, and the
+//! REINFORCE logit gradient.
+//!
+//! For a categorical policy `π(a|s) = softmax(z)_a`, the REINFORCE estimator
+//! needs `∇_z [-A · log π(a|s)] = A · (π − onehot(a))`, where `A` is the
+//! (baselined, discounted) return. With masking, masked entries have zero
+//! probability and receive zero gradient — the identity still holds over the
+//! unmasked support.
+
+use ca_tensor::ops::{masked_softmax, softmax};
+use rand::Rng;
+
+/// A realized categorical distribution over actions.
+#[derive(Clone, Debug)]
+pub struct Categorical {
+    probs: Vec<f32>,
+}
+
+impl Categorical {
+    /// From raw logits (no masking).
+    pub fn from_logits(logits: &[f32]) -> Self {
+        Self { probs: softmax(logits) }
+    }
+
+    /// From logits with a feasibility mask (`true` = allowed).
+    ///
+    /// # Panics
+    /// Panics if every action is masked.
+    pub fn from_masked_logits(logits: &[f32], mask: &[bool]) -> Self {
+        Self { probs: masked_softmax(logits, mask) }
+    }
+
+    /// Probability vector.
+    pub fn probs(&self) -> &[f32] {
+        &self.probs
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when there are no actions (never constructible via the public
+    /// constructors, kept for clippy's `len_without_is_empty`).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Samples an action index by inverse-CDF.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f32 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        // Floating-point slack: fall back to the last action with nonzero
+        // probability.
+        self.probs
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("categorical with all-zero probabilities")
+    }
+
+    /// Greedy (argmax) action.
+    pub fn greedy(&self) -> usize {
+        ca_tensor::ops::argmax(&self.probs)
+    }
+
+    /// `log π(action)`.
+    pub fn log_prob(&self, action: usize) -> f32 {
+        self.probs[action].max(1e-12).ln()
+    }
+
+    /// Shannon entropy in nats (useful to monitor policy collapse).
+    pub fn entropy(&self) -> f32 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f32>()
+    }
+
+    /// Gradient of `-coeff · log π(action)` w.r.t. the logits:
+    /// `coeff · (π − onehot(action))`.
+    ///
+    /// Passing the advantage as `coeff` yields the REINFORCE update direction
+    /// for gradient *descent* (i.e. feed the result straight into the MLP
+    /// backward pass and apply an SGD step).
+    pub fn reinforce_logit_grad(&self, action: usize, coeff: f32) -> Vec<f32> {
+        let mut g: Vec<f32> = self.probs.iter().map(|&p| coeff * p).collect();
+        g[action] -= coeff;
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_frequency_tracks_probabilities() {
+        let dist = Categorical::from_logits(&[0.0, (3.0f32).ln(), 0.0]);
+        // probs = [0.2, 0.6, 0.2]
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        let f1 = counts[1] as f32 / n as f32;
+        assert!((f1 - 0.6).abs() < 0.02, "freq {f1}");
+    }
+
+    #[test]
+    fn masked_actions_are_never_sampled() {
+        let dist = Categorical::from_masked_logits(&[10.0, 0.0, 0.0], &[false, true, true]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_ne!(dist.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn log_prob_and_entropy_consistency() {
+        let dist = Categorical::from_logits(&[0.0, 0.0]);
+        assert!((dist.log_prob(0) - (0.5f32).ln()).abs() < 1e-5);
+        assert!((dist.entropy() - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reinforce_grad_sums_to_zero() {
+        let dist = Categorical::from_logits(&[1.0, -2.0, 0.5, 0.0]);
+        let g = dist.reinforce_logit_grad(2, 1.7);
+        let sum: f32 = g.iter().sum();
+        assert!(sum.abs() < 1e-5, "grad must sum to 0, got {sum}");
+        // The chosen action's logit gradient is negative for positive
+        // advantage (we want to *increase* its logit under descent).
+        assert!(g[2] < 0.0);
+    }
+
+    #[test]
+    fn reinforce_grad_matches_finite_difference() {
+        // d(-log softmax(z)[a]) / dz_i  ==  p_i - [i == a]
+        let logits = vec![0.3f32, -0.8, 1.2];
+        let action = 1;
+        let dist = Categorical::from_logits(&logits);
+        let g = dist.reinforce_logit_grad(action, 1.0);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut zp = logits.clone();
+            zp[i] += eps;
+            let lp = -Categorical::from_logits(&zp).log_prob(action);
+            zp[i] = logits[i] - eps;
+            let lm = -Categorical::from_logits(&zp).log_prob(action);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((g[i] - numeric).abs() < 1e-3, "z[{i}]: {} vs {numeric}", g[i]);
+        }
+    }
+
+    #[test]
+    fn greedy_picks_max_probability() {
+        let dist = Categorical::from_logits(&[0.0, 5.0, 1.0]);
+        assert_eq!(dist.greedy(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Sequence-encoder abstraction: Elman RNN or GRU behind one interface.
+//!
+//! The paper says only "we model the selected users … with an RNN model";
+//! this enum lets the attack ablate the cell choice without generics
+//! leaking into the policy code.
+
+use crate::gru::{Gru, GruCache, GruGrad};
+use crate::rnn::{Rnn, RnnCache, RnnGrad};
+use rand::Rng;
+
+/// Which recurrent cell to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EncoderKind {
+    /// Elman tanh RNN (the minimal reading of the paper).
+    #[default]
+    Rnn,
+    /// Gated recurrent unit.
+    Gru,
+}
+
+/// A sequence encoder of either kind. Variants are boxed: a GRU holds 3×
+/// the parameter tensors of the Elman cell, and the encoder lives inside
+/// long-lived policy structs.
+#[derive(Clone, Debug)]
+pub enum SeqEncoder {
+    /// Elman variant.
+    Rnn(Box<Rnn>),
+    /// GRU variant.
+    Gru(Box<Gru>),
+}
+
+/// Forward cache of either kind.
+pub enum SeqCache {
+    /// Elman cache.
+    Rnn(RnnCache),
+    /// GRU cache.
+    Gru(GruCache),
+}
+
+/// Gradient accumulator of either kind.
+pub enum SeqGrad {
+    /// Elman gradients.
+    Rnn(Box<RnnGrad>),
+    /// GRU gradients.
+    Gru(Box<GruGrad>),
+}
+
+impl SeqEncoder {
+    /// Builds an encoder of the requested kind with `N(0, std²)` weights.
+    pub fn new(
+        kind: EncoderKind,
+        rng: &mut impl Rng,
+        input_dim: usize,
+        hidden_dim: usize,
+        std: f32,
+    ) -> Self {
+        match kind {
+            EncoderKind::Rnn => SeqEncoder::Rnn(Box::new(Rnn::new(rng, input_dim, hidden_dim, std))),
+            EncoderKind::Gru => SeqEncoder::Gru(Box::new(Gru::new(rng, input_dim, hidden_dim, std))),
+        }
+    }
+
+    /// The encoder's kind.
+    pub fn kind(&self) -> EncoderKind {
+        match self {
+            SeqEncoder::Rnn(_) => EncoderKind::Rnn,
+            SeqEncoder::Gru(_) => EncoderKind::Gru,
+        }
+    }
+
+    /// Runs the sequence; returns the final hidden state and a cache.
+    pub fn forward(&self, xs: &[&[f32]]) -> (Vec<f32>, SeqCache) {
+        match self {
+            SeqEncoder::Rnn(r) => {
+                let (h, c) = r.forward(xs);
+                (h, SeqCache::Rnn(c))
+            }
+            SeqEncoder::Gru(g) => {
+                let (h, c) = g.forward(xs);
+                (h, SeqCache::Gru(c))
+            }
+        }
+    }
+
+    /// Backward-through-time from a gradient on the final state.
+    ///
+    /// # Panics
+    /// Panics if the cache/grad kinds do not match the encoder.
+    pub fn backward(&self, cache: &SeqCache, g_last: &[f32], grad: &mut SeqGrad) {
+        match (self, cache, grad) {
+            (SeqEncoder::Rnn(r), SeqCache::Rnn(c), SeqGrad::Rnn(g)) => r.backward(c, g_last, g),
+            (SeqEncoder::Gru(gr), SeqCache::Gru(c), SeqGrad::Gru(g)) => gr.backward(c, g_last, g),
+            _ => panic!("encoder/cache/grad kind mismatch"),
+        }
+    }
+
+    /// A zeroed gradient accumulator of the matching kind.
+    pub fn zero_grad(&self) -> SeqGrad {
+        match self {
+            SeqEncoder::Rnn(r) => SeqGrad::Rnn(Box::new(r.zero_grad())),
+            SeqEncoder::Gru(g) => SeqGrad::Gru(Box::new(g.zero_grad())),
+        }
+    }
+
+    /// Plain SGD step.
+    ///
+    /// # Panics
+    /// Panics on a kind mismatch.
+    pub fn sgd_step(&mut self, grad: &SeqGrad, lr: f32) {
+        match (self, grad) {
+            (SeqEncoder::Rnn(r), SeqGrad::Rnn(g)) => r.sgd_step(g, lr),
+            (SeqEncoder::Gru(gr), SeqGrad::Gru(g)) => gr.sgd_step(g, lr),
+            _ => panic!("encoder/grad kind mismatch"),
+        }
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            SeqEncoder::Rnn(r) => r.param_count(),
+            SeqEncoder::Gru(g) => g.param_count(),
+        }
+    }
+}
+
+impl SeqGrad {
+    /// Global L2 norm.
+    pub fn norm(&self) -> f32 {
+        match self {
+            SeqGrad::Rnn(g) => g.norm(),
+            SeqGrad::Gru(g) => g.norm(),
+        }
+    }
+
+    /// Multiplies every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        match self {
+            SeqGrad::Rnn(g) => g.scale(alpha),
+            SeqGrad::Gru(g) => g.scale(alpha),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn both_kinds_roundtrip_forward_backward() {
+        for kind in [EncoderKind::Rnn, EncoderKind::Gru] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut enc = SeqEncoder::new(kind, &mut rng, 3, 4, 0.4);
+            assert_eq!(enc.kind(), kind);
+            let xs: Vec<Vec<f32>> = vec![vec![0.2, -0.1, 0.4], vec![0.0, 0.3, -0.2]];
+            let refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+            let (h, cache) = enc.forward(&refs);
+            assert_eq!(h.len(), 4);
+            let mut grad = enc.zero_grad();
+            enc.backward(&cache, &h, &mut grad);
+            assert!(grad.norm() > 0.0, "{kind:?} produced zero gradient");
+            enc.sgd_step(&grad, 0.1);
+            let (h2, _) = enc.forward(&refs);
+            assert_ne!(h, h2, "{kind:?} step had no effect");
+        }
+    }
+
+    #[test]
+    fn gru_has_three_times_rnn_recurrent_parameters() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let rnn = SeqEncoder::new(EncoderKind::Rnn, &mut rng, 4, 4, 0.3);
+        let gru = SeqEncoder::new(EncoderKind::Gru, &mut rng, 4, 4, 0.3);
+        assert_eq!(gru.param_count(), 3 * rnn.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn mismatched_cache_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rnn = SeqEncoder::new(EncoderKind::Rnn, &mut rng, 2, 2, 0.3);
+        let gru = SeqEncoder::new(EncoderKind::Gru, &mut rng, 2, 2, 0.3);
+        let x = [0.1f32, 0.2];
+        let (_, cache) = gru.forward(&[&x]);
+        let mut grad = rnn.zero_grad();
+        rnn.backward(&cache, &[0.0, 0.0], &mut grad);
+    }
+}

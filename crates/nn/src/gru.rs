@@ -1,0 +1,385 @@
+//! GRU cell — a gated alternative to the Elman RNN state encoder.
+//!
+//! The paper specifies only "an RNN model" for encoding the selected-user
+//! sequence (§4.3.3). The Elman cell ([`crate::rnn::Rnn`]) is the minimal
+//! reading; the GRU is the common practical choice when sequences carry
+//! long-range structure. Both are exposed through
+//! [`crate::encoder::SeqEncoder`] so the attack can ablate the choice.
+//!
+//! ```text
+//! z_t = σ(W_z x_t + U_z h_{t−1} + b_z)        (update gate)
+//! r_t = σ(W_r x_t + U_r h_{t−1} + b_r)        (reset gate)
+//! ĥ_t = tanh(W_h x_t + U_h (r_t ⊙ h_{t−1}) + b_h)
+//! h_t = (1 − z_t) ⊙ h_{t−1} + z_t ⊙ ĥ_t
+//! ```
+//!
+//! Backward-through-time is implemented for a gradient arriving at the
+//! final hidden state only (the only consumer in CopyAttack).
+
+use ca_tensor::init::gaussian_matrix;
+use ca_tensor::{ops, Matrix};
+use rand::Rng;
+
+/// Single-layer GRU.
+#[derive(Clone, Debug)]
+pub struct Gru {
+    /// Input weights for the z/r/h paths, each `hidden × input`.
+    pub wz: Matrix,
+    /// Recurrent weights for z, `hidden × hidden`.
+    pub uz: Matrix,
+    /// z bias.
+    pub bz: Vec<f32>,
+    /// Input weights for r.
+    pub wr: Matrix,
+    /// Recurrent weights for r.
+    pub ur: Matrix,
+    /// r bias.
+    pub br: Vec<f32>,
+    /// Input weights for the candidate state.
+    pub wh: Matrix,
+    /// Recurrent weights for the candidate state.
+    pub uh: Matrix,
+    /// Candidate bias.
+    pub bh: Vec<f32>,
+}
+
+/// Per-step values needed by the backward pass.
+#[derive(Clone, Debug)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    z: Vec<f32>,
+    r: Vec<f32>,
+    hhat: Vec<f32>,
+}
+
+/// Cache of one forward pass.
+#[derive(Clone, Debug)]
+pub struct GruCache {
+    steps: Vec<StepCache>,
+}
+
+/// Gradient accumulator mirroring a [`Gru`].
+#[derive(Clone, Debug)]
+pub struct GruGrad {
+    /// Gradients, same layout as the parameters.
+    pub wz: Matrix,
+    /// `∂L/∂U_z`.
+    pub uz: Matrix,
+    /// `∂L/∂b_z`.
+    pub bz: Vec<f32>,
+    /// `∂L/∂W_r`.
+    pub wr: Matrix,
+    /// `∂L/∂U_r`.
+    pub ur: Matrix,
+    /// `∂L/∂b_r`.
+    pub br: Vec<f32>,
+    /// `∂L/∂W_h`.
+    pub wh: Matrix,
+    /// `∂L/∂U_h`.
+    pub uh: Matrix,
+    /// `∂L/∂b_h`.
+    pub bh: Vec<f32>,
+}
+
+impl Gru {
+    /// New GRU with `N(0, std²)` weights.
+    pub fn new(rng: &mut impl Rng, input_dim: usize, hidden_dim: usize, std: f32) -> Self {
+        let mut g = move |r: usize, c: usize| gaussian_matrix(rng, r, c, 0.0, std);
+        Self {
+            wz: g(hidden_dim, input_dim),
+            uz: g(hidden_dim, hidden_dim),
+            bz: vec![0.0; hidden_dim],
+            wr: g(hidden_dim, input_dim),
+            ur: g(hidden_dim, hidden_dim),
+            br: vec![0.0; hidden_dim],
+            wh: g(hidden_dim, input_dim),
+            uh: g(hidden_dim, hidden_dim),
+            bh: vec![0.0; hidden_dim],
+        }
+    }
+
+    /// Hidden dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.wz.rows()
+    }
+
+    /// Runs the sequence; returns the final hidden state and the cache.
+    /// An empty sequence yields the zero state.
+    pub fn forward(&self, xs: &[&[f32]]) -> (Vec<f32>, GruCache) {
+        let hd = self.hidden_dim();
+        let mut h = vec![0.0; hd];
+        let mut steps = Vec::with_capacity(xs.len());
+        for x in xs {
+            let mut z = self.wz.matvec(x);
+            ops::axpy(1.0, &self.uz.matvec(&h), &mut z);
+            ops::axpy(1.0, &self.bz, &mut z);
+            z.iter_mut().for_each(|v| *v = ops::sigmoid(*v));
+
+            let mut r = self.wr.matvec(x);
+            ops::axpy(1.0, &self.ur.matvec(&h), &mut r);
+            ops::axpy(1.0, &self.br, &mut r);
+            r.iter_mut().for_each(|v| *v = ops::sigmoid(*v));
+
+            let rh: Vec<f32> = r.iter().zip(h.iter()).map(|(a, b)| a * b).collect();
+            let mut hhat = self.wh.matvec(x);
+            ops::axpy(1.0, &self.uh.matvec(&rh), &mut hhat);
+            ops::axpy(1.0, &self.bh, &mut hhat);
+            hhat.iter_mut().for_each(|v| *v = v.tanh());
+
+            let h_next: Vec<f32> = (0..hd)
+                .map(|k| (1.0 - z[k]) * h[k] + z[k] * hhat[k])
+                .collect();
+            steps.push(StepCache { x: x.to_vec(), h_prev: h.clone(), z, r, hhat });
+            h = h_next;
+        }
+        (h, GruCache { steps })
+    }
+
+    /// Final hidden state only.
+    pub fn infer(&self, xs: &[&[f32]]) -> Vec<f32> {
+        self.forward(xs).0
+    }
+
+    /// Backward-through-time from a gradient on the final hidden state.
+    pub fn backward(&self, cache: &GruCache, g_last: &[f32], grad: &mut GruGrad) {
+        let hd = self.hidden_dim();
+        let mut gh = g_last.to_vec();
+        for step in cache.steps.iter().rev() {
+            let StepCache { x, h_prev, z, r, hhat } = step;
+            // h = (1−z)·h_prev + z·ĥ
+            let mut gz = vec![0.0; hd];
+            let mut ghhat = vec![0.0; hd];
+            let mut gh_prev = vec![0.0; hd];
+            for k in 0..hd {
+                gz[k] = gh[k] * (hhat[k] - h_prev[k]);
+                ghhat[k] = gh[k] * z[k];
+                gh_prev[k] = gh[k] * (1.0 - z[k]);
+            }
+            // Candidate: ĥ = tanh(pre_h)
+            let mut gpre_h = ghhat;
+            for k in 0..hd {
+                gpre_h[k] *= 1.0 - hhat[k] * hhat[k];
+            }
+            let rh: Vec<f32> = r.iter().zip(h_prev.iter()).map(|(a, b)| a * b).collect();
+            grad.wh.add_outer(&gpre_h, x, 1.0);
+            grad.uh.add_outer(&gpre_h, &rh, 1.0);
+            ops::axpy(1.0, &gpre_h, &mut grad.bh);
+            let g_rh = self.uh.matvec_t(&gpre_h);
+            let mut gr = vec![0.0; hd];
+            for k in 0..hd {
+                gr[k] = g_rh[k] * h_prev[k];
+                gh_prev[k] += g_rh[k] * r[k];
+            }
+            // Gates through their sigmoids.
+            let mut gpre_z = gz;
+            for k in 0..hd {
+                gpre_z[k] *= z[k] * (1.0 - z[k]);
+            }
+            let mut gpre_r = gr;
+            for k in 0..hd {
+                gpre_r[k] *= r[k] * (1.0 - r[k]);
+            }
+            grad.wz.add_outer(&gpre_z, x, 1.0);
+            grad.uz.add_outer(&gpre_z, h_prev, 1.0);
+            ops::axpy(1.0, &gpre_z, &mut grad.bz);
+            grad.wr.add_outer(&gpre_r, x, 1.0);
+            grad.ur.add_outer(&gpre_r, h_prev, 1.0);
+            ops::axpy(1.0, &gpre_r, &mut grad.br);
+            ops::axpy(1.0, &self.uz.matvec_t(&gpre_z), &mut gh_prev);
+            ops::axpy(1.0, &self.ur.matvec_t(&gpre_r), &mut gh_prev);
+            gh = gh_prev;
+        }
+    }
+
+    /// A zeroed gradient accumulator.
+    pub fn zero_grad(&self) -> GruGrad {
+        let hd = self.hidden_dim();
+        let id = self.wz.cols();
+        GruGrad {
+            wz: Matrix::zeros(hd, id),
+            uz: Matrix::zeros(hd, hd),
+            bz: vec![0.0; hd],
+            wr: Matrix::zeros(hd, id),
+            ur: Matrix::zeros(hd, hd),
+            br: vec![0.0; hd],
+            wh: Matrix::zeros(hd, id),
+            uh: Matrix::zeros(hd, hd),
+            bh: vec![0.0; hd],
+        }
+    }
+
+    /// Plain SGD step.
+    pub fn sgd_step(&mut self, grad: &GruGrad, lr: f32) {
+        self.wz.add_scaled(&grad.wz, -lr);
+        self.uz.add_scaled(&grad.uz, -lr);
+        ops::axpy(-lr, &grad.bz, &mut self.bz);
+        self.wr.add_scaled(&grad.wr, -lr);
+        self.ur.add_scaled(&grad.ur, -lr);
+        ops::axpy(-lr, &grad.br, &mut self.br);
+        self.wh.add_scaled(&grad.wh, -lr);
+        self.uh.add_scaled(&grad.uh, -lr);
+        ops::axpy(-lr, &grad.bh, &mut self.bh);
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        3 * (self.wz.rows() * self.wz.cols() + self.uz.rows() * self.uz.cols() + self.bz.len())
+    }
+}
+
+impl GruGrad {
+    /// Global L2 norm.
+    pub fn norm(&self) -> f32 {
+        let mats = [&self.wz, &self.uz, &self.wr, &self.ur, &self.wh, &self.uh];
+        let mut acc: f32 = mats.iter().map(|m| m.frobenius_norm().powi(2)).sum();
+        for b in [&self.bz, &self.br, &self.bh] {
+            acc += ops::dot(b, b);
+        }
+        acc.sqrt()
+    }
+
+    /// Multiplies every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for m in [&mut self.wz, &mut self.uz, &mut self.wr, &mut self.ur, &mut self.wh, &mut self.uh]
+        {
+            ops::scale(m.as_mut_slice(), alpha);
+        }
+        for b in [&mut self.bz, &mut self.br, &mut self.bh] {
+            ops::scale(b, alpha);
+        }
+    }
+
+    /// Resets to zero.
+    pub fn zero(&mut self) {
+        self.scale(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loss(gru: &Gru, xs: &[Vec<f32>]) -> f32 {
+        let refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+        gru.infer(&refs).iter().map(|h| h * h).sum::<f32>() / 2.0
+    }
+
+    #[test]
+    fn empty_sequence_yields_zero_state() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(&mut rng, 3, 4, 0.3);
+        assert_eq!(gru.infer(&[]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn state_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gru = Gru::new(&mut rng, 2, 3, 4.0);
+        let x = [50.0f32, -50.0];
+        let h = gru.infer(&[&x, &x, &x, &x]);
+        assert!(h.iter().all(|&v| (-1.0..=1.0).contains(&v)), "{h:?}");
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gru = Gru::new(&mut rng, 2, 4, 0.5);
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        assert_ne!(gru.infer(&[&a, &b]), gru.infer(&[&b, &a]));
+    }
+
+    #[test]
+    fn bptt_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut gru = Gru::new(&mut rng, 3, 4, 0.4);
+        let xs: Vec<Vec<f32>> = vec![
+            vec![0.4, -0.1, 0.2],
+            vec![-0.3, 0.6, 0.0],
+            vec![0.1, 0.1, -0.5],
+        ];
+        let refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+        let (h, cache) = gru.forward(&refs);
+        let mut grad = gru.zero_grad();
+        gru.backward(&cache, &h, &mut grad);
+
+        let eps = 1e-2f32;
+        // Spot-check entries in every parameter tensor.
+        macro_rules! check_mat {
+            ($field:ident, $gfield:expr, $pairs:expr) => {
+                for (r, c) in $pairs {
+                    let orig = gru.$field[(r, c)];
+                    gru.$field[(r, c)] = orig + eps;
+                    let lp = loss(&gru, &xs);
+                    gru.$field[(r, c)] = orig - eps;
+                    let lm = loss(&gru, &xs);
+                    gru.$field[(r, c)] = orig;
+                    let numeric = (lp - lm) / (2.0 * eps);
+                    let analytic = $gfield[(r, c)];
+                    assert!(
+                        (analytic - numeric).abs() < 3e-2 * (1.0 + numeric.abs()),
+                        "{}[{r},{c}]: {analytic} vs {numeric}",
+                        stringify!($field)
+                    );
+                }
+            };
+        }
+        check_mat!(wz, grad.wz, [(0usize, 0usize), (2, 1)]);
+        check_mat!(uz, grad.uz, [(1usize, 2usize), (3, 0)]);
+        check_mat!(wr, grad.wr, [(0usize, 2usize), (3, 1)]);
+        check_mat!(ur, grad.ur, [(2usize, 2usize), (0, 3)]);
+        check_mat!(wh, grad.wh, [(1usize, 0usize), (2, 2)]);
+        check_mat!(uh, grad.uh, [(0usize, 1usize), (3, 3)]);
+        for i in 0..4 {
+            let orig = gru.bh[i];
+            gru.bh[i] = orig + eps;
+            let lp = loss(&gru, &xs);
+            gru.bh[i] = orig - eps;
+            let lm = loss(&gru, &xs);
+            gru.bh[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad.bh[i] - numeric).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "bh[{i}]: {} vs {numeric}",
+                grad.bh[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_descends_quadratic_loss() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut gru = Gru::new(&mut rng, 2, 3, 0.5);
+        let xs: Vec<Vec<f32>> = vec![vec![0.7, -0.4], vec![-0.2, 0.9]];
+        let before = loss(&gru, &xs);
+        for _ in 0..60 {
+            let refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+            let (h, cache) = gru.forward(&refs);
+            let mut grad = gru.zero_grad();
+            gru.backward(&cache, &h, &mut grad);
+            gru.sgd_step(&grad, 0.2);
+        }
+        let after = loss(&gru, &xs);
+        assert!(after < before * 0.5, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn grad_norm_and_scale() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let gru = Gru::new(&mut rng, 2, 3, 0.4);
+        let xs = [[0.3f32, 0.2]];
+        let refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+        let (h, cache) = gru.forward(&refs);
+        let mut grad = gru.zero_grad();
+        gru.backward(&cache, &h, &mut grad);
+        let n = grad.norm();
+        assert!(n > 0.0);
+        grad.scale(2.0);
+        assert!((grad.norm() - 2.0 * n).abs() < 1e-4);
+        grad.zero();
+        assert_eq!(grad.norm(), 0.0);
+    }
+}

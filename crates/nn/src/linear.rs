@@ -1,0 +1,215 @@
+//! Fully-connected layer `y = W x + b` with manual backward.
+
+use ca_tensor::{xavier_uniform, Matrix};
+use rand::Rng;
+
+/// A dense affine layer. `w` is `out_dim × in_dim`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight matrix, `out_dim × in_dim`.
+    pub w: Matrix,
+    /// Bias vector, length `out_dim`.
+    pub b: Vec<f32>,
+}
+
+/// Gradient accumulator mirroring a [`Linear`].
+#[derive(Clone, Debug)]
+pub struct LinearGrad {
+    /// `∂L/∂W`.
+    pub w: Matrix,
+    /// `∂L/∂b`.
+    pub b: Vec<f32>,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new(rng: &mut impl Rng, in_dim: usize, out_dim: usize) -> Self {
+        Self { w: xavier_uniform(rng, out_dim, in_dim), b: vec![0.0; out_dim] }
+    }
+
+    /// Gaussian `N(0, std²)` initialization, matching the paper's
+    /// `N(0, 0.1²)` recipe for all network parameters.
+    pub fn gaussian(rng: &mut impl Rng, in_dim: usize, out_dim: usize, std: f32) -> Self {
+        Self {
+            w: ca_tensor::init::gaussian_matrix(rng, out_dim, in_dim, 0.0, std),
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// `y = W x + b`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = self.w.matvec(x);
+        for (yi, bi) in y.iter_mut().zip(self.b.iter()) {
+            *yi += bi;
+        }
+        y
+    }
+
+    /// Backward pass. Accumulates `∂L/∂W += gy ⊗ x`, `∂L/∂b += gy`, and
+    /// returns `∂L/∂x = Wᵀ gy`.
+    pub fn backward(&self, x: &[f32], gy: &[f32], grad: &mut LinearGrad) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_dim());
+        debug_assert_eq!(gy.len(), self.out_dim());
+        grad.w.add_outer(gy, x, 1.0);
+        ca_tensor::ops::axpy(1.0, gy, &mut grad.b);
+        self.w.matvec_t(gy)
+    }
+
+    /// A zeroed gradient accumulator of matching shape.
+    pub fn zero_grad(&self) -> LinearGrad {
+        LinearGrad { w: Matrix::zeros(self.out_dim(), self.in_dim()), b: vec![0.0; self.out_dim()] }
+    }
+
+    /// Plain SGD step: `θ -= lr · ∂L/∂θ`.
+    pub fn sgd_step(&mut self, grad: &LinearGrad, lr: f32) {
+        self.w.add_scaled(&grad.w, -lr);
+        ca_tensor::ops::axpy(-lr, &grad.b, &mut self.b);
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+}
+
+impl LinearGrad {
+    /// Resets the accumulator to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        self.w.fill_zero();
+        self.b.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// `self += alpha * other` — used when averaging gradients over an
+    /// episode before the policy update.
+    pub fn add_scaled(&mut self, other: &LinearGrad, alpha: f32) {
+        self.w.add_scaled(&other.w, alpha);
+        ca_tensor::ops::axpy(alpha, &other.b, &mut self.b);
+    }
+
+    /// L2 norm over all entries (used for gradient clipping).
+    pub fn norm(&self) -> f32 {
+        let wn = self.w.frobenius_norm();
+        let bn = ca_tensor::ops::l2_norm(&self.b);
+        (wn * wn + bn * bn).sqrt()
+    }
+
+    /// Multiplies every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        ca_tensor::ops::scale(self.w.as_mut_slice(), alpha);
+        ca_tensor::ops::scale(&mut self.b, alpha);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loss(layer: &Linear, x: &[f32]) -> f32 {
+        // L = sum(y²)/2 gives gy = y, a convenient test harness.
+        layer.forward(x).iter().map(|y| y * y).sum::<f32>() / 2.0
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let l = Linear {
+            w: Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]),
+            b: vec![1.0, -1.0],
+        };
+        let y = l.forward(&[2.0, 4.0, 6.0]);
+        assert_eq!(y, vec![2.0 - 6.0 + 1.0, 6.0 - 1.0]);
+    }
+
+    #[test]
+    fn gradient_check_weights_bias_and_input() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut layer = Linear::new(&mut rng, 4, 3);
+        let x: Vec<f32> = (0..4).map(|i| 0.3 * i as f32 - 0.5).collect();
+
+        let y = layer.forward(&x);
+        let mut grad = layer.zero_grad();
+        let gx = layer.backward(&x, &y, &mut grad);
+
+        let eps = 1e-2f32;
+        // Weight gradient, every entry.
+        for r in 0..3 {
+            for c in 0..4 {
+                let orig = layer.w[(r, c)];
+                layer.w[(r, c)] = orig + eps;
+                let lp = loss(&layer, &x);
+                layer.w[(r, c)] = orig - eps;
+                let lm = loss(&layer, &x);
+                layer.w[(r, c)] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (grad.w[(r, c)] - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
+                    "w[{r},{c}]: {} vs {}",
+                    grad.w[(r, c)],
+                    numeric
+                );
+            }
+        }
+        // Bias gradient.
+        for i in 0..3 {
+            let orig = layer.b[i];
+            layer.b[i] = orig + eps;
+            let lp = loss(&layer, &x);
+            layer.b[i] = orig - eps;
+            let lm = loss(&layer, &x);
+            layer.b[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((grad.b[i] - numeric).abs() < 1e-2 * (1.0 + numeric.abs()));
+        }
+        // Input gradient.
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let lp = loss(&layer, &xp);
+            xp[i] = x[i] - eps;
+            let lm = loss(&layer, &xp);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((gx[i] - numeric).abs() < 1e-2 * (1.0 + numeric.abs()));
+        }
+    }
+
+    #[test]
+    fn sgd_step_descends_quadratic_loss() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Linear::new(&mut rng, 3, 2);
+        let x = [1.0, -0.5, 0.25];
+        let before = loss(&layer, &x);
+        for _ in 0..50 {
+            let y = layer.forward(&x);
+            let mut grad = layer.zero_grad();
+            layer.backward(&x, &y, &mut grad);
+            layer.sgd_step(&grad, 0.1);
+        }
+        let after = loss(&layer, &x);
+        assert!(after < before * 0.1, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn grad_accumulator_scaling() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Linear::new(&mut rng, 2, 2);
+        let mut g = layer.zero_grad();
+        layer.backward(&[1.0, 2.0], &[1.0, 1.0], &mut g);
+        let n = g.norm();
+        assert!(n > 0.0);
+        g.scale(0.5);
+        assert!((g.norm() - 0.5 * n).abs() < 1e-5);
+        g.zero();
+        assert_eq!(g.norm(), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Multi-layer perceptron with ReLU hidden activations.
+//!
+//! The paper's policy networks — one per non-leaf clustering-tree node
+//! (§4.3.3) and one for profile crafting (§4.4) — are small MLP heads whose
+//! output logits feed a (masked) softmax. This module provides the shared
+//! forward/backward machinery; the softmax + sampling lives in
+//! [`crate::categorical`].
+
+use crate::activation::{relu_backward, relu_inplace};
+use crate::linear::{Linear, LinearGrad};
+use rand::Rng;
+
+/// An MLP: `dims[0] → dims[1] → … → dims.last()`, ReLU between layers,
+/// linear (logit) output.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+/// Forward-pass cache: the input plus each layer's pre- and post-activation.
+#[derive(Clone, Debug)]
+pub struct MlpCache {
+    /// `acts[0]` is the input; `acts[i]` is the post-activation output of
+    /// layer `i-1` (for the last layer, the raw logits).
+    acts: Vec<Vec<f32>>,
+    /// Pre-activation values per hidden layer (needed by ReLU backward).
+    pres: Vec<Vec<f32>>,
+}
+
+/// Gradient accumulator mirroring an [`Mlp`].
+#[derive(Clone, Debug)]
+pub struct MlpGrad {
+    /// Per-layer gradients.
+    pub layers: Vec<LinearGrad>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths (at least two entries),
+    /// parameters drawn from `N(0, std²)` per the paper's initialization.
+    ///
+    /// # Panics
+    /// Panics if `dims.len() < 2`.
+    pub fn new(rng: &mut impl Rng, dims: &[usize], std: f32) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::gaussian(rng, w[0], w[1], std))
+            .collect();
+        Self { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output (logit) dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Forward pass returning the logits and the cache for `backward`.
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, MlpCache) {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        let mut pres = Vec::with_capacity(self.layers.len().saturating_sub(1));
+        acts.push(x.to_vec());
+        let mut cur = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut y = layer.forward(&cur);
+            if i + 1 < self.layers.len() {
+                pres.push(y.clone());
+                relu_inplace(&mut y);
+            }
+            acts.push(y.clone());
+            cur = y;
+        }
+        let out = acts.last().expect("non-empty").clone();
+        (out, MlpCache { acts, pres })
+    }
+
+    /// Logits only, skipping the cache (inference / evaluation path).
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut y = layer.forward(&cur);
+            if i + 1 < self.layers.len() {
+                relu_inplace(&mut y);
+            }
+            cur = y;
+        }
+        cur
+    }
+
+    /// Backward pass from a gradient on the logits. Accumulates into `grad`
+    /// and returns the gradient w.r.t. the input.
+    pub fn backward(&self, cache: &MlpCache, g_logits: &[f32], grad: &mut MlpGrad) -> Vec<f32> {
+        assert_eq!(grad.layers.len(), self.layers.len(), "grad shape mismatch");
+        let mut g = g_logits.to_vec();
+        for i in (0..self.layers.len()).rev() {
+            // Input to layer i is cache.acts[i] (post-activation of layer i-1).
+            let x = &cache.acts[i];
+            let gx = self.layers[i].backward(x, &g, &mut grad.layers[i]);
+            g = gx;
+            if i > 0 {
+                relu_backward(&cache.pres[i - 1], &mut g);
+            }
+        }
+        g
+    }
+
+    /// A zeroed gradient accumulator of matching shape.
+    pub fn zero_grad(&self) -> MlpGrad {
+        MlpGrad { layers: self.layers.iter().map(Linear::zero_grad).collect() }
+    }
+
+    /// Plain SGD step.
+    pub fn sgd_step(&mut self, grad: &MlpGrad, lr: f32) {
+        for (layer, g) in self.layers.iter_mut().zip(grad.layers.iter()) {
+            layer.sgd_step(g, lr);
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Read access to the layers (used by the Adam optimizer binding).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+}
+
+impl MlpGrad {
+    /// Resets all accumulators to zero.
+    pub fn zero(&mut self) {
+        self.layers.iter_mut().for_each(LinearGrad::zero);
+    }
+
+    /// `self += alpha * other`.
+    pub fn add_scaled(&mut self, other: &MlpGrad, alpha: f32) {
+        for (a, b) in self.layers.iter_mut().zip(other.layers.iter()) {
+            a.add_scaled(b, alpha);
+        }
+    }
+
+    /// Global L2 norm across every parameter gradient.
+    pub fn norm(&self) -> f32 {
+        self.layers.iter().map(|g| g.norm().powi(2)).sum::<f32>().sqrt()
+    }
+
+    /// Multiplies every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        self.layers.iter_mut().for_each(|g| g.scale(alpha));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scalar_loss(mlp: &Mlp, x: &[f32]) -> f32 {
+        mlp.infer(x).iter().map(|y| y * y).sum::<f32>() / 2.0
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&mut rng, &[5, 7, 3], 0.3);
+        let x: Vec<f32> = (0..5).map(|i| i as f32 * 0.2 - 0.4).collect();
+        let (out, _) = mlp.forward(&x);
+        assert_eq!(out, mlp.infer(&x));
+    }
+
+    #[test]
+    fn gradient_check_full_network() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut mlp = Mlp::new(&mut rng, &[4, 6, 3], 0.5);
+        let x: Vec<f32> = vec![0.2, -0.7, 1.1, 0.05];
+
+        let (out, cache) = mlp.forward(&x);
+        let mut grad = mlp.zero_grad();
+        let gx = mlp.backward(&cache, &out, &mut grad);
+
+        let eps = 1e-2f32;
+        // Spot-check a handful of weights in each layer.
+        for li in 0..2 {
+            for (r, c) in [(0, 0), (1, 2), (2, 1)] {
+                if r >= mlp.layers()[li].out_dim() || c >= mlp.layers()[li].in_dim() {
+                    continue;
+                }
+                let orig = mlp.layers()[li].w[(r, c)];
+                mlp.layers_mut()[li].w[(r, c)] = orig + eps;
+                let lp = scalar_loss(&mlp, &x);
+                mlp.layers_mut()[li].w[(r, c)] = orig - eps;
+                let lm = scalar_loss(&mlp, &x);
+                mlp.layers_mut()[li].w[(r, c)] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grad.layers[li].w[(r, c)];
+                assert!(
+                    (analytic - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "layer {li} w[{r},{c}]: {analytic} vs {numeric}"
+                );
+            }
+        }
+        // Input gradient.
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let lp = scalar_loss(&mlp, &xp);
+            xp[i] = x[i] - eps;
+            let lm = scalar_loss(&mlp, &xp);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (gx[i] - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "gx[{i}]: {} vs {numeric}",
+                gx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn deep_mlp_trains_on_toy_regression() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut mlp = Mlp::new(&mut rng, &[2, 8, 8, 1], 0.4);
+        // Target: y = x0 - x1.
+        let data: Vec<([f32; 2], f32)> =
+            vec![([1.0, 0.0], 1.0), ([0.0, 1.0], -1.0), ([1.0, 1.0], 0.0), ([0.5, -0.5], 1.0)];
+        let mse = |m: &Mlp| -> f32 {
+            data.iter().map(|(x, t)| (m.infer(x)[0] - t).powi(2)).sum::<f32>() / data.len() as f32
+        };
+        let before = mse(&mlp);
+        for _ in 0..400 {
+            let mut grad = mlp.zero_grad();
+            for (x, t) in &data {
+                let (out, cache) = mlp.forward(x);
+                let g = vec![2.0 * (out[0] - t) / data.len() as f32];
+                mlp.backward(&cache, &g, &mut grad);
+            }
+            mlp.sgd_step(&grad, 0.05);
+        }
+        let after = mse(&mlp);
+        assert!(after < before * 0.05, "mse {before} -> {after}");
+    }
+
+    #[test]
+    fn param_count_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&mut rng, &[4, 6, 3], 0.1);
+        assert_eq!(mlp.param_count(), (4 * 6 + 6) + (6 * 3 + 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_single_dim() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = Mlp::new(&mut rng, &[4], 0.1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the neural-network substrate.
+
+use ca_nn::{Categorical, Mlp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn reinforce_grad_always_sums_to_zero(
+        logits in prop::collection::vec(-10.0f32..10.0, 2..12),
+        coeff in -5.0f32..5.0,
+        action_seed in 0usize..100,
+    ) {
+        let dist = Categorical::from_logits(&logits);
+        let action = action_seed % logits.len();
+        let g = dist.reinforce_logit_grad(action, coeff);
+        let sum: f32 = g.iter().sum();
+        prop_assert!(sum.abs() < 1e-4 * (1.0 + coeff.abs()), "sum {sum}");
+    }
+
+    #[test]
+    fn categorical_samples_stay_in_support(
+        logits in prop::collection::vec(-30.0f32..30.0, 2..10),
+        seed in 0u64..1000,
+    ) {
+        let dist = Categorical::from_logits(&logits);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let a = dist.sample(&mut rng);
+            prop_assert!(a < logits.len());
+            prop_assert!(dist.probs()[a] > 0.0);
+        }
+    }
+
+    #[test]
+    fn masked_categorical_never_selects_masked(
+        logits in prop::collection::vec(-10.0f32..10.0, 3..10),
+        seed in 0u64..500,
+    ) {
+        let n = logits.len();
+        // Mask everything except two positions derived from the seed.
+        let mut mask = vec![false; n];
+        mask[(seed as usize) % n] = true;
+        mask[(seed as usize / 7 + 1) % n] = true;
+        let dist = Categorical::from_masked_logits(&logits, &mask);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..30 {
+            let a = dist.sample(&mut rng);
+            prop_assert!(mask[a], "sampled masked action {a}");
+        }
+    }
+
+    #[test]
+    fn entropy_is_bounded_by_log_n(
+        logits in prop::collection::vec(-20.0f32..20.0, 1..16),
+    ) {
+        let dist = Categorical::from_logits(&logits);
+        let h = dist.entropy();
+        prop_assert!(h >= -1e-5);
+        prop_assert!(h <= (logits.len() as f32).ln() + 1e-4);
+    }
+
+    #[test]
+    fn mlp_forward_and_infer_agree(
+        seed in 0u64..200,
+        in_dim in 1usize..6,
+        hidden in 1usize..8,
+        out_dim in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&mut rng, &[in_dim, hidden, out_dim], 0.4);
+        let x: Vec<f32> = (0..in_dim).map(|i| (i as f32 * 0.713).sin()).collect();
+        let (fwd, _) = mlp.forward(&x);
+        prop_assert_eq!(fwd, mlp.infer(&x));
+    }
+
+    #[test]
+    fn sgd_with_zero_grad_is_identity(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&mut rng, &[3, 4, 2], 0.3);
+        let before = mlp.infer(&[0.1, 0.2, 0.3]);
+        let grad = mlp.zero_grad();
+        mlp.sgd_step(&grad, 0.5);
+        prop_assert_eq!(before, mlp.infer(&[0.1, 0.2, 0.3]));
+    }
+}

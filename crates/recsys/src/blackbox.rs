@@ -1,0 +1,139 @@
+//! The black-box attack surface (§3, §4.5).
+//!
+//! Under the paper's threat model the attacker can do exactly two things to
+//! the target platform:
+//!
+//! 1. create a new account and perform interactions (= inject a profile);
+//! 2. look at the Top-k recommendation list shown to an account it controls
+//!    (= query).
+//!
+//! Everything else — model architecture, parameters, other users' data — is
+//! hidden. Keeping this boundary as a trait means the attack code in
+//! `copyattack-core` *cannot* cheat: it never sees model internals, only
+//! this interface.
+
+use crate::ids::{ItemId, UserId};
+
+/// Query-and-inject interface to a deployed recommender.
+pub trait BlackBoxRecommender {
+    /// The Top-k recommendation list for `user`, best first, excluding items
+    /// the user already interacted with (as a deployed system would).
+    fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId>;
+
+    /// Creates a new account whose profile is `profile` (in interaction
+    /// order) and returns its id. The platform may refresh representations
+    /// (fold-in) as part of registering the interactions.
+    fn inject_user(&mut self, profile: &[ItemId]) -> UserId;
+
+    /// Number of items in the platform's catalog (public knowledge: the
+    /// attacker can browse the site).
+    fn catalog_size(&self) -> usize;
+}
+
+/// Counts queries and injections so experiments can report attacker cost.
+///
+/// Wrap any recommender to enforce/observe the paper's limited-resource
+/// setting ("limited number of queries (or interactions) allowed to the
+/// target recommender system").
+pub struct MeteredRecommender<R> {
+    inner: R,
+    queries: u64,
+    injections: u64,
+}
+
+impl<R: BlackBoxRecommender> MeteredRecommender<R> {
+    /// Wraps `inner` with zeroed counters.
+    pub fn new(inner: R) -> Self {
+        Self { inner, queries: 0, injections: 0 }
+    }
+
+    /// Top-k queries issued so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Profiles injected so far.
+    pub fn injections(&self) -> u64 {
+        self.injections
+    }
+
+    /// Unwraps the inner recommender.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Shared reference to the inner recommender (for owner-side evaluation
+    /// after the attack, not part of the attacker surface).
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: BlackBoxRecommender> BlackBoxRecommender for MeteredRecommender<R> {
+    fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
+        // Interior counting without RefCell: queries are counted in
+        // `top_k_counted`; this passthrough exists for read-only users.
+        self.inner.top_k(user, k)
+    }
+
+    fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+        self.injections += 1;
+        self.inner.inject_user(profile)
+    }
+
+    fn catalog_size(&self) -> usize {
+        self.inner.catalog_size()
+    }
+}
+
+impl<R: BlackBoxRecommender> MeteredRecommender<R> {
+    /// Top-k query that increments the query counter.
+    pub fn top_k_counted(&mut self, user: UserId, k: usize) -> Vec<ItemId> {
+        self.queries += 1;
+        self.inner.top_k(user, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal fake: recommends the newest items, profile-agnostic.
+    struct Newest {
+        n_items: usize,
+        n_users: usize,
+    }
+
+    impl BlackBoxRecommender for Newest {
+        fn top_k(&self, _user: UserId, k: usize) -> Vec<ItemId> {
+            (0..self.n_items as u32).rev().take(k).map(ItemId).collect()
+        }
+        fn inject_user(&mut self, _profile: &[ItemId]) -> UserId {
+            let id = UserId(self.n_users as u32);
+            self.n_users += 1;
+            id
+        }
+        fn catalog_size(&self) -> usize {
+            self.n_items
+        }
+    }
+
+    #[test]
+    fn metered_counts_injections_and_queries() {
+        let mut m = MeteredRecommender::new(Newest { n_items: 10, n_users: 0 });
+        assert_eq!(m.queries(), 0);
+        let _ = m.top_k_counted(UserId(0), 3);
+        let _ = m.top_k_counted(UserId(0), 3);
+        let _ = m.inject_user(&[ItemId(1)]);
+        assert_eq!(m.queries(), 2);
+        assert_eq!(m.injections(), 1);
+        assert_eq!(m.catalog_size(), 10);
+    }
+
+    #[test]
+    fn top_k_respects_k() {
+        let m = MeteredRecommender::new(Newest { n_items: 10, n_users: 0 });
+        assert_eq!(m.top_k(UserId(0), 4).len(), 4);
+        assert_eq!(m.top_k(UserId(0), 4)[0], ItemId(9));
+    }
+}

@@ -1,0 +1,261 @@
+//! Interaction dataset: sequential user profiles + inverted item profiles.
+
+use crate::ids::{ItemId, UserId};
+
+/// An implicit-feedback interaction dataset for one domain.
+///
+/// Stores the interaction matrix `Y` in two redundant, mutually consistent
+/// layouts:
+///
+/// - `profiles[u]` — the *user profile* `P_u`: the sequence of items user `u`
+///   interacted with, in temporal order (the paper's `v_1 → v_2 → … → v_l`);
+/// - `item_users[v]` — the *item profile* `P_v`: the users who interacted
+///   with `v`, in insertion order.
+///
+/// Users may be appended after construction ([`Dataset::add_user`]) — that is
+/// exactly the injection-attack surface — but existing profiles are
+/// immutable, matching the paper's threat model (the attacker creates new
+/// accounts; it cannot edit other people's histories).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    n_items: usize,
+    profiles: Vec<Vec<ItemId>>,
+    item_users: Vec<Vec<UserId>>,
+    n_interactions: usize,
+}
+
+impl Dataset {
+    /// An empty dataset over a fixed item catalog of size `n_items`.
+    pub fn empty(n_items: usize) -> Self {
+        Self { n_items, profiles: Vec::new(), item_users: vec![Vec::new(); n_items], n_interactions: 0 }
+    }
+
+    /// Number of users (including any injected ones).
+    pub fn n_users(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Size of the item catalog.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Total number of interactions.
+    pub fn n_interactions(&self) -> usize {
+        self.n_interactions
+    }
+
+    /// The sequential profile of user `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn profile(&self, u: UserId) -> &[ItemId] {
+        &self.profiles[u.idx()]
+    }
+
+    /// The users who interacted with item `v`.
+    pub fn item_profile(&self, v: ItemId) -> &[UserId] {
+        &self.item_users[v.idx()]
+    }
+
+    /// Popularity (interaction count) of item `v`.
+    pub fn item_popularity(&self, v: ItemId) -> usize {
+        self.item_users[v.idx()].len()
+    }
+
+    /// Whether user `u` has interacted with item `v` (O(|P_u|)).
+    pub fn contains(&self, u: UserId, v: ItemId) -> bool {
+        self.profiles[u.idx()].contains(&v)
+    }
+
+    /// Iterator over all user ids.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.profiles.len() as u32).map(UserId)
+    }
+
+    /// Iterator over all item ids.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        (0..self.n_items as u32).map(ItemId)
+    }
+
+    /// Iterator over `(user, item)` pairs in profile order.
+    pub fn interactions(&self) -> impl Iterator<Item = (UserId, ItemId)> + '_ {
+        self.profiles
+            .iter()
+            .enumerate()
+            .flat_map(|(u, p)| p.iter().map(move |&v| (UserId(u as u32), v)))
+    }
+
+    /// Appends a new user with the given sequential profile and returns its
+    /// id. Duplicate items within the profile are kept once (first
+    /// occurrence wins) to preserve the "set of items interacted with"
+    /// semantics of the interaction matrix.
+    ///
+    /// # Panics
+    /// Panics if any item id is outside the catalog.
+    pub fn add_user(&mut self, profile: &[ItemId]) -> UserId {
+        let uid = UserId(self.profiles.len() as u32);
+        // Cheap dedup without a HashSet: profiles are short (≤ a few hundred).
+        let mut dedup: Vec<ItemId> = Vec::with_capacity(profile.len());
+        for &v in profile {
+            assert!(v.idx() < self.n_items, "item {v} outside catalog of {}", self.n_items);
+            if !dedup.contains(&v) {
+                dedup.push(v);
+            }
+        }
+        for &v in &dedup {
+            self.item_users[v.idx()].push(uid);
+        }
+        self.n_interactions += dedup.len();
+        self.profiles.push(dedup);
+        uid
+    }
+
+    /// Mean profile length.
+    pub fn mean_profile_len(&self) -> f32 {
+        if self.profiles.is_empty() {
+            0.0
+        } else {
+            self.n_interactions as f32 / self.profiles.len() as f32
+        }
+    }
+
+    /// Validates the two layouts against each other; used by tests and
+    /// debug assertions after mutation-heavy code paths.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut count = 0;
+        for (u, p) in self.profiles.iter().enumerate() {
+            for &v in p {
+                if v.idx() >= self.n_items {
+                    return Err(format!("user u{u} references out-of-catalog item {v}"));
+                }
+                if !self.item_users[v.idx()].contains(&UserId(u as u32)) {
+                    return Err(format!("u{u} -> {v} missing from item profile"));
+                }
+                count += 1;
+            }
+        }
+        if count != self.n_interactions {
+            return Err(format!("interaction count {} != stored {}", count, self.n_interactions));
+        }
+        let inverted: usize = self.item_users.iter().map(Vec::len).sum();
+        if inverted != count {
+            return Err(format!("inverted index holds {inverted} edges, profiles hold {count}"));
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for a [`Dataset`].
+#[derive(Clone, Debug)]
+pub struct DatasetBuilder {
+    ds: Dataset,
+}
+
+impl DatasetBuilder {
+    /// Builder over an item catalog of `n_items`.
+    pub fn new(n_items: usize) -> Self {
+        Self { ds: Dataset::empty(n_items) }
+    }
+
+    /// Adds a user profile; returns the assigned id.
+    pub fn user(&mut self, profile: &[ItemId]) -> UserId {
+        self.ds.add_user(profile)
+    }
+
+    /// Finalizes the dataset.
+    pub fn build(self) -> Dataset {
+        debug_assert!(self.ds.check_consistency().is_ok());
+        self.ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    #[test]
+    fn builder_round_trips_profiles() {
+        let mut b = DatasetBuilder::new(5);
+        let u0 = b.user(&items(&[0, 2, 4]));
+        let u1 = b.user(&items(&[2, 3]));
+        let ds = b.build();
+        assert_eq!(ds.n_users(), 2);
+        assert_eq!(ds.n_items(), 5);
+        assert_eq!(ds.n_interactions(), 5);
+        assert_eq!(ds.profile(u0), &items(&[0, 2, 4])[..]);
+        assert_eq!(ds.profile(u1), &items(&[2, 3])[..]);
+    }
+
+    #[test]
+    fn item_profiles_are_inverted_index() {
+        let mut b = DatasetBuilder::new(4);
+        let u0 = b.user(&items(&[0, 1]));
+        let u1 = b.user(&items(&[1, 2]));
+        let ds = b.build();
+        assert_eq!(ds.item_profile(ItemId(1)), &[u0, u1]);
+        assert_eq!(ds.item_profile(ItemId(3)), &[]);
+        assert_eq!(ds.item_popularity(ItemId(1)), 2);
+    }
+
+    #[test]
+    fn add_user_dedups_but_keeps_order() {
+        let mut ds = Dataset::empty(5);
+        let u = ds.add_user(&items(&[3, 1, 3, 2, 1]));
+        assert_eq!(ds.profile(u), &items(&[3, 1, 2])[..]);
+        assert_eq!(ds.n_interactions(), 3);
+        assert!(ds.check_consistency().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside catalog")]
+    fn add_user_rejects_unknown_item() {
+        let mut ds = Dataset::empty(2);
+        ds.add_user(&items(&[2]));
+    }
+
+    #[test]
+    fn contains_reflects_interactions() {
+        let mut ds = Dataset::empty(3);
+        let u = ds.add_user(&items(&[0, 2]));
+        assert!(ds.contains(u, ItemId(0)));
+        assert!(!ds.contains(u, ItemId(1)));
+    }
+
+    #[test]
+    fn interactions_iterator_covers_everything() {
+        let mut ds = Dataset::empty(3);
+        ds.add_user(&items(&[0]));
+        ds.add_user(&items(&[1, 2]));
+        let all: Vec<_> = ds.interactions().collect();
+        assert_eq!(
+            all,
+            vec![(UserId(0), ItemId(0)), (UserId(1), ItemId(1)), (UserId(1), ItemId(2))]
+        );
+    }
+
+    #[test]
+    fn mean_profile_len_handles_empty() {
+        let ds = Dataset::empty(3);
+        assert_eq!(ds.mean_profile_len(), 0.0);
+        let mut ds2 = Dataset::empty(3);
+        ds2.add_user(&items(&[0, 1]));
+        ds2.add_user(&items(&[2]));
+        assert!((ds2.mean_profile_len() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn injection_grows_item_profiles() {
+        let mut ds = Dataset::empty(3);
+        ds.add_user(&items(&[0]));
+        let before = ds.item_popularity(ItemId(0));
+        let injected = ds.add_user(&items(&[0, 1]));
+        assert_eq!(ds.item_popularity(ItemId(0)), before + 1);
+        assert_eq!(injected, UserId(1));
+        assert!(ds.check_consistency().is_ok());
+    }
+}

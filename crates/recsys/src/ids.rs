@@ -1,0 +1,78 @@
+//! Typed identifiers for users and items.
+//!
+//! Plain `u32` newtypes: cheap to copy, impossible to confuse a user index
+//! with an item index at an API boundary, and half the size of `usize` in
+//! the (large) profile vectors.
+
+use std::fmt;
+
+/// Identifier of a user within one domain's `Dataset`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct UserId(pub u32);
+
+/// Identifier of an item within one domain's `Dataset`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ItemId(pub u32);
+
+impl UserId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(v: u32) -> Self {
+        UserId(v)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(ItemId(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(UserId(42).idx(), 42);
+        assert_eq!(ItemId::from(9).idx(), 9);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(UserId(1) < UserId(2));
+        assert!(ItemId(5) > ItemId(0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Item-based collaborative filtering (ItemKNN) recommender.
+//!
+//! A classical non-neural baseline recommender: item–item cosine similarity
+//! over co-occurrence counts, scoring `s(u, v) = Σ_{i ∈ P_u} sim(i, v)`.
+//! It serves two roles in this repository:
+//!
+//! 1. a *second black-box target model* for the transferability experiment
+//!    (`examples/cross_domain_transfer.rs`) — profiles selected against the
+//!    GNN are replayed against this model;
+//! 2. a sanity-check recommender for the evaluation protocol.
+//!
+//! Injection updates the co-occurrence counts incrementally, exactly like a
+//! deployed count-based system ingesting new interactions.
+
+use crate::blackbox::BlackBoxRecommender;
+use crate::dataset::Dataset;
+use crate::eval::Scorer;
+use crate::ids::{ItemId, UserId};
+
+/// Dense co-occurrence ItemKNN recommender.
+#[derive(Clone, Debug)]
+pub struct ItemKnnRecommender {
+    data: Dataset,
+    /// Upper-triangular co-occurrence counts, flattened; `co[i][j]` for
+    /// `i < j` at `i * n - i(i+1)/2 + (j - i - 1)`.
+    co: Vec<u32>,
+    n_items: usize,
+}
+
+impl ItemKnnRecommender {
+    /// Builds the model from the platform's interaction data.
+    pub fn deploy(data: Dataset) -> Self {
+        let n_items = data.n_items();
+        let mut rec =
+            Self { co: vec![0; n_items * (n_items.saturating_sub(1)) / 2], data, n_items };
+        for u in 0..rec.data.n_users() {
+            let profile: Vec<ItemId> = rec.data.profile(UserId(u as u32)).to_vec();
+            rec.count_pairs(&profile, 1);
+        }
+        rec
+    }
+
+    #[inline]
+    fn tri_index(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < b);
+        a * self.n_items - a * (a + 1) / 2 + (b - a - 1)
+    }
+
+    fn count_pairs(&mut self, profile: &[ItemId], delta: i64) {
+        for i in 0..profile.len() {
+            for j in (i + 1)..profile.len() {
+                let (a, b) = (profile[i].idx(), profile[j].idx());
+                let (a, b) = if a < b { (a, b) } else { (b, a) };
+                if a == b {
+                    continue;
+                }
+                let idx = self.tri_index(a, b);
+                self.co[idx] = (self.co[idx] as i64 + delta).max(0) as u32;
+            }
+        }
+    }
+
+    /// Raw co-occurrence count between two distinct items.
+    pub fn cooccurrence(&self, a: ItemId, b: ItemId) -> u32 {
+        if a == b {
+            return self.data.item_popularity(a) as u32;
+        }
+        let (x, y) = if a.idx() < b.idx() { (a.idx(), b.idx()) } else { (b.idx(), a.idx()) };
+        self.co[self.tri_index(x, y)]
+    }
+
+    /// Cosine similarity `co(a,b) / sqrt(pop(a)·pop(b))`.
+    pub fn similarity(&self, a: ItemId, b: ItemId) -> f32 {
+        let pa = self.data.item_popularity(a) as f32;
+        let pb = self.data.item_popularity(b) as f32;
+        if pa == 0.0 || pb == 0.0 {
+            return 0.0;
+        }
+        self.cooccurrence(a, b) as f32 / (pa * pb).sqrt()
+    }
+
+    /// The platform data (owner-side).
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+}
+
+impl Scorer for ItemKnnRecommender {
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        self.data
+            .profile(user)
+            .iter()
+            .map(|&i| if i == item { 0.0 } else { self.similarity(i, item) })
+            .sum()
+    }
+}
+
+impl BlackBoxRecommender for ItemKnnRecommender {
+    fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
+        let mut scored: Vec<(f32, u32)> = (0..self.n_items as u32)
+            .map(ItemId)
+            .filter(|&v| !self.data.contains(user, v))
+            .map(|v| (self.score(user, v), v.0))
+            .collect();
+        scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN scores"));
+        scored.truncate(k);
+        scored.into_iter().map(|(_, v)| ItemId(v)).collect()
+    }
+
+    fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+        let uid = self.data.add_user(profile);
+        let stored: Vec<ItemId> = self.data.profile(uid).to_vec();
+        self.count_pairs(&stored, 1);
+        uid
+    }
+
+    fn catalog_size(&self) -> usize {
+        self.n_items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn items(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    fn platform() -> ItemKnnRecommender {
+        let mut b = DatasetBuilder::new(8);
+        b.user(&items(&[0, 1, 2]));
+        b.user(&items(&[0, 1]));
+        b.user(&items(&[3, 4]));
+        b.user(&items(&[3, 4, 5]));
+        ItemKnnRecommender::deploy(b.build())
+    }
+
+    #[test]
+    fn cooccurrence_counts_are_correct() {
+        let rec = platform();
+        assert_eq!(rec.cooccurrence(ItemId(0), ItemId(1)), 2);
+        assert_eq!(rec.cooccurrence(ItemId(1), ItemId(0)), 2);
+        assert_eq!(rec.cooccurrence(ItemId(0), ItemId(2)), 1);
+        assert_eq!(rec.cooccurrence(ItemId(0), ItemId(3)), 0);
+    }
+
+    #[test]
+    fn similarity_is_cosine_normalized() {
+        let rec = platform();
+        // co(0,1) = 2, pop(0) = 2, pop(1) = 2 → sim = 1.
+        assert!((rec.similarity(ItemId(0), ItemId(1)) - 1.0).abs() < 1e-6);
+        assert_eq!(rec.similarity(ItemId(0), ItemId(6)), 0.0);
+    }
+
+    #[test]
+    fn recommendations_follow_cooccurrence_neighborhoods() {
+        let rec = platform();
+        // User 1 has {0, 1}; item 2 co-occurs with both; items 3..5 do not.
+        let top = rec.top_k(UserId(1), 1);
+        assert_eq!(top[0], ItemId(2));
+    }
+
+    #[test]
+    fn injection_shifts_recommendations() {
+        let mut rec = platform();
+        let before = rec.score(UserId(1), ItemId(6));
+        assert_eq!(before, 0.0);
+        // Inject users pairing item 6 with items 0 and 1.
+        for _ in 0..3 {
+            rec.inject_user(&items(&[0, 1, 6]));
+        }
+        let after = rec.score(UserId(1), ItemId(6));
+        assert!(after > 0.0, "injection must create similarity mass");
+        assert!(rec.top_k(UserId(1), 2).contains(&ItemId(6)));
+    }
+
+    #[test]
+    fn incremental_injection_matches_full_redeploy() {
+        let mut rec = platform();
+        rec.inject_user(&items(&[2, 5, 7]));
+        rec.inject_user(&items(&[0, 7]));
+        let rebuilt = ItemKnnRecommender::deploy(rec.data().clone());
+        for a in 0..8u32 {
+            for b in (a + 1)..8u32 {
+                assert_eq!(
+                    rec.cooccurrence(ItemId(a), ItemId(b)),
+                    rebuilt.cooccurrence(ItemId(a), ItemId(b)),
+                    "pair ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_similarity_uses_popularity() {
+        let rec = platform();
+        assert_eq!(rec.cooccurrence(ItemId(0), ItemId(0)), 2);
+    }
+}

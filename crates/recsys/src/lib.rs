@@ -1,0 +1,30 @@
+//! Recommender-system data model and evaluation protocol.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! - [`UserId`] / [`ItemId`] newtypes;
+//! - [`Dataset`] — the interaction matrix `Y` stored as *sequential user
+//!   profiles* `P_u` (the paper's `v_1 → v_2 → …`) plus inverted *item
+//!   profiles* `P_v` (the users who interacted with `v`);
+//! - [`split`] — the 80/10/10 train/validation/test split of §5.1.3;
+//! - [`metrics`] / [`eval`] — HR@K and NDCG@K under the paper's sampled
+//!   ranking protocol ("randomly sample 100 items that the user did not
+//!   interact with and then rank the test item among them", §5.1.2);
+//! - [`blackbox::BlackBoxRecommender`] — the *only* interface the attacker
+//!   is allowed to touch: inject a profile, query Top-k lists;
+//! - [`popularity`] — item-popularity deciles for the Figure 4 analysis.
+
+pub mod blackbox;
+pub mod dataset;
+pub mod eval;
+pub mod ids;
+pub mod knn;
+pub mod metrics;
+pub mod popularity;
+pub mod split;
+
+pub use blackbox::BlackBoxRecommender;
+pub use dataset::{Dataset, DatasetBuilder};
+pub use eval::{RankingEval, Scorer};
+pub use ids::{ItemId, UserId};
+pub use split::{split_dataset, HeldOut, Split};

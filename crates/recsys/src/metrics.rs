@@ -1,0 +1,180 @@
+//! Ranking metrics: HR@K and NDCG@K.
+//!
+//! Both operate on the *rank* of a single relevant item among a candidate
+//! list (0-based: rank 0 = top of the list), matching the paper's protocol
+//! where exactly one test item is ranked against 100 sampled negatives.
+
+/// Hit ratio: 1 if the relevant item's 0-based `rank` is inside the top `k`.
+#[inline]
+pub fn hit_ratio(rank: usize, k: usize) -> f32 {
+    if rank < k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// NDCG for a single relevant item: `1 / log2(rank + 2)` if inside the top
+/// `k`, else 0. (The ideal DCG for one relevant item is 1, so DCG = NDCG.)
+#[inline]
+pub fn ndcg(rank: usize, k: usize) -> f32 {
+    if rank < k {
+        1.0 / ((rank + 2) as f32).log2()
+    } else {
+        0.0
+    }
+}
+
+/// Accumulates HR@K / NDCG@K over many (user, item) evaluations for a fixed
+/// set of cutoffs.
+#[derive(Clone, Debug)]
+pub struct MetricAccumulator {
+    ks: Vec<usize>,
+    hr_sums: Vec<f64>,
+    ndcg_sums: Vec<f64>,
+    n: usize,
+}
+
+impl MetricAccumulator {
+    /// Accumulator for the given cutoffs (e.g. `[20, 10, 5]` as in Table 2).
+    pub fn new(ks: &[usize]) -> Self {
+        Self { ks: ks.to_vec(), hr_sums: vec![0.0; ks.len()], ndcg_sums: vec![0.0; ks.len()], n: 0 }
+    }
+
+    /// Feeds one observed rank.
+    pub fn push(&mut self, rank: usize) {
+        for (i, &k) in self.ks.iter().enumerate() {
+            self.hr_sums[i] += hit_ratio(rank, k) as f64;
+            self.ndcg_sums[i] += ndcg(rank, k) as f64;
+        }
+        self.n += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Mean HR@k for a cutoff that was registered at construction.
+    ///
+    /// # Panics
+    /// Panics if `k` was not registered.
+    pub fn hr(&self, k: usize) -> f32 {
+        let i = self.k_index(k);
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.hr_sums[i] / self.n as f64) as f32
+        }
+    }
+
+    /// Mean NDCG@k.
+    pub fn ndcg(&self, k: usize) -> f32 {
+        let i = self.k_index(k);
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.ndcg_sums[i] / self.n as f64) as f32
+        }
+    }
+
+    /// Merges another accumulator (must share cutoffs) into this one.
+    pub fn merge(&mut self, other: &MetricAccumulator) {
+        assert_eq!(self.ks, other.ks, "cannot merge accumulators with different cutoffs");
+        for i in 0..self.ks.len() {
+            self.hr_sums[i] += other.hr_sums[i];
+            self.ndcg_sums[i] += other.ndcg_sums[i];
+        }
+        self.n += other.n;
+    }
+
+    fn k_index(&self, k: usize) -> usize {
+        self.ks
+            .iter()
+            .position(|&x| x == k)
+            .unwrap_or_else(|| panic!("cutoff {k} not registered (have {:?})", self.ks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_boundary() {
+        assert_eq!(hit_ratio(0, 1), 1.0);
+        assert_eq!(hit_ratio(1, 1), 0.0);
+        assert_eq!(hit_ratio(9, 10), 1.0);
+        assert_eq!(hit_ratio(10, 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_known_values() {
+        assert!((ndcg(0, 10) - 1.0).abs() < 1e-6); // 1/log2(2)
+        assert!((ndcg(1, 10) - 1.0 / 3.0f32.log2()).abs() < 1e-6);
+        assert_eq!(ndcg(10, 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_never_exceeds_hit_ratio() {
+        for rank in 0..30 {
+            for k in [1, 5, 10, 20] {
+                assert!(ndcg(rank, k) <= hit_ratio(rank, k) + 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_monotone_in_k() {
+        for rank in 0..25 {
+            assert!(hit_ratio(rank, 20) >= hit_ratio(rank, 10));
+            assert!(ndcg(rank, 20) >= ndcg(rank, 10));
+        }
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = MetricAccumulator::new(&[20, 10, 5]);
+        acc.push(0); // hit at every k
+        acc.push(7); // hit at 20, 10, miss at 5
+        acc.push(50); // miss everywhere
+        assert_eq!(acc.count(), 3);
+        assert!((acc.hr(20) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((acc.hr(10) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((acc.hr(5) - 1.0 / 3.0).abs() < 1e-6);
+        assert!(acc.ndcg(5) <= acc.ndcg(10));
+    }
+
+    #[test]
+    fn accumulator_merge_equals_combined_stream() {
+        let mut a = MetricAccumulator::new(&[10]);
+        let mut b = MetricAccumulator::new(&[10]);
+        let mut all = MetricAccumulator::new(&[10]);
+        for r in [0, 3, 15] {
+            a.push(r);
+            all.push(r);
+        }
+        for r in [1, 40] {
+            b.push(r);
+            all.push(r);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.hr(10) - all.hr(10)).abs() < 1e-6);
+        assert!((a.ndcg(10) - all.ndcg(10)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let acc = MetricAccumulator::new(&[10]);
+        assert_eq!(acc.hr(10), 0.0);
+        assert_eq!(acc.ndcg(10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_cutoff_panics() {
+        let acc = MetricAccumulator::new(&[10]);
+        let _ = acc.hr(5);
+    }
+}

@@ -1,0 +1,183 @@
+//! Item-popularity analysis for the Figure 4 experiment.
+//!
+//! §5.3.2 groups target-domain items into 10 popularity deciles ("each group
+//! account for 10% of items") and attacks 50 sampled items per group.
+
+use crate::dataset::Dataset;
+use crate::ids::ItemId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Items grouped into popularity buckets, most popular bucket first.
+#[derive(Clone, Debug)]
+pub struct PopularityGroups {
+    groups: Vec<Vec<ItemId>>,
+}
+
+impl PopularityGroups {
+    /// Splits the catalog into `n_groups` equal-size buckets by descending
+    /// interaction count (group 0 = most popular 1/n of items).
+    ///
+    /// # Panics
+    /// Panics if `n_groups` is 0 or exceeds the catalog size.
+    pub fn build(ds: &Dataset, n_groups: usize) -> Self {
+        assert!(n_groups > 0, "need at least one group");
+        assert!(n_groups <= ds.n_items(), "more groups than items");
+        let mut items: Vec<ItemId> = ds.items().collect();
+        items.sort_by_key(|&v| std::cmp::Reverse(ds.item_popularity(v)));
+        let n = items.len();
+        let groups = (0..n_groups)
+            .map(|g| {
+                let lo = g * n / n_groups;
+                let hi = (g + 1) * n / n_groups;
+                items[lo..hi].to_vec()
+            })
+            .collect();
+        Self { groups }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no groups (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The items of group `g` (0 = most popular).
+    pub fn group(&self, g: usize) -> &[ItemId] {
+        &self.groups[g]
+    }
+
+    /// Samples up to `n` items from group `g` without replacement.
+    pub fn sample(&self, g: usize, n: usize, rng: &mut impl Rng) -> Vec<ItemId> {
+        let mut items = self.groups[g].clone();
+        items.shuffle(rng);
+        items.truncate(n);
+        items
+    }
+}
+
+/// Samples `n` *unpopular* target items with fewer than `max_interactions`
+/// interactions — the paper's target-item selection ("randomly sample 50
+/// target items with less than 10 interactions", §5.1.3).
+///
+/// Returns fewer than `n` if the catalog does not contain enough such items.
+pub fn sample_cold_items(
+    ds: &Dataset,
+    n: usize,
+    max_interactions: usize,
+    rng: &mut impl Rng,
+) -> Vec<ItemId> {
+    let mut cold: Vec<ItemId> =
+        ds.items().filter(|&v| ds.item_popularity(v) < max_interactions).collect();
+    cold.shuffle(rng);
+    cold.truncate(n);
+    cold
+}
+
+/// Samples `n` *cold items that also appear in `overlap`* — CopyAttack can
+/// only attack items that exist in both domains (`v* ∈ V^A ∩ V^B`, §3).
+pub fn sample_cold_overlap_items(
+    ds: &Dataset,
+    overlap: &[ItemId],
+    n: usize,
+    max_interactions: usize,
+    rng: &mut impl Rng,
+) -> Vec<ItemId> {
+    let mut cold: Vec<ItemId> = overlap
+        .iter()
+        .copied()
+        .filter(|&v| ds.item_popularity(v) < max_interactions)
+        .collect();
+    cold.shuffle(rng);
+    cold.truncate(n);
+    cold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Item v gets v interactions (item 0 none, item 9 nine).
+    fn graded() -> Dataset {
+        let mut b = DatasetBuilder::new(10);
+        for u in 0..9u32 {
+            // User u interacts with items {u+1, ..., 9}.
+            let profile: Vec<ItemId> = ((u + 1)..10).map(ItemId).collect();
+            b.user(&profile);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn groups_cover_catalog_exactly_once() {
+        let ds = graded();
+        let g = PopularityGroups::build(&ds, 5);
+        let mut all: Vec<ItemId> = (0..5).flat_map(|i| g.group(i).to_vec()).collect();
+        all.sort();
+        let expected: Vec<ItemId> = (0..10u32).map(ItemId).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn group_zero_is_most_popular() {
+        let ds = graded();
+        let g = PopularityGroups::build(&ds, 5);
+        let min_pop_g0 =
+            g.group(0).iter().map(|&v| ds.item_popularity(v)).min().unwrap();
+        let max_pop_last =
+            g.group(4).iter().map(|&v| ds.item_popularity(v)).max().unwrap();
+        assert!(min_pop_g0 >= max_pop_last);
+    }
+
+    #[test]
+    fn sample_draws_from_the_right_group() {
+        let ds = graded();
+        let g = PopularityGroups::build(&ds, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = g.sample(1, 3, &mut rng);
+        assert_eq!(s.len(), 3);
+        for v in s {
+            assert!(g.group(1).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cold_items_respect_threshold() {
+        let ds = graded();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cold = sample_cold_items(&ds, 100, 3, &mut rng);
+        for v in &cold {
+            assert!(ds.item_popularity(*v) < 3);
+        }
+        // Items with popularity 0, 1, 2 → ids 9 (pop 1)? Actually pop of
+        // item v is v users: item 1 has 1, item 2 has 2. Items 0,1,2 qualify.
+        assert_eq!(cold.len(), 3);
+    }
+
+    #[test]
+    fn cold_overlap_restricts_to_overlap_set() {
+        let ds = graded();
+        let overlap = vec![ItemId(1), ItemId(5), ItemId(2)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let cold = sample_cold_overlap_items(&ds, &overlap, 10, 3, &mut rng);
+        for v in &cold {
+            assert!(overlap.contains(v));
+            assert!(ds.item_popularity(*v) < 3);
+        }
+        assert_eq!(cold.len(), 2); // items 1 and 2
+    }
+
+    #[test]
+    #[should_panic(expected = "more groups than items")]
+    fn too_many_groups_panics() {
+        let ds = graded();
+        let _ = PopularityGroups::build(&ds, 11);
+    }
+}

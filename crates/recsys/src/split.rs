@@ -1,0 +1,144 @@
+//! 80/10/10 interaction split (§5.1.3).
+//!
+//! The split is *per interaction*, uniformly at random, as in the paper:
+//! "we randomly split the target domain datasets, where we have 80% as a
+//! training set …, 10% as a validation set …, and 10% as the test set."
+//! Held-out interactions are dropped from the training profiles but the
+//! user's remaining sequence order is preserved.
+
+use crate::dataset::Dataset;
+use crate::ids::{ItemId, UserId};
+use rand::Rng;
+
+/// One held-out `(user, item)` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeldOut {
+    /// The user whose interaction was held out.
+    pub user: UserId,
+    /// The held-out item.
+    pub item: ItemId,
+}
+
+/// Result of [`split_dataset`].
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training dataset (same user/item id space as the input).
+    pub train: Dataset,
+    /// Validation pairs.
+    pub validation: Vec<HeldOut>,
+    /// Test pairs.
+    pub test: Vec<HeldOut>,
+}
+
+/// Splits interactions 1−2·`holdout_frac` / `holdout_frac` / `holdout_frac`
+/// into train/validation/test (the paper uses `holdout_frac = 0.1`).
+///
+/// Every user keeps at least one training interaction: a user whose profile
+/// would become empty has its first interaction forced into train. This
+/// mirrors common practice and keeps the (inductive) recommender able to
+/// represent every user.
+pub fn split_dataset(ds: &Dataset, holdout_frac: f64, rng: &mut impl Rng) -> Split {
+    assert!(
+        (0.0..0.5).contains(&holdout_frac),
+        "holdout fraction {holdout_frac} must be in [0, 0.5)"
+    );
+    let mut train = Dataset::empty(ds.n_items());
+    let mut validation = Vec::new();
+    let mut test = Vec::new();
+
+    for u in ds.users() {
+        let profile = ds.profile(u);
+        let mut kept: Vec<ItemId> = Vec::with_capacity(profile.len());
+        for &v in profile {
+            let r: f64 = rng.gen();
+            if r < holdout_frac && !kept.is_empty() {
+                validation.push(HeldOut { user: u, item: v });
+            } else if r < 2.0 * holdout_frac && !kept.is_empty() {
+                test.push(HeldOut { user: u, item: v });
+            } else {
+                kept.push(v);
+            }
+        }
+        let new_id = train.add_user(&kept);
+        debug_assert_eq!(new_id, u, "split must preserve user ids");
+    }
+    Split { train, validation, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n_users: usize, len: usize, n_items: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(n_items);
+        for u in 0..n_users {
+            let profile: Vec<ItemId> =
+                (0..len).map(|i| ItemId(((u * 7 + i * 3) % n_items) as u32)).collect();
+            b.user(&profile);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn split_preserves_user_ids_and_total_interactions() {
+        let ds = toy(50, 20, 40);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = split_dataset(&ds, 0.1, &mut rng);
+        assert_eq!(s.train.n_users(), ds.n_users());
+        // Duplicate items within a profile are deduped at build time, so
+        // compare against the deduped total.
+        let total = s.train.n_interactions() + s.validation.len() + s.test.len();
+        assert_eq!(total, ds.n_interactions());
+    }
+
+    #[test]
+    fn split_fractions_are_approximately_right() {
+        let ds = toy(200, 30, 500);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = split_dataset(&ds, 0.1, &mut rng);
+        let total = ds.n_interactions() as f64;
+        let val_frac = s.validation.len() as f64 / total;
+        let test_frac = s.test.len() as f64 / total;
+        assert!((val_frac - 0.1).abs() < 0.02, "val {val_frac}");
+        assert!((test_frac - 0.1).abs() < 0.02, "test {test_frac}");
+    }
+
+    #[test]
+    fn every_user_keeps_at_least_one_interaction() {
+        let ds = toy(100, 2, 10); // short profiles stress the guarantee
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = split_dataset(&ds, 0.4, &mut rng);
+        for u in s.train.users() {
+            assert!(!s.train.profile(u).is_empty(), "user {u} lost all interactions");
+        }
+    }
+
+    #[test]
+    fn heldout_pairs_come_from_original_profiles() {
+        let ds = toy(30, 10, 20);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = split_dataset(&ds, 0.15, &mut rng);
+        for h in s.validation.iter().chain(s.test.iter()) {
+            assert!(ds.contains(h.user, h.item));
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = toy(40, 10, 30);
+        let a = split_dataset(&ds, 0.1, &mut StdRng::seed_from_u64(7));
+        let b = split_dataset(&ds, 0.1, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.test, b.test);
+        assert_eq!(a.validation, b.validation);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn rejects_bad_fraction() {
+        let ds = toy(5, 5, 5);
+        let _ = split_dataset(&ds, 0.6, &mut StdRng::seed_from_u64(0));
+    }
+}

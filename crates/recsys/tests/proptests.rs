@@ -1,0 +1,110 @@
+//! Property-based tests for the data model and ranking metrics.
+
+use ca_recsys::metrics::{hit_ratio, ndcg, MetricAccumulator};
+use ca_recsys::{split_dataset, Dataset, DatasetBuilder, ItemId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_dataset(n_items: usize, profiles: &[Vec<u32>]) -> Dataset {
+    let mut b = DatasetBuilder::new(n_items);
+    for p in profiles {
+        let items: Vec<ItemId> = p.iter().map(|&v| ItemId(v % n_items as u32)).collect();
+        b.user(&items);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_are_bounded_and_consistent(rank in 0usize..200, k in 1usize..50) {
+        let hr = hit_ratio(rank, k);
+        let nd = ndcg(rank, k);
+        prop_assert!((0.0..=1.0).contains(&hr));
+        prop_assert!((0.0..=1.0).contains(&nd));
+        prop_assert!(nd <= hr + 1e-7, "NDCG {nd} > HR {hr}");
+        // Exactly one of hit/miss.
+        prop_assert_eq!(hr == 1.0, rank < k);
+    }
+
+    #[test]
+    fn metrics_monotone_in_k(rank in 0usize..100, k in 1usize..40) {
+        prop_assert!(hit_ratio(rank, k + 1) >= hit_ratio(rank, k));
+        prop_assert!(ndcg(rank, k + 1) >= ndcg(rank, k));
+    }
+
+    #[test]
+    fn accumulator_mean_is_between_extremes(
+        ranks in prop::collection::vec(0usize..60, 1..50),
+    ) {
+        let mut acc = MetricAccumulator::new(&[20]);
+        for &r in &ranks {
+            acc.push(r);
+        }
+        let hr = acc.hr(20);
+        let best = ranks.iter().map(|&r| hit_ratio(r, 20)).fold(0.0f32, f32::max);
+        let worst = ranks.iter().map(|&r| hit_ratio(r, 20)).fold(1.0f32, f32::min);
+        prop_assert!(hr >= worst - 1e-6 && hr <= best + 1e-6);
+        prop_assert_eq!(acc.count(), ranks.len());
+    }
+
+    #[test]
+    fn dataset_roundtrip_consistency(
+        profiles in prop::collection::vec(
+            prop::collection::vec(0u32..40, 1..15),
+            1..25,
+        ),
+    ) {
+        let ds = build_dataset(40, &profiles);
+        prop_assert!(ds.check_consistency().is_ok());
+        // Inverted index agrees with forward profiles.
+        for u in ds.users() {
+            for &v in ds.profile(u) {
+                prop_assert!(ds.item_profile(v).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn split_conserves_interactions(
+        profiles in prop::collection::vec(
+            prop::collection::vec(0u32..30, 1..12),
+            2..20,
+        ),
+        frac in 0.05f64..0.4,
+        seed in 0u64..500,
+    ) {
+        let ds = build_dataset(30, &profiles);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = split_dataset(&ds, frac, &mut rng);
+        let total =
+            split.train.n_interactions() + split.validation.len() + split.test.len();
+        prop_assert_eq!(total, ds.n_interactions());
+        // No user lost everything.
+        for u in split.train.users() {
+            prop_assert!(!split.train.profile(u).is_empty());
+        }
+        // Held-out pairs really existed.
+        for h in split.validation.iter().chain(split.test.iter()) {
+            prop_assert!(ds.contains(h.user, h.item));
+        }
+    }
+
+    #[test]
+    fn injection_preserves_consistency(
+        profiles in prop::collection::vec(
+            prop::collection::vec(0u32..25, 1..10),
+            1..10,
+        ),
+        injected in prop::collection::vec(0u32..25, 1..10),
+    ) {
+        let mut ds = build_dataset(25, &profiles);
+        let before_users = ds.n_users();
+        let items: Vec<ItemId> = injected.iter().map(|&v| ItemId(v)).collect();
+        let uid = ds.add_user(&items);
+        prop_assert_eq!(uid.idx(), before_users);
+        prop_assert!(ds.check_consistency().is_ok());
+    }
+}

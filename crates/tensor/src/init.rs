@@ -1,0 +1,78 @@
+//! Random initialization helpers.
+//!
+//! The paper initializes all neural-network parameters from a Gaussian with
+//! mean 0 and standard deviation 0.1 (§5.1.3). `rand 0.8` alone provides
+//! uniform sampling; the Gaussian here is generated with the Box–Muller
+//! transform so we avoid pulling in `rand_distr`.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// One sample from `N(mean, std²)` via the Box–Muller transform.
+pub fn gaussian(rng: &mut impl Rng, mean: f32, std: f32) -> f32 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std * mag * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// A vector of i.i.d. `N(mean, std²)` samples.
+pub fn gaussian_vec(rng: &mut impl Rng, len: usize, mean: f32, std: f32) -> Vec<f32> {
+    (0..len).map(|_| gaussian(rng, mean, std)).collect()
+}
+
+/// A matrix of i.i.d. `N(mean, std²)` entries.
+pub fn gaussian_matrix(rng: &mut impl Rng, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| gaussian(rng, mean, std))
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Used for the MLP policy heads, where
+/// it keeps early-training logits small enough that the softmax stays
+/// explorative.
+pub fn xavier_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_approximately_right() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples = gaussian_vec(&mut rng, n, 1.5, 2.0);
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(gaussian_vec(&mut a, 16, 0.0, 1.0), gaussian_vec(&mut b, 16, 0.0, 1.0));
+    }
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = xavier_uniform(&mut rng, 10, 20);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn gaussian_matrix_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = gaussian_matrix(&mut rng, 4, 5, 0.0, 0.1);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 5);
+    }
+}

@@ -1,0 +1,23 @@
+//! Minimal dense linear-algebra substrate for the CopyAttack reproduction.
+//!
+//! Every higher-level crate (the neural-network layers in `ca-nn`, matrix
+//! factorization in `ca-mf`, the GNN recommender in `ca-gnn`, and k-means in
+//! `ca-cluster`) is built on the row-major [`Matrix`] type and the slice
+//! helpers in [`ops`] defined here.
+//!
+//! Design notes:
+//! - `f32` throughout: the paper's models are tiny (embedding size 8), so
+//!   single precision is ample and halves memory traffic.
+//! - No SIMD intrinsics; the inner loops are written so LLVM auto-vectorizes
+//!   them in release builds (verified via the Criterion benches in
+//!   `copyattack-bench`).
+//! - All randomness flows through caller-provided [`rand::Rng`] values so
+//!   experiments are reproducible bit-for-bit from a single `u64` seed.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod stats;
+
+pub use init::{gaussian, gaussian_vec, xavier_uniform};
+pub use matrix::Matrix;

@@ -1,0 +1,119 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use ca_tensor::ops;
+use ca_tensor::Matrix;
+use proptest::prelude::*;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    1usize..12
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(xs in vec_f32(8), ys in vec_f32(8)) {
+        let lhs = ops::dot(&xs, &ys);
+        let rhs = ops::dot(&ys, &xs);
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(xs in prop::collection::vec(-50.0f32..50.0, 1..16)) {
+        let p = ops::softmax(&xs);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_preserves_order(xs in prop::collection::vec(-50.0f32..50.0, 2..16)) {
+        let p = ops::softmax(&xs);
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] > xs[j] + 1e-3 {
+                    prop_assert!(p[i] >= p[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_softmax_restricts_support(
+        xs in prop::collection::vec(-20.0f32..20.0, 3..12),
+        seed in 0u64..1000,
+    ) {
+        // Derive a mask with at least one live entry from the seed.
+        let n = xs.len();
+        let mut mask = vec![false; n];
+        let mut s = seed;
+        for m in mask.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *m = (s >> 33) & 1 == 1;
+        }
+        mask[(seed as usize) % n] = true;
+        let p = ops::masked_softmax(&xs, &mask);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        for i in 0..n {
+            if !mask[i] {
+                prop_assert_eq!(p[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_is_linear(
+        rows in small_dim(), cols in small_dim(),
+        alpha in -5.0f32..5.0, seed in 0u64..100,
+    ) {
+        let mk = |s: u64| {
+            let mut v = Vec::new();
+            let mut x = s.wrapping_add(1);
+            for _ in 0..rows * cols {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                v.push(((x >> 40) as f32 / 16777216.0) - 0.5);
+            }
+            v
+        };
+        let m = Matrix::from_vec(rows, cols, mk(seed));
+        let x: Vec<f32> = (0..cols).map(|i| i as f32 * 0.25 - 1.0).collect();
+        let y: Vec<f32> = (0..cols).map(|i| 1.0 - i as f32 * 0.5).collect();
+        // m(αx + y) == α·m(x) + m(y)
+        let combo: Vec<f32> = x.iter().zip(y.iter()).map(|(a, b)| alpha * a + b).collect();
+        let lhs = m.matvec(&combo);
+        let mx = m.matvec(&x);
+        let my = m.matvec(&y);
+        for i in 0..rows {
+            let rhs = alpha * mx[i] + my[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in small_dim(), cols in small_dim()) {
+        let m = Matrix::from_fn(rows, cols, |r, c| (r * 31 + c) as f32);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_agrees_with_matvec(rows in small_dim(), inner in small_dim()) {
+        let a = Matrix::from_fn(rows, inner, |r, c| ((r + 1) * (c + 2)) as f32 * 0.1);
+        let x: Vec<f32> = (0..inner).map(|i| i as f32 - 1.5).collect();
+        let xmat = Matrix::from_vec(inner, 1, x.clone());
+        let prod = a.matmul(&xmat);
+        let mv = a.matvec(&x);
+        for r in 0..rows {
+            prop_assert!((prod[(r, 0)] - mv[r]).abs() < 1e-4 * (1.0 + mv[r].abs()));
+        }
+    }
+
+    #[test]
+    fn sigmoid_monotone(a in -30.0f32..30.0, b in -30.0f32..30.0) {
+        if a < b {
+            prop_assert!(ops::sigmoid(a) <= ops::sigmoid(b));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Detection evasion: are copied profiles really harder to catch?
+//!
+//! The paper's motivation (§1) claims generated fake profiles "present very
+//! different patterns from real profiles" while copied cross-domain
+//! profiles are "naturally real". This example measures that claim with
+//! the `ca-detect` z-score detector: it compares the detector's AUC on
+//! (a) classical generated fake profiles (target + popular fillers) and
+//! (b) the profiles CopyAttack actually injects.
+//!
+//! Run with: `cargo run --release --example detection_evasion`
+
+use copyattack::core::{AttackEnvironment, CopyAttackAgent, CopyAttackVariant};
+use copyattack::detect::features::PopularityIndex;
+use copyattack::detect::{
+    detection_auc, extract_features, naive_fake_profiles, precision_at_n, ZScoreDetector,
+};
+use copyattack::pipeline::{Pipeline, PipelineConfig};
+use copyattack::recsys::{ItemId, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("== detection evasion: generated vs copied profiles ==");
+    let cfg = PipelineConfig::tiny(13);
+    let pipe = Pipeline::build(&cfg);
+    let src = pipe.source_domain();
+    let target = pipe.target_items[0];
+    let target_src = pipe.world.source_item(target).expect("overlap");
+
+    // Detector fitted on the genuine target-domain population, with MF item
+    // embeddings (trained on clean data) providing the coherence geometry.
+    let clean = &pipe.split.train;
+    let pop = PopularityIndex::build(clean);
+    let item_emb = &ca_mf::train(
+        clean,
+        &ca_mf::BprConfig { epochs: 10, seed: 5, ..Default::default() },
+    )
+    .item_emb;
+    let genuine_features: Vec<_> = (0..clean.n_users() as u32)
+        .map(|u| extract_features(clean.profile(UserId(u)), &pop, item_emb))
+        .collect();
+    let detector = ZScoreDetector::fit(&genuine_features);
+    let genuine_scores: Vec<f32> =
+        genuine_features.iter().map(|f| detector.score(f)).collect();
+
+    // (a) classical generated fakes.
+    let mut rng = StdRng::seed_from_u64(3);
+    let naive: Vec<Vec<ItemId>> =
+        naive_fake_profiles(clean, target, 30, 20, &mut rng);
+    let naive_scores: Vec<f32> = naive
+        .iter()
+        .map(|p| detector.score(&extract_features(p, &pop, item_emb)))
+        .collect();
+
+    // (b) CopyAttack's injected profiles.
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
+    agent.train(&src, || pipe.make_env(target));
+    let mut env = pipe.make_env(target);
+    let outcome = agent.execute(&src, &mut env);
+    let polluted = env.into_recommender();
+    // The injected accounts are the newest ones.
+    let n_total = polluted.data().n_users();
+    let copied_scores: Vec<f32> = (n_total - outcome.injections..n_total)
+        .map(|u| {
+            let profile = polluted.data().profile(UserId(u as u32));
+            detector.score(&extract_features(profile, &pop, item_emb))
+        })
+        .collect();
+
+    let auc_naive = detection_auc(&genuine_scores, &naive_scores);
+    let auc_copied = detection_auc(&genuine_scores, &copied_scores);
+    println!("detector AUC vs generated fakes: {auc_naive:.3} (1.0 = always caught)");
+    println!("detector AUC vs copied profiles: {auc_copied:.3} (0.5 = indistinguishable)");
+    println!(
+        "precision@{}: generated {:.2} vs copied {:.2}",
+        naive_scores.len(),
+        precision_at_n(&genuine_scores, &naive_scores, naive_scores.len()),
+        precision_at_n(&genuine_scores, &copied_scores, copied_scores.len()),
+    );
+    if auc_copied < auc_naive {
+        println!("=> copied cross-domain profiles evade the detector better, as the paper argues.");
+    } else {
+        println!("=> detector separates both equally on this tiny world; try a larger preset.");
+    }
+}

@@ -1,0 +1,77 @@
+//! Promotion campaign planning: how many copied profiles does a seller
+//! need?
+//!
+//! The scenario from the paper's introduction: a seller on e-commerce
+//! platform A wants their (cold) product recommended to more users, and
+//! controls accounts that can replay profiles crawled from platform B.
+//! This example sweeps the profile budget Δ and reports the promotion
+//! metrics per budget — a miniature of the Figure 5 experiment.
+//!
+//! Run with: `cargo run --release --example promotion_campaign`
+
+use copyattack::core::baselines::target_attack;
+use copyattack::core::{AttackEnvironment, CopyAttackAgent, CopyAttackVariant};
+use copyattack::pipeline::{Pipeline, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("== promotion campaign: budget sweep ==");
+    let mut cfg = PipelineConfig::tiny(7);
+    cfg.n_target_items = 2;
+    let pipe = Pipeline::build(&cfg);
+    let src = pipe.source_domain();
+    let target = pipe.target_items[0];
+    println!(
+        "promoting {target} (popularity {} in the target domain)",
+        pipe.world.target.item_popularity(target)
+    );
+    println!("{:>8} {:>16} {:>16}", "budget", "TargetAttack70", "CopyAttack");
+
+    for budget in [3usize, 9, 15, 21, 30] {
+        // Non-RL baseline at this budget.
+        let mut env = AttackEnvironment::new(
+            pipe.recommender.clone(),
+            pipe.pretend.clone(),
+            target,
+            cfg.attack.reward_k,
+            budget,
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let target_src = pipe.world.source_item(target).expect("overlap");
+        target_attack(&src, &mut env, target_src, 0.7, &mut rng);
+        let hr_ta = pipe
+            .evaluate_promotion(&env.into_recommender(), target, 99)
+            .hr(20);
+
+        // CopyAttack at this budget.
+        let mut attack_cfg = cfg.attack.clone();
+        attack_cfg.budget = budget;
+        attack_cfg.query_every = attack_cfg.query_every.min(budget);
+        let mut agent =
+            CopyAttackAgent::new(attack_cfg.clone(), CopyAttackVariant::full(), &src, target_src);
+        agent.train(&src, || {
+            AttackEnvironment::new(
+                pipe.recommender.clone(),
+                pipe.pretend.clone(),
+                target,
+                attack_cfg.reward_k,
+                budget,
+            )
+        });
+        let mut env = AttackEnvironment::new(
+            pipe.recommender.clone(),
+            pipe.pretend.clone(),
+            target,
+            attack_cfg.reward_k,
+            budget,
+        );
+        agent.execute(&src, &mut env);
+        let hr_ca = pipe
+            .evaluate_promotion(&env.into_recommender(), target, 99)
+            .hr(20);
+
+        println!("{budget:>8} {hr_ta:>16.4} {hr_ca:>16.4}");
+    }
+    println!("(HR@20 of the promoted item over real users; higher = more exposure)");
+}

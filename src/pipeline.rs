@@ -1,0 +1,493 @@
+//! End-to-end experiment pipeline: world → target model → attack → metrics.
+//!
+//! This reproduces the paper's experimental protocol (§5.1):
+//!
+//! 1. generate a cross-domain world (substituting the licensed datasets);
+//! 2. split the target domain 80/10/10; pretrain MF on the target training
+//!    split (frozen item features for the GNN) and on the source domain
+//!    (the attacker's embeddings);
+//! 3. train the PinSage-like target model with early stopping on
+//!    validation HR@10; deploy it; let the attacker establish 50 pretend
+//!    users;
+//! 4. sample cold, attackable target items (< 10 interactions, present in
+//!    the source domain);
+//! 5. for each method × target item: clone the deployed system, attack it
+//!    under budget Δ, and measure HR@K / NDCG@K of the target item over
+//!    real users plus the average injected-profile length (Table 2).
+
+use ca_datagen::{generate, CrossDomainConfig, CrossDomainDataset};
+use ca_gnn::{train_with_features, GnnConfig, PinSageRecommender, TrainReport};
+use ca_mf::{BprConfig, MfModel};
+use ca_recsys::eval::RankingEval;
+use ca_recsys::metrics::MetricAccumulator;
+use ca_recsys::{split_dataset, ItemId, Split, UserId};
+use copyattack_core::baselines::{random_attack, target_attack, FlatPolicyAgent};
+use copyattack_core::env::establish_pretend_users;
+use copyattack_core::{
+    AttackConfig, AttackEnvironment, CopyAttackAgent, CopyAttackVariant, SourceDomain,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Everything needed to run one dataset's worth of experiments.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// World generator settings (one of the Table 1 presets).
+    pub world: CrossDomainConfig,
+    /// MF pretraining on the source domain (attacker side).
+    pub source_mf: BprConfig,
+    /// MF pretraining on the target training split (frozen GNN features).
+    pub target_mf: BprConfig,
+    /// Target-model training.
+    pub gnn: GnnConfig,
+    /// Attack settings (budget Δ, pretend users, γ, …).
+    pub attack: AttackConfig,
+    /// Number of cold target items to attack (paper: 50).
+    pub n_target_items: usize,
+    /// Cold threshold: fewer than this many target-domain interactions
+    /// (paper: 10).
+    pub max_target_pop: usize,
+    /// Minimum number of source-domain carriers per target item.
+    pub min_source_pop: usize,
+    /// Number of real target-domain users promotion metrics average over.
+    pub n_eval_users: usize,
+    /// Length of each pretend user's establishing profile.
+    pub pretend_profile_len: usize,
+    /// Master seed for everything not covered by the sub-configs.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    fn with_world(world: CrossDomainConfig, seed: u64) -> Self {
+        Self {
+            world,
+            source_mf: BprConfig { epochs: 15, seed, ..Default::default() },
+            target_mf: BprConfig { epochs: 15, seed: seed ^ 1, ..Default::default() },
+            gnn: GnnConfig { seed: seed ^ 2, ..Default::default() },
+            attack: AttackConfig { seed: seed ^ 3, ..Default::default() },
+            n_target_items: 50,
+            max_target_pop: 10,
+            min_source_pop: 3,
+            n_eval_users: 200,
+            pretend_profile_len: 15,
+            seed,
+        }
+    }
+
+    /// Milliseconds-scale preset for tests and the quickstart example.
+    pub fn tiny(seed: u64) -> Self {
+        let mut cfg = Self::with_world(CrossDomainConfig::tiny(seed), seed);
+        cfg.n_target_items = 4;
+        cfg.n_eval_users = 60;
+        cfg.min_source_pop = 2;
+        cfg.pretend_profile_len = 8;
+        cfg.attack.episodes = 15;
+        cfg.attack.n_pretend = 10;
+        cfg.attack.tree_depth = 2;
+        cfg.gnn.max_epochs = 20;
+        cfg
+    }
+
+    /// Seconds-scale preset for examples and smoke experiments.
+    pub fn small(seed: u64) -> Self {
+        let mut cfg = Self::with_world(CrossDomainConfig::small(seed), seed);
+        cfg.n_target_items = 10;
+        cfg.n_eval_users = 150;
+        cfg.attack.episodes = 30;
+        cfg.attack.n_pretend = 25;
+        cfg.attack.tree_depth = 3;
+        cfg.gnn.max_epochs = 30;
+        cfg
+    }
+
+    /// The ML10M-Flixster-shaped experiment (§5.1.1, tree depth 3).
+    pub fn ml10m_fx(seed: u64) -> Self {
+        let mut cfg = Self::with_world(CrossDomainConfig::ml10m_fx_like(seed), seed);
+        cfg.attack.tree_depth = 3;
+        cfg
+    }
+
+    /// The ML20M-Netflix-shaped experiment (§5.1.1, tree depth 6).
+    pub fn ml20m_nf(seed: u64) -> Self {
+        let mut cfg = Self::with_world(CrossDomainConfig::ml20m_nf_like(seed), seed);
+        cfg.attack.tree_depth = 6;
+        cfg
+    }
+}
+
+/// The attacking methods of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// No injection at all (the "Without Attack" row).
+    WithoutAttack,
+    /// Uniformly random source profiles.
+    RandomAttack,
+    /// Carrier profiles clipped to the given percentage (40/70/100).
+    TargetAttack(u8),
+    /// Flat policy gradient over all users (no clustering tree).
+    PolicyNetwork,
+    /// The full framework.
+    CopyAttack,
+    /// Ablation: no masking mechanism (and no crafting, per the paper).
+    CopyAttackNoMasking,
+    /// Ablation: no profile crafting.
+    CopyAttackNoLength,
+}
+
+impl Method {
+    /// Table 2 row label.
+    pub fn label(&self) -> String {
+        match self {
+            Method::WithoutAttack => "Without Attack".into(),
+            Method::RandomAttack => "RandomAttack".into(),
+            Method::TargetAttack(p) => format!("TargetAttack{p}"),
+            Method::PolicyNetwork => "PolicyNetwork".into(),
+            Method::CopyAttack => "CopyAttack".into(),
+            Method::CopyAttackNoMasking => "CopyAttack-Masking".into(),
+            Method::CopyAttackNoLength => "CopyAttack-Length".into(),
+        }
+    }
+
+    /// All rows of Table 2, in the paper's order.
+    pub fn table2_rows() -> Vec<Method> {
+        vec![
+            Method::WithoutAttack,
+            Method::RandomAttack,
+            Method::TargetAttack(40),
+            Method::TargetAttack(70),
+            Method::TargetAttack(100),
+            Method::PolicyNetwork,
+            Method::CopyAttackNoMasking,
+            Method::CopyAttackNoLength,
+            Method::CopyAttack,
+        ]
+    }
+}
+
+/// A Table 2 row: promotion metrics aggregated over target items.
+#[derive(Clone, Debug)]
+pub struct MethodRow {
+    /// The method.
+    pub method: Method,
+    /// HR@K / NDCG@K of the target items over the evaluation users.
+    pub metrics: MetricAccumulator,
+    /// Mean injected-profile length, averaged over target items.
+    pub avg_items_per_profile: f32,
+    /// Wall-clock seconds spent attacking (all target items).
+    pub attack_seconds: f64,
+}
+
+/// The built pipeline, ready to run attacks.
+pub struct Pipeline {
+    /// The generated world.
+    pub world: CrossDomainDataset,
+    /// Target-domain split.
+    pub split: Split,
+    /// Attacker-side MF on the source domain.
+    pub source_mf: MfModel,
+    /// The deployed target system *with pretend users already established*.
+    pub recommender: PinSageRecommender,
+    /// The attacker's pretend-user account ids.
+    pub pretend: Vec<UserId>,
+    /// Real users promotion metrics are averaged over.
+    pub eval_users: Vec<UserId>,
+    /// The sampled cold target items (target-domain ids).
+    pub target_items: Vec<ItemId>,
+    /// Target-model training report.
+    pub train_report: TrainReport,
+    /// Configuration used.
+    pub config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Builds the full pipeline (steps 1–4 of the protocol).
+    pub fn build(cfg: &PipelineConfig) -> Self {
+        let world = generate(&cfg.world);
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(101));
+        let split = split_dataset(&world.target, 0.1, &mut rng);
+
+        // Attacker-side embeddings.
+        let source_mf = ca_mf::train(&world.source, &cfg.source_mf);
+        // Frozen item features for the GNN: MF pretrained on the clean
+        // target training split.
+        let target_mf = ca_mf::train(&split.train, &cfg.target_mf);
+        let (mut recommender, train_report) = train_with_features(
+            target_mf.item_emb.clone(),
+            &split.train,
+            &split.validation,
+            &cfg.gnn,
+        );
+
+        // The attacker establishes pretend users before the attack (§4.2).
+        let mut pretend_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(202));
+        let pretend = establish_pretend_users(
+            &mut recommender,
+            &split.train,
+            cfg.attack.n_pretend,
+            cfg.pretend_profile_len,
+            &mut pretend_rng,
+        );
+
+        // Evaluation users: real accounts only.
+        let mut eval_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(303));
+        let mut eval_users: Vec<UserId> =
+            (0..world.target.n_users() as u32).map(UserId).collect();
+        eval_users.shuffle(&mut eval_rng);
+        eval_users.truncate(cfg.n_eval_users);
+
+        // Cold, attackable target items.
+        let mut item_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(404));
+        let target_items = world.sample_attackable_cold_items(
+            cfg.n_target_items,
+            cfg.max_target_pop,
+            cfg.min_source_pop,
+            &mut item_rng,
+        );
+        assert!(
+            !target_items.is_empty(),
+            "world contains no attackable cold items — increase catalog size"
+        );
+
+        Self {
+            world,
+            split,
+            source_mf,
+            recommender,
+            pretend,
+            eval_users,
+            target_items,
+            train_report,
+            config: cfg.clone(),
+        }
+    }
+
+    /// The attacker's source-domain view.
+    pub fn source_domain(&self) -> SourceDomain<'_> {
+        SourceDomain {
+            data: &self.world.source,
+            mf: &self.source_mf,
+            to_target: &self.world.source_to_target,
+        }
+    }
+
+    /// A fresh attack environment on a clone of the deployed system.
+    pub fn make_env(&self, target: ItemId) -> AttackEnvironment<PinSageRecommender> {
+        AttackEnvironment::new(
+            self.recommender.clone(),
+            self.pretend.clone(),
+            target,
+            self.config.attack.reward_k,
+            self.config.attack.budget,
+        )
+    }
+
+    /// Promotion metrics of `target` on `rec` over the evaluation users
+    /// (HR/NDCG @ {20, 10, 5} against 100 sampled negatives).
+    pub fn evaluate_promotion(
+        &self,
+        rec: &PinSageRecommender,
+        target: ItemId,
+        seed: u64,
+    ) -> MetricAccumulator {
+        let ev = RankingEval::standard(&self.split.train);
+        let mut rng = StdRng::seed_from_u64(seed);
+        ev.evaluate_promotion(rec, &self.eval_users, target, &mut rng)
+    }
+
+    /// Runs one method against one target item with the pipeline's default
+    /// attack configuration. See [`Pipeline::run_method_cfg`].
+    pub fn run_method(&self, method: Method, target: ItemId, seed: u64) -> (MetricAccumulator, f32) {
+        let attack_cfg = AttackConfig { seed, ..self.config.attack.clone() };
+        self.run_method_cfg(method, target, &attack_cfg)
+    }
+
+    /// Runs one method against one target item under an explicit attack
+    /// configuration (the budget/depth sweeps override fields); returns the
+    /// promotion metrics of the polluted system and the average
+    /// injected-profile length.
+    pub fn run_method_cfg(
+        &self,
+        method: Method,
+        target: ItemId,
+        attack_cfg: &AttackConfig,
+    ) -> (MetricAccumulator, f32) {
+        let src = self.source_domain();
+        let target_src = self
+            .world
+            .source_item(target)
+            .expect("target items are sampled from the overlap");
+        let seed = attack_cfg.seed;
+        let make_env = || {
+            AttackEnvironment::new(
+                self.recommender.clone(),
+                self.pretend.clone(),
+                target,
+                attack_cfg.reward_k,
+                attack_cfg.budget,
+            )
+        };
+
+        let (polluted, avg_items) = match method {
+            Method::WithoutAttack => (self.recommender.clone(), 0.0),
+            Method::RandomAttack => {
+                let mut env = make_env();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+                let o = random_attack(&src, &mut env, &mut rng);
+                (env.into_recommender(), o.avg_items_per_profile)
+            }
+            Method::TargetAttack(pct) => {
+                let mut env = make_env();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+                let o = target_attack(&src, &mut env, target_src, pct as f32 / 100.0, &mut rng);
+                (env.into_recommender(), o.avg_items_per_profile)
+            }
+            Method::PolicyNetwork => {
+                let mut agent = FlatPolicyAgent::new(attack_cfg.clone(), &src, target_src);
+                agent.train(&src, make_env);
+                let mut env = make_env();
+                let o = agent.execute(&src, &mut env);
+                (env.into_recommender(), o.avg_items_per_profile)
+            }
+            Method::CopyAttack | Method::CopyAttackNoMasking | Method::CopyAttackNoLength => {
+                let variant = match method {
+                    Method::CopyAttack => CopyAttackVariant::full(),
+                    Method::CopyAttackNoMasking => CopyAttackVariant::no_masking(),
+                    _ => CopyAttackVariant::no_crafting(),
+                };
+                let mut agent =
+                    CopyAttackAgent::new(attack_cfg.clone(), variant, &src, target_src);
+                agent.train(&src, make_env);
+                let mut env = make_env();
+                let o = agent.execute(&src, &mut env);
+                (env.into_recommender(), o.avg_items_per_profile)
+            }
+        };
+        let metrics = self.evaluate_promotion(&polluted, target, seed ^ 0x5EED);
+        (metrics, avg_items)
+    }
+
+    /// Runs a method over the first `n_items` sampled target items
+    /// (in parallel across items) and aggregates a Table 2 row.
+    pub fn run_method_over_targets(&self, method: Method, n_items: usize) -> MethodRow {
+        let items: Vec<ItemId> =
+            self.target_items.iter().copied().take(n_items).collect();
+        self.run_method_over_items(method, &items, &self.config.attack.clone())
+    }
+
+    /// Like [`Pipeline::run_method_over_targets`] but with explicit items
+    /// and attack configuration (per-item seeds are derived from
+    /// `attack_cfg.seed ^ item id`).
+    pub fn run_method_over_items(
+        &self,
+        method: Method,
+        items: &[ItemId],
+        attack_cfg: &AttackConfig,
+    ) -> MethodRow {
+        let items: Vec<ItemId> = items.to_vec();
+        let start = std::time::Instant::now();
+        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk = items.len().div_ceil(n_threads.max(1));
+        let results: Vec<(MetricAccumulator, f32)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk_items in items.chunks(chunk.max(1)) {
+                handles.push(scope.spawn(move || {
+                    chunk_items
+                        .iter()
+                        .map(|&t| {
+                            let cfg = AttackConfig {
+                                seed: attack_cfg.seed ^ t.0 as u64,
+                                ..attack_cfg.clone()
+                            };
+                            self.run_method_cfg(method, t, &cfg)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().expect("attack thread panicked")).collect()
+        });
+        let mut metrics = MetricAccumulator::new(&[20, 10, 5]);
+        let mut avg_items = 0.0;
+        for (m, a) in &results {
+            metrics.merge(m);
+            avg_items += a;
+        }
+        avg_items /= results.len().max(1) as f32;
+        MethodRow {
+            method,
+            metrics,
+            avg_items_per_profile: avg_items,
+            attack_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Samples `n` target items out of a popularity group that are attackable
+/// (present in the source domain with at least `min_source_pop` carriers) —
+/// used by the Figure 4 experiment.
+pub fn attackable_from_group(
+    world: &CrossDomainDataset,
+    group: &[ItemId],
+    n: usize,
+    min_source_pop: usize,
+    rng: &mut impl Rng,
+) -> Vec<ItemId> {
+    let mut cands: Vec<ItemId> = group
+        .iter()
+        .copied()
+        .filter(|&t| {
+            world
+                .source_item(t)
+                .map(|s| world.source.item_popularity(s) >= min_source_pop)
+                .unwrap_or(false)
+        })
+        .collect();
+    cands.shuffle(rng);
+    cands.truncate(n);
+    cands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_pipeline_builds_and_has_sane_parts() {
+        let cfg = PipelineConfig::tiny(7);
+        let pipe = Pipeline::build(&cfg);
+        assert!(!pipe.target_items.is_empty());
+        assert_eq!(pipe.pretend.len(), cfg.attack.n_pretend);
+        assert!(pipe.train_report.best_val_hr10 > 0.1);
+        // Pretend users were appended after the real users.
+        for &p in &pipe.pretend {
+            assert!(p.idx() >= pipe.world.target.n_users());
+        }
+        // Eval users are real.
+        for &u in &pipe.eval_users {
+            assert!(u.idx() < pipe.world.target.n_users());
+        }
+    }
+
+    #[test]
+    fn without_attack_leaves_cold_items_cold() {
+        let cfg = PipelineConfig::tiny(7);
+        let pipe = Pipeline::build(&cfg);
+        let row = pipe.run_method_over_targets(Method::WithoutAttack, 3);
+        assert!(row.metrics.hr(20) < 0.3, "cold items should rank low: {}", row.metrics.hr(20));
+        assert_eq!(row.avg_items_per_profile, 0.0);
+    }
+
+    #[test]
+    fn target_attack_beats_no_attack_on_tiny_world() {
+        let cfg = PipelineConfig::tiny(7);
+        let pipe = Pipeline::build(&cfg);
+        let none = pipe.run_method_over_targets(Method::WithoutAttack, 3);
+        let t70 = pipe.run_method_over_targets(Method::TargetAttack(70), 3);
+        assert!(
+            t70.metrics.hr(20) > none.metrics.hr(20) + 0.1,
+            "TargetAttack70 {} vs none {}",
+            t70.metrics.hr(20),
+            none.metrics.hr(20)
+        );
+    }
+}

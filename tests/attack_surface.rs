@@ -1,0 +1,105 @@
+//! Tests of the black-box boundary: the attacker's observable costs
+//! (queries, injections) and the trait-level containment of its access.
+
+use copyattack::core::{AttackEnvironment, CopyAttackAgent, CopyAttackVariant};
+use copyattack::pipeline::{Pipeline, PipelineConfig};
+use copyattack::recsys::{BlackBoxRecommender, ItemId, UserId};
+
+#[test]
+fn query_count_follows_the_cadence() {
+    let cfg = PipelineConfig::tiny(42);
+    let pipe = Pipeline::build(&cfg);
+    let src = pipe.source_domain();
+    let target = pipe.target_items[0];
+    let target_src = pipe.world.source_item(target).unwrap();
+
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
+    let mut env = pipe.make_env(target);
+    let outcome = agent.execute(&src, &mut env);
+
+    // One reward query (over n_pretend users) per `query_every` injections,
+    // plus the forced terminal query; each reward query costs n_pretend
+    // Top-k requests.
+    let budget = cfg.attack.budget;
+    let q = cfg.attack.query_every;
+    let reward_rounds_upper = budget.div_ceil(q) + 1;
+    assert!(outcome.queries as usize <= reward_rounds_upper * cfg.attack.n_pretend);
+    assert!(outcome.queries as usize >= cfg.attack.n_pretend, "at least one reward round");
+    assert!(outcome.injections <= budget);
+}
+
+/// A recommender wrapper that panics if the attacker somehow asks for
+/// recommendations of accounts it does not own — demonstrating that the
+/// attack stays within the pretend-user surface.
+struct PretendOnly<R> {
+    inner: R,
+    allowed_from: u32,
+}
+
+impl<R: BlackBoxRecommender> BlackBoxRecommender for PretendOnly<R> {
+    fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
+        assert!(
+            user.0 >= self.allowed_from,
+            "attack queried a non-attacker account {user}"
+        );
+        self.inner.top_k(user, k)
+    }
+    fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+        self.inner.inject_user(profile)
+    }
+    fn catalog_size(&self) -> usize {
+        self.inner.catalog_size()
+    }
+}
+
+#[test]
+fn attack_only_queries_attacker_controlled_accounts() {
+    let cfg = PipelineConfig::tiny(42);
+    let pipe = Pipeline::build(&cfg);
+    let src = pipe.source_domain();
+    let target = pipe.target_items[0];
+    let target_src = pipe.world.source_item(target).unwrap();
+    let n_real = pipe.world.target.n_users() as u32;
+
+    let guarded = PretendOnly { inner: pipe.recommender.clone(), allowed_from: n_real };
+    let mut env = AttackEnvironment::new(
+        guarded,
+        pipe.pretend.clone(),
+        target,
+        cfg.attack.reward_k,
+        cfg.attack.budget,
+    );
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
+    // Must complete without tripping the guard.
+    let outcome = agent.execute(&src, &mut env);
+    assert!(outcome.injections > 0);
+}
+
+#[test]
+fn learning_curve_is_recorded_per_episode() {
+    let cfg = PipelineConfig::tiny(42);
+    let pipe = Pipeline::build(&cfg);
+    let src = pipe.source_domain();
+    let target = pipe.target_items[0];
+    let target_src = pipe.world.source_item(target).unwrap();
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
+    let curve = agent.train(&src, || pipe.make_env(target));
+    assert_eq!(curve.len(), cfg.attack.episodes);
+    assert_eq!(agent.episode_rewards(), &curve[..]);
+    assert!(curve.iter().all(|r| (0.0..=1.0).contains(r)));
+}

@@ -1,0 +1,153 @@
+//! End-to-end integration tests spanning every crate: world generation →
+//! target-model training → attack → evaluation.
+
+use copyattack::pipeline::{Method, Pipeline, PipelineConfig};
+
+fn pipeline() -> Pipeline {
+    Pipeline::build(&PipelineConfig::tiny(42))
+}
+
+#[test]
+fn copyattack_promotes_cold_items_end_to_end() {
+    let pipe = pipeline();
+    let none = pipe.run_method_over_targets(Method::WithoutAttack, 3);
+    let full = pipe.run_method_over_targets(Method::CopyAttack, 3);
+    assert!(
+        full.metrics.hr(20) > none.metrics.hr(20) + 0.1,
+        "CopyAttack {} vs no attack {}",
+        full.metrics.hr(20),
+        none.metrics.hr(20)
+    );
+    // NDCG must move with HR.
+    assert!(full.metrics.ndcg(20) > none.metrics.ndcg(20));
+}
+
+#[test]
+fn random_attack_changes_little() {
+    let pipe = pipeline();
+    let none = pipe.run_method_over_targets(Method::WithoutAttack, 3);
+    let rand = pipe.run_method_over_targets(Method::RandomAttack, 3);
+    assert!(
+        (rand.metrics.hr(20) - none.metrics.hr(20)).abs() < 0.15,
+        "RandomAttack moved HR@20 from {} to {}",
+        none.metrics.hr(20),
+        rand.metrics.hr(20)
+    );
+}
+
+#[test]
+fn masking_ablation_hurts() {
+    let pipe = pipeline();
+    let full = pipe.run_method_over_targets(Method::CopyAttack, 3);
+    let nomask = pipe.run_method_over_targets(Method::CopyAttackNoMasking, 3);
+    assert!(
+        full.metrics.hr(20) > nomask.metrics.hr(20),
+        "full {} !> no-masking {}",
+        full.metrics.hr(20),
+        nomask.metrics.hr(20)
+    );
+}
+
+#[test]
+fn crafting_reduces_item_budget() {
+    let pipe = pipeline();
+    let full = pipe.run_method_over_targets(Method::CopyAttack, 3);
+    let nolen = pipe.run_method_over_targets(Method::CopyAttackNoLength, 3);
+    assert!(
+        full.avg_items_per_profile < nolen.avg_items_per_profile,
+        "crafted {} !< raw {}",
+        full.avg_items_per_profile,
+        nolen.avg_items_per_profile
+    );
+}
+
+#[test]
+fn table2_rows_all_run() {
+    let pipe = pipeline();
+    for method in Method::table2_rows() {
+        let row = pipe.run_method_over_targets(method, 1);
+        assert!(row.metrics.count() > 0, "{} produced no evaluations", method.label());
+        assert!(row.metrics.hr(20) >= row.metrics.hr(10));
+        assert!(row.metrics.hr(10) >= row.metrics.hr(5));
+        assert!(row.metrics.ndcg(20) <= row.metrics.hr(20) + 1e-6);
+    }
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let a = pipeline().run_method_over_targets(Method::TargetAttack(70), 2);
+    let b = pipeline().run_method_over_targets(Method::TargetAttack(70), 2);
+    assert_eq!(a.metrics.hr(20), b.metrics.hr(20));
+    assert_eq!(a.metrics.ndcg(5), b.metrics.ndcg(5));
+    assert_eq!(a.avg_items_per_profile, b.avg_items_per_profile);
+}
+
+#[test]
+fn injected_profiles_only_contain_overlap_items() {
+    // The copied profiles must consist of items that exist in both domains
+    // (the attacker can only copy what the source domain has).
+    let pipe = pipeline();
+    let target = pipe.target_items[0];
+    let (_, _) = pipe.run_method(Method::CopyAttack, target, 7);
+    // Re-run capturing the polluted system.
+    let src = pipe.source_domain();
+    let target_src = pipe.world.source_item(target).unwrap();
+    let mut agent = copyattack::core::CopyAttackAgent::new(
+        pipe.config.attack.clone(),
+        copyattack::core::CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
+    let mut env = pipe.make_env(target);
+    let outcome = agent.execute(&src, &mut env);
+    let polluted = env.into_recommender();
+    let n_real = pipe.recommender.data().n_users();
+    for u in n_real..polluted.data().n_users() {
+        for &v in polluted.data().profile(copyattack::recsys::UserId(u as u32)) {
+            assert!(
+                pipe.world.target_to_source[v.idx()].is_some(),
+                "injected profile contains non-overlap item {v}"
+            );
+        }
+    }
+    assert_eq!(outcome.injections, polluted.data().n_users() - n_real);
+}
+
+#[test]
+fn budget_is_respected_across_methods() {
+    let pipe = pipeline();
+    let target = pipe.target_items[0];
+    let budget = pipe.config.attack.budget;
+    for method in [Method::RandomAttack, Method::TargetAttack(70), Method::CopyAttack] {
+        let src = pipe.source_domain();
+        let target_src = pipe.world.source_item(target).unwrap();
+        let mut env = pipe.make_env(target);
+        let injections = match method {
+            Method::RandomAttack => {
+                let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(1);
+                copyattack::core::baselines::random_attack(&src, &mut env, &mut rng).injections
+            }
+            Method::TargetAttack(p) => {
+                let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(1);
+                copyattack::core::baselines::target_attack(
+                    &src,
+                    &mut env,
+                    target_src,
+                    p as f32 / 100.0,
+                    &mut rng,
+                )
+                .injections
+            }
+            _ => {
+                let mut agent = copyattack::core::CopyAttackAgent::new(
+                    pipe.config.attack.clone(),
+                    copyattack::core::CopyAttackVariant::full(),
+                    &src,
+                    target_src,
+                );
+                agent.execute(&src, &mut env).injections
+            }
+        };
+        assert!(injections <= budget, "{method:?} exceeded budget: {injections}");
+    }
+}

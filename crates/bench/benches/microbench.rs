@@ -36,14 +36,10 @@ fn bench_selection_decision(c: &mut Criterion) {
         let flat_mask = vec![true; n_users];
         let q = vec![0.1f32; 8];
 
-        group.bench_with_input(
-            BenchmarkId::new("hierarchical", n_users),
-            &n_users,
-            |b, _| {
-                let mut r = StdRng::seed_from_u64(3);
-                b.iter(|| black_box(hier.select(&q, &[], &mask, &mut r).user))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("hierarchical", n_users), &n_users, |b, _| {
+            let mut r = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(hier.select(&q, &[], &mask, &mut r).user))
+        });
         group.bench_with_input(BenchmarkId::new("flat", n_users), &n_users, |b, _| {
             let mut r = StdRng::seed_from_u64(3);
             b.iter(|| black_box(flat.select(&q, &[], &flat_mask, &mut r).user))
@@ -84,9 +80,7 @@ fn bench_gnn_foldin(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
-    c.bench_function("gnn_top20_query", |b| {
-        b.iter(|| black_box(rec.top_k(UserId(3), 20)))
-    });
+    c.bench_function("gnn_top20_query", |b| b.iter(|| black_box(rec.top_k(UserId(3), 20))));
 }
 
 fn bench_mf_training(c: &mut Criterion) {

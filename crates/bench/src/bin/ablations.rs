@@ -36,10 +36,7 @@ fn main() {
 
     // 1. Query cadence: how often the attacker spends queries on feedback.
     for q in [1usize, 3, 5, 10] {
-        run(
-            format!("query_every={q}"),
-            AttackConfig { query_every: q, ..cfg.attack.clone() },
-        );
+        run(format!("query_every={q}"), AttackConfig { query_every: q, ..cfg.attack.clone() });
     }
     // 2. Discount factor γ (paper: 0.6).
     for g in [0.0f32, 0.3, 0.6, 0.9] {

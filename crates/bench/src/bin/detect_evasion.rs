@@ -49,10 +49,8 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(seed ^ target.0 as u64);
 
         let naive = naive_fake_profiles(clean, target, cfg.attack.budget, 20, &mut rng);
-        let naive_scores: Vec<f32> = naive
-            .iter()
-            .map(|p| detector.score(&extract_features(p, &pop, item_emb)))
-            .collect();
+        let naive_scores: Vec<f32> =
+            naive.iter().map(|p| detector.score(&extract_features(p, &pop, item_emb))).collect();
 
         let run_variant = |variant: CopyAttackVariant| {
             let mut agent = CopyAttackAgent::new(
@@ -91,12 +89,7 @@ fn main() {
         rows.push(vec![target.to_string(), f4(auc_naive), f4(auc_crafted), f4(auc_raw)]);
     }
 
-    let header = [
-        "target item",
-        "AUC generated fakes",
-        "AUC copied+crafted",
-        "AUC copied raw",
-    ];
+    let header = ["target item", "AUC generated fakes", "AUC copied+crafted", "AUC copied raw"];
     print_table(
         &format!("Detection evasion on {preset_name} (0.5 = undetectable)"),
         &header,

@@ -62,10 +62,6 @@ fn main() {
         ]);
     }
     let header = ["popularity group (top X%)", "HR@20", "NDCG@20", "n items"];
-    print_table(
-        &format!("Figure 4: effect of item popularity on {preset_name}"),
-        &header,
-        &rows,
-    );
+    print_table(&format!("Figure 4: effect of item popularity on {preset_name}"), &header, &rows);
     write_csv(&format!("fig4_popularity_{preset_name}.csv"), &header, &rows);
 }

@@ -75,8 +75,15 @@ fn main() {
     }
 
     let header = [
-        "method", "HR@20", "HR@10", "HR@5", "NDCG@20", "NDCG@10", "NDCG@5",
-        "avg items/profile", "seconds",
+        "method",
+        "HR@20",
+        "HR@10",
+        "HR@5",
+        "NDCG@20",
+        "NDCG@10",
+        "NDCG@5",
+        "avg items/profile",
+        "seconds",
     ];
     print_table(
         &format!("Table 2: attack comparison on {preset_name} ({items} target items)"),

@@ -70,11 +70,7 @@ pub fn run(default_preset: &str, figure: &str) {
         &header,
         &hr_rows,
     );
-    print_table(
-        &format!("{figure}: NDCG@20 vs budget on {preset_name}"),
-        &header,
-        &ndcg_rows,
-    );
+    print_table(&format!("{figure}: NDCG@20 vs budget on {preset_name}"), &header, &ndcg_rows);
     write_csv(&format!("{figure}_budget_hr20_{preset_name}.csv"), &header, &hr_rows);
     write_csv(&format!("{figure}_budget_ndcg20_{preset_name}.csv"), &header, &ndcg_rows);
 }

@@ -127,9 +127,8 @@ mod tests {
 
     #[test]
     fn args_parse_key_values() {
-        let a = Args::from_args(
-            ["--preset=ml10m", "--items=7", "junk", "--flag"].map(String::from),
-        );
+        let a =
+            Args::from_args(["--preset=ml10m", "--items=7", "junk", "--flag"].map(String::from));
         assert_eq!(a.get("preset", "tiny"), "ml10m");
         assert_eq!(a.get_parse("items", 0usize), 7);
         assert_eq!(a.get_parse("missing", 42u64), 42);

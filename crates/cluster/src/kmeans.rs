@@ -74,11 +74,8 @@ pub fn kmeans(points: &[&[f32]], k: usize, max_iters: usize, rng: &mut impl Rng)
         }
     }
 
-    let inertia = points
-        .iter()
-        .enumerate()
-        .map(|(i, p)| sq_dist(p, &centroids[assignment[i]]))
-        .sum();
+    let inertia =
+        points.iter().enumerate().map(|(i, p)| sq_dist(p, &centroids[assignment[i]])).sum();
     KMeansResult { centroids, assignment, inertia }
 }
 

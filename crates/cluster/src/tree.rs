@@ -102,7 +102,10 @@ impl ClusterTree {
             // Attach leaves directly.
             for &m in &members {
                 let leaf_id = self.nodes.len();
-                self.nodes.push(Node { kind: NodeKind::Leaf { user: UserId(m as u32) }, parent: Some(id) });
+                self.nodes.push(Node {
+                    kind: NodeKind::Leaf { user: UserId(m as u32) },
+                    parent: Some(id),
+                });
                 self.leaf_of_user[m] = leaf_id;
                 children.push(leaf_id);
             }
@@ -215,13 +218,7 @@ mod tests {
 
     fn embeddings(n: usize) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(9);
-        (0..n)
-            .map(|_| {
-                (0..4)
-                    .map(|_| ca_tensor::gaussian(&mut rng, 0.0, 1.0))
-                    .collect()
-            })
-            .collect()
+        (0..n).map(|_| (0..4).map(|_| ca_tensor::gaussian(&mut rng, 0.0, 1.0)).collect()).collect()
     }
 
     #[test]

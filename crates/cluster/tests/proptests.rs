@@ -8,9 +8,7 @@ use rand::SeedableRng;
 
 fn embeddings(n: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| (0..4).map(|_| ca_tensor::gaussian(&mut rng, 0.0, 1.0)).collect())
-        .collect()
+    (0..n).map(|_| (0..4).map(|_| ca_tensor::gaussian(&mut rng, 0.0, 1.0)).collect()).collect()
 }
 
 proptest! {

@@ -5,12 +5,13 @@
 use crate::config::AttackConfig;
 use crate::crafting::{clip_around_target, CraftingPolicy, CraftingSample};
 use crate::env::AttackEnvironment;
+use crate::env::RewardSample;
 use crate::reinforce::{discounted_returns, Baseline};
 use crate::selection::{HierarchicalPolicy, SelectionSample};
 use crate::source::SourceDomain;
 use ca_cluster::{ClusterTree, TreeMask};
 use ca_nn::GradClip;
-use ca_recsys::{BlackBoxRecommender, ItemId, UserId};
+use ca_recsys::{FallibleBlackBox, ItemId, RecError, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,20 +48,71 @@ impl CopyAttackVariant {
 #[derive(Clone, Debug)]
 pub struct AttackOutcome {
     /// The Eq. 1 reward after the last query (fraction of pretend users
-    /// with the target item in their Top-k list).
+    /// with the target item in their Top-k list). On an unreliable
+    /// platform this is the last *observed* (quorum-meeting) reward.
     pub final_reward: f32,
     /// Profiles injected.
     pub injections: usize,
-    /// Top-k queries issued.
+    /// Top-k queries issued (attempts — failed calls and retries included).
     pub queries: u64,
     /// Mean length of the injected (crafted) profiles — Table 2's
     /// "# Average Items per User Profile".
     pub avg_items_per_profile: f32,
     /// The source users that were copied.
     pub selected_users: Vec<UserId>,
+    /// Injection attempts in this episode that failed even after retries
+    /// (the timestep is spent, the budget is not).
+    pub failed_injections: usize,
+    /// Reward rounds in this episode skipped for lack of quorum.
+    pub skipped_rewards: usize,
+    /// Set when the platform defeated the *whole* episode: at least one
+    /// injection was attempted and none succeeded. Carries the last
+    /// platform error; campaigns use it to checkpoint and stop.
+    pub aborted: Option<RecError>,
+}
+
+/// Builds the selection mask for `target_src`.
+///
+/// Masking is goal-dependent: promotion needs profiles *containing* the
+/// target item (they are the only ones that can move its aggregates);
+/// demotion inverts the predicate — injecting carriers would raise the
+/// item's interaction count and promote it, so the agent selects among
+/// non-carriers and learns which of them lift competing items past the
+/// target.
+fn build_mask(
+    variant: CopyAttackVariant,
+    goal: crate::config::AttackGoal,
+    tree: &ClusterTree,
+    src: &SourceDomain<'_>,
+    target_src: ItemId,
+) -> Result<TreeMask, String> {
+    let mask = if variant.masking {
+        match goal {
+            crate::config::AttackGoal::Promote => {
+                TreeMask::for_predicate(tree, |u| src.has_item(u, target_src))
+            }
+            crate::config::AttackGoal::Demote => {
+                TreeMask::for_predicate(tree, |u| !src.has_item(u, target_src))
+            }
+        }
+    } else {
+        TreeMask::allow_all(tree)
+    };
+    if !mask.any_allowed() {
+        return Err(format!(
+            "no selectable source user for target item {target_src} under goal {goal:?}"
+        ));
+    }
+    Ok(mask)
 }
 
 /// The CopyAttack agent for one target item.
+///
+/// `Clone` snapshots the complete mutable state — policy networks, RNN,
+/// crafting policy, baseline, mask, and RNG — which is what campaign
+/// checkpointing is built on: a cloned agent resumed later produces the
+/// exact same trajectory as the original would have.
+#[derive(Clone)]
 pub struct CopyAttackAgent {
     cfg: AttackConfig,
     variant: CopyAttackVariant,
@@ -77,46 +129,23 @@ impl CopyAttackAgent {
     /// Builds the agent: clustering tree over source-user MF embeddings,
     /// per-node policy networks, crafting policy, and the target-item mask.
     ///
-    /// # Panics
-    /// Panics on an invalid config or when masking leaves no selectable
+    /// Fails on an invalid config or when masking leaves no selectable
     /// user (the target item must exist in the source domain).
-    pub fn new(
+    pub fn try_new(
         cfg: AttackConfig,
         variant: CopyAttackVariant,
         src: &SourceDomain<'_>,
         target_src: ItemId,
-    ) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid attack config: {e}"));
+    ) -> Result<Self, String> {
+        cfg.validate().map_err(|e| format!("invalid attack config: {e}"))?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let tree = ClusterTree::build_with_depth(&src.user_embeddings(), cfg.tree_depth, &mut rng);
         let policy =
             HierarchicalPolicy::with_encoder(&mut rng, tree, src.dim(), cfg.hidden, cfg.encoder);
         let crafting = CraftingPolicy::new(&mut rng, src.dim(), cfg.hidden, cfg.clip_fractions());
-        // Masking is goal-dependent: promotion needs profiles *containing*
-        // the target item (they are the only ones that can move its
-        // aggregates); demotion inverts the predicate — injecting carriers
-        // would raise the item's interaction count and promote it, so the
-        // agent selects among non-carriers and learns which of them lift
-        // competing items past the target.
-        let mask = if variant.masking {
-            match cfg.goal {
-                crate::config::AttackGoal::Promote => {
-                    TreeMask::for_predicate(policy.tree(), |u| src.has_item(u, target_src))
-                }
-                crate::config::AttackGoal::Demote => {
-                    TreeMask::for_predicate(policy.tree(), |u| !src.has_item(u, target_src))
-                }
-            }
-        } else {
-            TreeMask::allow_all(policy.tree())
-        };
-        assert!(
-            mask.any_allowed(),
-            "no selectable source user for target item {target_src} under goal {:?}",
-            cfg.goal
-        );
+        let mask = build_mask(variant, cfg.goal, policy.tree(), src, target_src)?;
         let baseline = Baseline::new(cfg.budget);
-        Self {
+        Ok(Self {
             baseline,
             mask,
             target_src,
@@ -126,7 +155,22 @@ impl CopyAttackAgent {
             crafting,
             cfg,
             variant,
-        }
+        })
+    }
+
+    /// Panicking wrapper over [`CopyAttackAgent::try_new`] for contexts
+    /// where an invalid setup is a programming error.
+    ///
+    /// # Panics
+    /// Panics on an invalid config or when masking leaves no selectable
+    /// user (the target item must exist in the source domain).
+    pub fn new(
+        cfg: AttackConfig,
+        variant: CopyAttackVariant,
+        src: &SourceDomain<'_>,
+        target_src: ItemId,
+    ) -> Self {
+        Self::try_new(cfg, variant, src, target_src).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The clustering tree (for inspection).
@@ -145,27 +189,25 @@ impl CopyAttackAgent {
     /// `q_{v*}`, a policy trained on several targets can generalize to
     /// items it never attacked — see [`crate::campaign`].
     ///
+    /// Fails (leaving the agent on its previous target) when the new
+    /// target has no selectable user under the mask.
+    pub fn try_retarget(
+        &mut self,
+        src: &SourceDomain<'_>,
+        target_src: ItemId,
+    ) -> Result<(), String> {
+        let mask = build_mask(self.variant, self.cfg.goal, self.policy.tree(), src, target_src)?;
+        self.mask = mask;
+        self.target_src = target_src;
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`CopyAttackAgent::try_retarget`].
+    ///
     /// # Panics
     /// Panics when the new target has no selectable user under the mask.
     pub fn retarget(&mut self, src: &SourceDomain<'_>, target_src: ItemId) {
-        self.target_src = target_src;
-        self.mask = if self.variant.masking {
-            match self.cfg.goal {
-                crate::config::AttackGoal::Promote => {
-                    TreeMask::for_predicate(self.policy.tree(), |u| src.has_item(u, target_src))
-                }
-                crate::config::AttackGoal::Demote => {
-                    TreeMask::for_predicate(self.policy.tree(), |u| !src.has_item(u, target_src))
-                }
-            }
-        } else {
-            TreeMask::allow_all(self.policy.tree())
-        };
-        assert!(
-            self.mask.any_allowed(),
-            "no selectable source user for target item {target_src} under goal {:?}",
-            self.cfg.goal
-        );
+        self.try_retarget(src, target_src).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Final rewards of every training episode so far.
@@ -180,7 +222,7 @@ impl CopyAttackAgent {
 
     /// Runs a single *learning* episode against `env` (used by
     /// [`crate::campaign::Campaign`] to interleave targets).
-    pub fn train_one_episode<R: BlackBoxRecommender>(
+    pub fn train_one_episode<R: FallibleBlackBox>(
         &mut self,
         src: &SourceDomain<'_>,
         env: &mut AttackEnvironment<R>,
@@ -193,7 +235,7 @@ impl CopyAttackAgent {
     /// Trains for `cfg.episodes` episodes, each against a fresh environment
     /// produced by `make_env` (a clone of the clean target system). Returns
     /// the per-episode final rewards (the learning curve).
-    pub fn train<R: BlackBoxRecommender>(
+    pub fn train<R: FallibleBlackBox>(
         &mut self,
         src: &SourceDomain<'_>,
         mut make_env: impl FnMut() -> AttackEnvironment<R>,
@@ -212,7 +254,7 @@ impl CopyAttackAgent {
     /// Runs one attack episode with the current policy, updating nothing.
     /// Use after [`CopyAttackAgent::train`] for the evaluation run whose
     /// polluted system is measured.
-    pub fn execute<R: BlackBoxRecommender>(
+    pub fn execute<R: FallibleBlackBox>(
         &mut self,
         src: &SourceDomain<'_>,
         env: &mut AttackEnvironment<R>,
@@ -222,7 +264,14 @@ impl CopyAttackAgent {
 
     /// One episode of the MDP: select → craft → inject → (periodically)
     /// query.
-    fn episode<R: BlackBoxRecommender>(
+    ///
+    /// Resilient against a flaky platform: an injection that still fails
+    /// after the environment's retries spends the timestep (reward 0) but
+    /// not the budget; a reward round that misses quorum is treated like a
+    /// non-query step instead of feeding a biased sample to REINFORCE. On a
+    /// reliable platform none of these paths trigger and the episode is
+    /// byte-identical to the original infallible loop.
+    fn episode<R: FallibleBlackBox>(
         &mut self,
         src: &SourceDomain<'_>,
         env: &mut AttackEnvironment<R>,
@@ -236,16 +285,22 @@ impl CopyAttackAgent {
         let mut rewards: Vec<f32> = Vec::with_capacity(budget);
         let mut total_items = 0usize;
         let mut last_reward = 0.0f32;
+        let mut failed_injections = 0usize;
+        let mut landed_injections = 0usize;
+        let mut skipped_rewards = 0usize;
+        let mut last_error: Option<RecError> = None;
 
         for t in 0..budget {
+            if env.exhausted() {
+                break;
+            }
             // --- selection -------------------------------------------------
             let (user, sample) = if t == 0 {
                 // The first action is seeded at random (§4.3.3): the RNN has
                 // nothing to encode yet.
                 (self.policy.random_allowed_user(&self.mask, &mut self.rng), None)
             } else {
-                let prev: Vec<&[f32]> =
-                    selected.iter().map(|&u| src.user_embedding(u)).collect();
+                let prev: Vec<&[f32]> = selected.iter().map(|&u| src.user_embedding(u)).collect();
                 let s = self.policy.select(&q_target, &prev, &self.mask, &mut self.rng);
                 (s.user, Some(s))
             };
@@ -254,28 +309,42 @@ impl CopyAttackAgent {
 
             // --- crafting --------------------------------------------------
             let raw_profile = src.data.profile(user);
-            let (crafted_src, craft_sample) = if self.variant.crafting
-                && src.has_item(user, self.target_src)
-            {
-                let (fraction, cs) = self.crafting.sample(
-                    src.user_embedding(user),
-                    &q_target,
-                    &mut self.rng,
-                );
-                (clip_around_target(raw_profile, self.target_src, fraction), Some(cs))
-            } else {
-                (raw_profile.to_vec(), None)
-            };
+            let (crafted_src, craft_sample) =
+                if self.variant.crafting && src.has_item(user, self.target_src) {
+                    let (fraction, cs) =
+                        self.crafting.sample(src.user_embedding(user), &q_target, &mut self.rng);
+                    (clip_around_target(raw_profile, self.target_src, fraction), Some(cs))
+                } else {
+                    (raw_profile.to_vec(), None)
+                };
             craft_samples.push(craft_sample);
 
             // --- injection & query ----------------------------------------
             let profile_tgt = src.translate(&crafted_src);
-            total_items += profile_tgt.len();
-            env.inject(&profile_tgt);
+            match env.try_inject(&profile_tgt) {
+                Ok(_) => {
+                    total_items += profile_tgt.len();
+                    landed_injections += 1;
+                }
+                Err(e) => {
+                    failed_injections += 1;
+                    last_error = Some(e);
+                    rewards.push(0.0);
+                    continue;
+                }
+            }
             let reward = if (t + 1) % self.cfg.query_every == 0 || t + 1 == budget {
-                let r = self.cfg.goal.reward(env.query_reward());
-                last_reward = r;
-                r
+                match env.try_query_reward() {
+                    RewardSample::Observed { reward: hr, .. } => {
+                        let r = self.cfg.goal.reward(hr);
+                        last_reward = r;
+                        r
+                    }
+                    RewardSample::Skipped { .. } => {
+                        skipped_rewards += 1;
+                        0.0
+                    }
+                }
             } else {
                 0.0
             };
@@ -295,12 +364,19 @@ impl CopyAttackAgent {
             final_reward: last_reward,
             injections: env.injections(),
             queries: env.queries(),
-            avg_items_per_profile: if selected.is_empty() {
+            avg_items_per_profile: if landed_injections == 0 {
                 0.0
             } else {
-                total_items as f32 / selected.len() as f32
+                total_items as f32 / landed_injections as f32
             },
             selected_users: selected,
+            failed_injections,
+            skipped_rewards,
+            aborted: if landed_injections == 0 && failed_injections > 0 {
+                last_error
+            } else {
+                None
+            },
         }
     }
 
@@ -341,7 +417,7 @@ impl CopyAttackAgent {
 mod tests {
     use super::*;
     use ca_mf::BprConfig;
-    use ca_recsys::{Dataset, DatasetBuilder};
+    use ca_recsys::{BlackBoxRecommender, Dataset, DatasetBuilder};
 
     /// A contrived target platform where the reward is fully determined by
     /// *which* users are copied: the item enters the pretend users' Top-k
@@ -462,8 +538,12 @@ mod tests {
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         // Without masking the agent must *learn* to pick good users.
         let cfg = AttackConfig { episodes: 300, lr: 0.1, ..quick_cfg() };
-        let mut agent =
-            CopyAttackAgent::new(cfg, CopyAttackVariant { masking: false, crafting: false }, &src, ItemId(5));
+        let mut agent = CopyAttackAgent::new(
+            cfg,
+            CopyAttackVariant { masking: false, crafting: false },
+            &src,
+            ItemId(5),
+        );
         let curve = agent.train(&src, || {
             AttackEnvironment::new(
                 CountingRec {
@@ -494,12 +574,8 @@ mod tests {
         let (ds, map) = source_world();
         let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
-        let mut agent = CopyAttackAgent::new(
-            quick_cfg(),
-            CopyAttackVariant::no_crafting(),
-            &src,
-            ItemId(5),
-        );
+        let mut agent =
+            CopyAttackAgent::new(quick_cfg(), CopyAttackVariant::no_crafting(), &src, ItemId(5));
         let mut env = AttackEnvironment::new(
             CountingRec {
                 good_injections: 0,
@@ -543,10 +619,8 @@ mod tests {
             agent.execute(&src, &mut env).avg_items_per_profile
         };
         // Average over seeds to avoid one-off sampling flukes.
-        let crafted: f32 =
-            (0..5).map(|s| run(CopyAttackVariant::full(), s)).sum::<f32>() / 5.0;
-        let raw: f32 =
-            (0..5).map(|s| run(CopyAttackVariant::no_crafting(), s)).sum::<f32>() / 5.0;
+        let crafted: f32 = (0..5).map(|s| run(CopyAttackVariant::full(), s)).sum::<f32>() / 5.0;
+        let raw: f32 = (0..5).map(|s| run(CopyAttackVariant::no_crafting(), s)).sum::<f32>() / 5.0;
         assert!(crafted < raw, "crafted {crafted} !< raw {raw}");
     }
 

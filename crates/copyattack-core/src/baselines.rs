@@ -82,6 +82,9 @@ fn finish<R: BlackBoxRecommender>(
             total_items as f32 / selected.len() as f32
         },
         selected_users: selected,
+        failed_injections: 0,
+        skipped_rewards: 0,
+        aborted: None,
     }
 }
 
@@ -174,8 +177,7 @@ impl FlatPolicyAgent {
                     .collect();
                 (UserId(allowed[self.rng.gen_range(0..allowed.len())]), None)
             } else {
-                let prev: Vec<&[f32]> =
-                    selected.iter().map(|&u| src.user_embedding(u)).collect();
+                let prev: Vec<&[f32]> = selected.iter().map(|&u| src.user_embedding(u)).collect();
                 let s = self.policy.select(&q_target, &prev, &self.user_mask, &mut self.rng);
                 (s.user, Some(s))
             };
@@ -242,6 +244,9 @@ impl FlatPolicyAgent {
                 total_items as f32 / selected.len() as f32
             },
             selected_users: selected,
+            failed_injections: 0,
+            skipped_rewards: 0,
+            aborted: None,
         }
     }
 }
@@ -274,8 +279,7 @@ mod tests {
     fn world() -> (Dataset, Vec<ItemId>) {
         let mut b = DatasetBuilder::new(50);
         for u in 0..40u32 {
-            let mut profile: Vec<ItemId> =
-                (0..6).map(|i| ItemId((u + i * 5) % 45 + 5)).collect();
+            let mut profile: Vec<ItemId> = (0..6).map(|i| ItemId((u + i * 5) % 45 + 5)).collect();
             if u % 4 == 0 {
                 profile.insert(3, ItemId(2)); // carrier users
             }
@@ -321,13 +325,8 @@ mod tests {
         let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let run = |fraction: f32| {
-            let mut env = AttackEnvironment::new(
-                NullRec { n_users: 0 },
-                vec![UserId(0)],
-                ItemId(2),
-                5,
-                10,
-            );
+            let mut env =
+                AttackEnvironment::new(NullRec { n_users: 0 }, vec![UserId(0)], ItemId(2), 5, 10);
             let mut rng = StdRng::seed_from_u64(3);
             target_attack(&src, &mut env, ItemId(2), fraction, &mut rng).avg_items_per_profile
         };

@@ -10,21 +10,104 @@
 //! A campaign trains round-robin over its target set, sharing the
 //! clustering tree, the per-node policies, the RNN, the crafting policy,
 //! and the REINFORCE baseline; per-item masks are rebuilt on each switch.
+//!
+//! Against an *unreliable* platform, [`Campaign::train_resilient`] rides
+//! through per-call faults (the environment retries and computes partial
+//! rewards) and, when the platform defeats an entire episode, stops with a
+//! [`CampaignCheckpoint`] — a structural snapshot of the full agent state
+//! from which [`Campaign::resume`] continues the campaign later as if it
+//! had never been interrupted.
 
 use crate::attack::{AttackOutcome, CopyAttackAgent, CopyAttackVariant};
 use crate::config::AttackConfig;
 use crate::env::AttackEnvironment;
 use crate::source::SourceDomain;
-use ca_recsys::{BlackBoxRecommender, ItemId};
+use ca_recsys::{FallibleBlackBox, ItemId, RecError};
 
 /// A multi-target attack campaign sharing one agent across items.
+#[derive(Clone)]
 pub struct Campaign {
     agent: CopyAttackAgent,
     targets: Vec<ItemId>,
+    completed_episodes: usize,
+    curve: Vec<f32>,
+}
+
+/// A snapshot of a campaign mid-training: the complete agent state (policy
+/// networks, RNN, crafting policy, baseline, RNG position), the target
+/// set, and the learning-curve prefix. Resuming from a checkpoint on a
+/// healthy platform reproduces the exact trajectory an uninterrupted run
+/// would have taken, because every source of randomness is part of the
+/// snapshot.
+#[derive(Clone)]
+pub struct CampaignCheckpoint {
+    agent: CopyAttackAgent,
+    targets: Vec<ItemId>,
+    completed_episodes: usize,
+    curve: Vec<f32>,
+}
+
+impl CampaignCheckpoint {
+    /// Training episodes completed before the snapshot.
+    pub fn episodes_completed(&self) -> usize {
+        self.completed_episodes
+    }
+
+    /// Final rewards of the completed episodes.
+    pub fn curve(&self) -> &[f32] {
+        &self.curve
+    }
+
+    /// The campaign's target set.
+    pub fn targets(&self) -> &[ItemId] {
+        &self.targets
+    }
+}
+
+/// How a resilient training run ended.
+pub enum CampaignRun {
+    /// All configured episodes ran; the full learning curve.
+    Completed {
+        /// Final reward per episode.
+        curve: Vec<f32>,
+    },
+    /// The platform defeated an entire episode (no injection landed).
+    /// The checkpoint was taken *before* the failed episode, so resuming
+    /// retries it from a clean agent state.
+    Interrupted {
+        /// Snapshot to hand to [`Campaign::resume`] later (boxed — it
+        /// carries a full agent clone).
+        checkpoint: Box<CampaignCheckpoint>,
+        /// The platform error that ended the last attempted episode.
+        cause: RecError,
+    },
 }
 
 impl Campaign {
-    /// Builds the shared agent over `targets` (source-domain ids).
+    /// Builds the shared agent over `targets` (source-domain ids), failing
+    /// if `targets` is empty or any target has no source carrier. Every
+    /// target's mask is validated up front — a broken target should fail
+    /// construction, not episode 37.
+    pub fn try_new(
+        cfg: AttackConfig,
+        variant: CopyAttackVariant,
+        src: &SourceDomain<'_>,
+        targets: Vec<ItemId>,
+    ) -> Result<Self, String> {
+        if targets.is_empty() {
+            return Err("a campaign needs at least one target".into());
+        }
+        let agent = CopyAttackAgent::try_new(cfg, variant, src, targets[0])?;
+        let mut campaign = Self { agent, targets, completed_episodes: 0, curve: Vec::new() };
+        let all = campaign.targets.clone();
+        for &t in &all {
+            campaign.agent.try_retarget(src, t)?;
+        }
+        campaign.agent.try_retarget(src, all[0])?;
+        Ok(campaign)
+    }
+
+    /// Panicking wrapper over [`Campaign::try_new`].
     ///
     /// # Panics
     /// Panics if `targets` is empty or any target has no source carrier.
@@ -34,17 +117,7 @@ impl Campaign {
         src: &SourceDomain<'_>,
         targets: Vec<ItemId>,
     ) -> Self {
-        assert!(!targets.is_empty(), "a campaign needs at least one target");
-        let agent = CopyAttackAgent::new(cfg, variant, src, targets[0]);
-        let mut campaign = Self { agent, targets };
-        // Validate every target's mask up front (retarget panics on an
-        // uncarried item, which we want at construction, not mid-training).
-        let all = campaign.targets.clone();
-        for &t in &all {
-            campaign.agent.retarget(src, t);
-        }
-        campaign.agent.retarget(src, all[0]);
-        campaign
+        Self::try_new(cfg, variant, src, targets).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The campaign's target set.
@@ -57,11 +130,47 @@ impl Campaign {
         &self.agent
     }
 
+    /// Training episodes completed so far (across resumptions).
+    pub fn episodes_completed(&self) -> usize {
+        self.completed_episodes
+    }
+
+    /// Final rewards of the completed episodes (across resumptions).
+    pub fn curve(&self) -> &[f32] {
+        &self.curve
+    }
+
+    /// Snapshots the campaign for later [`Campaign::resume`].
+    pub fn checkpoint(&self) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            agent: self.agent.clone(),
+            targets: self.targets.clone(),
+            completed_episodes: self.completed_episodes,
+            curve: self.curve.clone(),
+        }
+    }
+
+    /// Reconstructs a campaign from a checkpoint. Continue with
+    /// [`Campaign::train_resilient`]; remaining episodes pick up exactly
+    /// where the snapshot left off.
+    pub fn resume(checkpoint: CampaignCheckpoint) -> Self {
+        Self {
+            agent: checkpoint.agent,
+            targets: checkpoint.targets,
+            completed_episodes: checkpoint.completed_episodes,
+            curve: checkpoint.curve,
+        }
+    }
+
     /// Trains for `cfg.episodes` episodes, rotating through the target set
     /// round-robin. `make_env` receives the *source-domain* target id of
     /// the episode and must produce an environment attacking that item.
     /// Returns the learning curve (final reward per episode).
-    pub fn train<R: BlackBoxRecommender>(
+    ///
+    /// This is the reliable-platform entry point: it always starts from
+    /// episode 0 and runs to completion. Use
+    /// [`Campaign::train_resilient`] against a platform that can fail.
+    pub fn train<R: FallibleBlackBox>(
         &mut self,
         src: &SourceDomain<'_>,
         mut make_env: impl FnMut(ItemId) -> AttackEnvironment<R>,
@@ -75,12 +184,49 @@ impl Campaign {
             let outcome = self.agent.train_one_episode(src, &mut env);
             curve.push(outcome.final_reward);
         }
+        self.completed_episodes = episodes;
+        self.curve = curve.clone();
         curve
+    }
+
+    /// Trains the remaining episodes (from [`Campaign::episodes_completed`]
+    /// up to `cfg.episodes`) against a possibly-failing platform.
+    ///
+    /// Per-call faults are absorbed inside each episode (retries, partial
+    /// rewards, account re-establishment — see
+    /// [`AttackEnvironment`]). When an *entire* episode fails — not one
+    /// injection landed — the campaign rolls the aborted episode back and
+    /// returns [`CampaignRun::Interrupted`] with a checkpoint taken before
+    /// it, so a later [`Campaign::resume`] retries that episode with clean
+    /// state.
+    pub fn train_resilient<R: FallibleBlackBox>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        mut make_env: impl FnMut(ItemId) -> AttackEnvironment<R>,
+    ) -> CampaignRun {
+        let episodes = self.agent.config().episodes;
+        while self.completed_episodes < episodes {
+            let e = self.completed_episodes;
+            let t = self.targets[e % self.targets.len()];
+            self.agent.retarget(src, t);
+            let pre = self.checkpoint();
+            let mut env = make_env(t);
+            let outcome = self.agent.train_one_episode(src, &mut env);
+            if let Some(cause) = outcome.aborted {
+                // Undo the aborted episode's policy update: the rewards it
+                // saw were all platform noise, not signal.
+                *self = Campaign::resume(pre.clone());
+                return CampaignRun::Interrupted { checkpoint: Box::new(pre), cause };
+            }
+            self.curve.push(outcome.final_reward);
+            self.completed_episodes += 1;
+        }
+        CampaignRun::Completed { curve: self.curve.clone() }
     }
 
     /// Executes one attack on `target` — which may be an item the campaign
     /// never trained on (zero-shot transfer) — without learning.
-    pub fn execute_on<R: BlackBoxRecommender>(
+    pub fn execute_on<R: FallibleBlackBox>(
         &mut self,
         src: &SourceDomain<'_>,
         target_src: ItemId,
@@ -95,7 +241,7 @@ impl Campaign {
 mod tests {
     use super::*;
     use ca_mf::BprConfig;
-    use ca_recsys::{Dataset, DatasetBuilder, UserId};
+    use ca_recsys::{BlackBoxRecommender, Dataset, DatasetBuilder, UserId};
 
     /// Counting fake platform (same flavor as the attack.rs tests): reward
     /// fires once enough injected profiles carried the marker item.
@@ -156,33 +302,28 @@ mod tests {
         }
     }
 
+    fn bandit_env(map: &[ItemId], t: ItemId) -> AttackEnvironment<CountingRec> {
+        AttackEnvironment::new(
+            CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
+            vec![UserId(0)],
+            map[t.idx()],
+            5,
+            6,
+        )
+    }
+
     #[test]
     fn campaign_trains_across_targets_and_masks_correctly() {
         let (ds, map) = world();
         let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let targets = vec![ItemId(3), ItemId(5)];
-        let mut campaign =
-            Campaign::new(cfg(), CopyAttackVariant::no_crafting(), &src, targets);
-        let curve = campaign.train(&src, |t| {
-            AttackEnvironment::new(
-                CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
-                vec![UserId(0)],
-                map[t.idx()],
-                5,
-                6,
-            )
-        });
+        let mut campaign = Campaign::new(cfg(), CopyAttackVariant::no_crafting(), &src, targets);
+        let curve = campaign.train(&src, |t| bandit_env(&map, t));
         assert_eq!(curve.len(), 30);
         // Every executed selection must respect the *current* target's mask.
         for &t in &[ItemId(3), ItemId(5)] {
-            let mut env = AttackEnvironment::new(
-                CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
-                vec![UserId(0)],
-                map[t.idx()],
-                5,
-                6,
-            );
+            let mut env = bandit_env(&map, t);
             let o = campaign.execute_on(&src, t, &mut env);
             for u in &o.selected_users {
                 assert!(src.has_item(*u, t), "campaign selected non-carrier {u} for {t}");
@@ -202,23 +343,9 @@ mod tests {
             &src,
             vec![ItemId(3), ItemId(5)],
         );
-        campaign.train(&src, |t| {
-            AttackEnvironment::new(
-                CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
-                vec![UserId(0)],
-                map[t.idx()],
-                5,
-                6,
-            )
-        });
+        campaign.train(&src, |t| bandit_env(&map, t));
         let unseen = ItemId(7);
-        let mut env = AttackEnvironment::new(
-            CountingRec { good: 0, n_users: 0, target: map[unseen.idx()], threshold: 2 },
-            vec![UserId(0)],
-            map[unseen.idx()],
-            5,
-            6,
-        );
+        let mut env = bandit_env(&map, unseen);
         let o = campaign.execute_on(&src, unseen, &mut env);
         assert!(!o.selected_users.is_empty());
         for u in &o.selected_users {
@@ -234,11 +361,155 @@ mod tests {
         let (ds, map) = world();
         let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
-        let _ = Campaign::new(
-            cfg(),
-            CopyAttackVariant::full(),
-            &src,
-            vec![ItemId(3), ItemId(99)],
+        let _ = Campaign::new(cfg(), CopyAttackVariant::full(), &src, vec![ItemId(3), ItemId(99)]);
+    }
+
+    #[test]
+    fn try_new_surfaces_errors_instead_of_panicking() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let err = Campaign::try_new(cfg(), CopyAttackVariant::full(), &src, vec![])
+            .err()
+            .expect("empty target set");
+        assert!(err.contains("at least one target"), "{err}");
+        let err = Campaign::try_new(cfg(), CopyAttackVariant::full(), &src, vec![ItemId(99)])
+            .err()
+            .expect("uncarried target");
+        assert!(err.contains("no selectable source user"), "{err}");
+        let bad_cfg = AttackConfig { budget: 0, ..cfg() };
+        let err = Campaign::try_new(bad_cfg, CopyAttackVariant::full(), &src, vec![ItemId(3)])
+            .err()
+            .expect("invalid config");
+        assert!(err.contains("invalid attack config"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_uninterrupted_curve() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let targets = vec![ItemId(3), ItemId(5)];
+
+        // Reference: one uninterrupted resilient run of all 30 episodes.
+        let mut reference =
+            Campaign::new(cfg(), CopyAttackVariant::no_crafting(), &src, targets.clone());
+        let CampaignRun::Completed { curve: full_curve } =
+            reference.train_resilient(&src, |t| bandit_env(&map, t))
+        else {
+            panic!("reliable platform cannot interrupt");
+        };
+        assert_eq!(full_curve.len(), 30);
+
+        // Interrupted run: the platform dies at the 12th episode (index 11).
+        let mut interrupted = Campaign::new(cfg(), CopyAttackVariant::no_crafting(), &src, targets);
+        let mut episode_no = 0usize;
+        let run = interrupted.train_resilient(&src, |t| {
+            let dead = episode_no == 11;
+            episode_no += 1;
+            AttackEnvironment::new(
+                DownThenUp {
+                    inner: CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
+                    refusals_left: if dead { usize::MAX } else { 0 },
+                },
+                vec![UserId(0)],
+                map[t.idx()],
+                5,
+                6,
+            )
+        });
+        let CampaignRun::Interrupted { checkpoint, cause } = run else {
+            panic!("episode 12's dead platform must interrupt");
+        };
+        assert_eq!(cause, RecError::AccountSuspended);
+        assert_eq!(checkpoint.episodes_completed(), 11);
+        assert_eq!(checkpoint.curve(), &full_curve[..11], "prefix must match the reference");
+
+        // Later: resume from the snapshot on a healthy platform. The
+        // aborted episode was rolled back, so the resumed run replays it
+        // cleanly and the combined curve is bit-identical to the reference.
+        let mut resumed = Campaign::resume(*checkpoint);
+        let CampaignRun::Completed { curve: resumed_curve } =
+            resumed.train_resilient(&src, |t| bandit_env(&map, t))
+        else {
+            panic!("healthy platform cannot interrupt");
+        };
+        assert_eq!(
+            resumed_curve, full_curve,
+            "resumed run must reproduce the uninterrupted curve exactly"
         );
+    }
+
+    /// A platform that refuses every injection until `heal_after` accounts
+    /// have been attempted, then behaves like the counting bandit.
+    struct DownThenUp {
+        inner: CountingRec,
+        refusals_left: usize,
+    }
+    impl ca_recsys::FallibleBlackBox for DownThenUp {
+        fn try_top_k(&mut self, u: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
+            Ok(self.inner.top_k(u, k))
+        }
+        fn try_inject_user(&mut self, p: &[ItemId]) -> Result<UserId, RecError> {
+            if self.refusals_left > 0 {
+                self.refusals_left -= 1;
+                return Err(RecError::AccountSuspended);
+            }
+            Ok(self.inner.inject_user(p))
+        }
+        fn catalog_size(&self) -> usize {
+            BlackBoxRecommender::catalog_size(&self.inner)
+        }
+    }
+
+    #[test]
+    fn total_outage_interrupts_with_a_resumable_checkpoint() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let mut campaign = Campaign::new(
+            cfg(),
+            CopyAttackVariant::no_crafting(),
+            &src,
+            vec![ItemId(3), ItemId(5)],
+        );
+        // The platform refuses every account forever: the very first
+        // episode aborts.
+        let run = campaign.train_resilient(&src, |t| {
+            AttackEnvironment::new(
+                DownThenUp {
+                    inner: CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
+                    refusals_left: usize::MAX,
+                },
+                vec![UserId(0)],
+                map[t.idx()],
+                5,
+                6,
+            )
+        });
+        let CampaignRun::Interrupted { checkpoint, cause } = run else {
+            panic!("a dead platform must interrupt the campaign");
+        };
+        assert_eq!(cause, RecError::AccountSuspended);
+        assert_eq!(checkpoint.episodes_completed(), 0);
+
+        // Later, the platform is back: resume and finish all episodes.
+        let mut resumed = Campaign::resume(*checkpoint);
+        let run = resumed.train_resilient(&src, |t| {
+            AttackEnvironment::new(
+                DownThenUp {
+                    inner: CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
+                    refusals_left: 0,
+                },
+                vec![UserId(0)],
+                map[t.idx()],
+                5,
+                6,
+            )
+        });
+        let CampaignRun::Completed { curve } = run else {
+            panic!("healed platform must complete");
+        };
+        assert_eq!(curve.len(), 30);
     }
 }

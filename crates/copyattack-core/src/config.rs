@@ -92,10 +92,7 @@ impl AttackConfig {
             return Err("budget must be positive".into());
         }
         if self.query_every == 0 || self.query_every > self.budget {
-            return Err(format!(
-                "query_every {} must be in 1..={}",
-                self.query_every, self.budget
-            ));
+            return Err(format!("query_every {} must be in 1..={}", self.query_every, self.budget));
         }
         if !(0.0..=1.0).contains(&self.discount) {
             return Err(format!("discount {} must be in [0, 1]", self.discount));
@@ -112,9 +109,7 @@ impl AttackConfig {
     /// The crafting level fractions `{1/L, 2/L, …, 1.0}` (paper's
     /// `W = {10%, …, 100%}` for L = 10).
     pub fn clip_fractions(&self) -> Vec<f32> {
-        (1..=self.clip_levels)
-            .map(|i| i as f32 / self.clip_levels as f32)
-            .collect()
+        (1..=self.clip_levels).map(|i| i as f32 / self.clip_levels as f32).collect()
     }
 }
 

@@ -34,6 +34,7 @@ pub fn clip_around_target(profile: &[ItemId], target: ItemId, fraction: f32) -> 
 
 /// The profile-crafting policy: a single MLP over `[p_u ⊕ q_{v*}]` emitting
 /// a distribution over the discrete window levels `W`.
+#[derive(Clone)]
 pub struct CraftingPolicy {
     net: Mlp,
     fractions: Vec<f32>,

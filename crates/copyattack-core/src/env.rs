@@ -6,22 +6,74 @@
 //! ```text
 //! r(s_t, a_t) = (1/|U^A*|) Σ_i HR(u^A_{i*}, v*, k)
 //! ```
+//!
+//! The environment speaks the *fallible* platform surface
+//! ([`FallibleBlackBox`]): calls can be rate-limited, time out, come back
+//! truncated, or cost the attacker an account. Resilience is configured via
+//! [`ResilienceConfig`] — per-call retries in logical time, a minimum
+//! quorum for partial rewards, and automatic re-establishment of suspended
+//! pretend users. Reliable simulation targets (any
+//! [`BlackBoxRecommender`](ca_recsys::BlackBoxRecommender)) fit through the
+//! blanket impl and behave exactly as in the original infallible API.
 
-use ca_recsys::blackbox::MeteredRecommender;
-use ca_recsys::{BlackBoxRecommender, Dataset, ItemId, UserId};
+use crate::retry::ResilienceConfig;
+use ca_recsys::blackbox::MeteredFallible;
+use ca_recsys::{Dataset, FallibleBlackBox, ItemId, RecError, SplitMix64, UserId};
 use rand::Rng;
 
+/// One reward measurement against a possibly-failing platform.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RewardSample {
+    /// Enough pretend users answered; Eq. 1 averaged over the answered
+    /// subset.
+    Observed {
+        /// Hit ratio over the answered pretend users.
+        reward: f32,
+        /// Pretend users whose query (or retry) succeeded this round.
+        answered: usize,
+        /// Total pretend users.
+        total: usize,
+    },
+    /// Fewer than the configured quorum answered. The sample carries no
+    /// reward — using the few answers that got through would bias Eq. 1
+    /// toward whichever accounts the platform happened to serve.
+    Skipped {
+        /// Pretend users that answered (below quorum).
+        answered: usize,
+        /// Total pretend users.
+        total: usize,
+    },
+}
+
+impl RewardSample {
+    /// The observed reward, if the round met quorum.
+    pub fn reward(&self) -> Option<f32> {
+        match self {
+            RewardSample::Observed { reward, .. } => Some(*reward),
+            RewardSample::Skipped { .. } => None,
+        }
+    }
+}
+
 /// The attacker's handle on the target platform for one attack run.
-pub struct AttackEnvironment<R: BlackBoxRecommender> {
-    rec: MeteredRecommender<R>,
+pub struct AttackEnvironment<R: FallibleBlackBox> {
+    rec: MeteredFallible<R>,
     pretend: Vec<UserId>,
+    /// Stored pretend profiles, when known — the raw material for
+    /// re-establishing a suspended account. `None` for accounts the
+    /// environment was only handed ids for.
+    pretend_profiles: Vec<Option<Vec<ItemId>>>,
     target: ItemId,
     reward_k: usize,
     injected: usize,
     budget: usize,
+    resilience: ResilienceConfig,
+    rng: SplitMix64,
+    reestablished: u64,
+    skipped_rewards: usize,
 }
 
-impl<R: BlackBoxRecommender> AttackEnvironment<R> {
+impl<R: FallibleBlackBox> AttackEnvironment<R> {
     /// Wraps a recommender for an attack on `target`. `pretend` are the
     /// attacker-controlled accounts established beforehand (see
     /// [`establish_pretend_users`]).
@@ -33,7 +85,41 @@ impl<R: BlackBoxRecommender> AttackEnvironment<R> {
         budget: usize,
     ) -> Self {
         assert!(!pretend.is_empty(), "need at least one pretend user");
-        Self { rec: MeteredRecommender::new(rec), pretend, target, reward_k, injected: 0, budget }
+        let resilience = ResilienceConfig::default();
+        let rng = SplitMix64::new(resilience.seed);
+        let n = pretend.len();
+        Self {
+            rec: MeteredFallible::new(rec),
+            pretend,
+            pretend_profiles: vec![None; n],
+            target,
+            reward_k,
+            injected: 0,
+            budget,
+            resilience,
+            rng,
+            reestablished: 0,
+            skipped_rewards: 0,
+        }
+    }
+
+    /// Sets the resilience behavior (retries, quorum, re-establishment).
+    ///
+    /// # Panics
+    /// Panics on an invalid [`ResilienceConfig`].
+    pub fn with_resilience(mut self, cfg: ResilienceConfig) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid resilience config: {e}"));
+        self.rng = SplitMix64::new(cfg.seed);
+        self.resilience = cfg;
+        self
+    }
+
+    /// Records the pretend users' profiles so suspended accounts can be
+    /// re-established. `profiles[i]` must be the profile of `pretend[i]`.
+    pub fn with_pretend_profiles(mut self, profiles: Vec<Vec<ItemId>>) -> Self {
+        assert_eq!(profiles.len(), self.pretend.len(), "one stored profile per pretend user");
+        self.pretend_profiles = profiles.into_iter().map(Some).collect();
+        self
     }
 
     /// The item under promotion.
@@ -41,9 +127,11 @@ impl<R: BlackBoxRecommender> AttackEnvironment<R> {
         self.target
     }
 
-    /// Remaining injection budget.
+    /// Remaining injection budget (0 when exhausted; never underflows even
+    /// if the environment was constructed mid-campaign with
+    /// `injected > budget`).
     pub fn remaining_budget(&self) -> usize {
-        self.budget - self.injected
+        self.budget.saturating_sub(self.injected)
     }
 
     /// Whether the budget is exhausted.
@@ -51,39 +139,144 @@ impl<R: BlackBoxRecommender> AttackEnvironment<R> {
         self.injected >= self.budget
     }
 
-    /// Profiles injected so far in this run.
+    /// Profiles injected so far in this run (successful crafted-profile
+    /// injections; account re-establishment is not budget, see
+    /// [`AttackEnvironment::reestablished`]).
     pub fn injections(&self) -> usize {
         self.injected
     }
 
-    /// Top-k queries issued so far in this run.
+    /// Top-k query *attempts* issued so far — every retry is charged, as a
+    /// real platform would charge it.
     pub fn queries(&self) -> u64 {
         self.rec.queries()
     }
 
-    /// Injects one crafted profile.
+    /// Query attempts that came back as errors.
+    pub fn failed_queries(&self) -> u64 {
+        self.rec.failed_queries()
+    }
+
+    /// Injection attempts (successful + failed), including pretend-user
+    /// re-establishment.
+    pub fn inject_attempts(&self) -> u64 {
+        self.rec.inject_attempts()
+    }
+
+    /// Suspended pretend users re-established so far.
+    pub fn reestablished(&self) -> u64 {
+        self.reestablished
+    }
+
+    /// Reward rounds skipped for lack of quorum so far.
+    pub fn skipped_rewards(&self) -> usize {
+        self.skipped_rewards
+    }
+
+    /// Injects one crafted profile, retrying retryable platform errors per
+    /// the resilience config (each retry spends logical time via
+    /// [`FallibleBlackBox::wait`] and is charged to the metered attempt
+    /// count). The budget is consumed only by a *successful* injection.
     ///
     /// # Panics
     /// Panics if the budget is exhausted (the caller must check the
     /// terminal condition).
-    pub fn inject(&mut self, profile: &[ItemId]) -> UserId {
+    pub fn try_inject(&mut self, profile: &[ItemId]) -> Result<UserId, RecError> {
         assert!(!self.exhausted(), "injection budget exhausted");
-        self.injected += 1;
-        self.rec.inject_user(profile)
+        let retry = self.resilience.retry;
+        let r = retry.run(&mut self.rec, &mut self.rng, |p| p.try_inject_user(profile));
+        if r.is_ok() {
+            self.injected += 1;
+        }
+        r
     }
 
-    /// Queries the pretend users' Top-k lists and returns the Eq. 1 reward:
-    /// the fraction whose list contains the target item.
-    pub fn query_reward(&mut self) -> f32 {
+    /// Infallible injection, for reliable simulation targets (the original
+    /// paper setting).
+    ///
+    /// # Panics
+    /// Panics if the budget is exhausted, or if the platform actually fails
+    /// (use [`AttackEnvironment::try_inject`] against an unreliable one).
+    pub fn inject(&mut self, profile: &[ItemId]) -> UserId {
+        self.try_inject(profile).unwrap_or_else(|e| {
+            panic!("platform error on infallible inject path: {e} (use try_inject)")
+        })
+    }
+
+    /// Queries the pretend users' Top-k lists and returns the Eq. 1 reward
+    /// over the *answered* subset — or [`RewardSample::Skipped`] when fewer
+    /// than the quorum answered.
+    ///
+    /// Per pretend user: retryable errors are retried per the resilience
+    /// config; a truncated list is treated as answered (the visible prefix
+    /// is genuine data — if the target was cut off, that is
+    /// indistinguishable from a miss at this `k`, and scored as one); a
+    /// suspension marks the account lost and, when enabled and the profile
+    /// is stored, re-establishes it (the fresh account answers from the
+    /// next round on).
+    pub fn try_query_reward(&mut self) -> RewardSample {
+        let total = self.pretend.len();
         let mut hits = 0usize;
-        for i in 0..self.pretend.len() {
+        let mut answered = 0usize;
+        let retry = self.resilience.retry;
+        let k = self.reward_k;
+        for i in 0..total {
             let u = self.pretend[i];
-            let list = self.rec.top_k_counted(u, self.reward_k);
-            if list.contains(&self.target) {
-                hits += 1;
+            match retry.run(&mut self.rec, &mut self.rng, |p| p.try_top_k(u, k)) {
+                Ok(list) => {
+                    answered += 1;
+                    if list.contains(&self.target) {
+                        hits += 1;
+                    }
+                }
+                Err(RecError::TruncatedList { items }) => {
+                    answered += 1;
+                    if items.contains(&self.target) {
+                        hits += 1;
+                    }
+                }
+                Err(RecError::AccountSuspended) => self.reestablish_pretend(i),
+                Err(_) => {} // unanswered after retries
             }
         }
-        hits as f32 / self.pretend.len() as f32
+        let quorum = ((self.resilience.min_quorum * total as f64).ceil() as usize).max(1);
+        if answered >= quorum {
+            RewardSample::Observed { reward: hits as f32 / answered as f32, answered, total }
+        } else {
+            self.skipped_rewards += 1;
+            RewardSample::Skipped { answered, total }
+        }
+    }
+
+    /// Infallible reward query, for reliable simulation targets.
+    ///
+    /// # Panics
+    /// Panics if the round misses quorum (impossible on a reliable
+    /// platform; use [`AttackEnvironment::try_query_reward`] otherwise).
+    pub fn query_reward(&mut self) -> f32 {
+        match self.try_query_reward() {
+            RewardSample::Observed { reward, .. } => reward,
+            RewardSample::Skipped { answered, total } => panic!(
+                "reward round missed quorum ({answered}/{total} answered) on the infallible \
+                 path (use try_query_reward)"
+            ),
+        }
+    }
+
+    /// Replaces a suspended pretend user with a fresh account carrying the
+    /// same stored profile. Costs metered injection attempts but not the
+    /// crafted-profile budget Δ. No-op when re-establishment is disabled or
+    /// the profile is unknown.
+    fn reestablish_pretend(&mut self, i: usize) {
+        if !self.resilience.reestablish {
+            return;
+        }
+        let Some(profile) = self.pretend_profiles[i].clone() else { return };
+        let retry = self.resilience.retry;
+        if let Ok(id) = retry.run(&mut self.rec, &mut self.rng, |p| p.try_inject_user(&profile)) {
+            self.pretend[i] = id;
+            self.reestablished += 1;
+        }
     }
 
     /// Consumes the environment, returning the (polluted) recommender for
@@ -99,20 +292,16 @@ impl<R: BlackBoxRecommender> AttackEnvironment<R> {
     }
 }
 
-/// Creates `n` pretend users on the platform before the attack starts.
-///
-/// The paper assumes "a set of pretend users that the attacker had already
-/// established in the target domain". We give each a plausible mainstream
-/// profile: `profile_len` items sampled by popularity from the public
+/// Plans `n` plausible mainstream pretend profiles without touching the
+/// platform: `profile_len` items sampled by popularity from the public
 /// catalog (an attacker can see what is popular by browsing), ordered
-/// arbitrarily. Returns their account ids.
-pub fn establish_pretend_users<R: BlackBoxRecommender>(
-    rec: &mut R,
+/// arbitrarily.
+pub fn plan_pretend_profiles(
     visible_popularity: &Dataset,
     n: usize,
     profile_len: usize,
     rng: &mut impl Rng,
-) -> Vec<UserId> {
+) -> Vec<Vec<ItemId>> {
     let n_items = visible_popularity.n_items();
     assert!(profile_len <= n_items, "pretend profile longer than catalog");
     // Popularity-proportional sampling with add-one smoothing.
@@ -123,7 +312,7 @@ pub fn establish_pretend_users<R: BlackBoxRecommender>(
         cdf.push(acc);
     }
     let total = acc;
-    let mut ids = Vec::with_capacity(n);
+    let mut profiles = Vec::with_capacity(n);
     for _ in 0..n {
         let mut profile: Vec<ItemId> = Vec::with_capacity(profile_len);
         let mut guard = 0u32;
@@ -139,15 +328,53 @@ pub fn establish_pretend_users<R: BlackBoxRecommender>(
                 break;
             }
         }
-        ids.push(rec.inject_user(&profile));
+        profiles.push(profile);
     }
-    ids
+    profiles
+}
+
+/// Creates `n` pretend users on the platform before the attack starts.
+///
+/// The paper assumes "a set of pretend users that the attacker had already
+/// established in the target domain". Profiles come from
+/// [`plan_pretend_profiles`]. Returns their account ids.
+pub fn establish_pretend_users<R: ca_recsys::BlackBoxRecommender>(
+    rec: &mut R,
+    visible_popularity: &Dataset,
+    n: usize,
+    profile_len: usize,
+    rng: &mut impl Rng,
+) -> Vec<UserId> {
+    plan_pretend_profiles(visible_popularity, n, profile_len, rng)
+        .iter()
+        .map(|p| rec.inject_user(p))
+        .collect()
+}
+
+/// Fallible pretend-user establishment against an unreliable platform:
+/// each account creation is retried per `resilience`; an account that
+/// still cannot be created fails the whole establishment (the attack
+/// cannot start without its observation posts).
+pub fn try_establish_pretend_users<B: FallibleBlackBox>(
+    rec: &mut B,
+    profiles: &[Vec<ItemId>],
+    resilience: &ResilienceConfig,
+    rng: &mut SplitMix64,
+) -> Result<Vec<UserId>, RecError> {
+    let mut ids = Vec::with_capacity(profiles.len());
+    for p in profiles {
+        ids.push(resilience.retry.run(rec, rng, |r| r.try_inject_user(p))?);
+    }
+    Ok(ids)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ca_recsys::DatasetBuilder;
+    use crate::retry::RetryPolicy;
+    use ca_recsys::{
+        BlackBoxRecommender, DatasetBuilder, FaultConfig, FaultyRecommender, RateLimit,
+    };
 
     /// Fake recommender: recommends items in descending popularity, where
     /// popularity is the number of injected users containing the item.
@@ -240,5 +467,180 @@ mod tests {
         env.inject(&[ItemId(2)]);
         assert_eq!(env.remaining_budget(), 4);
         assert!(!env.exhausted());
+    }
+
+    /// Regression test: `remaining_budget` used to compute
+    /// `budget - injected` with a plain subtraction, which underflows when
+    /// an environment is reconstructed mid-campaign with more injections on
+    /// record than its (reduced) budget.
+    #[test]
+    fn remaining_budget_saturates_when_over_budget() {
+        let rec = PopRec::new(10);
+        let mut env = AttackEnvironment::new(rec, vec![UserId(0)], ItemId(0), 3, 2);
+        env.injected = 7; // resumed from a checkpoint taken under a larger budget
+        assert_eq!(env.remaining_budget(), 0);
+        assert!(env.exhausted());
+    }
+
+    #[test]
+    fn partial_reward_averages_over_answered_subset() {
+        // Platform: pretend user 0's queries always time out; users 1 and 2
+        // answer. Target is in everyone's list, so reward over the answered
+        // subset is 1.0 (not 2/3).
+        struct OneUserDown;
+        impl FallibleBlackBox for OneUserDown {
+            fn try_top_k(&mut self, u: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
+                if u == UserId(0) {
+                    Err(RecError::Timeout)
+                } else {
+                    Ok(vec![ItemId(4); k])
+                }
+            }
+            fn try_inject_user(&mut self, _p: &[ItemId]) -> Result<UserId, RecError> {
+                Ok(UserId(9))
+            }
+            fn catalog_size(&self) -> usize {
+                10
+            }
+        }
+        let resilience = ResilienceConfig {
+            retry: RetryPolicy { max_retries: 1, base_delay: 1, max_delay: 2, jitter: 0.0 },
+            min_quorum: 0.5,
+            reestablish: false,
+            seed: 1,
+        };
+        let mut env = AttackEnvironment::new(
+            OneUserDown,
+            vec![UserId(0), UserId(1), UserId(2)],
+            ItemId(4),
+            3,
+            10,
+        )
+        .with_resilience(resilience);
+        let sample = env.try_query_reward();
+        assert_eq!(sample, RewardSample::Observed { reward: 1.0, answered: 2, total: 3 });
+        // User 0 was retried once: 2 attempts for it + 1 each for the rest.
+        assert_eq!(env.queries(), 4);
+        assert_eq!(env.failed_queries(), 2);
+    }
+
+    #[test]
+    fn below_quorum_rounds_are_skipped_not_biased() {
+        struct AllDown;
+        impl FallibleBlackBox for AllDown {
+            fn try_top_k(&mut self, _u: UserId, _k: usize) -> Result<Vec<ItemId>, RecError> {
+                Err(RecError::ServiceUnavailable)
+            }
+            fn try_inject_user(&mut self, _p: &[ItemId]) -> Result<UserId, RecError> {
+                Err(RecError::ServiceUnavailable)
+            }
+            fn catalog_size(&self) -> usize {
+                10
+            }
+        }
+        let resilience = ResilienceConfig {
+            retry: RetryPolicy::none(),
+            min_quorum: 0.5,
+            reestablish: false,
+            seed: 1,
+        };
+        let mut env = AttackEnvironment::new(AllDown, vec![UserId(0), UserId(1)], ItemId(4), 3, 10)
+            .with_resilience(resilience);
+        let sample = env.try_query_reward();
+        assert_eq!(sample, RewardSample::Skipped { answered: 0, total: 2 });
+        assert_eq!(sample.reward(), None);
+        assert_eq!(env.skipped_rewards(), 1);
+    }
+
+    #[test]
+    fn truncated_lists_still_count_as_answers() {
+        let faulty = FaultyRecommender::new(
+            PopRec::new(30),
+            FaultConfig { truncate_prob: 1.0, truncate_keep: 0.4, ..FaultConfig::default() },
+        );
+        let mut env =
+            AttackEnvironment::new(faulty, vec![UserId(0)], ItemId(2), 10, 10).with_resilience(
+                ResilienceConfig { retry: RetryPolicy::none(), ..ResilienceConfig::default() },
+            );
+        // Target item 2 is within the kept prefix (popularity order 0,1,2…
+        // with no injections → ties broken by index; keep = 4 of 10).
+        let sample = env.try_query_reward();
+        assert_eq!(sample, RewardSample::Observed { reward: 1.0, answered: 1, total: 1 });
+    }
+
+    #[test]
+    fn suspended_pretend_users_are_reestablished_from_stored_profiles() {
+        // Suspend on the first query round (prob 1), then never again.
+        struct SuspendOnce {
+            inner: PopRec,
+            suspended: Vec<UserId>,
+            armed: bool,
+        }
+        impl FallibleBlackBox for SuspendOnce {
+            fn try_top_k(&mut self, u: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
+                if self.suspended.contains(&u) {
+                    return Err(RecError::AccountSuspended);
+                }
+                if self.armed {
+                    self.armed = false;
+                    self.suspended.push(u);
+                    return Err(RecError::AccountSuspended);
+                }
+                Ok(self.inner.top_k(u, k))
+            }
+            fn try_inject_user(&mut self, p: &[ItemId]) -> Result<UserId, RecError> {
+                Ok(self.inner.inject_user(p))
+            }
+            fn catalog_size(&self) -> usize {
+                BlackBoxRecommender::catalog_size(&self.inner)
+            }
+        }
+        let mut inner = PopRec::new(10);
+        let u0 = inner.inject_user(&[ItemId(1), ItemId(2)]);
+        let platform = SuspendOnce { inner, suspended: vec![], armed: true };
+        let mut env = AttackEnvironment::new(platform, vec![u0], ItemId(1), 5, 10)
+            .with_pretend_profiles(vec![vec![ItemId(1), ItemId(2)]]);
+
+        // Round 1: the only pretend user gets suspended → below quorum,
+        // but a replacement account with the same profile is created.
+        let s1 = env.try_query_reward();
+        assert_eq!(s1, RewardSample::Skipped { answered: 0, total: 1 });
+        assert_eq!(env.reestablished(), 1);
+
+        // Round 2: the replacement answers; its profile keeps item 1 and 2
+        // popular, so the target is in its Top-5.
+        let s2 = env.try_query_reward();
+        assert_eq!(s2, RewardSample::Observed { reward: 1.0, answered: 1, total: 1 });
+        // Re-establishment was metered but did not consume attack budget.
+        assert_eq!(env.inject_attempts(), 1);
+        assert_eq!(env.injections(), 0);
+        assert_eq!(env.remaining_budget(), 10);
+    }
+
+    #[test]
+    fn retries_ride_the_rate_limiter_via_logical_waits() {
+        // 2 calls per 8-tick window: querying 3 pretend users trips the
+        // limiter, and the retry policy's backoff waits into the next
+        // window where the query succeeds.
+        let faulty = FaultyRecommender::new(
+            PopRec::new(10),
+            FaultConfig {
+                rate_limit: Some(RateLimit { window: 8, max_calls: 2 }),
+                ..FaultConfig::default()
+            },
+        );
+        let resilience = ResilienceConfig {
+            retry: RetryPolicy { max_retries: 3, base_delay: 1, max_delay: 16, jitter: 0.0 },
+            min_quorum: 1.0,
+            reestablish: false,
+            seed: 5,
+        };
+        let mut env =
+            AttackEnvironment::new(faulty, vec![UserId(0), UserId(1), UserId(2)], ItemId(0), 3, 10)
+                .with_resilience(resilience);
+        let sample = env.try_query_reward();
+        assert_eq!(sample, RewardSample::Observed { reward: 1.0, answered: 3, total: 3 });
+        assert!(env.failed_queries() >= 1, "the limiter must have fired");
+        assert_eq!(env.queries() - env.failed_queries(), 3, "all three eventually answered");
     }
 }

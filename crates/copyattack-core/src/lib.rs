@@ -19,6 +19,12 @@
 //! methods (RandomAttack, TargetAttack-40/70/100, the flat PolicyNetwork,
 //! and the CopyAttack−Masking / CopyAttack−Length ablations).
 
+//!
+//! Deployed platforms are not reliable: [`retry`] adds capped-backoff retry
+//! policies in logical time, [`env`] computes partial (quorum-gated)
+//! rewards and re-establishes suspended pretend users, and [`campaign`]
+//! checkpoints/resumes training across platform outages.
+
 pub mod attack;
 pub mod baselines;
 pub mod campaign;
@@ -26,11 +32,13 @@ pub mod config;
 pub mod crafting;
 pub mod env;
 pub mod reinforce;
+pub mod retry;
 pub mod selection;
 pub mod source;
 
 pub use attack::{AttackOutcome, CopyAttackAgent, CopyAttackVariant};
-pub use campaign::Campaign;
+pub use campaign::{Campaign, CampaignCheckpoint, CampaignRun};
 pub use config::{AttackConfig, AttackGoal};
-pub use env::AttackEnvironment;
+pub use env::{AttackEnvironment, RewardSample};
+pub use retry::{ResilienceConfig, RetryPolicy};
 pub use source::SourceDomain;

@@ -9,7 +9,10 @@
 //! instead, which is the O(n)-per-decision cost the tree removes.
 
 use ca_cluster::{ClusterTree, NodeId, TreeMask};
-use ca_nn::{Categorical, EncoderKind, Mlp, MlpCache, MlpGrad, Rnn, RnnCache, RnnGrad, SeqCache, SeqEncoder, SeqGrad};
+use ca_nn::{
+    Categorical, EncoderKind, Mlp, MlpCache, MlpGrad, Rnn, RnnCache, RnnGrad, SeqCache, SeqEncoder,
+    SeqGrad,
+};
 use ca_recsys::UserId;
 use rand::Rng;
 
@@ -64,6 +67,7 @@ impl PolicyGrads {
 
 /// The hierarchical-structure policy: one MLP per internal tree node plus a
 /// shared RNN state encoder.
+#[derive(Clone)]
 pub struct HierarchicalPolicy {
     tree: ClusterTree,
     nets: Vec<Mlp>,

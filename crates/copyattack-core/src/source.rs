@@ -41,9 +41,7 @@ impl SourceDomain<'_> {
     /// The source user embeddings, cloned row-wise (tree-construction
     /// input).
     pub fn user_embeddings(&self) -> Vec<Vec<f32>> {
-        (0..self.data.n_users())
-            .map(|u| self.mf.user_vec(UserId(u as u32)).to_vec())
-            .collect()
+        (0..self.data.n_users()).map(|u| self.mf.user_vec(UserId(u as u32)).to_vec()).collect()
     }
 
     /// `p_u` for one user.

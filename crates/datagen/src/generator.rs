@@ -209,7 +209,13 @@ pub fn generate(cfg: &CrossDomainConfig) -> CrossDomainDataset {
     debug_assert!(target_ds.check_consistency().is_ok());
     debug_assert!(source_ds.check_consistency().is_ok());
 
-    CrossDomainDataset { target: target_ds, source: source_ds, source_to_target, target_to_source, truth }
+    CrossDomainDataset {
+        target: target_ds,
+        source: source_ds,
+        source_to_target,
+        target_to_source,
+        truth,
+    }
 }
 
 /// Samples a profile length: `mean · exp(N(0, 0.5²))`, clamped.
@@ -331,11 +337,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = generate(&CrossDomainConfig::tiny(1));
         let b = generate(&CrossDomainConfig::tiny(2));
-        let same = a
-            .target
-            .users()
-            .take(20)
-            .all(|u| a.target.profile(u) == b.target.profile(u));
+        let same = a.target.users().take(20).all(|u| a.target.profile(u) == b.target.profile(u));
         assert!(!same);
     }
 
@@ -427,10 +429,8 @@ mod tests {
                 adj_n += 1;
             }
             if p.len() >= 4 {
-                far += ops::dot(
-                    &truth.item_vecs[p[0].idx()],
-                    &truth.item_vecs[p[p.len() - 1].idx()],
-                );
+                far +=
+                    ops::dot(&truth.item_vecs[p[0].idx()], &truth.item_vecs[p[p.len() - 1].idx()]);
                 far_n += 1;
             }
         }

@@ -5,12 +5,12 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = CrossDomainConfig> {
     (
-        2usize..5,            // clusters
-        20usize..50,          // target items
-        2usize..6,            // latent dim
-        0u64..1000,           // seed
-        10usize..40,          // target users
-        15usize..60,          // source users
+        2usize..5,   // clusters
+        20usize..50, // target items
+        2usize..6,   // latent dim
+        0u64..1000,  // seed
+        10usize..40, // target users
+        15usize..60, // source users
     )
         .prop_map(|(clusters, items, dim, seed, t_users, s_users)| {
             let overlap = (items * 2) / 3;

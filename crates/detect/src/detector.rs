@@ -35,8 +35,7 @@ impl ZScoreDetector {
                 vars[k] += d * d;
             }
         }
-        let stds =
-            std::array::from_fn(|k| (vars[k] / n).sqrt().max(1e-6));
+        let stds = std::array::from_fn(|k| (vars[k] / n).sqrt().max(1e-6));
         Self { means, stds }
     }
 

@@ -64,10 +64,8 @@ pub fn extract_features(
     if profile.is_empty() {
         return ProfileFeatures { len: 0.0, mean_pop_pct: 0.0, tail_fraction: 0.0, coherence: 0.0 };
     }
-    let mean_pop_pct =
-        profile.iter().map(|&v| pop.percentile(v)).sum::<f32>() / len;
-    let tail_fraction =
-        profile.iter().filter(|&&v| pop.percentile(v) < 0.1).count() as f32 / len;
+    let mean_pop_pct = profile.iter().map(|&v| pop.percentile(v)).sum::<f32>() / len;
+    let tail_fraction = profile.iter().filter(|&&v| pop.percentile(v) < 0.1).count() as f32 / len;
 
     // Subsample long profiles for the quadratic coherence term.
     let stride = profile.len().div_ceil(30);

@@ -119,9 +119,8 @@ mod tests {
         let ds = b.build();
         let pop = PopularityIndex::build(&ds);
         let emb = Matrix::from_fn(20, 4, |r, c| ((r * 7 + c) as f32 * 0.37).sin());
-        let feats: Vec<_> = (0..30u32)
-            .map(|u| extract_features(ds.profile(UserId(u)), &pop, &emb))
-            .collect();
+        let feats: Vec<_> =
+            (0..30u32).map(|u| extract_features(ds.profile(UserId(u)), &pop, &emb)).collect();
         let det = ZScoreDetector::fit(&feats);
         (ds, pop, emb, det)
     }
@@ -162,8 +161,13 @@ mod tests {
             0.1,
         );
         let mut strict = strict;
-        let mut lax =
-            ScreenedRecommender::new(NullRec { n_users: 0, injected: vec![] }, det, pop, emb, 100.0);
+        let mut lax = ScreenedRecommender::new(
+            NullRec { n_users: 0, injected: vec![] },
+            det,
+            pop,
+            emb,
+            100.0,
+        );
         for u in 0..10u32 {
             let profile: Vec<ItemId> = ds.profile(UserId(u)).to_vec();
             strict.inject_user(&profile);

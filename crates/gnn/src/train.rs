@@ -145,10 +145,8 @@ fn bpr_step(
     let m_u = model.aggregate_profile(profile);
     let (h_u, cache_u) = model.user_tower.forward(&m_u);
 
-    let x_pos =
-        model.item_tower_input(pos, &caches.n_item(pos), caches.n_item_cnt[pos.idx()]);
-    let x_neg =
-        model.item_tower_input(neg, &caches.n_item(neg), caches.n_item_cnt[neg.idx()]);
+    let x_pos = model.item_tower_input(pos, &caches.n_item(pos), caches.n_item_cnt[pos.idx()]);
+    let x_neg = model.item_tower_input(neg, &caches.n_item(neg), caches.n_item_cnt[neg.idx()]);
     let (h_pos, cache_pos) = model.item_tower.forward(&x_pos);
     let (h_neg, cache_neg) = model.item_tower.forward(&x_neg);
 

@@ -39,11 +39,8 @@ fn injection_promotes_cold_target_item() {
     // Inject 30 source users who interacted with the target item (this is
     // the TargetAttack baseline's selection rule).
     let src = world.source_item(target).expect("cold item overlaps");
-    let mut candidates: Vec<UserId> = world
-        .source
-        .users()
-        .filter(|&u| world.source.contains(u, src))
-        .collect();
+    let mut candidates: Vec<UserId> =
+        world.source.users().filter(|&u| world.source.contains(u, src)).collect();
     candidates.shuffle(&mut cold_rng);
     let mut injected = 0;
     for &u in candidates.iter() {

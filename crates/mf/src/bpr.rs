@@ -94,8 +94,7 @@ mod tests {
         // Users 0..10 like items 0..10; users 10..20 like items 10..20.
         for u in 0..20u32 {
             let base = if u < 10 { 0u32 } else { 10 };
-            let profile: Vec<ItemId> =
-                (0..6).map(|i| ItemId(base + (u * 3 + i) % 10)).collect();
+            let profile: Vec<ItemId> = (0..6).map(|i| ItemId(base + (u * 3 + i) % 10)).collect();
             b.user(&profile);
         }
         b.build()
@@ -113,10 +112,8 @@ mod tests {
         for u in 0..20u32 {
             let own_base = if u < 10 { 0 } else { 10 };
             let other_base = 10 - own_base;
-            let own: f32 =
-                (0..10).map(|i| model.score(UserId(u), ItemId(own_base + i))).sum();
-            let other: f32 =
-                (0..10).map(|i| model.score(UserId(u), ItemId(other_base + i))).sum();
+            let own: f32 = (0..10).map(|i| model.score(UserId(u), ItemId(own_base + i))).sum();
+            let other: f32 = (0..10).map(|i| model.score(UserId(u), ItemId(other_base + i))).sum();
             if own > other {
                 correct += 1;
             }
@@ -162,9 +159,8 @@ mod tests {
     fn same_taste_users_have_similar_embeddings() {
         let ds = polarized();
         let model = train(&ds, &BprConfig { epochs: 60, seed: 1, ..Default::default() });
-        let cos = |a: UserId, b: UserId| {
-            ca_tensor::ops::cosine(model.user_vec(a), model.user_vec(b))
-        };
+        let cos =
+            |a: UserId, b: UserId| ca_tensor::ops::cosine(model.user_vec(a), model.user_vec(b));
         // Mean within-group vs cross-group cosine.
         let mut within = 0.0;
         let mut cross = 0.0;

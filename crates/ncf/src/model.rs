@@ -134,9 +134,7 @@ mod tests {
             layer.w.fill_zero();
             layer.b.iter_mut().for_each(|b| *b = 0.0);
         }
-        let expected: f32 = (0..8)
-            .map(|k| m.w_gmf[k] * m.p[(0, k)] * m.q[(1, k)])
-            .sum();
+        let expected: f32 = (0..8).map(|k| m.w_gmf[k] * m.p[(0, k)] * m.q[(1, k)]).sum();
         assert!((m.score(UserId(0), ItemId(1)) - expected).abs() < 1e-6);
     }
 

@@ -31,7 +31,12 @@ impl NcfRecommender {
     ///
     /// # Panics
     /// Panics if model and data disagree on shapes or `refresh_every` is 0.
-    pub fn deploy(model: NcfModel, data: Dataset, refresh_every: usize, refresh_epochs: usize) -> Self {
+    pub fn deploy(
+        model: NcfModel,
+        data: Dataset,
+        refresh_every: usize,
+        refresh_epochs: usize,
+    ) -> Self {
         assert_eq!(model.n_users(), data.n_users(), "model/user-base mismatch");
         assert_eq!(model.n_items(), data.n_items(), "model/catalog mismatch");
         assert!(refresh_every > 0, "refresh cadence must be positive");
@@ -131,8 +136,7 @@ mod tests {
         let mut b = DatasetBuilder::new(30);
         for u in 0..40u32 {
             let base: u32 = if u < 20 { 0 } else { 15 };
-            let profile: Vec<ItemId> =
-                (0..8u32).map(|i| ItemId(base + (u * 5 + i) % 15)).collect();
+            let profile: Vec<ItemId> = (0..8u32).map(|i| ItemId(base + (u * 5 + i) % 15)).collect();
             b.user(&profile);
         }
         let ds = b.build();
@@ -181,10 +185,7 @@ mod tests {
         }
         assert_eq!(rec.pending_refresh(), 0);
         let after = rec.score(probe, target);
-        assert!(
-            after > before,
-            "refresh-cycle poisoning failed: {before} -> {after}"
-        );
+        assert!(after > before, "refresh-cycle poisoning failed: {before} -> {after}");
     }
 
     #[test]

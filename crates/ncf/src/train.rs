@@ -20,7 +20,11 @@ pub struct NcfTrainReport {
 }
 
 /// Trains an [`NcfModel`] on the training split with early stopping.
-pub fn train(train_ds: &Dataset, validation: &[HeldOut], cfg: &NcfConfig) -> (NcfModel, NcfTrainReport) {
+pub fn train(
+    train_ds: &Dataset,
+    validation: &[HeldOut],
+    cfg: &NcfConfig,
+) -> (NcfModel, NcfTrainReport) {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xACE));
     let mut model = NcfModel::new(train_ds.n_users(), train_ds.n_items(), cfg.clone());
     let mut pairs: Vec<(UserId, ItemId)> = train_ds.interactions().collect();
@@ -221,11 +225,17 @@ mod tests {
         // BPR fine-tuning improves the *margin* between profile items and
         // the rest of the catalog (absolute scores may move either way).
         let margin = |m: &NcfModel| {
-            let own: f32 = profile.iter().map(|&v| m.score(uid, v)).sum::<f32>()
-                / profile.len() as f32;
+            let own: f32 =
+                profile.iter().map(|&v| m.score(uid, v)).sum::<f32>() / profile.len() as f32;
             let rest: f32 = (5..30u32).map(|v| m.score(uid, ItemId(v))).sum::<f32>() / 25.0;
             own - rest
         };
+        // Start the user cold: onboarding warm-starts from the mean item
+        // embedding, which already encodes the profile; fine-tuning must
+        // recover that signal from scratch.
+        for k in 0..model.cfg.dim {
+            model.p[(uid.idx(), k)] = 0.0;
+        }
         let before = margin(&model);
         fine_tune_user(&mut model, &data, uid, 5, &mut rng);
         let after = margin(&model);

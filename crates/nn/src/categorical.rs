@@ -58,10 +58,7 @@ impl Categorical {
         }
         // Floating-point slack: fall back to the last action with nonzero
         // probability.
-        self.probs
-            .iter()
-            .rposition(|&p| p > 0.0)
-            .expect("categorical with all-zero probabilities")
+        self.probs.iter().rposition(|&p| p > 0.0).expect("categorical with all-zero probabilities")
     }
 
     /// Greedy (argmax) action.
@@ -76,12 +73,7 @@ impl Categorical {
 
     /// Shannon entropy in nats (useful to monitor policy collapse).
     pub fn entropy(&self) -> f32 {
-        -self
-            .probs
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| p * p.ln())
-            .sum::<f32>()
+        -self.probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>()
     }
 
     /// Gradient of `-coeff · log π(action)` w.r.t. the logits:

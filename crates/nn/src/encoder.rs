@@ -55,8 +55,12 @@ impl SeqEncoder {
         std: f32,
     ) -> Self {
         match kind {
-            EncoderKind::Rnn => SeqEncoder::Rnn(Box::new(Rnn::new(rng, input_dim, hidden_dim, std))),
-            EncoderKind::Gru => SeqEncoder::Gru(Box::new(Gru::new(rng, input_dim, hidden_dim, std))),
+            EncoderKind::Rnn => {
+                SeqEncoder::Rnn(Box::new(Rnn::new(rng, input_dim, hidden_dim, std)))
+            }
+            EncoderKind::Gru => {
+                SeqEncoder::Gru(Box::new(Gru::new(rng, input_dim, hidden_dim, std)))
+            }
         }
     }
 

@@ -127,9 +127,7 @@ impl Gru {
             ops::axpy(1.0, &self.bh, &mut hhat);
             hhat.iter_mut().for_each(|v| *v = v.tanh());
 
-            let h_next: Vec<f32> = (0..hd)
-                .map(|k| (1.0 - z[k]) * h[k] + z[k] * hhat[k])
-                .collect();
+            let h_next: Vec<f32> = (0..hd).map(|k| (1.0 - z[k]) * h[k] + z[k] * hhat[k]).collect();
             steps.push(StepCache { x: x.to_vec(), h_prev: h.clone(), z, r, hhat });
             h = h_next;
         }
@@ -241,7 +239,8 @@ impl GruGrad {
 
     /// Multiplies every entry by `alpha`.
     pub fn scale(&mut self, alpha: f32) {
-        for m in [&mut self.wz, &mut self.uz, &mut self.wr, &mut self.ur, &mut self.wh, &mut self.uh]
+        for m in
+            [&mut self.wz, &mut self.uz, &mut self.wr, &mut self.ur, &mut self.wh, &mut self.uh]
         {
             ops::scale(m.as_mut_slice(), alpha);
         }
@@ -296,11 +295,8 @@ mod tests {
     fn bptt_gradient_check() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut gru = Gru::new(&mut rng, 3, 4, 0.4);
-        let xs: Vec<Vec<f32>> = vec![
-            vec![0.4, -0.1, 0.2],
-            vec![-0.3, 0.6, 0.0],
-            vec![0.1, 0.1, -0.5],
-        ];
+        let xs: Vec<Vec<f32>> =
+            vec![vec![0.4, -0.1, 0.2], vec![-0.3, 0.6, 0.0], vec![0.1, 0.1, -0.5]];
         let refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
         let (h, cache) = gru.forward(&refs);
         let mut grad = gru.zero_grad();

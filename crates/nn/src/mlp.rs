@@ -42,10 +42,7 @@ impl Mlp {
     /// Panics if `dims.len() < 2`.
     pub fn new(rng: &mut impl Rng, dims: &[usize], std: f32) -> Self {
         assert!(dims.len() >= 2, "MLP needs at least input and output dims");
-        let layers = dims
-            .windows(2)
-            .map(|w| Linear::gaussian(rng, w[0], w[1], std))
-            .collect();
+        let layers = dims.windows(2).map(|w| Linear::gaussian(rng, w[0], w[1], std)).collect();
         Self { layers }
     }
 

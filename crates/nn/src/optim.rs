@@ -45,7 +45,14 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard (0.9, 0.999, 1e-8) hyper-parameters.
     pub fn new(param_len: usize) -> Self {
-        Self { m: vec![0.0; param_len], v: vec![0.0; param_len], t: 0, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Self {
+            m: vec![0.0; param_len],
+            v: vec![0.0; param_len],
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// One update: `param -= lr * m̂ / (sqrt(v̂) + eps)`.

@@ -11,8 +11,20 @@
 //! hidden. Keeping this boundary as a trait means the attack code in
 //! `copyattack-core` *cannot* cheat: it never sees model internals, only
 //! this interface.
+//!
+//! Two flavors of the boundary exist:
+//!
+//! - [`BlackBoxRecommender`] — the *infallible* surface used by simulation
+//!   targets that always answer (the original paper setting);
+//! - [`FallibleBlackBox`] — the *deployed-platform* surface where every call
+//!   can fail with a [`RecError`] (rate limits, timeouts, suspensions…).
+//!   Every infallible recommender is automatically fallible through a
+//!   blanket impl that never errors, so attack code written against
+//!   `FallibleBlackBox` runs unchanged on both.
 
+use crate::faults::RecError;
 use crate::ids::{ItemId, UserId};
+use std::cell::Cell;
 
 /// Query-and-inject interface to a deployed recommender.
 pub trait BlackBoxRecommender {
@@ -30,6 +42,48 @@ pub trait BlackBoxRecommender {
     fn catalog_size(&self) -> usize;
 }
 
+/// The fallible attack surface of an *unreliable* deployed platform.
+///
+/// Mirrors [`BlackBoxRecommender`] but every interaction can fail with a
+/// [`RecError`]. Resilient attack loops (retry policies, partial rewards,
+/// account re-establishment) are written against this trait; simulation
+/// targets get it for free via the blanket impl below.
+pub trait FallibleBlackBox {
+    /// Fallible Top-k query for `user`.
+    fn try_top_k(&mut self, user: UserId, k: usize) -> Result<Vec<ItemId>, RecError>;
+
+    /// Fallible account creation with `profile`.
+    fn try_inject_user(&mut self, profile: &[ItemId]) -> Result<UserId, RecError>;
+
+    /// Number of items in the platform's catalog.
+    fn catalog_size(&self) -> usize;
+
+    /// Advances the platform's *logical clock* by `ticks` without issuing a
+    /// call — how a retry policy "sleeps" through a backoff delay or a
+    /// `retry_after` hint. Reliable platforms have no clock; the default is
+    /// a no-op.
+    fn wait(&mut self, ticks: u64) {
+        let _ = ticks;
+    }
+}
+
+/// Every infallible recommender is a fallible one that never fails. This is
+/// what keeps the original simulation targets and their tests working after
+/// the attacker-facing API moved to `Result`.
+impl<T: BlackBoxRecommender> FallibleBlackBox for T {
+    fn try_top_k(&mut self, user: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
+        Ok(BlackBoxRecommender::top_k(self, user, k))
+    }
+
+    fn try_inject_user(&mut self, profile: &[ItemId]) -> Result<UserId, RecError> {
+        Ok(BlackBoxRecommender::inject_user(self, profile))
+    }
+
+    fn catalog_size(&self) -> usize {
+        BlackBoxRecommender::catalog_size(self)
+    }
+}
+
 /// Counts queries and injections so experiments can report attacker cost.
 ///
 /// Wrap any recommender to enforce/observe the paper's limited-resource
@@ -37,19 +91,21 @@ pub trait BlackBoxRecommender {
 /// target recommender system").
 pub struct MeteredRecommender<R> {
     inner: R,
-    queries: u64,
+    // `top_k` takes `&self`, so the query counter lives in a `Cell`:
+    // every path through the trait is metered, including read-only ones.
+    queries: Cell<u64>,
     injections: u64,
 }
 
-impl<R: BlackBoxRecommender> MeteredRecommender<R> {
+impl<R> MeteredRecommender<R> {
     /// Wraps `inner` with zeroed counters.
     pub fn new(inner: R) -> Self {
-        Self { inner, queries: 0, injections: 0 }
+        Self { inner, queries: Cell::new(0), injections: 0 }
     }
 
     /// Top-k queries issued so far.
     pub fn queries(&self) -> u64 {
-        self.queries
+        self.queries.get()
     }
 
     /// Profiles injected so far.
@@ -71,8 +127,7 @@ impl<R: BlackBoxRecommender> MeteredRecommender<R> {
 
 impl<R: BlackBoxRecommender> BlackBoxRecommender for MeteredRecommender<R> {
     fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
-        // Interior counting without RefCell: queries are counted in
-        // `top_k_counted`; this passthrough exists for read-only users.
+        self.queries.set(self.queries.get() + 1);
         self.inner.top_k(user, k)
     }
 
@@ -87,10 +142,101 @@ impl<R: BlackBoxRecommender> BlackBoxRecommender for MeteredRecommender<R> {
 }
 
 impl<R: BlackBoxRecommender> MeteredRecommender<R> {
-    /// Top-k query that increments the query counter.
+    /// Top-k query through `&mut self`. Kept for callers predating the
+    /// interior-mutability counter; identical to [`BlackBoxRecommender::top_k`],
+    /// which now meters every path.
     pub fn top_k_counted(&mut self, user: UserId, k: usize) -> Vec<ItemId> {
-        self.queries += 1;
-        self.inner.top_k(user, k)
+        BlackBoxRecommender::top_k(self, user, k)
+    }
+}
+
+/// Attempt-level metering for the fallible surface.
+///
+/// Unlike [`MeteredRecommender`], this wrapper counts *attempts*: a query
+/// that fails and is retried three times costs four metered queries — the
+/// honest accounting of attacker cost against a flaky platform, where every
+/// network call spends budget whether or not it succeeds.
+pub struct MeteredFallible<R> {
+    inner: R,
+    query_attempts: u64,
+    failed_queries: u64,
+    inject_attempts: u64,
+    failed_injections: u64,
+}
+
+impl<R> MeteredFallible<R> {
+    /// Wraps `inner` with zeroed counters.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            query_attempts: 0,
+            failed_queries: 0,
+            inject_attempts: 0,
+            failed_injections: 0,
+        }
+    }
+
+    /// Top-k attempts so far (successful + failed).
+    pub fn queries(&self) -> u64 {
+        self.query_attempts
+    }
+
+    /// Top-k attempts that returned an error.
+    pub fn failed_queries(&self) -> u64 {
+        self.failed_queries
+    }
+
+    /// Injection attempts so far (successful + failed).
+    pub fn inject_attempts(&self) -> u64 {
+        self.inject_attempts
+    }
+
+    /// Injections that landed (attempts minus failures).
+    pub fn injections(&self) -> u64 {
+        self.inject_attempts - self.failed_injections
+    }
+
+    /// Injection attempts that returned an error.
+    pub fn failed_injections(&self) -> u64 {
+        self.failed_injections
+    }
+
+    /// Unwraps the inner platform.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Shared reference to the inner platform (owner-side evaluation).
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: FallibleBlackBox> FallibleBlackBox for MeteredFallible<R> {
+    fn try_top_k(&mut self, user: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
+        self.query_attempts += 1;
+        let r = self.inner.try_top_k(user, k);
+        if r.is_err() {
+            self.failed_queries += 1;
+        }
+        r
+    }
+
+    fn try_inject_user(&mut self, profile: &[ItemId]) -> Result<UserId, RecError> {
+        self.inject_attempts += 1;
+        let r = self.inner.try_inject_user(profile);
+        if r.is_err() {
+            self.failed_injections += 1;
+        }
+        r
+    }
+
+    fn catalog_size(&self) -> usize {
+        self.inner.catalog_size()
+    }
+
+    fn wait(&mut self, ticks: u64) {
+        self.inner.wait(ticks);
     }
 }
 
@@ -127,7 +273,26 @@ mod tests {
         let _ = m.inject_user(&[ItemId(1)]);
         assert_eq!(m.queries(), 2);
         assert_eq!(m.injections(), 1);
-        assert_eq!(m.catalog_size(), 10);
+        assert_eq!(BlackBoxRecommender::catalog_size(&m), 10);
+    }
+
+    /// Regression test: the `&self` trait passthrough used to skip the
+    /// query counter, silently underreporting attacker cost.
+    #[test]
+    fn shared_reference_top_k_is_metered() {
+        let m = MeteredRecommender::new(Newest { n_items: 10, n_users: 0 });
+        let _ = m.top_k(UserId(0), 3);
+        let _ = m.top_k(UserId(1), 5);
+        assert_eq!(m.queries(), 2, "read-only top_k path must be metered");
+
+        // And generic code that only knows the trait is metered too.
+        fn query_thrice<R: BlackBoxRecommender>(r: &R) {
+            for _ in 0..3 {
+                let _ = r.top_k(UserId(0), 1);
+            }
+        }
+        query_thrice(&m);
+        assert_eq!(m.queries(), 5);
     }
 
     #[test]
@@ -135,5 +300,56 @@ mod tests {
         let m = MeteredRecommender::new(Newest { n_items: 10, n_users: 0 });
         assert_eq!(m.top_k(UserId(0), 4).len(), 4);
         assert_eq!(m.top_k(UserId(0), 4)[0], ItemId(9));
+    }
+
+    #[test]
+    fn blanket_fallible_impl_never_fails() {
+        let mut rec = Newest { n_items: 6, n_users: 0 };
+        let list = rec.try_top_k(UserId(0), 3).expect("infallible blanket");
+        assert_eq!(list.len(), 3);
+        let id = rec.try_inject_user(&[ItemId(2)]).expect("infallible blanket");
+        assert_eq!(id, UserId(0));
+        assert_eq!(FallibleBlackBox::catalog_size(&rec), 6);
+        rec.wait(100); // no clock on a reliable platform: no-op
+    }
+
+    #[test]
+    fn metered_fallible_counts_attempts_and_failures() {
+        /// Fails every other query.
+        struct Flaky {
+            calls: u64,
+        }
+        impl FallibleBlackBox for Flaky {
+            fn try_top_k(&mut self, _u: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
+                self.calls += 1;
+                if self.calls % 2 == 0 {
+                    Err(RecError::Timeout)
+                } else {
+                    Ok(vec![ItemId(0); k])
+                }
+            }
+            fn try_inject_user(&mut self, _p: &[ItemId]) -> Result<UserId, RecError> {
+                self.calls += 1;
+                if self.calls % 2 == 0 {
+                    Err(RecError::ServiceUnavailable)
+                } else {
+                    Ok(UserId(9))
+                }
+            }
+            fn catalog_size(&self) -> usize {
+                4
+            }
+        }
+
+        let mut m = MeteredFallible::new(Flaky { calls: 0 });
+        assert!(m.try_top_k(UserId(0), 2).is_ok());
+        assert!(m.try_top_k(UserId(0), 2).is_err());
+        assert!(m.try_inject_user(&[]).is_ok());
+        assert!(m.try_inject_user(&[]).is_err());
+        assert_eq!(m.queries(), 2);
+        assert_eq!(m.failed_queries(), 1);
+        assert_eq!(m.inject_attempts(), 2);
+        assert_eq!(m.injections(), 1);
+        assert_eq!(m.failed_injections(), 1);
     }
 }

@@ -27,7 +27,12 @@ pub struct Dataset {
 impl Dataset {
     /// An empty dataset over a fixed item catalog of size `n_items`.
     pub fn empty(n_items: usize) -> Self {
-        Self { n_items, profiles: Vec::new(), item_users: vec![Vec::new(); n_items], n_interactions: 0 }
+        Self {
+            n_items,
+            profiles: Vec::new(),
+            item_users: vec![Vec::new(); n_items],
+            n_interactions: 0,
+        }
     }
 
     /// Number of users (including any injected ones).

@@ -170,8 +170,10 @@ mod tests {
         let ds = toy();
         let ev = RankingEval::standard(&ds);
         let mut rng = StdRng::seed_from_u64(4);
-        let heldout =
-            vec![HeldOut { user: UserId(0), item: ItemId(199) }, HeldOut { user: UserId(1), item: ItemId(198) }];
+        let heldout = vec![
+            HeldOut { user: UserId(0), item: ItemId(199) },
+            HeldOut { user: UserId(1), item: ItemId(198) },
+        ];
         let acc = ev.evaluate(&IdScorer, &heldout, &mut rng);
         assert_eq!(acc.count(), 2);
         assert_eq!(acc.hr(5), 1.0);

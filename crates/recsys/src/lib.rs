@@ -12,19 +12,25 @@
 //!   interact with and then rank the test item among them", §5.1.2);
 //! - [`blackbox::BlackBoxRecommender`] — the *only* interface the attacker
 //!   is allowed to touch: inject a profile, query Top-k lists;
+//! - [`blackbox::FallibleBlackBox`] / [`faults`] — the same surface on an
+//!   *unreliable* platform: typed errors ([`RecError`]), plus a
+//!   deterministic fault injector ([`FaultyRecommender`]) for chaos testing
+//!   resilient attack loops;
 //! - [`popularity`] — item-popularity deciles for the Figure 4 analysis.
 
 pub mod blackbox;
 pub mod dataset;
 pub mod eval;
+pub mod faults;
 pub mod ids;
 pub mod knn;
 pub mod metrics;
 pub mod popularity;
 pub mod split;
 
-pub use blackbox::BlackBoxRecommender;
+pub use blackbox::{BlackBoxRecommender, FallibleBlackBox, MeteredFallible, MeteredRecommender};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use eval::{RankingEval, Scorer};
+pub use faults::{FaultConfig, FaultStats, FaultyRecommender, RateLimit, RecError, SplitMix64};
 pub use ids::{ItemId, UserId};
 pub use split::{split_dataset, HeldOut, Split};

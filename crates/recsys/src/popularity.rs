@@ -87,11 +87,8 @@ pub fn sample_cold_overlap_items(
     max_interactions: usize,
     rng: &mut impl Rng,
 ) -> Vec<ItemId> {
-    let mut cold: Vec<ItemId> = overlap
-        .iter()
-        .copied()
-        .filter(|&v| ds.item_popularity(v) < max_interactions)
-        .collect();
+    let mut cold: Vec<ItemId> =
+        overlap.iter().copied().filter(|&v| ds.item_popularity(v) < max_interactions).collect();
     cold.shuffle(rng);
     cold.truncate(n);
     cold
@@ -129,10 +126,8 @@ mod tests {
     fn group_zero_is_most_popular() {
         let ds = graded();
         let g = PopularityGroups::build(&ds, 5);
-        let min_pop_g0 =
-            g.group(0).iter().map(|&v| ds.item_popularity(v)).min().unwrap();
-        let max_pop_last =
-            g.group(4).iter().map(|&v| ds.item_popularity(v)).max().unwrap();
+        let min_pop_g0 = g.group(0).iter().map(|&v| ds.item_popularity(v)).min().unwrap();
+        let max_pop_last = g.group(4).iter().map(|&v| ds.item_popularity(v)).max().unwrap();
         assert!(min_pop_g0 >= max_pop_last);
     }
 

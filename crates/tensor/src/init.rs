@@ -23,7 +23,13 @@ pub fn gaussian_vec(rng: &mut impl Rng, len: usize, mean: f32, std: f32) -> Vec<
 }
 
 /// A matrix of i.i.d. `N(mean, std²)` entries.
-pub fn gaussian_matrix(rng: &mut impl Rng, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+pub fn gaussian_matrix(
+    rng: &mut impl Rng,
+    rows: usize,
+    cols: usize,
+    mean: f32,
+    std: f32,
+) -> Matrix {
     Matrix::from_fn(rows, cols, |_, _| gaussian(rng, mean, std))
 }
 

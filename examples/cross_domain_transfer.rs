@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example cross_domain_transfer`
 
-use copyattack::core::{AttackEnvironment, CopyAttackAgent, CopyAttackVariant};
+use copyattack::core::{CopyAttackAgent, CopyAttackVariant};
 use copyattack::pipeline::{Pipeline, PipelineConfig};
 use copyattack::recsys::eval::RankingEval;
 use copyattack::recsys::knn::ItemKnnRecommender;
@@ -27,12 +27,8 @@ fn main() {
     let target_src = pipe.world.source_item(target).expect("overlap");
 
     // Train CopyAttack against the GNN black box.
-    let mut agent = CopyAttackAgent::new(
-        cfg.attack.clone(),
-        CopyAttackVariant::full(),
-        &src,
-        target_src,
-    );
+    let mut agent =
+        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
     agent.train(&src, || pipe.make_env(target));
     let mut env = pipe.make_env(target);
     let outcome = agent.execute(&src, &mut env);
@@ -45,25 +41,19 @@ fn main() {
         .collect();
 
     // GNN promotion.
-    let hr_gnn_before = pipe
-        .evaluate_promotion(&pipe.recommender, target, 77)
-        .hr(20);
+    let hr_gnn_before = pipe.evaluate_promotion(&pipe.recommender, target, 77).hr(20);
     let hr_gnn_after = pipe.evaluate_promotion(&polluted_gnn, target, 77).hr(20);
 
     // Replay against ItemKNN deployed on the same clean data.
     let mut knn = ItemKnnRecommender::deploy(pipe.split.train.clone());
     let ev = RankingEval::standard(&pipe.split.train);
     let mut rng = StdRng::seed_from_u64(77);
-    let hr_knn_before = ev
-        .evaluate_promotion(&knn, &pipe.eval_users, target, &mut rng)
-        .hr(20);
+    let hr_knn_before = ev.evaluate_promotion(&knn, &pipe.eval_users, target, &mut rng).hr(20);
     for p in &injected {
         knn.inject_user(p);
     }
     let mut rng = StdRng::seed_from_u64(77);
-    let hr_knn_after = ev
-        .evaluate_promotion(&knn, &pipe.eval_users, target, &mut rng)
-        .hr(20);
+    let hr_knn_after = ev.evaluate_promotion(&knn, &pipe.eval_users, target, &mut rng).hr(20);
 
     println!("{} copied profiles, trained against the GNN only", injected.len());
     println!("GNN target model:     HR@20 {hr_gnn_before:.4} -> {hr_gnn_after:.4}");

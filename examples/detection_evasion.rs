@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example detection_evasion`
 
-use copyattack::core::{AttackEnvironment, CopyAttackAgent, CopyAttackVariant};
+use copyattack::core::{CopyAttackAgent, CopyAttackVariant};
 use copyattack::detect::features::PopularityIndex;
 use copyattack::detect::{
     detection_auc, extract_features, naive_fake_profiles, precision_at_n, ZScoreDetector,
@@ -31,34 +31,24 @@ fn main() {
     // embeddings (trained on clean data) providing the coherence geometry.
     let clean = &pipe.split.train;
     let pop = PopularityIndex::build(clean);
-    let item_emb = &ca_mf::train(
-        clean,
-        &ca_mf::BprConfig { epochs: 10, seed: 5, ..Default::default() },
-    )
-    .item_emb;
+    let item_emb =
+        &ca_mf::train(clean, &ca_mf::BprConfig { epochs: 10, seed: 5, ..Default::default() })
+            .item_emb;
     let genuine_features: Vec<_> = (0..clean.n_users() as u32)
         .map(|u| extract_features(clean.profile(UserId(u)), &pop, item_emb))
         .collect();
     let detector = ZScoreDetector::fit(&genuine_features);
-    let genuine_scores: Vec<f32> =
-        genuine_features.iter().map(|f| detector.score(f)).collect();
+    let genuine_scores: Vec<f32> = genuine_features.iter().map(|f| detector.score(f)).collect();
 
     // (a) classical generated fakes.
     let mut rng = StdRng::seed_from_u64(3);
-    let naive: Vec<Vec<ItemId>> =
-        naive_fake_profiles(clean, target, 30, 20, &mut rng);
-    let naive_scores: Vec<f32> = naive
-        .iter()
-        .map(|p| detector.score(&extract_features(p, &pop, item_emb)))
-        .collect();
+    let naive: Vec<Vec<ItemId>> = naive_fake_profiles(clean, target, 30, 20, &mut rng);
+    let naive_scores: Vec<f32> =
+        naive.iter().map(|p| detector.score(&extract_features(p, &pop, item_emb))).collect();
 
     // (b) CopyAttack's injected profiles.
-    let mut agent = CopyAttackAgent::new(
-        cfg.attack.clone(),
-        CopyAttackVariant::full(),
-        &src,
-        target_src,
-    );
+    let mut agent =
+        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
     agent.train(&src, || pipe.make_env(target));
     let mut env = pipe.make_env(target);
     let outcome = agent.execute(&src, &mut env);

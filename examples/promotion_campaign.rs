@@ -5,13 +5,18 @@
 //! platform A wants their (cold) product recommended to more users, and
 //! controls accounts that can replay profiles crawled from platform B.
 //! This example sweeps the profile budget Δ and reports the promotion
-//! metrics per budget — a miniature of the Figure 5 experiment.
+//! metrics per budget — a miniature of the Figure 5 experiment — and then
+//! replays the attack against a *flaky* platform (rate limits, timeouts,
+//! suspended accounts) to show the resilient loop riding through faults.
 //!
 //! Run with: `cargo run --release --example promotion_campaign`
 
 use copyattack::core::baselines::target_attack;
-use copyattack::core::{AttackEnvironment, CopyAttackAgent, CopyAttackVariant};
+use copyattack::core::{
+    AttackEnvironment, CopyAttackAgent, CopyAttackVariant, ResilienceConfig, RetryPolicy,
+};
 use copyattack::pipeline::{Pipeline, PipelineConfig};
+use copyattack::recsys::FaultConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,9 +45,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(11);
         let target_src = pipe.world.source_item(target).expect("overlap");
         target_attack(&src, &mut env, target_src, 0.7, &mut rng);
-        let hr_ta = pipe
-            .evaluate_promotion(&env.into_recommender(), target, 99)
-            .hr(20);
+        let hr_ta = pipe.evaluate_promotion(&env.into_recommender(), target, 99).hr(20);
 
         // CopyAttack at this budget.
         let mut attack_cfg = cfg.attack.clone();
@@ -67,11 +70,38 @@ fn main() {
             budget,
         );
         agent.execute(&src, &mut env);
-        let hr_ca = pipe
-            .evaluate_promotion(&env.into_recommender(), target, 99)
-            .hr(20);
+        let hr_ca = pipe.evaluate_promotion(&env.into_recommender(), target, 99).hr(20);
 
         println!("{budget:>8} {hr_ta:>16.4} {hr_ca:>16.4}");
     }
     println!("(HR@20 of the promoted item over real users; higher = more exposure)");
+
+    // -- the same campaign against an unreliable platform -----------------
+    // A real target throttles, times out, and suspends suspicious accounts.
+    // The resilient loop retries with capped exponential backoff (logical
+    // time), averages rewards over the pretend users that answered, and
+    // re-establishes suspended accounts from their stored profiles.
+    println!("\n== replaying the attack on a flaky platform ==");
+    let target_src = pipe.world.source_item(target).expect("overlap");
+    let resilience = ResilienceConfig {
+        retry: RetryPolicy { max_retries: 5, base_delay: 2, max_delay: 64, jitter: 0.25 },
+        ..ResilienceConfig::default()
+    };
+    let mut agent =
+        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
+    let mut env = pipe.make_faulty_env(target, FaultConfig::chaos(7), resilience);
+    let outcome = agent.execute(&src, &mut env);
+    println!(
+        "reward {:.3} | {} profiles landed, {} injection attempts failed",
+        outcome.final_reward, outcome.injections, outcome.failed_injections
+    );
+    let (queries, failed) = (env.queries(), env.failed_queries());
+    let reestablished = env.reestablished();
+    let faulty = env.into_recommender();
+    println!(
+        "platform saw {} calls ({queries} query attempts, {failed} failed); \
+         {reestablished} pretend users re-established",
+        faulty.calls()
+    );
+    println!("fault breakdown: {:?}", faulty.stats());
 }

@@ -20,11 +20,13 @@ use ca_gnn::{train_with_features, GnnConfig, PinSageRecommender, TrainReport};
 use ca_mf::{BprConfig, MfModel};
 use ca_recsys::eval::RankingEval;
 use ca_recsys::metrics::MetricAccumulator;
-use ca_recsys::{split_dataset, ItemId, Split, UserId};
+use ca_recsys::{split_dataset, BlackBoxRecommender, ItemId, Split, UserId};
+use ca_recsys::{FaultConfig, FaultyRecommender};
 use copyattack_core::baselines::{random_attack, target_attack, FlatPolicyAgent};
-use copyattack_core::env::establish_pretend_users;
+use copyattack_core::env::plan_pretend_profiles;
 use copyattack_core::{
-    AttackConfig, AttackEnvironment, CopyAttackAgent, CopyAttackVariant, SourceDomain,
+    AttackConfig, AttackEnvironment, CopyAttackAgent, CopyAttackVariant, ResilienceConfig,
+    SourceDomain,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -190,6 +192,9 @@ pub struct Pipeline {
     pub recommender: PinSageRecommender,
     /// The attacker's pretend-user account ids.
     pub pretend: Vec<UserId>,
+    /// The pretend users' establishing profiles (kept so suspended
+    /// accounts can be re-established against an unreliable platform).
+    pub pretend_profiles: Vec<Vec<ItemId>>,
     /// Real users promotion metrics are averaged over.
     pub eval_users: Vec<UserId>,
     /// The sampled cold target items (target-domain ids).
@@ -219,20 +224,22 @@ impl Pipeline {
             &cfg.gnn,
         );
 
-        // The attacker establishes pretend users before the attack (§4.2).
+        // The attacker establishes pretend users before the attack (§4.2);
+        // the profiles are kept so suspended accounts can be re-established
+        // mid-attack on an unreliable platform.
         let mut pretend_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(202));
-        let pretend = establish_pretend_users(
-            &mut recommender,
+        let pretend_profiles = plan_pretend_profiles(
             &split.train,
             cfg.attack.n_pretend,
             cfg.pretend_profile_len,
             &mut pretend_rng,
         );
+        let pretend: Vec<UserId> =
+            pretend_profiles.iter().map(|p| recommender.inject_user(p)).collect();
 
         // Evaluation users: real accounts only.
         let mut eval_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(303));
-        let mut eval_users: Vec<UserId> =
-            (0..world.target.n_users() as u32).map(UserId).collect();
+        let mut eval_users: Vec<UserId> = (0..world.target.n_users() as u32).map(UserId).collect();
         eval_users.shuffle(&mut eval_rng);
         eval_users.truncate(cfg.n_eval_users);
 
@@ -255,6 +262,7 @@ impl Pipeline {
             source_mf,
             recommender,
             pretend,
+            pretend_profiles,
             eval_users,
             target_items,
             train_report,
@@ -282,6 +290,28 @@ impl Pipeline {
         )
     }
 
+    /// A fresh attack environment on a clone of the deployed system behind
+    /// a deterministic fault injector — the §4.5 setting on an *unreliable*
+    /// platform. The environment retries per `resilience`, computes
+    /// quorum-gated partial rewards, and re-establishes suspended pretend
+    /// users from their stored profiles.
+    pub fn make_faulty_env(
+        &self,
+        target: ItemId,
+        faults: FaultConfig,
+        resilience: ResilienceConfig,
+    ) -> AttackEnvironment<FaultyRecommender<PinSageRecommender>> {
+        AttackEnvironment::new(
+            FaultyRecommender::new(self.recommender.clone(), faults),
+            self.pretend.clone(),
+            target,
+            self.config.attack.reward_k,
+            self.config.attack.budget,
+        )
+        .with_resilience(resilience)
+        .with_pretend_profiles(self.pretend_profiles.clone())
+    }
+
     /// Promotion metrics of `target` on `rec` over the evaluation users
     /// (HR/NDCG @ {20, 10, 5} against 100 sampled negatives).
     pub fn evaluate_promotion(
@@ -297,7 +327,12 @@ impl Pipeline {
 
     /// Runs one method against one target item with the pipeline's default
     /// attack configuration. See [`Pipeline::run_method_cfg`].
-    pub fn run_method(&self, method: Method, target: ItemId, seed: u64) -> (MetricAccumulator, f32) {
+    pub fn run_method(
+        &self,
+        method: Method,
+        target: ItemId,
+        seed: u64,
+    ) -> (MetricAccumulator, f32) {
         let attack_cfg = AttackConfig { seed, ..self.config.attack.clone() };
         self.run_method_cfg(method, target, &attack_cfg)
     }
@@ -313,10 +348,8 @@ impl Pipeline {
         attack_cfg: &AttackConfig,
     ) -> (MetricAccumulator, f32) {
         let src = self.source_domain();
-        let target_src = self
-            .world
-            .source_item(target)
-            .expect("target items are sampled from the overlap");
+        let target_src =
+            self.world.source_item(target).expect("target items are sampled from the overlap");
         let seed = attack_cfg.seed;
         let make_env = || {
             AttackEnvironment::new(
@@ -355,8 +388,7 @@ impl Pipeline {
                     Method::CopyAttackNoMasking => CopyAttackVariant::no_masking(),
                     _ => CopyAttackVariant::no_crafting(),
                 };
-                let mut agent =
-                    CopyAttackAgent::new(attack_cfg.clone(), variant, &src, target_src);
+                let mut agent = CopyAttackAgent::new(attack_cfg.clone(), variant, &src, target_src);
                 agent.train(&src, make_env);
                 let mut env = make_env();
                 let o = agent.execute(&src, &mut env);
@@ -370,8 +402,7 @@ impl Pipeline {
     /// Runs a method over the first `n_items` sampled target items
     /// (in parallel across items) and aggregates a Table 2 row.
     pub fn run_method_over_targets(&self, method: Method, n_items: usize) -> MethodRow {
-        let items: Vec<ItemId> =
-            self.target_items.iter().copied().take(n_items).collect();
+        let items: Vec<ItemId> = self.target_items.iter().copied().take(n_items).collect();
         self.run_method_over_items(method, &items, &self.config.attack.clone())
     }
 

@@ -13,12 +13,8 @@ fn query_count_follows_the_cadence() {
     let target = pipe.target_items[0];
     let target_src = pipe.world.source_item(target).unwrap();
 
-    let mut agent = CopyAttackAgent::new(
-        cfg.attack.clone(),
-        CopyAttackVariant::full(),
-        &src,
-        target_src,
-    );
+    let mut agent =
+        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
     let mut env = pipe.make_env(target);
     let outcome = agent.execute(&src, &mut env);
 
@@ -43,10 +39,7 @@ struct PretendOnly<R> {
 
 impl<R: BlackBoxRecommender> BlackBoxRecommender for PretendOnly<R> {
     fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
-        assert!(
-            user.0 >= self.allowed_from,
-            "attack queried a non-attacker account {user}"
-        );
+        assert!(user.0 >= self.allowed_from, "attack queried a non-attacker account {user}");
         self.inner.top_k(user, k)
     }
     fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
@@ -74,12 +67,8 @@ fn attack_only_queries_attacker_controlled_accounts() {
         cfg.attack.reward_k,
         cfg.attack.budget,
     );
-    let mut agent = CopyAttackAgent::new(
-        cfg.attack.clone(),
-        CopyAttackVariant::full(),
-        &src,
-        target_src,
-    );
+    let mut agent =
+        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
     // Must complete without tripping the guard.
     let outcome = agent.execute(&src, &mut env);
     assert!(outcome.injections > 0);
@@ -92,12 +81,8 @@ fn learning_curve_is_recorded_per_episode() {
     let src = pipe.source_domain();
     let target = pipe.target_items[0];
     let target_src = pipe.world.source_item(target).unwrap();
-    let mut agent = CopyAttackAgent::new(
-        cfg.attack.clone(),
-        CopyAttackVariant::full(),
-        &src,
-        target_src,
-    );
+    let mut agent =
+        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
     let curve = agent.train(&src, || pipe.make_env(target));
     assert_eq!(curve.len(), cfg.attack.episodes);
     assert_eq!(agent.episode_rewards(), &curve[..]);

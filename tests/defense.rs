@@ -4,7 +4,9 @@
 
 use copyattack::core::{AttackEnvironment, CopyAttackAgent, CopyAttackVariant};
 use copyattack::detect::features::PopularityIndex;
-use copyattack::detect::{extract_features, naive_fake_profiles, ScreenedRecommender, ZScoreDetector};
+use copyattack::detect::{
+    extract_features, naive_fake_profiles, ScreenedRecommender, ZScoreDetector,
+};
 use copyattack::pipeline::{Pipeline, PipelineConfig};
 use copyattack::recsys::{BlackBoxRecommender, UserId};
 use copyattack::tensor::Matrix;
@@ -41,8 +43,7 @@ fn screen_blocks_most_generated_fakes() {
     let pipe = Pipeline::build(&cfg);
     let (det, pop, emb) = fit_defense(&pipe);
     let thr = threshold(&pipe, &det, &pop, &emb);
-    let mut screened =
-        ScreenedRecommender::new(pipe.recommender.clone(), det, pop, emb, thr);
+    let mut screened = ScreenedRecommender::new(pipe.recommender.clone(), det, pop, emb, thr);
 
     let target = pipe.target_items[0];
     let mut rng = StdRng::seed_from_u64(1);
@@ -71,12 +72,8 @@ fn copyattack_survives_the_screen_better_than_generated_fakes() {
 
     // Run the attack against the *screened* platform. The agent is unaware
     // of the defense; rejected injections simply waste budget.
-    let mut agent = CopyAttackAgent::new(
-        cfg.attack.clone(),
-        CopyAttackVariant::full(),
-        &src,
-        target_src,
-    );
+    let mut agent =
+        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
     let make_env = || {
         AttackEnvironment::new(
             ScreenedRecommender::new(
@@ -112,8 +109,7 @@ fn copyattack_survives_the_screen_better_than_generated_fakes() {
         acc / n.max(1) as f32
     };
     let mut rng = StdRng::seed_from_u64(2);
-    let fakes =
-        naive_fake_profiles(&pipe.split.train, target, cfg.attack.budget, 30, &mut rng);
+    let fakes = naive_fake_profiles(&pipe.split.train, target, cfg.attack.budget, 30, &mut rng);
     let fake_mean: f32 =
         fakes.iter().map(|p| screened.score_profile(p)).sum::<f32>() / fakes.len() as f32;
     assert!(
@@ -122,12 +118,7 @@ fn copyattack_survives_the_screen_better_than_generated_fakes() {
     );
 
     // And the surviving copied profiles still promote the item.
-    let after = pipe
-        .evaluate_promotion(&screened.into_inner(), target, 11)
-        .hr(20);
+    let after = pipe.evaluate_promotion(&screened.into_inner(), target, 11).hr(20);
     let before = pipe.evaluate_promotion(&pipe.recommender, target, 11).hr(20);
-    assert!(
-        after > before,
-        "attack through the screen failed: HR@20 {before} -> {after}"
-    );
+    assert!(after > before, "attack through the screen failed: HR@20 {before} -> {after}");
 }

@@ -47,19 +47,14 @@ fn demotion_lowers_target_item_exposure() {
     // users whose Top-20 contains the item.
     let exposure = |rec: &copyattack::gnn::PinSageRecommender| {
         use copyattack::recsys::BlackBoxRecommender;
-        let hits = pipe
-            .eval_users
-            .iter()
-            .filter(|&&u| rec.top_k(u, 20).contains(&target))
-            .count();
+        let hits = pipe.eval_users.iter().filter(|&&u| rec.top_k(u, 20).contains(&target)).count();
         hits as f32 / pipe.eval_users.len() as f32
     };
     let before = exposure(&pipe.recommender);
     assert!(before > 0.05, "need a visible item to demote, exposure = {before}");
 
     let attack_cfg = AttackConfig { goal: AttackGoal::Demote, ..cfg.attack.clone() };
-    let mut agent =
-        CopyAttackAgent::new(attack_cfg, CopyAttackVariant::full(), &src, target_src);
+    let mut agent = CopyAttackAgent::new(attack_cfg, CopyAttackVariant::full(), &src, target_src);
     agent.train(&src, || pipe.make_env(target));
     let mut env = pipe.make_env(target);
     let outcome = agent.execute(&src, &mut env);
@@ -79,10 +74,7 @@ fn demotion_lowers_target_item_exposure() {
 
     // The inverted mask must exclude carriers entirely.
     for u in &outcome.selected_users {
-        assert!(
-            !src.has_item(*u, target_src),
-            "demote agent selected carrier {u}"
-        );
+        assert!(!src.has_item(*u, target_src), "demote agent selected carrier {u}");
     }
 }
 

@@ -35,8 +35,7 @@ fn build() -> NcfWorld {
 
     let mut prng = StdRng::seed_from_u64(9);
     let pretend = establish_pretend_users(&mut recommender, &split.train, 10, 8, &mut prng);
-    let mut eval_users: Vec<UserId> =
-        (0..world.target.n_users() as u32).map(UserId).collect();
+    let mut eval_users: Vec<UserId> = (0..world.target.n_users() as u32).map(UserId).collect();
     eval_users.shuffle(&mut prng);
     eval_users.truncate(50);
     let source_mf = copyattack::mf::train(
@@ -66,17 +65,13 @@ fn target_attack_promotes_through_the_refresh_cycle() {
     };
 
     let before = promotion_hr(&w, &w.recommender, target);
-    let mut env =
-        AttackEnvironment::new(w.recommender.clone(), w.pretend.clone(), target, 20, 30);
+    let mut env = AttackEnvironment::new(w.recommender.clone(), w.pretend.clone(), target, 20, 30);
     let mut arng = StdRng::seed_from_u64(4);
     target_attack(&src, &mut env, target_src, 0.7, &mut arng);
     let polluted = env.into_recommender();
     let after = promotion_hr(&w, &polluted, target);
 
-    assert!(
-        after > before,
-        "NCF refresh-cycle promotion failed: {before} -> {after}"
-    );
+    assert!(after > before, "NCF refresh-cycle promotion failed: {before} -> {after}");
 }
 
 #[test]
@@ -98,20 +93,15 @@ fn copyattack_agent_runs_unchanged_against_ncf() {
         n_pretend: w.pretend.len(),
         ..Default::default()
     };
-    let mut agent =
-        CopyAttackAgent::new(attack_cfg, CopyAttackVariant::full(), &src, target_src);
+    let mut agent = CopyAttackAgent::new(attack_cfg, CopyAttackVariant::full(), &src, target_src);
     agent.train(&src, || {
         AttackEnvironment::new(w.recommender.clone(), w.pretend.clone(), target, 20, 30)
     });
-    let mut env =
-        AttackEnvironment::new(w.recommender.clone(), w.pretend.clone(), target, 20, 30);
+    let mut env = AttackEnvironment::new(w.recommender.clone(), w.pretend.clone(), target, 20, 30);
     let outcome = agent.execute(&src, &mut env);
     assert!(outcome.injections > 0);
 
     let before = promotion_hr(&w, &w.recommender, target);
     let after = promotion_hr(&w, &env.into_recommender(), target);
-    assert!(
-        after > before,
-        "CopyAttack vs NCF did not promote: {before} -> {after}"
-    );
+    assert!(after > before, "CopyAttack vs NCF did not promote: {before} -> {after}");
 }

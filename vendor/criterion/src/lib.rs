@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access; this vendored crate keeps
+//! the workspace's benches compiling and runnable. It is a *smoke-run*
+//! harness, not a statistics engine: every benchmark closure is executed a
+//! small fixed number of iterations and timed with `std::time::Instant`,
+//! printing one mean-per-iteration line. Swap the real crate back in by
+//! deleting the `[patch.crates-io]` entry when a registry is reachable.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+const WARMUP_ITERS: u32 = 3;
+const MEASURE_ITERS: u32 = 20;
+
+/// Re-export matching upstream's path for `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the stub).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for one parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Runs one benchmark body repeatedly.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / MEASURE_ITERS as f64;
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let mut total_nanos = 0u128;
+        for i in 0..(WARMUP_ITERS + MEASURE_ITERS) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            if i >= WARMUP_ITERS {
+                total_nanos += start.elapsed().as_nanos();
+            }
+        }
+        self.nanos_per_iter = total_nanos as f64 / MEASURE_ITERS as f64;
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { nanos_per_iter: 0.0 };
+    f(&mut bencher);
+    let per_iter = bencher.nanos_per_iter;
+    if per_iter >= 1_000_000.0 {
+        println!("{label:<40} {:>12.3} ms/iter", per_iter / 1e6);
+    } else if per_iter >= 1_000.0 {
+        println!("{label:<40} {:>12.3} µs/iter", per_iter / 1e3);
+    } else {
+        println!("{label:<40} {:>12.1} ns/iter", per_iter);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Upstream tuning knob; accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Upstream configuration hooks; accepted and ignored.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs registered groups (handled by `criterion_main!` in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Groups benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-28d1ac17d1441fae.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-28d1ac17d1441fae: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_surface-2d28014016c3c8ba.d: tests/attack_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_surface-2d28014016c3c8ba.rmeta: tests/attack_surface.rs Cargo.toml
+
+tests/attack_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_surface-d4ef334d8c680b7f.d: tests/attack_surface.rs
+
+/root/repo/target/debug/deps/attack_surface-d4ef334d8c680b7f: tests/attack_surface.rs
+
+tests/attack_surface.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ca_cluster-18a09f11ea32462c.d: crates/cluster/src/lib.rs crates/cluster/src/balanced.rs crates/cluster/src/kmeans.rs crates/cluster/src/mask.rs crates/cluster/src/tree.rs
+
+/root/repo/target/debug/deps/ca_cluster-18a09f11ea32462c: crates/cluster/src/lib.rs crates/cluster/src/balanced.rs crates/cluster/src/kmeans.rs crates/cluster/src/mask.rs crates/cluster/src/tree.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/balanced.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/mask.rs:
+crates/cluster/src/tree.rs:

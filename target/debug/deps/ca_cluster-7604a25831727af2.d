@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ca_cluster-7604a25831727af2.d: crates/cluster/src/lib.rs crates/cluster/src/balanced.rs crates/cluster/src/kmeans.rs crates/cluster/src/mask.rs crates/cluster/src/tree.rs
+
+/root/repo/target/debug/deps/libca_cluster-7604a25831727af2.rlib: crates/cluster/src/lib.rs crates/cluster/src/balanced.rs crates/cluster/src/kmeans.rs crates/cluster/src/mask.rs crates/cluster/src/tree.rs
+
+/root/repo/target/debug/deps/libca_cluster-7604a25831727af2.rmeta: crates/cluster/src/lib.rs crates/cluster/src/balanced.rs crates/cluster/src/kmeans.rs crates/cluster/src/mask.rs crates/cluster/src/tree.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/balanced.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/mask.rs:
+crates/cluster/src/tree.rs:

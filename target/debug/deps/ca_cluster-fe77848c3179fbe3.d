@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ca_cluster-fe77848c3179fbe3.d: crates/cluster/src/lib.rs crates/cluster/src/balanced.rs crates/cluster/src/kmeans.rs crates/cluster/src/mask.rs crates/cluster/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_cluster-fe77848c3179fbe3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/balanced.rs crates/cluster/src/kmeans.rs crates/cluster/src/mask.rs crates/cluster/src/tree.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/balanced.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/mask.rs:
+crates/cluster/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ca_datagen-5b62b5e33a19b443.d: crates/datagen/src/lib.rs crates/datagen/src/config.rs crates/datagen/src/generator.rs crates/datagen/src/latent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_datagen-5b62b5e33a19b443.rmeta: crates/datagen/src/lib.rs crates/datagen/src/config.rs crates/datagen/src/generator.rs crates/datagen/src/latent.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/config.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/latent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ca_datagen-a078e8a45afdb3a0.d: crates/datagen/src/lib.rs crates/datagen/src/config.rs crates/datagen/src/generator.rs crates/datagen/src/latent.rs
+
+/root/repo/target/debug/deps/libca_datagen-a078e8a45afdb3a0.rlib: crates/datagen/src/lib.rs crates/datagen/src/config.rs crates/datagen/src/generator.rs crates/datagen/src/latent.rs
+
+/root/repo/target/debug/deps/libca_datagen-a078e8a45afdb3a0.rmeta: crates/datagen/src/lib.rs crates/datagen/src/config.rs crates/datagen/src/generator.rs crates/datagen/src/latent.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/config.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/latent.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ca_datagen-c97babdb5c5b3098.d: crates/datagen/src/lib.rs crates/datagen/src/config.rs crates/datagen/src/generator.rs crates/datagen/src/latent.rs
+
+/root/repo/target/debug/deps/ca_datagen-c97babdb5c5b3098: crates/datagen/src/lib.rs crates/datagen/src/config.rs crates/datagen/src/generator.rs crates/datagen/src/latent.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/config.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/latent.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ca_detect-69b69a51acd8ad8f.d: crates/detect/src/lib.rs crates/detect/src/detector.rs crates/detect/src/features.rs crates/detect/src/screen.rs crates/detect/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_detect-69b69a51acd8ad8f.rmeta: crates/detect/src/lib.rs crates/detect/src/detector.rs crates/detect/src/features.rs crates/detect/src/screen.rs crates/detect/src/synthetic.rs Cargo.toml
+
+crates/detect/src/lib.rs:
+crates/detect/src/detector.rs:
+crates/detect/src/features.rs:
+crates/detect/src/screen.rs:
+crates/detect/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

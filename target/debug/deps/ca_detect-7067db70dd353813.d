@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ca_detect-7067db70dd353813.d: crates/detect/src/lib.rs crates/detect/src/detector.rs crates/detect/src/features.rs crates/detect/src/screen.rs crates/detect/src/synthetic.rs
+
+/root/repo/target/debug/deps/libca_detect-7067db70dd353813.rlib: crates/detect/src/lib.rs crates/detect/src/detector.rs crates/detect/src/features.rs crates/detect/src/screen.rs crates/detect/src/synthetic.rs
+
+/root/repo/target/debug/deps/libca_detect-7067db70dd353813.rmeta: crates/detect/src/lib.rs crates/detect/src/detector.rs crates/detect/src/features.rs crates/detect/src/screen.rs crates/detect/src/synthetic.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/detector.rs:
+crates/detect/src/features.rs:
+crates/detect/src/screen.rs:
+crates/detect/src/synthetic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ca_detect-e19bfb214d6f9d97.d: crates/detect/src/lib.rs crates/detect/src/detector.rs crates/detect/src/features.rs crates/detect/src/screen.rs crates/detect/src/synthetic.rs
+
+/root/repo/target/debug/deps/ca_detect-e19bfb214d6f9d97: crates/detect/src/lib.rs crates/detect/src/detector.rs crates/detect/src/features.rs crates/detect/src/screen.rs crates/detect/src/synthetic.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/detector.rs:
+crates/detect/src/features.rs:
+crates/detect/src/screen.rs:
+crates/detect/src/synthetic.rs:

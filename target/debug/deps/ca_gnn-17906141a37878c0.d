@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ca_gnn-17906141a37878c0.d: crates/gnn/src/lib.rs crates/gnn/src/config.rs crates/gnn/src/model.rs crates/gnn/src/recommender.rs crates/gnn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_gnn-17906141a37878c0.rmeta: crates/gnn/src/lib.rs crates/gnn/src/config.rs crates/gnn/src/model.rs crates/gnn/src/recommender.rs crates/gnn/src/train.rs Cargo.toml
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/config.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/recommender.rs:
+crates/gnn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

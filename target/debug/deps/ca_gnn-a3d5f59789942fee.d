@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ca_gnn-a3d5f59789942fee.d: crates/gnn/src/lib.rs crates/gnn/src/config.rs crates/gnn/src/model.rs crates/gnn/src/recommender.rs crates/gnn/src/train.rs
+
+/root/repo/target/debug/deps/ca_gnn-a3d5f59789942fee: crates/gnn/src/lib.rs crates/gnn/src/config.rs crates/gnn/src/model.rs crates/gnn/src/recommender.rs crates/gnn/src/train.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/config.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/recommender.rs:
+crates/gnn/src/train.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ca_gnn-a444e0991f5602d6.d: crates/gnn/src/lib.rs crates/gnn/src/config.rs crates/gnn/src/model.rs crates/gnn/src/recommender.rs crates/gnn/src/train.rs
+
+/root/repo/target/debug/deps/libca_gnn-a444e0991f5602d6.rlib: crates/gnn/src/lib.rs crates/gnn/src/config.rs crates/gnn/src/model.rs crates/gnn/src/recommender.rs crates/gnn/src/train.rs
+
+/root/repo/target/debug/deps/libca_gnn-a444e0991f5602d6.rmeta: crates/gnn/src/lib.rs crates/gnn/src/config.rs crates/gnn/src/model.rs crates/gnn/src/recommender.rs crates/gnn/src/train.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/config.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/recommender.rs:
+crates/gnn/src/train.rs:

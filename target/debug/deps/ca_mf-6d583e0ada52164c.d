@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ca_mf-6d583e0ada52164c.d: crates/mf/src/lib.rs crates/mf/src/bpr.rs crates/mf/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_mf-6d583e0ada52164c.rmeta: crates/mf/src/lib.rs crates/mf/src/bpr.rs crates/mf/src/model.rs Cargo.toml
+
+crates/mf/src/lib.rs:
+crates/mf/src/bpr.rs:
+crates/mf/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

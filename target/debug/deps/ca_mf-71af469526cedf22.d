@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ca_mf-71af469526cedf22.d: crates/mf/src/lib.rs crates/mf/src/bpr.rs crates/mf/src/model.rs
+
+/root/repo/target/debug/deps/libca_mf-71af469526cedf22.rlib: crates/mf/src/lib.rs crates/mf/src/bpr.rs crates/mf/src/model.rs
+
+/root/repo/target/debug/deps/libca_mf-71af469526cedf22.rmeta: crates/mf/src/lib.rs crates/mf/src/bpr.rs crates/mf/src/model.rs
+
+crates/mf/src/lib.rs:
+crates/mf/src/bpr.rs:
+crates/mf/src/model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ca_mf-bd9912d93c460c57.d: crates/mf/src/lib.rs crates/mf/src/bpr.rs crates/mf/src/model.rs
+
+/root/repo/target/debug/deps/ca_mf-bd9912d93c460c57: crates/mf/src/lib.rs crates/mf/src/bpr.rs crates/mf/src/model.rs
+
+crates/mf/src/lib.rs:
+crates/mf/src/bpr.rs:
+crates/mf/src/model.rs:

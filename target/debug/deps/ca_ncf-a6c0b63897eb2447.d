@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ca_ncf-a6c0b63897eb2447.d: crates/ncf/src/lib.rs crates/ncf/src/model.rs crates/ncf/src/recommender.rs crates/ncf/src/train.rs
+
+/root/repo/target/debug/deps/ca_ncf-a6c0b63897eb2447: crates/ncf/src/lib.rs crates/ncf/src/model.rs crates/ncf/src/recommender.rs crates/ncf/src/train.rs
+
+crates/ncf/src/lib.rs:
+crates/ncf/src/model.rs:
+crates/ncf/src/recommender.rs:
+crates/ncf/src/train.rs:

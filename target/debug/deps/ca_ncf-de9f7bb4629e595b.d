@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ca_ncf-de9f7bb4629e595b.d: crates/ncf/src/lib.rs crates/ncf/src/model.rs crates/ncf/src/recommender.rs crates/ncf/src/train.rs
+
+/root/repo/target/debug/deps/libca_ncf-de9f7bb4629e595b.rlib: crates/ncf/src/lib.rs crates/ncf/src/model.rs crates/ncf/src/recommender.rs crates/ncf/src/train.rs
+
+/root/repo/target/debug/deps/libca_ncf-de9f7bb4629e595b.rmeta: crates/ncf/src/lib.rs crates/ncf/src/model.rs crates/ncf/src/recommender.rs crates/ncf/src/train.rs
+
+crates/ncf/src/lib.rs:
+crates/ncf/src/model.rs:
+crates/ncf/src/recommender.rs:
+crates/ncf/src/train.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ca_ncf-efc174502dcd3e3e.d: crates/ncf/src/lib.rs crates/ncf/src/model.rs crates/ncf/src/recommender.rs crates/ncf/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_ncf-efc174502dcd3e3e.rmeta: crates/ncf/src/lib.rs crates/ncf/src/model.rs crates/ncf/src/recommender.rs crates/ncf/src/train.rs Cargo.toml
+
+crates/ncf/src/lib.rs:
+crates/ncf/src/model.rs:
+crates/ncf/src/recommender.rs:
+crates/ncf/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ca_nn-4f819e695d8441d1.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/categorical.rs crates/nn/src/encoder.rs crates/nn/src/gru.rs crates/nn/src/linear.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs
+
+/root/repo/target/debug/deps/libca_nn-4f819e695d8441d1.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/categorical.rs crates/nn/src/encoder.rs crates/nn/src/gru.rs crates/nn/src/linear.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs
+
+/root/repo/target/debug/deps/libca_nn-4f819e695d8441d1.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/categorical.rs crates/nn/src/encoder.rs crates/nn/src/gru.rs crates/nn/src/linear.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/categorical.rs:
+crates/nn/src/encoder.rs:
+crates/nn/src/gru.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rnn.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ca_nn-c37e613f0342a3a8.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/categorical.rs crates/nn/src/encoder.rs crates/nn/src/gru.rs crates/nn/src/linear.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_nn-c37e613f0342a3a8.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/categorical.rs crates/nn/src/encoder.rs crates/nn/src/gru.rs crates/nn/src/linear.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/categorical.rs:
+crates/nn/src/encoder.rs:
+crates/nn/src/gru.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rnn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

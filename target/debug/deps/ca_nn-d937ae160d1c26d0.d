@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ca_nn-d937ae160d1c26d0.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/categorical.rs crates/nn/src/encoder.rs crates/nn/src/gru.rs crates/nn/src/linear.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs
+
+/root/repo/target/debug/deps/ca_nn-d937ae160d1c26d0: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/categorical.rs crates/nn/src/encoder.rs crates/nn/src/gru.rs crates/nn/src/linear.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/categorical.rs:
+crates/nn/src/encoder.rs:
+crates/nn/src/gru.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rnn.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ca_recsys-91f0317d13a271e9.d: crates/recsys/src/lib.rs crates/recsys/src/blackbox.rs crates/recsys/src/dataset.rs crates/recsys/src/eval.rs crates/recsys/src/faults.rs crates/recsys/src/ids.rs crates/recsys/src/knn.rs crates/recsys/src/metrics.rs crates/recsys/src/popularity.rs crates/recsys/src/split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_recsys-91f0317d13a271e9.rmeta: crates/recsys/src/lib.rs crates/recsys/src/blackbox.rs crates/recsys/src/dataset.rs crates/recsys/src/eval.rs crates/recsys/src/faults.rs crates/recsys/src/ids.rs crates/recsys/src/knn.rs crates/recsys/src/metrics.rs crates/recsys/src/popularity.rs crates/recsys/src/split.rs Cargo.toml
+
+crates/recsys/src/lib.rs:
+crates/recsys/src/blackbox.rs:
+crates/recsys/src/dataset.rs:
+crates/recsys/src/eval.rs:
+crates/recsys/src/faults.rs:
+crates/recsys/src/ids.rs:
+crates/recsys/src/knn.rs:
+crates/recsys/src/metrics.rs:
+crates/recsys/src/popularity.rs:
+crates/recsys/src/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ca_recsys-a2a0b632f633e059.d: crates/recsys/src/lib.rs crates/recsys/src/blackbox.rs crates/recsys/src/dataset.rs crates/recsys/src/eval.rs crates/recsys/src/faults.rs crates/recsys/src/ids.rs crates/recsys/src/knn.rs crates/recsys/src/metrics.rs crates/recsys/src/popularity.rs crates/recsys/src/split.rs
+
+/root/repo/target/debug/deps/libca_recsys-a2a0b632f633e059.rlib: crates/recsys/src/lib.rs crates/recsys/src/blackbox.rs crates/recsys/src/dataset.rs crates/recsys/src/eval.rs crates/recsys/src/faults.rs crates/recsys/src/ids.rs crates/recsys/src/knn.rs crates/recsys/src/metrics.rs crates/recsys/src/popularity.rs crates/recsys/src/split.rs
+
+/root/repo/target/debug/deps/libca_recsys-a2a0b632f633e059.rmeta: crates/recsys/src/lib.rs crates/recsys/src/blackbox.rs crates/recsys/src/dataset.rs crates/recsys/src/eval.rs crates/recsys/src/faults.rs crates/recsys/src/ids.rs crates/recsys/src/knn.rs crates/recsys/src/metrics.rs crates/recsys/src/popularity.rs crates/recsys/src/split.rs
+
+crates/recsys/src/lib.rs:
+crates/recsys/src/blackbox.rs:
+crates/recsys/src/dataset.rs:
+crates/recsys/src/eval.rs:
+crates/recsys/src/faults.rs:
+crates/recsys/src/ids.rs:
+crates/recsys/src/knn.rs:
+crates/recsys/src/metrics.rs:
+crates/recsys/src/popularity.rs:
+crates/recsys/src/split.rs:

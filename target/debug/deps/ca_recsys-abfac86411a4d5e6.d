@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ca_recsys-abfac86411a4d5e6.d: crates/recsys/src/lib.rs crates/recsys/src/blackbox.rs crates/recsys/src/dataset.rs crates/recsys/src/eval.rs crates/recsys/src/faults.rs crates/recsys/src/ids.rs crates/recsys/src/knn.rs crates/recsys/src/metrics.rs crates/recsys/src/popularity.rs crates/recsys/src/split.rs
+
+/root/repo/target/debug/deps/ca_recsys-abfac86411a4d5e6: crates/recsys/src/lib.rs crates/recsys/src/blackbox.rs crates/recsys/src/dataset.rs crates/recsys/src/eval.rs crates/recsys/src/faults.rs crates/recsys/src/ids.rs crates/recsys/src/knn.rs crates/recsys/src/metrics.rs crates/recsys/src/popularity.rs crates/recsys/src/split.rs
+
+crates/recsys/src/lib.rs:
+crates/recsys/src/blackbox.rs:
+crates/recsys/src/dataset.rs:
+crates/recsys/src/eval.rs:
+crates/recsys/src/faults.rs:
+crates/recsys/src/ids.rs:
+crates/recsys/src/knn.rs:
+crates/recsys/src/metrics.rs:
+crates/recsys/src/popularity.rs:
+crates/recsys/src/split.rs:

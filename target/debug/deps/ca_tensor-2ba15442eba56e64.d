@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ca_tensor-2ba15442eba56e64.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_tensor-2ba15442eba56e64.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/stats.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

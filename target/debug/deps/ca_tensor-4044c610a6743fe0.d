@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ca_tensor-4044c610a6743fe0.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/ca_tensor-4044c610a6743fe0: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ca_tensor-fabd38679d71c68d.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libca_tensor-fabd38679d71c68d.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libca_tensor-fabd38679d71c68d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-6d993bbb32212d6a.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-6d993bbb32212d6a: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/copyattack-65d7132b2ea08c57.d: src/lib.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/copyattack-65d7132b2ea08c57: src/lib.rs src/pipeline.rs
+
+src/lib.rs:
+src/pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/copyattack-698205fb9c1e28eb.d: src/lib.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/libcopyattack-698205fb9c1e28eb.rlib: src/lib.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/libcopyattack-698205fb9c1e28eb.rmeta: src/lib.rs src/pipeline.rs
+
+src/lib.rs:
+src/pipeline.rs:

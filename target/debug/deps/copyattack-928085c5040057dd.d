@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/copyattack-928085c5040057dd.d: src/lib.rs src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopyattack-928085c5040057dd.rmeta: src/lib.rs src/pipeline.rs Cargo.toml
+
+src/lib.rs:
+src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/copyattack-d5ddde7de44e72c5.d: src/lib.rs src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopyattack-d5ddde7de44e72c5.rmeta: src/lib.rs src/pipeline.rs Cargo.toml
+
+src/lib.rs:
+src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

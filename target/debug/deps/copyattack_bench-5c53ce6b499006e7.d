@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/copyattack_bench-5c53ce6b499006e7.d: crates/bench/src/lib.rs crates/bench/src/budget_sweep.rs
+
+/root/repo/target/debug/deps/libcopyattack_bench-5c53ce6b499006e7.rlib: crates/bench/src/lib.rs crates/bench/src/budget_sweep.rs
+
+/root/repo/target/debug/deps/libcopyattack_bench-5c53ce6b499006e7.rmeta: crates/bench/src/lib.rs crates/bench/src/budget_sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/budget_sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

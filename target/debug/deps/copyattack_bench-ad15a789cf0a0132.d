@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/copyattack_bench-ad15a789cf0a0132.d: crates/bench/src/lib.rs crates/bench/src/budget_sweep.rs
+
+/root/repo/target/debug/deps/copyattack_bench-ad15a789cf0a0132: crates/bench/src/lib.rs crates/bench/src/budget_sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/budget_sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/copyattack_core-20e195a9f568e737.d: crates/copyattack-core/src/lib.rs crates/copyattack-core/src/attack.rs crates/copyattack-core/src/baselines.rs crates/copyattack-core/src/campaign.rs crates/copyattack-core/src/config.rs crates/copyattack-core/src/crafting.rs crates/copyattack-core/src/env.rs crates/copyattack-core/src/reinforce.rs crates/copyattack-core/src/retry.rs crates/copyattack-core/src/selection.rs crates/copyattack-core/src/source.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopyattack_core-20e195a9f568e737.rmeta: crates/copyattack-core/src/lib.rs crates/copyattack-core/src/attack.rs crates/copyattack-core/src/baselines.rs crates/copyattack-core/src/campaign.rs crates/copyattack-core/src/config.rs crates/copyattack-core/src/crafting.rs crates/copyattack-core/src/env.rs crates/copyattack-core/src/reinforce.rs crates/copyattack-core/src/retry.rs crates/copyattack-core/src/selection.rs crates/copyattack-core/src/source.rs Cargo.toml
+
+crates/copyattack-core/src/lib.rs:
+crates/copyattack-core/src/attack.rs:
+crates/copyattack-core/src/baselines.rs:
+crates/copyattack-core/src/campaign.rs:
+crates/copyattack-core/src/config.rs:
+crates/copyattack-core/src/crafting.rs:
+crates/copyattack-core/src/env.rs:
+crates/copyattack-core/src/reinforce.rs:
+crates/copyattack-core/src/retry.rs:
+crates/copyattack-core/src/selection.rs:
+crates/copyattack-core/src/source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

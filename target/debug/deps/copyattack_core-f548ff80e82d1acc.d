@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/copyattack_core-f548ff80e82d1acc.d: crates/copyattack-core/src/lib.rs crates/copyattack-core/src/attack.rs crates/copyattack-core/src/baselines.rs crates/copyattack-core/src/campaign.rs crates/copyattack-core/src/config.rs crates/copyattack-core/src/crafting.rs crates/copyattack-core/src/env.rs crates/copyattack-core/src/reinforce.rs crates/copyattack-core/src/retry.rs crates/copyattack-core/src/selection.rs crates/copyattack-core/src/source.rs
+
+/root/repo/target/debug/deps/copyattack_core-f548ff80e82d1acc: crates/copyattack-core/src/lib.rs crates/copyattack-core/src/attack.rs crates/copyattack-core/src/baselines.rs crates/copyattack-core/src/campaign.rs crates/copyattack-core/src/config.rs crates/copyattack-core/src/crafting.rs crates/copyattack-core/src/env.rs crates/copyattack-core/src/reinforce.rs crates/copyattack-core/src/retry.rs crates/copyattack-core/src/selection.rs crates/copyattack-core/src/source.rs
+
+crates/copyattack-core/src/lib.rs:
+crates/copyattack-core/src/attack.rs:
+crates/copyattack-core/src/baselines.rs:
+crates/copyattack-core/src/campaign.rs:
+crates/copyattack-core/src/config.rs:
+crates/copyattack-core/src/crafting.rs:
+crates/copyattack-core/src/env.rs:
+crates/copyattack-core/src/reinforce.rs:
+crates/copyattack-core/src/retry.rs:
+crates/copyattack-core/src/selection.rs:
+crates/copyattack-core/src/source.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e8e101be5b91c591.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e8e101be5b91c591.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e8e101be5b91c591.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

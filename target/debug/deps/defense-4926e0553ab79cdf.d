@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense-4926e0553ab79cdf.d: tests/defense.rs
+
+/root/repo/target/debug/deps/defense-4926e0553ab79cdf: tests/defense.rs
+
+tests/defense.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense-57ec33e63790976f.d: tests/defense.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense-57ec33e63790976f.rmeta: tests/defense.rs Cargo.toml
+
+tests/defense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/demotion-0a50bc16b9009ade.d: tests/demotion.rs
+
+/root/repo/target/debug/deps/demotion-0a50bc16b9009ade: tests/demotion.rs
+
+tests/demotion.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/demotion-14b50f2c106060f6.d: tests/demotion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdemotion-14b50f2c106060f6.rmeta: tests/demotion.rs Cargo.toml
+
+tests/demotion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detect_evasion-9a20cdb04afe8ad4.d: crates/bench/src/bin/detect_evasion.rs
+
+/root/repo/target/debug/deps/detect_evasion-9a20cdb04afe8ad4: crates/bench/src/bin/detect_evasion.rs
+
+crates/bench/src/bin/detect_evasion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9ffb07e928e0a22b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9ffb07e928e0a22b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

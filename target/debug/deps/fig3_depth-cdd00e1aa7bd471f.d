@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_depth-cdd00e1aa7bd471f.d: crates/bench/src/bin/fig3_depth.rs
+
+/root/repo/target/debug/deps/fig3_depth-cdd00e1aa7bd471f: crates/bench/src/bin/fig3_depth.rs
+
+crates/bench/src/bin/fig3_depth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_popularity-848cba3f1da5d257.d: crates/bench/src/bin/fig4_popularity.rs
+
+/root/repo/target/debug/deps/fig4_popularity-848cba3f1da5d257: crates/bench/src/bin/fig4_popularity.rs
+
+crates/bench/src/bin/fig4_popularity.rs:

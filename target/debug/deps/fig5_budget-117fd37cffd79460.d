@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_budget-117fd37cffd79460.d: crates/bench/src/bin/fig5_budget.rs
+
+/root/repo/target/debug/deps/fig5_budget-117fd37cffd79460: crates/bench/src/bin/fig5_budget.rs
+
+crates/bench/src/bin/fig5_budget.rs:

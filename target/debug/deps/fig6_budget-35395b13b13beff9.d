@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_budget-35395b13b13beff9.d: crates/bench/src/bin/fig6_budget.rs
+
+/root/repo/target/debug/deps/fig6_budget-35395b13b13beff9: crates/bench/src/bin/fig6_budget.rs
+
+crates/bench/src/bin/fig6_budget.rs:

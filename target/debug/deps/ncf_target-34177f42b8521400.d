@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ncf_target-34177f42b8521400.d: tests/ncf_target.rs Cargo.toml
+
+/root/repo/target/debug/deps/libncf_target-34177f42b8521400.rmeta: tests/ncf_target.rs Cargo.toml
+
+tests/ncf_target.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ncf_target-91f855a536155e2b.d: tests/ncf_target.rs
+
+/root/repo/target/debug/deps/ncf_target-91f855a536155e2b: tests/ncf_target.rs
+
+tests/ncf_target.rs:

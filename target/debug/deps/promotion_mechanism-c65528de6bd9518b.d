@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/promotion_mechanism-c65528de6bd9518b.d: crates/gnn/tests/promotion_mechanism.rs
+
+/root/repo/target/debug/deps/promotion_mechanism-c65528de6bd9518b: crates/gnn/tests/promotion_mechanism.rs
+
+crates/gnn/tests/promotion_mechanism.rs:

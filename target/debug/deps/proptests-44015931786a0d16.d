@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-44015931786a0d16.d: crates/datagen/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-44015931786a0d16: crates/datagen/tests/proptests.rs
+
+crates/datagen/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4e71d75f45f5b9a7.d: crates/mf/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4e71d75f45f5b9a7: crates/mf/tests/proptests.rs
+
+crates/mf/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7abf631c611dc951.d: crates/copyattack-core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7abf631c611dc951: crates/copyattack-core/tests/proptests.rs
+
+crates/copyattack-core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7c1e178645d31c5d.d: crates/gnn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7c1e178645d31c5d: crates/gnn/tests/proptests.rs
+
+crates/gnn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8cf995a5c9408336.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8cf995a5c9408336: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

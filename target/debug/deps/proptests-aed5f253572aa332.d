@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-aed5f253572aa332.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-aed5f253572aa332: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

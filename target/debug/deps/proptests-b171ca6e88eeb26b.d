@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b171ca6e88eeb26b.d: crates/detect/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b171ca6e88eeb26b: crates/detect/tests/proptests.rs
+
+crates/detect/tests/proptests.rs:

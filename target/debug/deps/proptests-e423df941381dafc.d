@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e423df941381dafc.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e423df941381dafc: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

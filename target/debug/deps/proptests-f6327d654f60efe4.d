@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f6327d654f60efe4.d: crates/recsys/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f6327d654f60efe4: crates/recsys/tests/proptests.rs
+
+crates/recsys/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6dc5e5aa03bc4219.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6dc5e5aa03bc4219.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d33e518efb5d8af5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d33e518efb5d8af5: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

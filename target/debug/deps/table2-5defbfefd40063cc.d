@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-5defbfefd40063cc.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-5defbfefd40063cc: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cross_domain_transfer-9c8c37df74c46b69.d: examples/cross_domain_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcross_domain_transfer-9c8c37df74c46b69.rmeta: examples/cross_domain_transfer.rs Cargo.toml
+
+examples/cross_domain_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

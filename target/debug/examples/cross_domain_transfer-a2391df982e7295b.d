@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_domain_transfer-a2391df982e7295b.d: examples/cross_domain_transfer.rs
+
+/root/repo/target/debug/examples/cross_domain_transfer-a2391df982e7295b: examples/cross_domain_transfer.rs
+
+examples/cross_domain_transfer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/detection_evasion-20573e80a5a9de96.d: examples/detection_evasion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdetection_evasion-20573e80a5a9de96.rmeta: examples/detection_evasion.rs Cargo.toml
+
+examples/detection_evasion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

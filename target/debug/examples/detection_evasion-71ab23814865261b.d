@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detection_evasion-71ab23814865261b.d: examples/detection_evasion.rs
+
+/root/repo/target/debug/examples/detection_evasion-71ab23814865261b: examples/detection_evasion.rs
+
+examples/detection_evasion.rs:

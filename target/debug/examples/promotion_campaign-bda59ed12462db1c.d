@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/promotion_campaign-bda59ed12462db1c.d: examples/promotion_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpromotion_campaign-bda59ed12462db1c.rmeta: examples/promotion_campaign.rs Cargo.toml
+
+examples/promotion_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

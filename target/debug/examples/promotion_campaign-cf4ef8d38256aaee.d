@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/promotion_campaign-cf4ef8d38256aaee.d: examples/promotion_campaign.rs
+
+/root/repo/target/debug/examples/promotion_campaign-cf4ef8d38256aaee: examples/promotion_campaign.rs
+
+examples/promotion_campaign.rs:

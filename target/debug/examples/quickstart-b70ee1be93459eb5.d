@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b70ee1be93459eb5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b70ee1be93459eb5: examples/quickstart.rs
+
+examples/quickstart.rs:

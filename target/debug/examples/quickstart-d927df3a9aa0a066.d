@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-d927df3a9aa0a066.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-d927df3a9aa0a066.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/unreliable_platform-54eb541b494f20c8.d: examples/unreliable_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libunreliable_platform-54eb541b494f20c8.rmeta: examples/unreliable_platform.rs Cargo.toml
+
+examples/unreliable_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unreliable_platform-e93a81ea2e90a082.d: examples/unreliable_platform.rs
+
+/root/repo/target/debug/examples/unreliable_platform-e93a81ea2e90a082: examples/unreliable_platform.rs
+
+examples/unreliable_platform.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ca_cluster-9e9d3dd8b43eb58e.d: crates/cluster/src/lib.rs crates/cluster/src/balanced.rs crates/cluster/src/kmeans.rs crates/cluster/src/mask.rs crates/cluster/src/tree.rs
+
+/root/repo/target/release/deps/libca_cluster-9e9d3dd8b43eb58e.rlib: crates/cluster/src/lib.rs crates/cluster/src/balanced.rs crates/cluster/src/kmeans.rs crates/cluster/src/mask.rs crates/cluster/src/tree.rs
+
+/root/repo/target/release/deps/libca_cluster-9e9d3dd8b43eb58e.rmeta: crates/cluster/src/lib.rs crates/cluster/src/balanced.rs crates/cluster/src/kmeans.rs crates/cluster/src/mask.rs crates/cluster/src/tree.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/balanced.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/mask.rs:
+crates/cluster/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ca_datagen-ce0adc9cd4ae58b5.d: crates/datagen/src/lib.rs crates/datagen/src/config.rs crates/datagen/src/generator.rs crates/datagen/src/latent.rs
+
+/root/repo/target/release/deps/libca_datagen-ce0adc9cd4ae58b5.rlib: crates/datagen/src/lib.rs crates/datagen/src/config.rs crates/datagen/src/generator.rs crates/datagen/src/latent.rs
+
+/root/repo/target/release/deps/libca_datagen-ce0adc9cd4ae58b5.rmeta: crates/datagen/src/lib.rs crates/datagen/src/config.rs crates/datagen/src/generator.rs crates/datagen/src/latent.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/config.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/latent.rs:

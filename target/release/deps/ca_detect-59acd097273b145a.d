@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ca_detect-59acd097273b145a.d: crates/detect/src/lib.rs crates/detect/src/detector.rs crates/detect/src/features.rs crates/detect/src/screen.rs crates/detect/src/synthetic.rs
+
+/root/repo/target/release/deps/libca_detect-59acd097273b145a.rlib: crates/detect/src/lib.rs crates/detect/src/detector.rs crates/detect/src/features.rs crates/detect/src/screen.rs crates/detect/src/synthetic.rs
+
+/root/repo/target/release/deps/libca_detect-59acd097273b145a.rmeta: crates/detect/src/lib.rs crates/detect/src/detector.rs crates/detect/src/features.rs crates/detect/src/screen.rs crates/detect/src/synthetic.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/detector.rs:
+crates/detect/src/features.rs:
+crates/detect/src/screen.rs:
+crates/detect/src/synthetic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ca_gnn-6016234aef39cbb6.d: crates/gnn/src/lib.rs crates/gnn/src/config.rs crates/gnn/src/model.rs crates/gnn/src/recommender.rs crates/gnn/src/train.rs
+
+/root/repo/target/release/deps/libca_gnn-6016234aef39cbb6.rlib: crates/gnn/src/lib.rs crates/gnn/src/config.rs crates/gnn/src/model.rs crates/gnn/src/recommender.rs crates/gnn/src/train.rs
+
+/root/repo/target/release/deps/libca_gnn-6016234aef39cbb6.rmeta: crates/gnn/src/lib.rs crates/gnn/src/config.rs crates/gnn/src/model.rs crates/gnn/src/recommender.rs crates/gnn/src/train.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/config.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/recommender.rs:
+crates/gnn/src/train.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ca_mf-ff795040c96a6f89.d: crates/mf/src/lib.rs crates/mf/src/bpr.rs crates/mf/src/model.rs
+
+/root/repo/target/release/deps/libca_mf-ff795040c96a6f89.rlib: crates/mf/src/lib.rs crates/mf/src/bpr.rs crates/mf/src/model.rs
+
+/root/repo/target/release/deps/libca_mf-ff795040c96a6f89.rmeta: crates/mf/src/lib.rs crates/mf/src/bpr.rs crates/mf/src/model.rs
+
+crates/mf/src/lib.rs:
+crates/mf/src/bpr.rs:
+crates/mf/src/model.rs:

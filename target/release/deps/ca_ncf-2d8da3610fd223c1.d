@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ca_ncf-2d8da3610fd223c1.d: crates/ncf/src/lib.rs crates/ncf/src/model.rs crates/ncf/src/recommender.rs crates/ncf/src/train.rs
+
+/root/repo/target/release/deps/libca_ncf-2d8da3610fd223c1.rlib: crates/ncf/src/lib.rs crates/ncf/src/model.rs crates/ncf/src/recommender.rs crates/ncf/src/train.rs
+
+/root/repo/target/release/deps/libca_ncf-2d8da3610fd223c1.rmeta: crates/ncf/src/lib.rs crates/ncf/src/model.rs crates/ncf/src/recommender.rs crates/ncf/src/train.rs
+
+crates/ncf/src/lib.rs:
+crates/ncf/src/model.rs:
+crates/ncf/src/recommender.rs:
+crates/ncf/src/train.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ca_nn-118b0113daf7d1c8.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/categorical.rs crates/nn/src/encoder.rs crates/nn/src/gru.rs crates/nn/src/linear.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs
+
+/root/repo/target/release/deps/libca_nn-118b0113daf7d1c8.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/categorical.rs crates/nn/src/encoder.rs crates/nn/src/gru.rs crates/nn/src/linear.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs
+
+/root/repo/target/release/deps/libca_nn-118b0113daf7d1c8.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/categorical.rs crates/nn/src/encoder.rs crates/nn/src/gru.rs crates/nn/src/linear.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/categorical.rs:
+crates/nn/src/encoder.rs:
+crates/nn/src/gru.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rnn.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ca_tensor-2e0f633f77683896.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/stats.rs
+
+/root/repo/target/release/deps/libca_tensor-2e0f633f77683896.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/stats.rs
+
+/root/repo/target/release/deps/libca_tensor-2e0f633f77683896.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/stats.rs:

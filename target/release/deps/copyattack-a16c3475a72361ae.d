@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/copyattack-a16c3475a72361ae.d: src/lib.rs src/pipeline.rs
+
+/root/repo/target/release/deps/libcopyattack-a16c3475a72361ae.rlib: src/lib.rs src/pipeline.rs
+
+/root/repo/target/release/deps/libcopyattack-a16c3475a72361ae.rmeta: src/lib.rs src/pipeline.rs
+
+src/lib.rs:
+src/pipeline.rs:

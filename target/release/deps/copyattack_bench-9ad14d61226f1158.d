@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/copyattack_bench-9ad14d61226f1158.d: crates/bench/src/lib.rs crates/bench/src/budget_sweep.rs
+
+/root/repo/target/release/deps/libcopyattack_bench-9ad14d61226f1158.rlib: crates/bench/src/lib.rs crates/bench/src/budget_sweep.rs
+
+/root/repo/target/release/deps/libcopyattack_bench-9ad14d61226f1158.rmeta: crates/bench/src/lib.rs crates/bench/src/budget_sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/budget_sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/copyattack_core-108707fc8e01bc4d.d: crates/copyattack-core/src/lib.rs crates/copyattack-core/src/attack.rs crates/copyattack-core/src/baselines.rs crates/copyattack-core/src/campaign.rs crates/copyattack-core/src/config.rs crates/copyattack-core/src/crafting.rs crates/copyattack-core/src/env.rs crates/copyattack-core/src/reinforce.rs crates/copyattack-core/src/retry.rs crates/copyattack-core/src/selection.rs crates/copyattack-core/src/source.rs
+
+/root/repo/target/release/deps/libcopyattack_core-108707fc8e01bc4d.rlib: crates/copyattack-core/src/lib.rs crates/copyattack-core/src/attack.rs crates/copyattack-core/src/baselines.rs crates/copyattack-core/src/campaign.rs crates/copyattack-core/src/config.rs crates/copyattack-core/src/crafting.rs crates/copyattack-core/src/env.rs crates/copyattack-core/src/reinforce.rs crates/copyattack-core/src/retry.rs crates/copyattack-core/src/selection.rs crates/copyattack-core/src/source.rs
+
+/root/repo/target/release/deps/libcopyattack_core-108707fc8e01bc4d.rmeta: crates/copyattack-core/src/lib.rs crates/copyattack-core/src/attack.rs crates/copyattack-core/src/baselines.rs crates/copyattack-core/src/campaign.rs crates/copyattack-core/src/config.rs crates/copyattack-core/src/crafting.rs crates/copyattack-core/src/env.rs crates/copyattack-core/src/reinforce.rs crates/copyattack-core/src/retry.rs crates/copyattack-core/src/selection.rs crates/copyattack-core/src/source.rs
+
+crates/copyattack-core/src/lib.rs:
+crates/copyattack-core/src/attack.rs:
+crates/copyattack-core/src/baselines.rs:
+crates/copyattack-core/src/campaign.rs:
+crates/copyattack-core/src/config.rs:
+crates/copyattack-core/src/crafting.rs:
+crates/copyattack-core/src/env.rs:
+crates/copyattack-core/src/reinforce.rs:
+crates/copyattack-core/src/retry.rs:
+crates/copyattack-core/src/selection.rs:
+crates/copyattack-core/src/source.rs:

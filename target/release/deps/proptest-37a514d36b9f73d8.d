@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-37a514d36b9f73d8.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-37a514d36b9f73d8.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-37a514d36b9f73d8.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

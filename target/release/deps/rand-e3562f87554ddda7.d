@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e3562f87554ddda7.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e3562f87554ddda7.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e3562f87554ddda7.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

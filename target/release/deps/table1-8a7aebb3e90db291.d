@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-8a7aebb3e90db291.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-8a7aebb3e90db291: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cross_domain_transfer-2e8a1bb57df053d9.d: examples/cross_domain_transfer.rs
+
+/root/repo/target/release/examples/cross_domain_transfer-2e8a1bb57df053d9: examples/cross_domain_transfer.rs
+
+examples/cross_domain_transfer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/detection_evasion-d73290446f4a12f4.d: examples/detection_evasion.rs
+
+/root/repo/target/release/examples/detection_evasion-d73290446f4a12f4: examples/detection_evasion.rs
+
+examples/detection_evasion.rs:

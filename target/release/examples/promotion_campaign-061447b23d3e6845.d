@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/promotion_campaign-061447b23d3e6845.d: examples/promotion_campaign.rs
+
+/root/repo/target/release/examples/promotion_campaign-061447b23d3e6845: examples/promotion_campaign.rs
+
+examples/promotion_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5a9ccd82a241e9ae.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5a9ccd82a241e9ae: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/unreliable_platform-f1aae8729326ac7a.d: examples/unreliable_platform.rs
+
+/root/repo/target/release/examples/unreliable_platform-f1aae8729326ac7a: examples/unreliable_platform.rs
+
+examples/unreliable_platform.rs:

@@ -1,0 +1,134 @@
+//! Microbench for the batched scoring engine: scalar per-user ranking (the
+//! pre-engine code path) vs `batch_top_k` vs `par_batch_top_k`, over 1k and
+//! 10k item catalogs, for one reward round of 50 pretend users.
+//!
+//! ```text
+//! cargo run --release -p copyattack-bench --bin scoring -- --reps=20
+//! ```
+//!
+//! Emits `results/BENCH_scoring.json`.
+
+use std::time::Instant;
+
+use copyattack::mf::{MfModel, MfRecommender};
+use copyattack::recsys::engine;
+use copyattack::recsys::{BlackBoxRecommender, DatasetBuilder, ItemId, Scorer, UserId};
+use copyattack_bench::{f1, print_table, results_dir, Args};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The pre-engine ranking loop: per-item `Scorer` calls, full sort,
+/// truncate — exactly what every recommender's bespoke `top_k` used to do.
+fn scalar_top_k(rec: &MfRecommender, user: UserId, k: usize) -> Vec<ItemId> {
+    let n = rec.data().n_items();
+    let mut scored: Vec<(f32, u32)> = (0..n as u32)
+        .map(ItemId)
+        .filter(|&v| !rec.data().contains(user, v))
+        .map(|v| (rec.score(user, v), v.0))
+        .collect();
+    scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN scores"));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, v)| ItemId(v)).collect()
+}
+
+fn platform(n_items: usize, n_users: usize, dim: usize, seed: u64) -> MfRecommender {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new(n_items);
+    for _ in 0..n_users {
+        let profile: Vec<ItemId> =
+            (0..20).map(|_| ItemId(rng.gen_range(0..n_items as u32))).collect();
+        b.user(&profile);
+    }
+    let data = b.build();
+    let model = MfModel::new(&mut rng, data.n_users(), data.n_items(), dim);
+    MfRecommender::deploy(model, data)
+}
+
+/// Best-of-`reps` wall time of `f`, in microseconds.
+fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn main() {
+    let args = Args::parse();
+    let reps: usize = args.get_parse("reps", 20);
+    let dim: usize = args.get_parse("dim", 64);
+    let k: usize = args.get_parse("k", 10);
+    let n_pretend: usize = args.get_parse("users", 50);
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+
+    let users: Vec<UserId> = (0..n_pretend as u32).map(UserId).collect();
+    let mut rows = Vec::new();
+    let mut cases = Vec::new();
+    for &catalog in &[1_000usize, 10_000] {
+        let rec = platform(catalog, n_pretend, dim, 0xC0FFEE);
+
+        let mut sink = 0usize;
+        let scalar = time_us(reps, || {
+            for &u in &users {
+                sink += scalar_top_k(&rec, u, k).len();
+            }
+        });
+        let batched = time_us(reps, || {
+            sink += engine::batch_top_k(&rec, &users, k).iter().map(Vec::len).sum::<usize>();
+        });
+        let parallel = time_us(reps, || {
+            sink += engine::par_batch_top_k(&rec, &users, k, threads)
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>();
+        });
+        assert!(sink > 0);
+        // Sanity: all three paths agree before their timings mean anything.
+        for &u in &users {
+            assert_eq!(scalar_top_k(&rec, u, k), rec.top_k(u, k), "parity broken at {catalog}");
+        }
+
+        rows.push(vec![
+            catalog.to_string(),
+            format!("{scalar:.0}"),
+            format!("{batched:.0}"),
+            format!("{parallel:.0}"),
+            f1((scalar / batched) as f32),
+            f1((scalar / parallel) as f32),
+        ]);
+        cases.push(format!(
+            concat!(
+                "    {{\"catalog\": {}, \"users\": {}, \"k\": {}, \"dim\": {}, ",
+                "\"scalar_us\": {:.1}, \"batched_us\": {:.1}, \"parallel_us\": {:.1}, ",
+                "\"speedup_batched\": {:.2}, \"speedup_parallel\": {:.2}}}"
+            ),
+            catalog,
+            n_pretend,
+            k,
+            dim,
+            scalar,
+            batched,
+            parallel,
+            scalar / batched,
+            scalar / parallel,
+        ));
+    }
+
+    print_table(
+        "scoring: one reward round (50 pretend users)",
+        &["catalog", "scalar_us", "batched_us", "parallel_us", "x_batched", "x_parallel"],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"scoring\",\n  \"reps\": {},\n  \"threads\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        reps,
+        threads,
+        cases.join(",\n")
+    );
+    let path = results_dir().join("BENCH_scoring.json");
+    std::fs::write(&path, json).expect("write BENCH_scoring.json");
+    println!("wrote {}", path.display());
+}

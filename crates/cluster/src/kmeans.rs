@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn k_equals_n_gives_zero_inertia() {
-        let pts = vec![vec![0.0f32, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        let pts = [vec![0.0f32, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
         let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
         let mut rng = StdRng::seed_from_u64(4);
         let res = kmeans(&refs, 3, 50, &mut rng);
@@ -201,7 +201,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds")]
     fn rejects_k_larger_than_n() {
-        let pts = vec![vec![0.0f32]];
+        let pts = [vec![0.0f32]];
         let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
         let mut rng = StdRng::seed_from_u64(6);
         let _ = kmeans(&refs, 2, 10, &mut rng);

@@ -82,10 +82,10 @@ mod tests {
     #[test]
     fn leaf_masks_follow_predicate() {
         let t = tree(20, 3);
-        let mask = TreeMask::for_predicate(&t, |u| u.0 % 2 == 0);
+        let mask = TreeMask::for_predicate(&t, |u| u.0.is_multiple_of(2));
         for id in 0..t.n_nodes() {
             if t.is_leaf(id) {
-                assert_eq!(mask.allowed(id), t.leaf_user(id).0 % 2 == 0);
+                assert_eq!(mask.allowed(id), t.leaf_user(id).0.is_multiple_of(2));
             }
         }
         assert_eq!(mask.n_allowed_leaves(), 10);
@@ -112,15 +112,15 @@ mod tests {
                 break;
             }
         }
-        for id in 0..t.n_nodes() {
-            assert_eq!(mask.allowed(id), expect[id], "node {id}");
+        for (id, &want) in expect.iter().enumerate() {
+            assert_eq!(mask.allowed(id), want, "node {id}");
         }
     }
 
     #[test]
     fn masked_walk_reaches_only_allowed_users() {
         let t = tree(40, 4);
-        let good = |u: UserId| u.0 % 5 == 0;
+        let good = |u: UserId| u.0.is_multiple_of(5);
         let mask = TreeMask::for_predicate(&t, good);
         // Exhaustively follow every unmasked path.
         let mut stack = vec![t.root()];
@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn all_allowed_users_remain_reachable() {
         let t = tree(40, 4);
-        let good = |u: UserId| u.0 % 7 == 0;
+        let good = |u: UserId| u.0.is_multiple_of(7);
         let mask = TreeMask::for_predicate(&t, good);
         let mut reached = Vec::new();
         let mut stack = vec![t.root()];
@@ -156,7 +156,7 @@ mod tests {
             }
         }
         reached.sort_unstable();
-        let expected: Vec<u32> = (0..40).filter(|x| x % 7 == 0).collect();
+        let expected: Vec<u32> = (0..40u32).filter(|x| x.is_multiple_of(7)).collect();
         assert_eq!(reached, expected);
     }
 

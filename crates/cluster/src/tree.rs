@@ -226,7 +226,7 @@ mod tests {
         let e = embeddings(50);
         let mut rng = StdRng::seed_from_u64(1);
         let tree = ClusterTree::build(&e, 3, &mut rng);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for id in 0..tree.n_nodes() {
             if tree.is_leaf(id) {
                 let u = tree.leaf_user(id);
@@ -294,7 +294,7 @@ mod tests {
         let tree = ClusterTree::build(&e, 3, &mut rng);
         for id in tree.internal_nodes() {
             let c = tree.children(id).len();
-            assert!(c <= 3 && c >= 1, "node {id} has {c} children");
+            assert!((1..=3).contains(&c), "node {id} has {c} children");
         }
     }
 

@@ -78,7 +78,7 @@ proptest! {
         let e = embeddings(n, seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let tree = ClusterTree::build(&e, fanout, &mut rng);
-        let pred = |u: UserId| u.0 % modulus == 0;
+        let pred = |u: UserId| u.0.is_multiple_of(modulus);
         let mask = TreeMask::for_predicate(&tree, pred);
 
         // Soundness: every reachable leaf satisfies the predicate.

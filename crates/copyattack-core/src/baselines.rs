@@ -197,7 +197,7 @@ impl FlatPolicyAgent {
             let profile = src.translate(&crafted);
             total_items += profile.len();
             env.inject(&profile);
-            let r = if (t + 1) % self.cfg.query_every == 0 || t + 1 == budget {
+            let r = if (t + 1).is_multiple_of(self.cfg.query_every) || t + 1 == budget {
                 let r = self.cfg.goal.reward(env.query_reward());
                 last_reward = r;
                 r
@@ -280,7 +280,7 @@ mod tests {
         let mut b = DatasetBuilder::new(50);
         for u in 0..40u32 {
             let mut profile: Vec<ItemId> = (0..6).map(|i| ItemId((u + i * 5) % 45 + 5)).collect();
-            if u % 4 == 0 {
+            if u.is_multiple_of(4) {
                 profile.insert(3, ItemId(2)); // carrier users
             }
             b.user(&profile);

@@ -17,6 +17,12 @@
 //! [`CampaignCheckpoint`] — a structural snapshot of the full agent state
 //! from which [`Campaign::resume`] continues the campaign later as if it
 //! had never been interrupted.
+//!
+//! Every reward round a campaign triggers — through
+//! [`AttackEnvironment::try_query_reward`] — issues its first attempts as
+//! one batched `try_top_k_batch` over all pretend users, served by the
+//! target's shared scoring engine in a single pass; metering still charges
+//! one query per user, so campaign-level query budgets are unaffected.
 
 use crate::attack::{AttackOutcome, CopyAttackAgent, CopyAttackVariant};
 use crate::config::AttackConfig;

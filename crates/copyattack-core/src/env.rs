@@ -207,22 +207,36 @@ impl<R: FallibleBlackBox> AttackEnvironment<R> {
     /// over the *answered* subset — or [`RewardSample::Skipped`] when fewer
     /// than the quorum answered.
     ///
-    /// Per pretend user: retryable errors are retried per the resilience
-    /// config; a truncated list is treated as answered (the visible prefix
-    /// is genuine data — if the target was cut off, that is
-    /// indistinguishable from a miss at this `k`, and scored as one); a
-    /// suspension marks the account lost and, when enabled and the profile
-    /// is stored, re-establishes it (the fresh account answers from the
-    /// next round on).
+    /// The round's first attempts go out as **one batched query**
+    /// ([`FallibleBlackBox::try_top_k_batch`]) — an engine-backed target
+    /// serves all pretend users from a single scoring pass, while metering
+    /// still charges one query attempt per user, so the attacker's §4.5
+    /// cost accounting is unchanged. Per entry of the batch: retryable
+    /// errors fall back to per-user retries continuing the same backoff
+    /// schedule ([`RetryPolicy::run_after`](crate::retry::RetryPolicy));
+    /// a truncated list is treated as answered (the visible prefix is
+    /// genuine data — if the target was cut off, that is indistinguishable
+    /// from a miss at this `k`, and scored as one); a suspension marks the
+    /// account lost and, when enabled and the profile is stored,
+    /// re-establishes it (the fresh account answers from the next round
+    /// on).
     pub fn try_query_reward(&mut self) -> RewardSample {
         let total = self.pretend.len();
         let mut hits = 0usize;
         let mut answered = 0usize;
         let retry = self.resilience.retry;
         let k = self.reward_k;
-        for i in 0..total {
-            let u = self.pretend[i];
-            match retry.run(&mut self.rec, &mut self.rng, |p| p.try_top_k(u, k)) {
+        let users = self.pretend.clone();
+        let first = self.rec.try_top_k_batch(&users, k);
+        for (i, outcome) in first.into_iter().enumerate() {
+            let resolved = match outcome {
+                Err(e) if e.is_retryable() => {
+                    let u = self.pretend[i];
+                    retry.run_after(e, &mut self.rec, &mut self.rng, |p| p.try_top_k(u, k))
+                }
+                r => r,
+            };
+            match resolved {
                 Ok(list) => {
                     answered += 1;
                     if list.contains(&self.target) {

@@ -98,6 +98,34 @@ impl RetryPolicy {
             }
         }
     }
+
+    /// Continues the retry schedule after a first attempt that already
+    /// happened elsewhere and failed with `err` — the batched-query case,
+    /// where the initial attempt for every user went out in one
+    /// `try_top_k_batch` and only the failed entries fall back to per-user
+    /// retries. Waits, calls, and metered attempts are identical to
+    /// [`RetryPolicy::run`] observing the same first failure.
+    pub fn run_after<B: FallibleBlackBox, T>(
+        &self,
+        first_err: RecError,
+        platform: &mut B,
+        rng: &mut SplitMix64,
+        mut call: impl FnMut(&mut B) -> Result<T, RecError>,
+    ) -> Result<T, RecError> {
+        let mut err = first_err;
+        let mut attempt = 0u32;
+        loop {
+            if !err.is_retryable() || attempt >= self.max_retries {
+                return Err(err);
+            }
+            platform.wait(self.delay_for(attempt, &err, rng));
+            attempt += 1;
+            match call(platform) {
+                Ok(v) => return Ok(v),
+                Err(e) => err = e,
+            }
+        }
+    }
 }
 
 /// How the attack loop behaves when the platform misbehaves.
@@ -197,6 +225,44 @@ mod tests {
         assert_eq!(list.len(), 3);
         // 3 call ticks + backoffs 2 and 4 after the two failures.
         assert_eq!(platform.clock(), 3 + 2 + 4);
+    }
+
+    #[test]
+    fn run_after_continues_the_schedule_like_run() {
+        // Handing run_after the failure of an externally-made first attempt
+        // must reproduce run()'s waits and attempt counts exactly.
+        let p = RetryPolicy { max_retries: 3, base_delay: 2, max_delay: 16, jitter: 0.0 };
+        let inner = EventuallyUp { fail_first: 2, calls: 0, err: RecError::Timeout };
+        let mut platform = FaultyRecommender::new(inner, FaultConfig::default());
+        let mut rng = SplitMix64::new(1);
+        let first = platform.try_top_k(UserId(0), 3).unwrap_err();
+        let list =
+            p.run_after(first, &mut platform, &mut rng, |pf| pf.try_top_k(UserId(0), 3)).unwrap();
+        assert_eq!(list.len(), 3);
+        assert_eq!(platform.clock(), 3 + 2 + 4, "same logical ticks as the run() path");
+    }
+
+    #[test]
+    fn run_after_fails_fast_on_non_retryable_first_error() {
+        let p = RetryPolicy::default();
+        let mut platform = EventuallyUp { fail_first: 0, calls: 0, err: RecError::Timeout };
+        let mut rng = SplitMix64::new(1);
+        let r = p.run_after(RecError::AccountSuspended, &mut platform, &mut rng, |pf| {
+            pf.try_top_k(UserId(0), 3)
+        });
+        assert_eq!(r, Err(RecError::AccountSuspended));
+        assert_eq!(platform.calls, 0, "no retry calls issued");
+    }
+
+    #[test]
+    fn run_after_gives_up_after_max_retries() {
+        let p = RetryPolicy { max_retries: 2, base_delay: 1, max_delay: 4, jitter: 0.0 };
+        let mut platform = EventuallyUp { fail_first: 100, calls: 0, err: RecError::Timeout };
+        let mut rng = SplitMix64::new(1);
+        let r = p
+            .run_after(RecError::Timeout, &mut platform, &mut rng, |pf| pf.try_top_k(UserId(0), 3));
+        assert_eq!(r, Err(RecError::Timeout));
+        assert_eq!(platform.calls, 2, "2 retries after the external first attempt");
     }
 
     #[test]

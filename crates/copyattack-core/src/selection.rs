@@ -320,7 +320,7 @@ mod tests {
     #[test]
     fn selection_respects_mask() {
         let p = policy(27);
-        let allowed = |u: UserId| u.0 % 3 == 0;
+        let allowed = |u: UserId| u.0.is_multiple_of(3);
         let mask = TreeMask::for_predicate(p.tree(), allowed);
         let mut rng = StdRng::seed_from_u64(2);
         let q = vec![0.1, -0.2, 0.3, 0.0];

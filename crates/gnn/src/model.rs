@@ -148,9 +148,9 @@ mod tests {
     fn aggregate_is_mean_of_feature_rows() {
         let m = model();
         let agg = m.aggregate_profile(&[ItemId(0), ItemId(1)]);
-        for k in 0..m.feat_dim() {
+        for (k, &a) in agg.iter().enumerate() {
             let expected = (m.features[(0, k)] + m.features[(1, k)]) / 2.0;
-            assert!((agg[k] - expected).abs() < 1e-6);
+            assert!((a - expected).abs() < 1e-6);
         }
     }
 

@@ -2,42 +2,50 @@
 //! caches, with inductive fold-in of injected users.
 
 use crate::model::PinSageModel;
+use ca_recsys::engine::{self, ScoringEngine};
 use ca_recsys::{BlackBoxRecommender, Dataset, ItemId, Scorer, UserId};
-use ca_tensor::ops;
+use ca_tensor::{ops, Matrix, Scratch};
 
 /// Representation caches for the current state of the platform.
 #[derive(Clone, Debug)]
 pub struct Caches {
-    /// `h_u` per user.
-    pub h_user: Vec<Vec<f32>>,
+    /// `h_u` per user, `n_users × dim`.
+    pub h_user: Matrix,
     /// Running sum of `h_u` over each item's interacting users.
     pub n_item_sum: Vec<Vec<f32>>,
     /// Number of users aggregated per item.
     pub n_item_cnt: Vec<usize>,
-    /// `h_v` per item.
-    pub h_item: Vec<Vec<f32>>,
+    /// `h_v` per item, `n_items × dim`.
+    pub h_item: Matrix,
 }
 
 impl Caches {
-    /// Computes all caches from scratch.
+    /// Computes all caches from scratch, running each tower once over a
+    /// stacked input matrix instead of row by row.
     pub fn compute(model: &PinSageModel, data: &Dataset) -> Self {
         let dim = model.dim();
-        let h_user: Vec<Vec<f32>> =
-            data.users().map(|u| model.user_repr(data.profile(u))).collect();
+        let mut scratch = Scratch::new();
+        let mut m_users = Matrix::zeros(data.n_users(), model.feat_dim());
+        for u in data.users() {
+            m_users.row_mut(u.idx()).copy_from_slice(&model.aggregate_profile(data.profile(u)));
+        }
+        let h_user = model.user_tower.infer_batch(&m_users, &mut scratch);
         let mut n_item_sum = vec![vec![0.0; dim]; data.n_items()];
         let mut n_item_cnt = vec![0usize; data.n_items()];
-        for (u, hu) in h_user.iter().enumerate() {
-            for &v in data.profile(UserId(u as u32)) {
+        for u in data.users() {
+            let hu = h_user.row(u.idx());
+            for &v in data.profile(u) {
                 ops::axpy(1.0, hu, &mut n_item_sum[v.idx()]);
                 n_item_cnt[v.idx()] += 1;
             }
         }
-        let h_item = (0..data.n_items())
-            .map(|v| {
-                let n_v = mean_from_sum(&n_item_sum[v], n_item_cnt[v]);
-                model.item_repr(ItemId(v as u32), &n_v, n_item_cnt[v])
-            })
-            .collect();
+        let mut x_items = Matrix::zeros(data.n_items(), model.feat_dim() + dim + 1);
+        for v in 0..data.n_items() {
+            let n_v = mean_from_sum(&n_item_sum[v], n_item_cnt[v]);
+            let x = model.item_tower_input(ItemId(v as u32), &n_v, n_item_cnt[v]);
+            x_items.row_mut(v).copy_from_slice(&x);
+        }
+        let h_item = model.item_tower.infer_batch(&x_items, &mut scratch);
         Self { h_user, n_item_sum, n_item_cnt, h_item }
     }
 
@@ -92,48 +100,45 @@ impl PinSageRecommender {
     pub fn refresh_all(&mut self) {
         self.caches = Caches::compute(&self.model, &self.data);
     }
-
-    /// Scores every item for `user`, excluding their own profile, and
-    /// returns the best `k` item ids in descending score order.
-    fn rank_unseen(&self, user: UserId, k: usize) -> Vec<ItemId> {
-        let hu = &self.caches.h_user[user.idx()];
-        let mut scored: Vec<(f32, u32)> = Vec::with_capacity(self.data.n_items());
-        for v in 0..self.data.n_items() {
-            let item = ItemId(v as u32);
-            if self.data.contains(user, item) {
-                continue;
-            }
-            let s = self.model.score_reprs(hu, &self.caches.h_item[v], item);
-            scored.push((s, v as u32));
-        }
-        let k = k.min(scored.len());
-        if k == 0 {
-            return Vec::new();
-        }
-        // Partial selection then sort of the head: O(n + k log k).
-        let nth = (k - 1).min(scored.len() - 1);
-        scored.select_nth_unstable_by(nth, |a, b| {
-            b.0.partial_cmp(&a.0).expect("scores must not be NaN")
-        });
-        scored.truncate(k);
-        scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
-        scored.into_iter().map(|(_, v)| ItemId(v)).collect()
-    }
 }
 
 impl Scorer for PinSageRecommender {
     fn score(&self, user: UserId, item: ItemId) -> f32 {
         self.model.score_reprs(
-            &self.caches.h_user[user.idx()],
-            &self.caches.h_item[item.idx()],
+            self.caches.h_user.row(user.idx()),
+            self.caches.h_item.row(item.idx()),
             item,
         )
     }
 }
 
+impl ScoringEngine for PinSageRecommender {
+    fn catalog_len(&self) -> usize {
+        self.data.n_items()
+    }
+
+    fn is_seen(&self, user: UserId, item: ItemId) -> bool {
+        self.data.contains(user, item)
+    }
+
+    fn score_batch(&self, users: &[UserId], out: &mut Matrix) {
+        // Both representations are cached, so batched scoring is one
+        // H_users · H_itemsᵀ GEMM over the gathered user rows.
+        let mut hu_batch = Matrix::zeros(users.len(), self.model.dim());
+        for (i, &u) in users.iter().enumerate() {
+            hu_batch.row_mut(i).copy_from_slice(self.caches.h_user.row(u.idx()));
+        }
+        hu_batch.matmul_nt_into(&self.caches.h_item, out);
+    }
+}
+
 impl BlackBoxRecommender for PinSageRecommender {
     fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
-        self.rank_unseen(user, k)
+        engine::single_top_k(self, user, k)
+    }
+
+    fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
+        engine::auto_batch_top_k(self, users, k)
     }
 
     /// Registers a new account with `profile` and folds it in inductively:
@@ -150,10 +155,10 @@ impl BlackBoxRecommender for PinSageRecommender {
             ops::axpy(1.0, &hu, &mut self.caches.n_item_sum[v.idx()]);
             self.caches.n_item_cnt[v.idx()] += 1;
             let n_v = self.caches.n_item(v);
-            self.caches.h_item[v.idx()] =
-                self.model.item_repr(v, &n_v, self.caches.n_item_cnt[v.idx()]);
+            let repr = self.model.item_repr(v, &n_v, self.caches.n_item_cnt[v.idx()]);
+            self.caches.h_item.row_mut(v.idx()).copy_from_slice(&repr);
         }
-        self.caches.h_user.push(hu);
+        self.caches.h_user.push_row(&hu);
         uid
     }
 
@@ -224,16 +229,17 @@ mod tests {
         rec.refresh_all();
         for v in 0..12 {
             for k in 0..8 {
-                let a = incremental.caches().h_item[v][k];
-                let b = rec.caches().h_item[v][k];
+                let a = incremental.caches().h_item[(v, k)];
+                let b = rec.caches().h_item[(v, k)];
                 assert!((a - b).abs() < 1e-5, "h_item[{v}][{k}]: {a} vs {b}");
             }
         }
-        for (u, (a, b)) in
-            incremental.caches().h_user.iter().zip(rec.caches().h_user.iter()).enumerate()
-        {
+        assert_eq!(incremental.caches().h_user.rows(), rec.caches().h_user.rows());
+        for u in 0..rec.caches().h_user.rows() {
             for k in 0..8 {
-                assert!((a[k] - b[k]).abs() < 1e-5, "h_user[{u}][{k}]");
+                let a = incremental.caches().h_user[(u, k)];
+                let b = rec.caches().h_user[(u, k)];
+                assert!((a - b).abs() < 1e-5, "h_user[{u}][{k}]");
             }
         }
     }
@@ -244,7 +250,7 @@ mod tests {
         let before = rec.caches().h_item.clone();
         rec.inject_user(&[ItemId(7)]);
         for v in 0..12 {
-            let changed = rec.caches().h_item[v] != before[v];
+            let changed = rec.caches().h_item.row(v) != before.row(v);
             assert_eq!(changed, v == 7, "item {v} changed={changed}");
         }
     }

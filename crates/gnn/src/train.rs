@@ -31,8 +31,8 @@ struct EvalView<'a> {
 impl Scorer for EvalView<'_> {
     fn score(&self, user: UserId, item: ItemId) -> f32 {
         self.model.score_reprs(
-            &self.caches.h_user[user.idx()],
-            &self.caches.h_item[item.idx()],
+            self.caches.h_user.row(user.idx()),
+            self.caches.h_item.row(item.idx()),
             item,
         )
     }

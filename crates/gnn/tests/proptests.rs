@@ -34,8 +34,8 @@ proptest! {
         rec.refresh_all();
         for v in 0..15 {
             for k in 0..8 {
-                let a = incremental.caches().h_item[v][k];
-                let b = rec.caches().h_item[v][k];
+                let a = incremental.caches().h_item[(v, k)];
+                let b = rec.caches().h_item[(v, k)];
                 prop_assert!((a - b).abs() < 1e-4, "h_item[{v}][{k}]: {a} vs {b}");
             }
         }

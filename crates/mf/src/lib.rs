@@ -13,10 +13,14 @@
 //!
 //! The model is also a perfectly serviceable recommender on its own, so it
 //! doubles as a *second* target model for transferability experiments (see
-//! `examples/cross_domain_transfer.rs`).
+//! `examples/cross_domain_transfer.rs`); [`MfRecommender`] deploys it
+//! behind the black-box surface with mean-embedding fold-in of injected
+//! accounts.
 
 pub mod bpr;
 pub mod model;
+pub mod recommender;
 
 pub use bpr::{train, BprConfig};
 pub use model::MfModel;
+pub use recommender::MfRecommender;

@@ -50,6 +50,23 @@ impl MfModel {
     pub fn item_vec(&self, v: ItemId) -> &[f32] {
         self.item_emb.row(v.idx())
     }
+
+    /// Onboards a new user: embedding initialized at the mean of the
+    /// profile items' embeddings (the standard fold-in for a deployed MF
+    /// system absorbing a fresh account without retraining). Returns the
+    /// new user's id.
+    pub fn onboard_user(&mut self, profile: &[ItemId]) -> UserId {
+        let mut emb = vec![0.0; self.dim()];
+        if !profile.is_empty() {
+            for &v in profile {
+                ops::axpy(1.0, self.item_emb.row(v.idx()), &mut emb);
+            }
+            ops::scale(&mut emb, 1.0 / profile.len() as f32);
+        }
+        let uid = UserId(self.user_emb.rows() as u32);
+        self.user_emb.push_row(&emb);
+        uid
+    }
 }
 
 impl Scorer for MfModel {

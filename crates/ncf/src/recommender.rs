@@ -9,7 +9,9 @@
 
 use crate::model::NcfModel;
 use crate::train::{bpr_step, fine_tune_user};
+use ca_recsys::engine::{self, ScoringEngine};
 use ca_recsys::{BlackBoxRecommender, Dataset, ItemId, Scorer, UserId};
+use ca_tensor::{Matrix, Scratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -94,16 +96,56 @@ impl Scorer for NcfRecommender {
     }
 }
 
+impl ScoringEngine for NcfRecommender {
+    fn catalog_len(&self) -> usize {
+        self.data.n_items()
+    }
+
+    fn is_seen(&self, user: UserId, item: ItemId) -> bool {
+        self.data.contains(user, item)
+    }
+
+    fn score_batch(&self, users: &[UserId], out: &mut Matrix) {
+        let n = self.data.n_items();
+        let dim = self.model.dim();
+        let mut scratch = Scratch::new();
+        let mut weighted = scratch.take(dim);
+        // Fusion inputs `[p_u ⊕ q_v]` for the whole catalog; the q half is
+        // user-independent, so it is written once and the p half swapped
+        // per user.
+        let mut fused = scratch.matrix(n, 2 * dim);
+        for v in 0..n {
+            fused.row_mut(v)[dim..].copy_from_slice(self.model.q.row(v));
+        }
+        for (i, &u) in users.iter().enumerate() {
+            let pu = self.model.p.row(u.idx());
+            // GMF branch as one mat-vec: Q · (w_gmf ⊙ p_u). Multiplication
+            // commutes exactly in IEEE 754, so this matches the scalar
+            // Σ_k w·p·q loop bitwise.
+            for (w, (g, p)) in weighted.iter_mut().zip(self.model.w_gmf.iter().zip(pu)) {
+                *w = g * p;
+            }
+            self.model.q.matvec_into(&weighted, out.row_mut(i));
+            // MLP branch over all n fusion rows in one batched forward.
+            for v in 0..n {
+                fused.row_mut(v)[..dim].copy_from_slice(pu);
+            }
+            let logits = self.model.mlp.infer_batch(&fused, &mut scratch);
+            for (s, l) in out.row_mut(i).iter_mut().zip(logits.as_slice()) {
+                *s += l;
+            }
+            scratch.recycle(logits);
+        }
+    }
+}
+
 impl BlackBoxRecommender for NcfRecommender {
     fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
-        let mut scored: Vec<(f32, u32)> = (0..self.data.n_items() as u32)
-            .map(ItemId)
-            .filter(|&v| !self.data.contains(user, v))
-            .map(|v| (self.model.score(user, v), v.0))
-            .collect();
-        scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN scores"));
-        scored.truncate(k);
-        scored.into_iter().map(|(_, v)| ItemId(v)).collect()
+        engine::single_top_k(self, user, k)
+    }
+
+    fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
+        engine::auto_batch_top_k(self, users, k)
     }
 
     fn inject_user(&mut self, profile: &[ItemId]) -> UserId {

@@ -55,6 +55,29 @@ impl Linear {
         y
     }
 
+    /// Batched forward: `out.row(i) = W · x.row(i) + b` for every row of
+    /// `x`, dispatched as one blocked GEMM (`x · Wᵀ`). Each output row is
+    /// bitwise identical to [`Linear::forward`] on the same input row.
+    ///
+    /// # Panics
+    /// Panics if `x` or `out` have the wrong width or disagree on rows.
+    pub fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.in_dim(), "forward_batch input width mismatch");
+        x.matmul_nt_into(&self.w, out);
+        for r in 0..out.rows() {
+            for (yi, bi) in out.row_mut(r).iter_mut().zip(self.b.iter()) {
+                *yi += bi;
+            }
+        }
+    }
+
+    /// Allocating convenience for [`Linear::forward_batch_into`].
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.out_dim());
+        self.forward_batch_into(x, &mut out);
+        out
+    }
+
     /// Backward pass. Accumulates `∂L/∂W += gy ⊗ x`, `∂L/∂b += gy`, and
     /// returns `∂L/∂x = Wᵀ gy`.
     pub fn backward(&self, x: &[f32], gy: &[f32], grad: &mut LinearGrad) -> Vec<f32> {
@@ -180,6 +203,17 @@ mod tests {
             let lm = loss(&layer, &xp);
             let numeric = (lp - lm) / (2.0 * eps);
             assert!((gx[i] - numeric).abs() < 1e-2 * (1.0 + numeric.abs()));
+        }
+    }
+
+    #[test]
+    fn forward_batch_matches_per_row_forward() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let layer = Linear::new(&mut rng, 5, 3);
+        let x = Matrix::from_fn(7, 5, |r, c| (r as f32 - c as f32) * 0.31);
+        let out = layer.forward_batch(&x);
+        for r in 0..7 {
+            assert_eq!(out.row(r), &layer.forward(x.row(r))[..], "row {r}");
         }
     }
 

@@ -8,6 +8,7 @@
 
 use crate::activation::{relu_backward, relu_inplace};
 use crate::linear::{Linear, LinearGrad};
+use ca_tensor::{Matrix, Scratch};
 use rand::Rng;
 
 /// An MLP: `dims[0] → dims[1] → … → dims.last()`, ReLU between layers,
@@ -86,6 +87,28 @@ impl Mlp {
             cur = y;
         }
         cur
+    }
+
+    /// Batched inference: one logits row per input row, all layers run as
+    /// matrix-matrix products. Row `i` of the result is bitwise identical to
+    /// `infer(x.row(i))`; intermediate activations come from (and return
+    /// to) `scratch`, so a warmed pool makes repeated calls allocation-free.
+    /// The returned matrix is also pool-backed — recycle it when done.
+    pub fn infer_batch(&self, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "infer_batch input width mismatch");
+        let n = x.rows();
+        let mut cur: Option<Matrix> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut out = scratch.matrix(n, layer.out_dim());
+            layer.forward_batch_into(cur.as_ref().unwrap_or(x), &mut out);
+            if i + 1 < self.layers.len() {
+                relu_inplace(out.as_mut_slice());
+            }
+            if let Some(prev) = cur.replace(out) {
+                scratch.recycle(prev);
+            }
+        }
+        cur.expect("MLP has at least one layer")
     }
 
     /// Backward pass from a gradient on the logits. Accumulates into `grad`
@@ -174,6 +197,22 @@ mod tests {
         let x: Vec<f32> = (0..5).map(|i| i as f32 * 0.2 - 0.4).collect();
         let (out, _) = mlp.forward(&x);
         assert_eq!(out, mlp.infer(&x));
+    }
+
+    #[test]
+    fn infer_batch_matches_per_row_infer() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::new(&mut rng, &[6, 9, 4], 0.4);
+        let x = Matrix::from_fn(19, 6, |r, c| ((r * 7 + c * 3) % 13) as f32 * 0.1 - 0.6);
+        let mut scratch = Scratch::new();
+        let out = mlp.infer_batch(&x, &mut scratch);
+        assert_eq!((out.rows(), out.cols()), (19, 4));
+        for r in 0..19 {
+            assert_eq!(out.row(r), &mlp.infer(x.row(r))[..], "row {r}");
+        }
+        scratch.recycle(out);
+        // Hidden activation + a previous logits buffer are back in the pool.
+        assert!(scratch.idle() >= 2, "intermediates must be recycled");
     }
 
     #[test]

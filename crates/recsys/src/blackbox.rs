@@ -32,6 +32,19 @@ pub trait BlackBoxRecommender {
     /// the user already interacted with (as a deployed system would).
     fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId>;
 
+    /// Batched Top-k: one list per entry of `users`, in order — semantically
+    /// `users.len()` independent queries issued together, which is how the
+    /// attack loop measures its Eq. 1 reward over all pretend users at once.
+    ///
+    /// The default loops [`BlackBoxRecommender::top_k`] so external
+    /// implementations keep compiling; models in this workspace override it
+    /// to score the whole batch through the shared
+    /// [`ScoringEngine`](crate::engine::ScoringEngine). Either way the
+    /// result must equal the per-user loop element-for-element.
+    fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
+        users.iter().map(|&u| self.top_k(u, k)).collect()
+    }
+
     /// Creates a new account whose profile is `profile` (in interaction
     /// order) and returns its id. The platform may refresh representations
     /// (fold-in) as part of registering the interactions.
@@ -51,6 +64,20 @@ pub trait BlackBoxRecommender {
 pub trait FallibleBlackBox {
     /// Fallible Top-k query for `user`.
     fn try_top_k(&mut self, user: UserId, k: usize) -> Result<Vec<ItemId>, RecError>;
+
+    /// Batched fallible Top-k: one outcome per entry of `users`, in order.
+    /// Each entry fails independently — a rate-limited account does not
+    /// poison its batch-mates — so callers can degrade failed entries to
+    /// the per-user retry path. The default loops
+    /// [`FallibleBlackBox::try_top_k`], preserving per-user fault draws on
+    /// unreliable platforms.
+    fn try_top_k_batch(
+        &mut self,
+        users: &[UserId],
+        k: usize,
+    ) -> Vec<Result<Vec<ItemId>, RecError>> {
+        users.iter().map(|&u| self.try_top_k(u, k)).collect()
+    }
 
     /// Fallible account creation with `profile`.
     fn try_inject_user(&mut self, profile: &[ItemId]) -> Result<UserId, RecError>;
@@ -73,6 +100,16 @@ pub trait FallibleBlackBox {
 impl<T: BlackBoxRecommender> FallibleBlackBox for T {
     fn try_top_k(&mut self, user: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
         Ok(BlackBoxRecommender::top_k(self, user, k))
+    }
+
+    fn try_top_k_batch(
+        &mut self,
+        users: &[UserId],
+        k: usize,
+    ) -> Vec<Result<Vec<ItemId>, RecError>> {
+        // One infallible batch query, so engine-backed recommenders answer
+        // the whole batch with a single (possibly parallel) scoring pass.
+        BlackBoxRecommender::top_k_batch(self, users, k).into_iter().map(Ok).collect()
     }
 
     fn try_inject_user(&mut self, profile: &[ItemId]) -> Result<UserId, RecError> {
@@ -129,6 +166,13 @@ impl<R: BlackBoxRecommender> BlackBoxRecommender for MeteredRecommender<R> {
     fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
         self.queries.set(self.queries.get() + 1);
         self.inner.top_k(user, k)
+    }
+
+    fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
+        // A batch is users.len() queries, not one: batching is an execution
+        // detail and must not discount attacker cost.
+        self.queries.set(self.queries.get() + users.len() as u64);
+        self.inner.top_k_batch(users, k)
     }
 
     fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
@@ -222,6 +266,18 @@ impl<R: FallibleBlackBox> FallibleBlackBox for MeteredFallible<R> {
         r
     }
 
+    fn try_top_k_batch(
+        &mut self,
+        users: &[UserId],
+        k: usize,
+    ) -> Vec<Result<Vec<ItemId>, RecError>> {
+        // One attempt per user in the batch, failures counted per entry.
+        self.query_attempts += users.len() as u64;
+        let rs = self.inner.try_top_k_batch(users, k);
+        self.failed_queries += rs.iter().filter(|r| r.is_err()).count() as u64;
+        rs
+    }
+
     fn try_inject_user(&mut self, profile: &[ItemId]) -> Result<UserId, RecError> {
         self.inject_attempts += 1;
         let r = self.inner.try_inject_user(profile);
@@ -295,6 +351,67 @@ mod tests {
         assert_eq!(m.queries(), 5);
     }
 
+    /// Regression test: `top_k_batch` must cost one query per user in the
+    /// batch, not one per call — otherwise the batched reward path would
+    /// silently discount attacker cost 50×.
+    #[test]
+    fn batched_top_k_is_metered_per_user() {
+        let m = MeteredRecommender::new(Newest { n_items: 10, n_users: 0 });
+        let lists = m.top_k_batch(&[UserId(0), UserId(1), UserId(2)], 4);
+        assert_eq!(lists.len(), 3);
+        assert_eq!(m.queries(), 3, "a 3-user batch is 3 queries");
+        let _ = m.top_k(UserId(0), 4);
+        let _ = m.top_k_batch(&[], 4);
+        assert_eq!(m.queries(), 4, "an empty batch costs nothing");
+        // The batch answers exactly what per-user queries would.
+        for (i, list) in lists.iter().enumerate() {
+            assert_eq!(*list, m.top_k(UserId(i as u32), 4));
+        }
+    }
+
+    #[test]
+    fn fallible_batch_is_metered_per_user_with_failures() {
+        /// Fails queries for odd user ids.
+        struct OddDown;
+        impl FallibleBlackBox for OddDown {
+            fn try_top_k(&mut self, u: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
+                if u.0 % 2 == 1 {
+                    Err(RecError::Timeout)
+                } else {
+                    Ok(vec![ItemId(0); k])
+                }
+            }
+            fn try_inject_user(&mut self, _p: &[ItemId]) -> Result<UserId, RecError> {
+                Ok(UserId(0))
+            }
+            fn catalog_size(&self) -> usize {
+                4
+            }
+        }
+        let mut m = MeteredFallible::new(OddDown);
+        let users: Vec<UserId> = (0..5u32).map(UserId).collect();
+        let rs = m.try_top_k_batch(&users, 2);
+        assert_eq!(rs.len(), 5);
+        assert_eq!(m.queries(), 5, "a 5-user batch is 5 attempts");
+        assert_eq!(m.failed_queries(), 2, "users 1 and 3 failed");
+        assert!(rs[1].is_err() && rs[3].is_err());
+        assert!(rs[0].is_ok() && rs[2].is_ok() && rs[4].is_ok());
+    }
+
+    #[test]
+    fn default_batch_matches_sequential_queries() {
+        let mut rec = Newest { n_items: 8, n_users: 0 };
+        let users = [UserId(0), UserId(1)];
+        let batch = BlackBoxRecommender::top_k_batch(&rec, &users, 3);
+        for (i, &u) in users.iter().enumerate() {
+            assert_eq!(batch[i], rec.top_k(u, 3));
+        }
+        let fallible = rec.try_top_k_batch(&users, 3);
+        for (i, r) in fallible.into_iter().enumerate() {
+            assert_eq!(r.expect("blanket impl never fails"), batch[i]);
+        }
+    }
+
     #[test]
     fn top_k_respects_k() {
         let m = MeteredRecommender::new(Newest { n_items: 10, n_users: 0 });
@@ -322,7 +439,7 @@ mod tests {
         impl FallibleBlackBox for Flaky {
             fn try_top_k(&mut self, _u: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
                 self.calls += 1;
-                if self.calls % 2 == 0 {
+                if self.calls.is_multiple_of(2) {
                     Err(RecError::Timeout)
                 } else {
                     Ok(vec![ItemId(0); k])
@@ -330,7 +447,7 @@ mod tests {
             }
             fn try_inject_user(&mut self, _p: &[ItemId]) -> Result<UserId, RecError> {
                 self.calls += 1;
-                if self.calls % 2 == 0 {
+                if self.calls.is_multiple_of(2) {
                     Err(RecError::ServiceUnavailable)
                 } else {
                     Ok(UserId(9))

@@ -1,0 +1,265 @@
+//! The shared scoring engine: one ranking implementation for every target
+//! model.
+//!
+//! The hot path of the whole reproduction is "score every catalog item for
+//! a batch of users, take Top-k" — the Eq. 1 reward re-queries all pretend
+//! users after every injection step. Every recommender used to reimplement
+//! that loop per user; here it is factored into two pieces:
+//!
+//! - [`ScoringEngine`] — the model-specific part: fill a `users × items`
+//!   score matrix (typically one GEMM against a representation table) and
+//!   answer which items a user has already seen;
+//! - [`top_k_from_scores`] — the model-independent part: seen-item masking
+//!   and partial Top-k selection (`select_nth_unstable`, `O(n + k log k)`)
+//!   with a deterministic tie-break (score descending, then item id
+//!   ascending), so batched and sequential paths agree element-for-element.
+//!
+//! [`batch_top_k`] runs the engine sequentially over a thread-local
+//! [`Scratch`] pool (steady-state scoring allocates nothing);
+//! [`par_batch_top_k`] splits the user batch across `std::thread::scope`
+//! workers; [`auto_batch_top_k`] picks between them by problem size.
+//!
+//! None of this changes attacker-visible semantics: ranking order (modulo
+//! previously unspecified tie order), seen-item exclusion, and query
+//! metering are identical to the per-user loops it replaces.
+
+use crate::ids::{ItemId, UserId};
+use ca_tensor::{Matrix, Scratch};
+use std::cell::RefCell;
+use std::cmp::Ordering;
+
+/// Batch-scoring interface implemented by every target model.
+///
+/// `score_batch` must write **every** cell of `out` (a zeroed
+/// `users.len() × catalog_len()` matrix): `out[(i, v)]` is the score of
+/// `users[i]` for item `v`. Scores must not be NaN.
+pub trait ScoringEngine {
+    /// Number of items in the catalog (the width of a score row).
+    fn catalog_len(&self) -> usize;
+
+    /// Fills `out[(i, v)]` with the score of `users[i]` for item `v`.
+    fn score_batch(&self, users: &[UserId], out: &mut Matrix);
+
+    /// Whether `user` already interacted with `item` (such items are
+    /// excluded from rankings, as a deployed system would).
+    fn is_seen(&self, user: UserId, item: ItemId) -> bool;
+}
+
+/// Deterministic ranking order: score descending, then item id ascending.
+#[inline]
+fn rank_cmp(a: &(f32, u32), b: &(f32, u32)) -> Ordering {
+    b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+/// The best `k` items of one score row, excluding items for which
+/// `is_seen` returns true. Partial-select (`select_nth_unstable`) keeps
+/// this `O(n + k log k)` instead of a full sort's `O(n log n)`; ties break
+/// deterministically by ascending item id.
+pub fn top_k_from_scores(
+    scores: &[f32],
+    k: usize,
+    mut is_seen: impl FnMut(ItemId) -> bool,
+) -> Vec<ItemId> {
+    let mut scored: Vec<(f32, u32)> = Vec::with_capacity(scores.len());
+    for (v, &s) in scores.iter().enumerate() {
+        if !is_seen(ItemId(v as u32)) {
+            scored.push((s, v as u32));
+        }
+    }
+    let k = k.min(scored.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    scored.select_nth_unstable_by(k - 1, rank_cmp);
+    scored.truncate(k);
+    scored.sort_unstable_by(rank_cmp);
+    scored.into_iter().map(|(_, v)| ItemId(v)).collect()
+}
+
+thread_local! {
+    /// Per-thread buffer pool shared by every engine invocation on this
+    /// thread, so repeated scoring rounds reuse one score-matrix allocation.
+    static ENGINE_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Sequential batched Top-k: one `score_batch` call, then shared ranking
+/// per row. Score matrices come from an explicit [`Scratch`] pool.
+pub fn batch_top_k_with<E: ScoringEngine + ?Sized>(
+    engine: &E,
+    users: &[UserId],
+    k: usize,
+    scratch: &mut Scratch,
+) -> Vec<Vec<ItemId>> {
+    let mut scores = scratch.matrix(users.len(), engine.catalog_len());
+    engine.score_batch(users, &mut scores);
+    let lists = users
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| top_k_from_scores(scores.row(i), k, |v| engine.is_seen(u, v)))
+        .collect();
+    scratch.recycle(scores);
+    lists
+}
+
+/// Sequential batched Top-k over the calling thread's scratch pool.
+pub fn batch_top_k<E: ScoringEngine + ?Sized>(
+    engine: &E,
+    users: &[UserId],
+    k: usize,
+) -> Vec<Vec<ItemId>> {
+    ENGINE_SCRATCH.with(|s| batch_top_k_with(engine, users, k, &mut s.borrow_mut()))
+}
+
+/// Single-user Top-k through the engine (a batch of one).
+pub fn single_top_k<E: ScoringEngine + ?Sized>(engine: &E, user: UserId, k: usize) -> Vec<ItemId> {
+    batch_top_k(engine, &[user], k).pop().expect("one list per user")
+}
+
+/// Data-parallel batched Top-k: the user batch is split into `threads`
+/// contiguous chunks, each scored on its own `std::thread::scope` worker
+/// (no extra dependencies, no unsafe). Result order matches `users`, and
+/// every list equals the sequential path exactly — the split is over
+/// users, whose scores are independent.
+pub fn par_batch_top_k<E: ScoringEngine + Sync + ?Sized>(
+    engine: &E,
+    users: &[UserId],
+    k: usize,
+    threads: usize,
+) -> Vec<Vec<ItemId>> {
+    let threads = threads.max(1).min(users.len().max(1));
+    if threads <= 1 {
+        return batch_top_k(engine, users, k);
+    }
+    let chunk = users.len().div_ceil(threads);
+    let mut chunked: Vec<Vec<Vec<ItemId>>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = users
+            .chunks(chunk)
+            .map(|chunk_users| scope.spawn(move || batch_top_k(engine, chunk_users, k)))
+            .collect();
+        chunked.extend(handles.into_iter().map(|h| h.join().expect("scoring worker panicked")));
+    });
+    chunked.into_iter().flatten().collect()
+}
+
+/// Parallelize only past this many users…
+const PAR_MIN_USERS: usize = 8;
+/// …and this many score cells (`users × items`): below that, thread spawn
+/// overhead beats the win.
+const PAR_MIN_CELLS: usize = 1 << 18;
+
+/// Batched Top-k with an automatic sequential/parallel decision based on
+/// the score-matrix size. This is what recommenders route `top_k_batch`
+/// through.
+pub fn auto_batch_top_k<E: ScoringEngine + Sync + ?Sized>(
+    engine: &E,
+    users: &[UserId],
+    k: usize,
+) -> Vec<Vec<ItemId>> {
+    let cells = users.len().saturating_mul(engine.catalog_len());
+    if users.len() >= PAR_MIN_USERS && cells >= PAR_MIN_CELLS {
+        let threads =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(users.len());
+        par_batch_top_k(engine, users, k, threads)
+    } else {
+        batch_top_k(engine, users, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy engine: `score(u, v) = base[v] - |u - v mod 7|`, user `u` has
+    /// seen items `v ≡ u (mod 5)`.
+    struct Toy {
+        base: Vec<f32>,
+    }
+
+    impl Toy {
+        fn new(n: usize) -> Self {
+            Self { base: (0..n).map(|v| ((v * 37) % 19) as f32).collect() }
+        }
+        fn score(&self, u: UserId, v: usize) -> f32 {
+            self.base[v] - ((u.0 as i64 - (v % 7) as i64).abs() as f32) * 0.25
+        }
+    }
+
+    impl ScoringEngine for Toy {
+        fn catalog_len(&self) -> usize {
+            self.base.len()
+        }
+        fn score_batch(&self, users: &[UserId], out: &mut Matrix) {
+            for (i, &u) in users.iter().enumerate() {
+                for v in 0..self.base.len() {
+                    out[(i, v)] = self.score(u, v);
+                }
+            }
+        }
+        fn is_seen(&self, user: UserId, item: ItemId) -> bool {
+            item.0 % 5 == user.0 % 5
+        }
+    }
+
+    #[test]
+    fn top_k_from_scores_masks_and_sorts() {
+        let scores = [1.0, 5.0, 3.0, 5.0, 2.0];
+        let top = top_k_from_scores(&scores, 3, |v| v == ItemId(1));
+        // Item 1 masked; 3 (5.0) beats 2 (3.0) beats 4 (2.0).
+        assert_eq!(top, vec![ItemId(3), ItemId(2), ItemId(4)]);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_item_id() {
+        let scores = [2.0; 6];
+        let top = top_k_from_scores(&scores, 4, |_| false);
+        assert_eq!(top, vec![ItemId(0), ItemId(1), ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    fn k_larger_than_unseen_catalog_is_clamped() {
+        let scores = [1.0, 2.0, 3.0];
+        let top = top_k_from_scores(&scores, 10, |v| v == ItemId(2));
+        assert_eq!(top, vec![ItemId(1), ItemId(0)]);
+        assert!(top_k_from_scores(&scores, 0, |_| false).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_single_user_queries() {
+        let engine = Toy::new(57);
+        let users: Vec<UserId> = (0..11u32).map(UserId).collect();
+        let batched = batch_top_k(&engine, &users, 8);
+        for (i, &u) in users.iter().enumerate() {
+            assert_eq!(batched[i], single_top_k(&engine, u, 8), "user {u}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_in_order() {
+        let engine = Toy::new(103);
+        let users: Vec<UserId> = (0..23u32).map(UserId).collect();
+        let seq = batch_top_k(&engine, &users, 6);
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_batch_top_k(&engine, &users, 6, threads), seq, "threads={threads}");
+        }
+        assert_eq!(auto_batch_top_k(&engine, &users, 6), seq);
+    }
+
+    #[test]
+    fn empty_batch_yields_no_lists() {
+        let engine = Toy::new(10);
+        assert!(batch_top_k(&engine, &[], 3).is_empty());
+        assert!(par_batch_top_k(&engine, &[], 3, 4).is_empty());
+    }
+
+    #[test]
+    fn repeated_rounds_reuse_the_thread_local_pool() {
+        let engine = Toy::new(64);
+        let users: Vec<UserId> = (0..4u32).map(UserId).collect();
+        // Warm the pool, then verify a second round leaves it warm too.
+        let first = batch_top_k(&engine, &users, 5);
+        let second = batch_top_k(&engine, &users, 5);
+        assert_eq!(first, second);
+        ENGINE_SCRATCH.with(|s| assert!(s.borrow().idle() >= 1));
+    }
+}

@@ -14,8 +14,10 @@
 
 use crate::blackbox::BlackBoxRecommender;
 use crate::dataset::Dataset;
+use crate::engine::{self, ScoringEngine};
 use crate::eval::Scorer;
 use crate::ids::{ItemId, UserId};
+use ca_tensor::Matrix;
 
 /// Dense co-occurrence ItemKNN recommender.
 #[derive(Clone, Debug)]
@@ -95,16 +97,41 @@ impl Scorer for ItemKnnRecommender {
     }
 }
 
+impl ScoringEngine for ItemKnnRecommender {
+    fn catalog_len(&self) -> usize {
+        self.n_items
+    }
+
+    fn is_seen(&self, user: UserId, item: ItemId) -> bool {
+        self.data.contains(user, item)
+    }
+
+    fn score_batch(&self, users: &[UserId], out: &mut Matrix) {
+        // Accumulate similarity mass profile-item by profile-item; the
+        // `i == v` skip only affects seen items, which ranking masks anyway,
+        // but is kept so scores match `Scorer::score` exactly.
+        for (i, &u) in users.iter().enumerate() {
+            let row = out.row_mut(i);
+            row.fill(0.0);
+            for &pi in self.data.profile(u) {
+                for (v, s) in row.iter_mut().enumerate() {
+                    let item = ItemId(v as u32);
+                    if pi != item {
+                        *s += self.similarity(pi, item);
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl BlackBoxRecommender for ItemKnnRecommender {
     fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
-        let mut scored: Vec<(f32, u32)> = (0..self.n_items as u32)
-            .map(ItemId)
-            .filter(|&v| !self.data.contains(user, v))
-            .map(|v| (self.score(user, v), v.0))
-            .collect();
-        scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN scores"));
-        scored.truncate(k);
-        scored.into_iter().map(|(_, v)| ItemId(v)).collect()
+        engine::single_top_k(self, user, k)
+    }
+
+    fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
+        engine::auto_batch_top_k(self, users, k)
     }
 
     fn inject_user(&mut self, profile: &[ItemId]) -> UserId {

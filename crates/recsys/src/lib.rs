@@ -11,7 +11,11 @@
 //!   ranking protocol ("randomly sample 100 items that the user did not
 //!   interact with and then rank the test item among them", §5.1.2);
 //! - [`blackbox::BlackBoxRecommender`] — the *only* interface the attacker
-//!   is allowed to touch: inject a profile, query Top-k lists;
+//!   is allowed to touch: inject a profile, query Top-k lists (one at a
+//!   time or batched);
+//! - [`engine`] — the shared batched scoring engine
+//!   ([`engine::ScoringEngine`] + [`engine::top_k_from_scores`]): the one
+//!   ranking implementation every target model routes through;
 //! - [`blackbox::FallibleBlackBox`] / [`faults`] — the same surface on an
 //!   *unreliable* platform: typed errors ([`RecError`]), plus a
 //!   deterministic fault injector ([`FaultyRecommender`]) for chaos testing
@@ -20,6 +24,7 @@
 
 pub mod blackbox;
 pub mod dataset;
+pub mod engine;
 pub mod eval;
 pub mod faults;
 pub mod ids;
@@ -30,7 +35,12 @@ pub mod split;
 
 pub use blackbox::{BlackBoxRecommender, FallibleBlackBox, MeteredFallible, MeteredRecommender};
 pub use dataset::{Dataset, DatasetBuilder};
+pub use engine::{
+    auto_batch_top_k, batch_top_k, batch_top_k_with, par_batch_top_k, single_top_k,
+    top_k_from_scores, ScoringEngine,
+};
 pub use eval::{RankingEval, Scorer};
 pub use faults::{FaultConfig, FaultStats, FaultyRecommender, RateLimit, RecError, SplitMix64};
 pub use ids::{ItemId, UserId};
+pub use popularity::PopularityRecommender;
 pub use split::{split_dataset, HeldOut, Split};

@@ -1,12 +1,93 @@
-//! Item-popularity analysis for the Figure 4 experiment.
+//! Item popularity: the non-personalized baseline recommender, plus the
+//! popularity-decile analysis for the Figure 4 experiment.
 //!
 //! §5.3.2 groups target-domain items into 10 popularity deciles ("each group
 //! account for 10% of items") and attacks 50 sampled items per group.
+//! [`PopularityRecommender`] is the classical most-popular baseline target:
+//! every user sees the same catalog-wide popularity ranking minus their own
+//! profile — and its all-tied cold-item tail makes it the stress test for
+//! deterministic tie-breaking in the shared ranking path.
 
+use crate::blackbox::BlackBoxRecommender;
 use crate::dataset::Dataset;
-use crate::ids::ItemId;
+use crate::engine::{self, ScoringEngine};
+use crate::eval::Scorer;
+use crate::ids::{ItemId, UserId};
+use ca_tensor::Matrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Most-popular-items recommender: `score(u, v) = popularity(v)`,
+/// user-independent except for seen-item exclusion.
+///
+/// Injection simply registers the new account's interactions, which bump
+/// the popularity counts — the only channel an attack has against a
+/// count-based system, and exactly how shilling attacks on "trending"
+/// shelves work in practice.
+#[derive(Clone, Debug)]
+pub struct PopularityRecommender {
+    data: Dataset,
+}
+
+impl PopularityRecommender {
+    /// Deploys the baseline over the platform's interaction data.
+    pub fn deploy(data: Dataset) -> Self {
+        Self { data }
+    }
+
+    /// The platform data (owner-side).
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+}
+
+impl Scorer for PopularityRecommender {
+    fn score(&self, _user: UserId, item: ItemId) -> f32 {
+        self.data.item_popularity(item) as f32
+    }
+}
+
+impl ScoringEngine for PopularityRecommender {
+    fn catalog_len(&self) -> usize {
+        self.data.n_items()
+    }
+
+    fn is_seen(&self, user: UserId, item: ItemId) -> bool {
+        self.data.contains(user, item)
+    }
+
+    fn score_batch(&self, users: &[UserId], out: &mut Matrix) {
+        if users.is_empty() {
+            return;
+        }
+        // Scores are user-independent: fill the first row, copy the rest.
+        for (v, s) in out.row_mut(0).iter_mut().enumerate() {
+            *s = self.data.item_popularity(ItemId(v as u32)) as f32;
+        }
+        for i in 1..users.len() {
+            let (head, tail) = out.as_mut_slice().split_at_mut(i * self.data.n_items());
+            tail[..self.data.n_items()].copy_from_slice(&head[..self.data.n_items()]);
+        }
+    }
+}
+
+impl BlackBoxRecommender for PopularityRecommender {
+    fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
+        engine::single_top_k(self, user, k)
+    }
+
+    fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
+        engine::auto_batch_top_k(self, users, k)
+    }
+
+    fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+        self.data.add_user(profile)
+    }
+
+    fn catalog_size(&self) -> usize {
+        self.data.n_items()
+    }
+}
 
 /// Items grouped into popularity buckets, most popular bucket first.
 #[derive(Clone, Debug)]
@@ -110,6 +191,39 @@ mod tests {
             b.user(&profile);
         }
         b.build()
+    }
+
+    #[test]
+    fn popularity_recommender_ranks_by_count_then_id() {
+        let rec = PopularityRecommender::deploy(graded());
+        // User 8 saw only item 9; best unseen are 8, 7, 6…
+        let top = rec.top_k(UserId(8), 3);
+        assert_eq!(top, vec![ItemId(8), ItemId(7), ItemId(6)]);
+        for v in rec.top_k(UserId(0), 9) {
+            assert!(!rec.data().contains(UserId(0), v));
+        }
+    }
+
+    #[test]
+    fn popularity_ties_resolve_deterministically() {
+        // Empty dataset: every item has popularity 0 → one big tie, broken
+        // by ascending item id on both the single and batched paths.
+        let mut rec = PopularityRecommender::deploy(Dataset::empty(6));
+        let u = rec.inject_user(&[]);
+        let expected: Vec<ItemId> = (0..4u32).map(ItemId).collect();
+        assert_eq!(rec.top_k(u, 4), expected);
+        assert_eq!(rec.top_k_batch(&[u, u], 4), vec![expected.clone(), expected]);
+    }
+
+    #[test]
+    fn popularity_injection_promotes_items() {
+        let mut rec = PopularityRecommender::deploy(graded());
+        let watcher = UserId(8); // profile {9}
+        assert!(!rec.top_k(watcher, 2).contains(&ItemId(1)));
+        for _ in 0..10 {
+            rec.inject_user(&[ItemId(1)]);
+        }
+        assert!(rec.top_k(watcher, 2).contains(&ItemId(1)));
     }
 
     #[test]

@@ -17,7 +17,9 @@
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod scratch;
 pub mod stats;
 
 pub use init::{gaussian, gaussian_vec, xavier_uniform};
 pub use matrix::Matrix;
+pub use scratch::Scratch;

@@ -1,7 +1,19 @@
 //! Row-major dense matrix.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Column-tile width (rows of `other`) for the blocked `A·Bᵀ` kernel: the
+/// packed transposed tile (`cols · COL_TILE` floats) stays L2-resident
+/// while every row of `self` sweeps it.
+const COL_TILE: usize = 512;
+
+thread_local! {
+    /// Reused packing buffer for [`Matrix::matmul_nt_into`], so steady-state
+    /// batched scoring does not allocate.
+    static PACK_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A dense, row-major `rows × cols` matrix of `f32`.
 ///
@@ -128,8 +140,21 @@ impl Matrix {
 
     /// Dense matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self * other`, written into a caller-provided matrix so hot
+    /// loops can reuse one allocation (see [`crate::Scratch`]).
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        assert_eq!(out.rows, self.rows, "matmul output row mismatch");
+        assert_eq!(out.cols, other.cols, "matmul output col mismatch");
+        out.fill_zero();
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[r * self.cols + k];
@@ -143,7 +168,72 @@ impl Matrix {
                 }
             }
         }
+    }
+
+    /// `out = self * otherᵀ` — both operands row-major with a shared inner
+    /// dimension (`self` is `m × d`, `other` is `n × d`, `out` is `m × n`).
+    ///
+    /// This is the GEMM shape of batched scoring: a block of user vectors
+    /// against an item-representation table. The kernel walks `other` in
+    /// column tiles of [`COL_TILE`] rows: each tile is packed transposed
+    /// into a thread-local buffer (contiguous per inner index `k`), and the
+    /// accumulation runs `k`-outer as an axpy over the tile — a contiguous
+    /// `f32` sweep LLVM auto-vectorizes. Every `out` cell still accumulates
+    /// `a[k]·b[k]` in ascending-`k` order from `0.0` with separately rounded
+    /// multiply and add, i.e. the exact operation sequence of [`crate::ops::dot`],
+    /// so batched scores are bitwise identical to the per-row path.
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_nt inner dimension mismatch");
+        assert_eq!(out.rows, self.rows, "matmul_nt output row mismatch");
+        assert_eq!(out.cols, other.rows, "matmul_nt output col mismatch");
+        let n = other.rows;
+        let d = self.cols;
+        PACK_BUF.with(|cell| {
+            let mut pack = cell.borrow_mut();
+            pack.clear();
+            pack.resize(d * COL_TILE.min(n.max(1)), 0.0);
+            for jt in (0..n).step_by(COL_TILE) {
+                let jw = COL_TILE.min(n - jt);
+                // Pack the tile transposed: pack[k * jw + jj] = other[jt + jj, k].
+                for k in 0..d {
+                    let dst = &mut pack[k * jw..(k + 1) * jw];
+                    for (jj, slot) in dst.iter_mut().enumerate() {
+                        *slot = other.row(jt + jj)[k];
+                    }
+                }
+                for i in 0..self.rows {
+                    let a = &self.row(i)[..d];
+                    let seg = &mut out.row_mut(i)[jt..jt + jw];
+                    seg.fill(0.0);
+                    for (k, &ak) in a.iter().enumerate() {
+                        let brow = &pack[k * jw..(k + 1) * jw];
+                        for (o, &b) in seg.iter_mut().zip(brow) {
+                            *o += ak * b;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Allocating convenience for [`Matrix::matmul_nt_into`].
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
         out
+    }
+
+    /// Batched mat-vec: `out.row(i) = self · xs.row(i)` for every row of
+    /// `xs` (`self` is `n × d`, `xs` is `m × d`, `out` is `m × n`).
+    ///
+    /// Equivalent to `m` [`Matrix::matvec`] calls but dispatched as one
+    /// blocked GEMM (`xs · selfᵀ`), which is how the scoring engine turns a
+    /// batch of user queries into a single kernel invocation.
+    pub fn gemv_batch(&self, xs: &Matrix, out: &mut Matrix) {
+        xs.matmul_nt_into(self, out);
     }
 
     /// Transposed copy.
@@ -191,6 +281,12 @@ impl Matrix {
         assert_eq!(row.len(), self.cols, "push_row width mismatch");
         self.data.extend_from_slice(row);
         self.rows += 1;
+    }
+
+    /// Consumes the matrix, returning its row-major buffer (so scratch pools
+    /// can recycle the allocation).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
     }
 }
 
@@ -322,6 +418,60 @@ mod tests {
     fn push_row_rejects_wrong_width() {
         let mut m = Matrix::zeros(1, 3);
         m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        // 37 rows forces a partial final tile (37 = 2·16 + 5).
+        let a = Matrix::from_fn(37, 7, |r, c| ((r * 13 + c * 5) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(23, 7, |r, c| ((r * 3 + c) % 9) as f32 * 0.5 - 2.0);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_eq!(fast.rows(), 37);
+        assert_eq!(fast.cols(), 23);
+        for r in 0..37 {
+            for c in 0..23 {
+                assert!((fast[(r, c)] - slow[(r, c)]).abs() < 1e-4, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_is_bitwise_dot_of_rows() {
+        let a = Matrix::from_fn(5, 9, |r, c| (r as f32 + 1.0) * 0.37 - c as f32 * 0.11);
+        let b = Matrix::from_fn(4, 9, |r, c| (c as f32 - r as f32) * 0.29);
+        let out = a.matmul_nt(&b);
+        for r in 0..5 {
+            for c in 0..4 {
+                assert_eq!(out[(r, c)], crate::ops::dot(a.row(r), b.row(c)), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_overwrites_stale_output() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let mut out = Matrix::from_vec(2, 2, vec![9.0; 4]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemv_batch_matches_per_row_matvec() {
+        let a = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32 * 0.1);
+        let xs = Matrix::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.7);
+        let mut out = Matrix::zeros(4, 6);
+        a.gemv_batch(&xs, &mut out);
+        for i in 0..4 {
+            assert_eq!(out.row(i), &a.matvec(xs.row(i))[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn into_vec_roundtrips_the_buffer() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Reusable scratch buffers for allocation-free repeated scoring.
+//!
+//! The attack loop re-scores the whole catalog for a batch of pretend users
+//! after every injection step. Each round needs a `users × items` score
+//! matrix plus tower activations; allocating them anew per round would put
+//! the allocator on the hot path. A [`Scratch`] pool hands out zeroed
+//! buffers and takes them back, so steady-state scoring performs no heap
+//! allocation once the pool has warmed up.
+
+use crate::Matrix;
+
+/// A pool of `Vec<f32>` buffers recycled across scoring rounds.
+///
+/// Buffers are returned zero-filled. `take`/`put` (and the matrix-shaped
+/// `matrix`/`recycle`) are deliberately explicit rather than guard-based:
+/// the engine's scoring loop threads one `Scratch` through several stages,
+/// which borrow-splitting RAII guards would make awkward.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Scratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed buffer of `len` floats, reusing the pooled allocation with
+    /// the largest capacity when one exists (best fit for steady-state
+    /// loops mixing large score matrices with small activation buffers).
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let best = (0..self.pool.len()).max_by_key(|&i| self.pool[i].capacity());
+        let mut buf = best.map(|i| self.pool.swap_remove(i)).unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn put(&mut self, buf: Vec<f32>) {
+        self.pool.push(buf);
+    }
+
+    /// A zeroed `rows × cols` matrix backed by a pooled buffer.
+    pub fn matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take(rows * cols))
+    }
+
+    /// Returns a matrix's buffer to the pool.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.put(m.into_vec());
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffers() {
+        let mut s = Scratch::new();
+        let mut buf = s.take(4);
+        buf.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        s.put(buf);
+        assert_eq!(s.take(4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn recycled_allocation_is_reused() {
+        let mut s = Scratch::new();
+        let buf = s.take(1024);
+        let ptr = buf.as_ptr();
+        s.put(buf);
+        let again = s.take(512);
+        assert_eq!(again.as_ptr(), ptr, "shrinking reuse must not reallocate");
+        assert!(again.capacity() >= 1024);
+    }
+
+    #[test]
+    fn best_fit_prefers_the_largest_buffer() {
+        let mut s = Scratch::new();
+        s.put(Vec::with_capacity(8));
+        s.put(Vec::with_capacity(1024));
+        s.put(Vec::with_capacity(64));
+        let buf = s.take(100);
+        assert!(buf.capacity() >= 1024, "should grab the 1024-capacity buffer");
+        assert_eq!(s.idle(), 2);
+    }
+
+    #[test]
+    fn matrix_roundtrip_keeps_shape_and_zeroes() {
+        let mut s = Scratch::new();
+        let mut m = s.matrix(3, 5);
+        assert_eq!((m.rows(), m.cols()), (3, 5));
+        m.row_mut(1)[2] = 7.0;
+        s.recycle(m);
+        let m2 = s.matrix(5, 3);
+        assert!(m2.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(s.idle(), 0);
+    }
+}

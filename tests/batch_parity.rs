@@ -1,0 +1,146 @@
+//! Property tests for the batched query path: for every target model,
+//! `top_k_batch` must equal per-user `top_k` element-for-element — same
+//! items, same order — including tie-heavy score distributions, so the
+//! batched reward rounds in the attack loop are observationally identical
+//! to sequential querying.
+
+use ca_gnn::{GnnConfig, PinSageModel, PinSageRecommender};
+use ca_mf::{MfModel, MfRecommender};
+use ca_ncf::{NcfConfig, NcfModel, NcfRecommender};
+use ca_recsys::knn::ItemKnnRecommender;
+use ca_recsys::{BlackBoxRecommender, DatasetBuilder, ItemId, PopularityRecommender, UserId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a dataset over `n_items` from raw profiles (ids taken mod the
+/// catalog; `DatasetBuilder` dedups).
+fn dataset(n_items: usize, profiles: &[Vec<u32>]) -> ca_recsys::Dataset {
+    let mut b = DatasetBuilder::new(n_items);
+    for p in profiles {
+        let items: Vec<ItemId> = p.iter().map(|&v| ItemId(v % n_items as u32)).collect();
+        b.user(&items);
+    }
+    b.build()
+}
+
+/// Asserts `top_k_batch` over every user equals the per-user `top_k`.
+fn assert_batch_parity<R: BlackBoxRecommender>(rec: &R, n_users: usize, k: usize) {
+    let users: Vec<UserId> = (0..n_users as u32).map(UserId).collect();
+    let batched = rec.top_k_batch(&users, k);
+    prop_assert_eq!(batched.len(), users.len());
+    for (i, &u) in users.iter().enumerate() {
+        let single = rec.top_k(u, k);
+        prop_assert_eq!(&batched[i], &single, "user {} diverges at k={}", u, k);
+    }
+}
+
+/// Profile strategy biased toward collisions: few distinct items across
+/// users → heavy score ties in every model.
+fn tie_heavy_profiles() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..4, 1..4), 2..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mf_batch_matches_per_user(
+        profiles in prop::collection::vec(prop::collection::vec(0u32..25, 1..8), 2..10),
+        k in 1usize..12,
+        seed in 0u64..50,
+    ) {
+        let data = dataset(25, &profiles);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = MfModel::new(&mut rng, data.n_users(), data.n_items(), 6);
+        let rec = MfRecommender::deploy(model, data);
+        assert_batch_parity(&rec, profiles.len(), k);
+    }
+
+    #[test]
+    fn ncf_batch_matches_per_user(
+        profiles in prop::collection::vec(prop::collection::vec(0u32..15, 1..6), 2..6),
+        k in 1usize..8,
+        seed in 0u64..20,
+    ) {
+        let data = dataset(15, &profiles);
+        let cfg = NcfConfig { seed, ..Default::default() };
+        let model = NcfModel::new(data.n_users(), data.n_items(), cfg);
+        let rec = NcfRecommender::deploy(model, data, 100, 1);
+        assert_batch_parity(&rec, profiles.len(), k);
+    }
+
+    #[test]
+    fn gnn_batch_matches_per_user(
+        profiles in prop::collection::vec(prop::collection::vec(0u32..15, 1..6), 2..8),
+        k in 1usize..8,
+        seed in 0u64..50,
+    ) {
+        let data = dataset(15, &profiles);
+        let model = PinSageModel::with_random_features(
+            15,
+            GnnConfig { seed, ..Default::default() },
+        );
+        let rec = PinSageRecommender::deploy(model, data);
+        assert_batch_parity(&rec, profiles.len(), k);
+    }
+
+    #[test]
+    fn knn_batch_matches_per_user(
+        profiles in prop::collection::vec(prop::collection::vec(0u32..12, 1..6), 2..10),
+        k in 1usize..10,
+    ) {
+        let rec = ItemKnnRecommender::deploy(dataset(12, &profiles));
+        assert_batch_parity(&rec, profiles.len(), k);
+    }
+
+    #[test]
+    fn popularity_batch_matches_per_user(
+        profiles in prop::collection::vec(prop::collection::vec(0u32..20, 1..5), 2..10),
+        k in 1usize..15,
+    ) {
+        let rec = PopularityRecommender::deploy(dataset(20, &profiles));
+        assert_batch_parity(&rec, profiles.len(), k);
+    }
+
+    // Tie stress: a handful of distinct items shared by everyone makes most
+    // catalog scores identical; parity then hinges on the deterministic
+    // tie-break being shared by the single and batched paths.
+
+    #[test]
+    fn knn_parity_survives_heavy_ties(
+        profiles in tie_heavy_profiles(),
+        k in 1usize..12,
+    ) {
+        let rec = ItemKnnRecommender::deploy(dataset(12, &profiles));
+        assert_batch_parity(&rec, profiles.len(), k);
+    }
+
+    #[test]
+    fn popularity_parity_survives_heavy_ties(
+        profiles in tie_heavy_profiles(),
+        k in 1usize..20,
+    ) {
+        let rec = PopularityRecommender::deploy(dataset(20, &profiles));
+        assert_batch_parity(&rec, profiles.len(), k);
+    }
+
+    #[test]
+    fn mf_parity_survives_duplicate_embeddings(
+        profiles in tie_heavy_profiles(),
+        k in 1usize..10,
+        seed in 0u64..20,
+    ) {
+        // Duplicate every item embedding across the catalog: all items with
+        // the same bias tie exactly for every user.
+        let data = dataset(10, &profiles);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = MfModel::new(&mut rng, data.n_users(), data.n_items(), 4);
+        let first = model.item_emb.row(0).to_vec();
+        for v in 1..model.n_items() {
+            model.item_emb.row_mut(v).copy_from_slice(&first);
+        }
+        let rec = MfRecommender::deploy(model, data);
+        assert_batch_parity(&rec, profiles.len(), k);
+    }
+}

@@ -1,0 +1,229 @@
+//! Microbench for the deterministic parallel offline pipeline: clustering
+//! tree construction, BPR surrogate training, and an 8-target
+//! [`ParallelCampaign`], each timed at 1 worker, 2 workers, and the
+//! machine's available parallelism via [`par::set_threads`] — the same
+//! knob `CA_THREADS` drives.
+//!
+//! ```text
+//! cargo run --release -p copyattack-bench --bin offline -- --reps=5
+//! ```
+//!
+//! Before any timing means anything, each stage asserts bitwise parity
+//! between its serial and widest-parallel results (the `ca-par` contract).
+//! Speedups are reported as measured: on a single-core container the
+//! parallel columns show ~1.0× (plus scheduling overhead), which is the
+//! honest number for that machine, not a defect in the runtime.
+//!
+//! Emits `results/BENCH_offline.json`.
+
+use std::time::Instant;
+
+use copyattack::cluster::ClusterTree;
+use copyattack::core::{
+    AttackConfig, AttackEnvironment, CopyAttackVariant, ParallelCampaign, SourceDomain,
+};
+use copyattack::mf::{self, BprConfig};
+use copyattack::par;
+use copyattack::recsys::{BlackBoxRecommender, Dataset, DatasetBuilder, ItemId, UserId};
+use copyattack_bench::{f1, print_table, results_dir, Args};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Best-of-`reps` wall time of `f`, in microseconds.
+fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+/// Times `f` at `threads` workers and returns (time, last result).
+fn timed_at<T>(threads: usize, reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    par::set_threads(Some(threads));
+    let mut out = None;
+    let us = time_us(reps, || out = Some(f()));
+    (us, out.expect("at least one rep"))
+}
+
+/// Random user embeddings for the tree-build stage.
+fn embeddings(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+/// Synthetic interaction dataset for the surrogate-training stage.
+fn training_world(n_users: usize, n_items: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new(n_items);
+    for _ in 0..n_users {
+        let profile: Vec<ItemId> =
+            (0..20).map(|_| ItemId(rng.gen_range(0..n_items as u32))).collect();
+        b.user(&profile);
+    }
+    b.build()
+}
+
+/// Counting bandit platform (same flavor as the campaign test suites):
+/// promotion flips on once two injected profiles carry the bridge item.
+struct CountingRec {
+    good: usize,
+    n_users: usize,
+    target: ItemId,
+}
+
+impl BlackBoxRecommender for CountingRec {
+    fn top_k(&self, _u: UserId, k: usize) -> Vec<ItemId> {
+        if self.good >= 2 {
+            vec![self.target; k.min(1)]
+        } else {
+            vec![ItemId(9999); k.min(1)]
+        }
+    }
+    fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+        if profile.contains(&ItemId(777)) {
+            self.good += 1;
+        }
+        let id = UserId(self.n_users as u32);
+        self.n_users += 1;
+        id
+    }
+    fn catalog_size(&self) -> usize {
+        10_000
+    }
+}
+
+/// Source world where items 0..8 all have carrier users (the 8 targets).
+fn campaign_world() -> (Dataset, Vec<ItemId>) {
+    let mut b = DatasetBuilder::new(100);
+    for u in 0..64u32 {
+        let mut profile = vec![ItemId(u % 30 + 30)];
+        if u < 24 {
+            profile.push(ItemId(u % 8));
+            profile.push(ItemId(77));
+        }
+        profile.push(ItemId((u * 11) % 25));
+        b.user(&profile);
+    }
+    let map: Vec<ItemId> = (0..100).map(|s| ItemId(s * 10 + 7)).collect();
+    (b.build(), map)
+}
+
+fn main() {
+    let args = Args::parse();
+    let reps: usize = args.get_parse("reps", 5);
+    let machine = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The widest setting we time: the machine's parallelism, but at least 2
+    // so the parallel code path is exercised even on a single-core box.
+    let wide = machine.max(2);
+
+    let mut rows = Vec::new();
+    let mut cases = Vec::new();
+    let mut push = |name: &str, size: usize, t1: f64, t2: f64, tn: f64| {
+        rows.push(vec![
+            name.to_string(),
+            size.to_string(),
+            format!("{t1:.0}"),
+            format!("{t2:.0}"),
+            format!("{tn:.0}"),
+            f1((t1 / t2) as f32),
+            f1((t1 / tn) as f32),
+        ]);
+        cases.push(format!(
+            concat!(
+                "    {{\"case\": \"{}\", \"size\": {}, ",
+                "\"serial_us\": {:.1}, \"two_us\": {:.1}, \"wide_us\": {:.1}, ",
+                "\"speedup_two\": {:.2}, \"speedup_wide\": {:.2}}}"
+            ),
+            name,
+            size,
+            t1,
+            t2,
+            tn,
+            t1 / t2,
+            t1 / tn,
+        ));
+    };
+
+    // --- Stage 1: clustering-tree build over 4096 users ------------------
+    let emb = embeddings(4096, 16, 0xC0FFEE);
+    let (t1, base) = timed_at(1, reps, || ClusterTree::build_seeded(&emb, 8, 7));
+    let (t2, _) = timed_at(2, reps, || ClusterTree::build_seeded(&emb, 8, 7));
+    let (tn, widest) = timed_at(wide, reps, || ClusterTree::build_seeded(&emb, 8, 7));
+    assert!(widest == base, "tree build diverges across thread counts");
+    push("tree_build", emb.len(), t1, t2, tn);
+
+    // --- Stage 2: BPR surrogate training -----------------------------------
+    let ds = training_world(2_000, 1_000, 0xBEEF);
+    // Minibatch past the trainers' PAR_MIN_PAIRS threshold so per-pair
+    // gradients actually fan out to workers.
+    let cfg = BprConfig { epochs: 2, seed: 3, minibatch: 512, ..Default::default() };
+    let (t1, base) = timed_at(1, reps, || mf::train(&ds, &cfg));
+    let (t2, _) = timed_at(2, reps, || mf::train(&ds, &cfg));
+    let (tn, widest) = timed_at(wide, reps, || mf::train(&ds, &cfg));
+    assert!(
+        widest.user_emb == base.user_emb
+            && widest.item_emb == base.item_emb
+            && widest.item_bias == base.item_bias,
+        "mf training diverges across thread counts"
+    );
+    push("mf_train", ds.n_users(), t1, t2, tn);
+
+    // --- Stage 3: 8-target parallel campaign -------------------------------
+    let (src_ds, map) = campaign_world();
+    let surrogate = mf::train(&src_ds, &BprConfig { epochs: 3, ..Default::default() });
+    let src = SourceDomain { data: &src_ds, mf: &surrogate, to_target: &map };
+    let targets: Vec<ItemId> = (0..8u32).map(ItemId).collect();
+    let attack = AttackConfig {
+        budget: 6,
+        n_pretend: 1,
+        query_every: 2,
+        episodes: 10,
+        tree_depth: 2,
+        lr: 0.05,
+        seed: 11,
+        ..Default::default()
+    };
+    let mut run = || {
+        let mut campaign = ParallelCampaign::new(
+            attack.clone(),
+            CopyAttackVariant::no_crafting(),
+            &src,
+            targets.clone(),
+        );
+        campaign.train(&src, |t| {
+            AttackEnvironment::new(
+                CountingRec { good: 0, n_users: 0, target: map[t.idx()] },
+                vec![UserId(0)],
+                map[t.idx()],
+                5,
+                6,
+            )
+        })
+    };
+    let (t1, base) = timed_at(1, reps, &mut run);
+    let (t2, _) = timed_at(2, reps, &mut run);
+    let (tn, widest) = timed_at(wide, reps, &mut run);
+    assert_eq!(widest, base, "campaign curves diverge across thread counts");
+    push("campaign_8_targets", targets.len(), t1, t2, tn);
+
+    par::set_threads(None);
+
+    print_table(
+        &format!("offline pipeline (machine parallelism = {machine}, wide = {wide})"),
+        &["stage", "size", "serial_us", "two_us", "wide_us", "x_two", "x_wide"],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"offline\",\n  \"reps\": {},\n  \"threads\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        reps,
+        machine,
+        cases.join(",\n")
+    );
+    let path = results_dir().join("BENCH_offline.json");
+    std::fs::write(&path, json).expect("write BENCH_offline.json");
+    println!("wrote {}", path.display());
+}

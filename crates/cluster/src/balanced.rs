@@ -39,7 +39,9 @@ pub fn balanced_kmeans(
             pairs.push((sq_dist(p, centroid), i as u32, c as u32));
         }
     }
-    pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN distances"));
+    // `total_cmp` keeps the sort panic-free on NaN distances (they order
+    // last, so finite pairs still win every capacity slot first).
+    pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut assignment = vec![usize::MAX; n];
     let mut assigned = 0usize;

@@ -1,7 +1,22 @@
 //! Lloyd's k-means [17] with k-means++ seeding.
+//!
+//! The Lloyd iterations run on the deterministic parallel runtime
+//! (`ca-par`): the assignment step is an ordered parallel map over fixed
+//! row-chunks of the flattened point matrix, and the update step is a
+//! `map_reduce` whose per-chunk partial sums are combined in ascending
+//! chunk order — so the result is bitwise identical at any `CA_THREADS`.
+//! Seeding stays serial (it is inherently sequential in the RNG) and
+//! consumes exactly the same random stream as the single-threaded path.
 
+use ca_par as par;
 use ca_tensor::ops::sq_dist;
+use ca_tensor::Matrix;
 use rand::Rng;
+
+/// Rows per parallel work chunk in the assignment/update/inertia sweeps.
+/// Part of the deterministic contract: the chunk grid (and therefore the
+/// floating-point reduction order) depends only on the point count.
+const CHUNK_ROWS: usize = 256;
 
 /// Result of a k-means run.
 #[derive(Clone, Debug)]
@@ -27,56 +42,122 @@ pub fn kmeans(points: &[&[f32]], k: usize, max_iters: usize, rng: &mut impl Rng)
     assert!(!points.is_empty(), "no points to cluster");
     assert!(k <= points.len(), "k = {k} exceeds {} points", points.len());
     let dim = points[0].len();
+    let n = points.len();
 
-    let mut centroids = plus_plus_seed(points, k, rng);
-    let mut assignment = vec![usize::MAX; points.len()];
+    // One flat `n × dim` copy of the points: the hot sweeps below walk
+    // contiguous row-chunks instead of chasing `&[&[f32]]` pointers.
+    let flat = Matrix::from_rows(points);
+
+    // Flattened `k × dim` centroid buffer (same rationale: the assignment
+    // step's inner loop reads all k centroids per point).
+    let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+    for c in plus_plus_seed(points, k, rng) {
+        centroids.extend_from_slice(&c);
+    }
+    let mut assignment = vec![usize::MAX; n];
 
     for _ in 0..max_iters {
-        // Assignment step.
+        // Assignment step: ordered parallel map over fixed row-chunks.
+        let chunk_views: Vec<&[f32]> = flat.row_chunks(CHUNK_ROWS).collect();
+        let new_chunks = par::map(&chunk_views, |_, rows| {
+            rows.chunks_exact(dim).map(|p| nearest(p, &centroids, dim)).collect::<Vec<usize>>()
+        });
         let mut changed = false;
-        for (i, p) in points.iter().enumerate() {
-            let c = nearest(p, &centroids);
-            if assignment[i] != c {
-                assignment[i] = c;
-                changed = true;
+        let mut i = 0;
+        for chunk in new_chunks {
+            for c in chunk {
+                if assignment[i] != c {
+                    assignment[i] = c;
+                    changed = true;
+                }
+                i += 1;
             }
         }
         if !changed {
             break;
         }
-        // Update step.
-        let mut sums = vec![vec![0.0f32; dim]; k];
-        let mut counts = vec![0usize; k];
-        for (i, p) in points.iter().enumerate() {
-            let c = assignment[i];
-            for (s, &x) in sums[c].iter_mut().zip(p.iter()) {
-                *s += x;
-            }
-            counts[c] += 1;
-        }
+        // Update step: per-chunk partial sums, combined in chunk order.
+        let chunks: Vec<(usize, &[f32])> = flat
+            .row_chunks(CHUNK_ROWS)
+            .enumerate()
+            .map(|(c, rows)| (c * CHUNK_ROWS, rows))
+            .collect();
+        let (sums, counts) = par::map_reduce(
+            &chunks,
+            1,
+            |_, part| {
+                let mut sums = vec![0.0f32; k * dim];
+                let mut counts = vec![0usize; k];
+                for &(start, rows) in part {
+                    for (j, p) in rows.chunks_exact(dim).enumerate() {
+                        let c = assignment[start + j];
+                        for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(p) {
+                            *s += x;
+                        }
+                        counts[c] += 1;
+                    }
+                }
+                (sums, counts)
+            },
+            |(mut sa, mut ca), (sb, cb)| {
+                for (a, b) in sa.iter_mut().zip(&sb) {
+                    *a += b;
+                }
+                for (a, b) in ca.iter_mut().zip(&cb) {
+                    *a += b;
+                }
+                (sa, ca)
+            },
+        )
+        .expect("non-empty points");
         for c in 0..k {
             if counts[c] == 0 {
                 // Re-seed the empty cluster on the point farthest from its
-                // current centroid.
-                let far = (0..points.len())
+                // current centroid. `total_cmp` keeps this panic-free even
+                // if degenerate inputs produce NaN distances.
+                let far = (0..n)
                     .max_by(|&a, &b| {
-                        let da = sq_dist(points[a], &centroids[assignment[a]]);
-                        let db = sq_dist(points[b], &centroids[assignment[b]]);
-                        da.partial_cmp(&db).expect("no NaN distances")
+                        let da = sq_dist(points[a], centroid(&centroids, assignment[a], dim));
+                        let db = sq_dist(points[b], centroid(&centroids, assignment[b], dim));
+                        da.total_cmp(&db)
                     })
                     .expect("non-empty points");
-                centroids[c] = points[far].to_vec();
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(points[far]);
             } else {
-                for (j, s) in sums[c].iter().enumerate() {
-                    centroids[c][j] = s / counts[c] as f32;
+                for (j, s) in sums[c * dim..(c + 1) * dim].iter().enumerate() {
+                    centroids[c * dim + j] = s / counts[c] as f32;
                 }
             }
         }
     }
 
-    let inertia =
-        points.iter().enumerate().map(|(i, p)| sq_dist(p, &centroids[assignment[i]])).sum();
+    // Inertia: same fixed-chunk reduction discipline as the update step.
+    let chunks: Vec<(usize, &[f32])> =
+        flat.row_chunks(CHUNK_ROWS).enumerate().map(|(c, rows)| (c * CHUNK_ROWS, rows)).collect();
+    let inertia = par::map_reduce(
+        &chunks,
+        1,
+        |_, part| {
+            let mut acc = 0.0f32;
+            for &(start, rows) in part {
+                for (j, p) in rows.chunks_exact(dim).enumerate() {
+                    acc += sq_dist(p, centroid(&centroids, assignment[start + j], dim));
+                }
+            }
+            acc
+        },
+        |a, b| a + b,
+    )
+    .expect("non-empty points");
+
+    let centroids = centroids.chunks_exact(dim).map(<[f32]>::to_vec).collect();
     KMeansResult { centroids, assignment, inertia }
+}
+
+/// Row `c` of the flattened centroid buffer.
+#[inline]
+fn centroid(flat: &[f32], c: usize, dim: usize) -> &[f32] {
+    &flat[c * dim..(c + 1) * dim]
 }
 
 /// k-means++ seeding: first centroid uniform, then each next centroid drawn
@@ -88,8 +169,12 @@ fn plus_plus_seed(points: &[&[f32]], k: usize, rng: &mut impl Rng) -> Vec<Vec<f3
     let mut d2: Vec<f32> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f32 = d2.iter().sum();
-        let next = if total <= 0.0 {
-            // All points coincide with chosen centroids; pick uniformly.
+        // A NaN or infinite total (a NaN distance anywhere would otherwise
+        // poison the cumulative scan below and silently pin the pick on the
+        // last point) falls back to a uniform draw, as does an all-zero one.
+        // Both branches consume exactly one random word, so the choice of
+        // branch never desynchronizes the caller's stream.
+        let next = if !total.is_finite() || total <= 0.0 {
             rng.gen_range(0..points.len())
         } else {
             let mut u = rng.gen::<f32>() * total;
@@ -115,11 +200,15 @@ fn plus_plus_seed(points: &[&[f32]], k: usize, rng: &mut impl Rng) -> Vec<Vec<f3
     centroids
 }
 
-/// Index of the nearest centroid.
-pub(crate) fn nearest(p: &[f32], centroids: &[Vec<f32>]) -> usize {
+/// Index of the nearest centroid in a flattened `k × dim` buffer.
+///
+/// A single linear sweep over contiguous memory — the hot inner loop of the
+/// assignment step, kept free of the per-centroid `Vec` pointer chase.
+#[inline]
+pub(crate) fn nearest(p: &[f32], centroids_flat: &[f32], dim: usize) -> usize {
     let mut best = 0;
     let mut best_d = f32::INFINITY;
-    for (c, centroid) in centroids.iter().enumerate() {
+    for (c, centroid) in centroids_flat.chunks_exact(dim).enumerate() {
         let d = sq_dist(p, centroid);
         if d < best_d {
             best_d = d;
@@ -199,11 +288,44 @@ mod tests {
     }
 
     #[test]
+    fn survives_nan_coordinates_without_panicking() {
+        // A NaN coordinate poisons every distance it touches; the re-seed
+        // comparator and the seeding fallback must both stay total. (The
+        // pre-`total_cmp` code panicked on "no NaN distances" here.)
+        let mut pts: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, 0.0]).collect();
+        pts.push(vec![f32::NAN, 0.0]);
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let res = kmeans(&refs, 3, 10, &mut rng);
+        assert_eq!(res.assignment.len(), 9);
+    }
+
+    #[test]
     #[should_panic(expected = "exceeds")]
     fn rejects_k_larger_than_n() {
         let pts = [vec![0.0f32]];
         let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
         let mut rng = StdRng::seed_from_u64(6);
         let _ = kmeans(&refs, 2, 10, &mut rng);
+    }
+
+    #[test]
+    fn result_is_bitwise_identical_across_thread_counts() {
+        let pts = blobs();
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            kmeans(&refs, 4, 50, &mut rng)
+        };
+        par::set_threads(Some(1));
+        let base = run();
+        for t in [2, 3, 8] {
+            par::set_threads(Some(t));
+            let r = run();
+            assert_eq!(r.assignment, base.assignment, "threads {t}");
+            assert_eq!(r.centroids, base.centroids, "threads {t}");
+            assert_eq!(r.inertia.to_bits(), base.inertia.to_bits(), "threads {t}");
+        }
+        par::set_threads(None);
     }
 }

@@ -1,14 +1,29 @@
 //! The balanced c-ary hierarchical clustering tree (§4.3.1).
+//!
+//! Construction is seed-split: the caller's RNG contributes exactly one
+//! 64-bit root seed, and every node derives its own k-means RNG and its
+//! children's subtree seeds from its position in the tree
+//! ([`ca_par::SeedSplit`]). Sibling subtrees therefore never share random
+//! state, so they build independently — in parallel on the `ca-par`
+//! runtime — and the finished tree is bitwise identical at any
+//! `CA_THREADS` setting.
 
 use crate::balanced::balanced_groups;
+use ca_par::{self as par, SeedSplit};
 use ca_recsys::UserId;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Index of a node within a [`ClusterTree`].
 pub type NodeId = usize;
 
+/// Smallest member count worth forking sibling builds for. The gate depends
+/// only on the subtree size — never the thread count — so the recursion
+/// structure (and with seed-splitting, the output) is invariant.
+const PAR_MIN_MEMBERS: usize = 256;
+
 /// Node payload.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NodeKind {
     /// Non-leaf: hosts a policy network choosing among `children`.
     Internal {
@@ -22,11 +37,18 @@ pub enum NodeKind {
     },
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct Node {
     kind: NodeKind,
     #[allow(dead_code)] // kept for tree inspection / future traversals
     parent: Option<NodeId>,
+}
+
+/// One independently built subtree: nodes in DFS preorder with local ids
+/// (0 = subtree root, local parent links), plus its decision depth.
+struct Sub {
+    nodes: Vec<Node>,
+    depth: usize,
 }
 
 /// Balanced hierarchical clustering tree over source-domain users.
@@ -35,7 +57,7 @@ struct Node {
 /// `fanout` equal-size clusters (balanced k-means on the user embeddings)
 /// and recurses; a node holding at most `fanout` users becomes the parent
 /// of those users' leaves.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClusterTree {
     fanout: usize,
     nodes: Vec<Node>,
@@ -47,34 +69,48 @@ pub struct ClusterTree {
 
 impl ClusterTree {
     /// Builds the tree over user embeddings; `embeddings[i]` belongs to
-    /// `UserId(i)`.
+    /// `UserId(i)`. Draws a single root seed from `rng` and delegates to
+    /// [`Self::build_seeded`].
     ///
     /// # Panics
     /// Panics if `fanout < 2` or there are no users.
     pub fn build(embeddings: &[Vec<f32>], fanout: usize, rng: &mut impl Rng) -> Self {
+        let root_seed = rng.gen::<u64>();
+        Self::build_seeded(embeddings, fanout, root_seed)
+    }
+
+    /// Builds the tree from an explicit root seed. The same
+    /// `(embeddings, fanout, seed)` triple yields the same tree on every
+    /// run and at every thread count.
+    ///
+    /// # Panics
+    /// Panics if `fanout < 2` or there are no users.
+    pub fn build_seeded(embeddings: &[Vec<f32>], fanout: usize, seed: u64) -> Self {
         assert!(fanout >= 2, "fanout must be at least 2");
         assert!(!embeddings.is_empty(), "cannot build a tree over zero users");
-        let mut tree = Self {
-            fanout,
-            nodes: Vec::new(),
-            leaf_of_user: vec![usize::MAX; embeddings.len()],
-            internal_index: Vec::new(),
-            n_internal: 0,
-            depth: 0,
-        };
         let all: Vec<usize> = (0..embeddings.len()).collect();
-        let root = tree.build_node(embeddings, all, None, 1, rng);
-        debug_assert_eq!(root, 0, "root must be node 0");
-        tree.internal_index = vec![None; tree.nodes.len()];
-        let mut next = 0;
-        for id in 0..tree.nodes.len() {
-            if matches!(tree.nodes[id].kind, NodeKind::Internal { .. }) {
-                tree.internal_index[id] = Some(next);
-                next += 1;
+        let sub = build_subtree(embeddings, &all, fanout, SeedSplit::new(seed));
+
+        let mut leaf_of_user = vec![usize::MAX; embeddings.len()];
+        let mut internal_index = vec![None; sub.nodes.len()];
+        let mut n_internal = 0;
+        for (id, node) in sub.nodes.iter().enumerate() {
+            match node.kind {
+                NodeKind::Internal { .. } => {
+                    internal_index[id] = Some(n_internal);
+                    n_internal += 1;
+                }
+                NodeKind::Leaf { user } => leaf_of_user[user.idx()] = id,
             }
         }
-        tree.n_internal = next;
-        tree
+        Self {
+            fanout,
+            nodes: sub.nodes,
+            leaf_of_user,
+            internal_index,
+            n_internal,
+            depth: sub.depth,
+        }
     }
 
     /// Builds a tree of (approximately) the requested decision depth by
@@ -85,46 +121,6 @@ impl ClusterTree {
         let n = embeddings.len() as f64;
         let fanout = (n.powf(1.0 / depth as f64).ceil() as usize).max(2);
         Self::build(embeddings, fanout, rng)
-    }
-
-    fn build_node(
-        &mut self,
-        embeddings: &[Vec<f32>],
-        members: Vec<usize>,
-        parent: Option<NodeId>,
-        level: usize,
-        rng: &mut impl Rng,
-    ) -> NodeId {
-        let id = self.nodes.len();
-        self.nodes.push(Node { kind: NodeKind::Internal { children: Vec::new() }, parent });
-        let mut children = Vec::new();
-        if members.len() <= self.fanout {
-            // Attach leaves directly.
-            for &m in &members {
-                let leaf_id = self.nodes.len();
-                self.nodes.push(Node {
-                    kind: NodeKind::Leaf { user: UserId(m as u32) },
-                    parent: Some(id),
-                });
-                self.leaf_of_user[m] = leaf_id;
-                children.push(leaf_id);
-            }
-            self.depth = self.depth.max(level);
-        } else {
-            let refs: Vec<&[f32]> = members.iter().map(|&m| embeddings[m].as_slice()).collect();
-            let groups = balanced_groups(&refs, self.fanout, 25, rng);
-            for group in groups {
-                let sub: Vec<usize> = group.into_iter().map(|local| members[local]).collect();
-                debug_assert!(!sub.is_empty(), "balanced split produced an empty group");
-                let child = self.build_node(embeddings, sub, Some(id), level + 1, rng);
-                children.push(child);
-            }
-        }
-        match &mut self.nodes[id].kind {
-            NodeKind::Internal { children: c } => *c = children,
-            NodeKind::Leaf { .. } => unreachable!(),
-        }
-        id
     }
 
     /// The root node (always id 0).
@@ -208,6 +204,86 @@ impl ClusterTree {
     pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.nodes.len()).filter(|&id| !self.is_leaf(id))
     }
+}
+
+/// Builds one subtree over `members` (global user indices).
+///
+/// RNG discipline: this node's balanced k-means runs on `seed.child(0)`,
+/// and child subtree `i` receives `seed.child(i + 1)` — so a subtree's
+/// randomness is a pure function of its position under the root seed,
+/// independent of when (or on which thread) it is built.
+fn build_subtree(
+    embeddings: &[Vec<f32>],
+    members: &[usize],
+    fanout: usize,
+    seed: SeedSplit,
+) -> Sub {
+    let mut nodes = vec![Node { kind: NodeKind::Internal { children: Vec::new() }, parent: None }];
+
+    if members.len() <= fanout {
+        // Attach leaves directly, in member order.
+        let children: Vec<NodeId> = members
+            .iter()
+            .map(|&m| {
+                nodes.push(Node {
+                    kind: NodeKind::Leaf { user: UserId(m as u32) },
+                    parent: Some(0),
+                });
+                nodes.len() - 1
+            })
+            .collect();
+        nodes[0].kind = NodeKind::Internal { children };
+        return Sub { nodes, depth: 1 };
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed.child(0).seed());
+    let refs: Vec<&[f32]> = members.iter().map(|&m| embeddings[m].as_slice()).collect();
+    let groups = balanced_groups(&refs, fanout, 25, &mut rng);
+    let group_members: Vec<Vec<usize>> = groups
+        .into_iter()
+        .map(|group| {
+            debug_assert!(!group.is_empty(), "balanced split produced an empty group");
+            group.into_iter().map(|local| members[local]).collect()
+        })
+        .collect();
+
+    // Sibling subtrees are seed-independent, so they can build on worker
+    // threads; small nodes recurse inline to avoid fork overhead.
+    let subs: Vec<Sub> = if members.len() >= PAR_MIN_MEMBERS {
+        par::map(&group_members, |i, sub_members| {
+            build_subtree(embeddings, sub_members, fanout, seed.child(i as u64 + 1))
+        })
+    } else {
+        group_members
+            .iter()
+            .enumerate()
+            .map(|(i, sub_members)| {
+                build_subtree(embeddings, sub_members, fanout, seed.child(i as u64 + 1))
+            })
+            .collect()
+    };
+
+    // Splice the subtrees in fixed child order, remapping local ids by each
+    // subtree's offset. The result is exactly the DFS preorder a serial
+    // recursive build would produce.
+    let mut children = Vec::with_capacity(subs.len());
+    let mut depth = 0;
+    for sub in subs {
+        let offset = nodes.len();
+        children.push(offset);
+        depth = depth.max(sub.depth);
+        for mut node in sub.nodes {
+            node.parent = Some(node.parent.map_or(0, |p| p + offset));
+            if let NodeKind::Internal { children } = &mut node.kind {
+                for c in children.iter_mut() {
+                    *c += offset;
+                }
+            }
+            nodes.push(node);
+        }
+    }
+    nodes[0].kind = NodeKind::Internal { children };
+    Sub { nodes, depth: depth + 1 }
 }
 
 #[cfg(test)]
@@ -328,6 +404,31 @@ mod tests {
                 || (groups[0] == blob_b && groups[1] == blob_a),
             "top split mixed the blobs: {groups:?}"
         );
+    }
+
+    #[test]
+    fn build_is_identical_across_thread_counts() {
+        // 300 users crosses PAR_MIN_MEMBERS, so the root-level siblings fork
+        // onto workers whenever more than one thread is available.
+        let e = embeddings(300);
+        par::set_threads(Some(1));
+        let base = ClusterTree::build_seeded(&e, 4, 0xC0FFEE);
+        for t in [2, 3, 8] {
+            par::set_threads(Some(t));
+            let tree = ClusterTree::build_seeded(&e, 4, 0xC0FFEE);
+            assert_eq!(tree, base, "threads {t}");
+        }
+        par::set_threads(None);
+    }
+
+    #[test]
+    fn build_seeded_is_a_pure_function_of_its_seed() {
+        let e = embeddings(60);
+        let a = ClusterTree::build_seeded(&e, 3, 5);
+        let b = ClusterTree::build_seeded(&e, 3, 5);
+        let c = ClusterTree::build_seeded(&e, 3, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (generically) differ");
     }
 
     #[test]

@@ -507,8 +507,12 @@ mod tests {
             6,
         );
         let outcome = agent.execute(&src, &mut env);
+        // The masking property: every selected user's profile contains the
+        // target item. (Note u15 also carries item 5 through its filler
+        // item `(15·7) mod 20`, so "good" marker users are a strict subset
+        // of the carriers.)
         for u in &outcome.selected_users {
-            assert!(u.0 < 10, "masked agent selected non-carrier {u}");
+            assert!(src.has_item(*u, ItemId(5)), "masked agent selected non-carrier {u}");
         }
     }
 

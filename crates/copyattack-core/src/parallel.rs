@@ -1,0 +1,411 @@
+//! Multi-target campaigns across worker threads (tentpole of the parallel
+//! offline pipeline).
+//!
+//! A [`ParallelCampaign`] attacks `n` target items with `n` *independent*
+//! agents — one per target, each seeded from the campaign seed and its
+//! target's position via [`ca_par::split_seed`] — instead of the shared
+//! round-robin agent of [`Campaign`]. Because the per-target agents share
+//! no state and no RNG, they train concurrently on the `ca-par` runtime,
+//! and the full set of learning curves is bitwise identical at any
+//! `CA_THREADS` setting (each agent's trajectory is a pure function of its
+//! derived seed).
+//!
+//! Per-target query metering is preserved: every target gets its own
+//! [`AttackEnvironment`] from the caller's factory, so its query/injection
+//! counters are exactly those of a standalone single-target run.
+//!
+//! Checkpoint/resume mirror the serial campaign: a
+//! [`ParallelCampaignCheckpoint`] is the vector of per-target
+//! [`CampaignCheckpoint`]s, and [`ParallelCampaign::resume`] continues each
+//! target from its own snapshot (already-completed targets are no-ops).
+
+use crate::attack::{AttackOutcome, CopyAttackVariant};
+use crate::campaign::{Campaign, CampaignCheckpoint, CampaignRun};
+use crate::config::AttackConfig;
+use crate::env::AttackEnvironment;
+use crate::source::SourceDomain;
+use ca_par as par;
+use ca_recsys::{FallibleBlackBox, ItemId, RecError};
+
+/// A multi-target campaign with one independent agent per target.
+#[derive(Clone)]
+pub struct ParallelCampaign {
+    campaigns: Vec<Campaign>,
+}
+
+/// Snapshot of a parallel campaign: one serial-campaign checkpoint per
+/// target, in target order.
+#[derive(Clone)]
+pub struct ParallelCampaignCheckpoint {
+    checkpoints: Vec<CampaignCheckpoint>,
+}
+
+impl ParallelCampaignCheckpoint {
+    /// Episodes completed per target at snapshot time.
+    pub fn episodes_completed(&self) -> Vec<usize> {
+        self.checkpoints.iter().map(CampaignCheckpoint::episodes_completed).collect()
+    }
+
+    /// The targets, in campaign order.
+    pub fn targets(&self) -> Vec<ItemId> {
+        self.checkpoints.iter().map(|c| c.targets()[0]).collect()
+    }
+}
+
+/// How a resilient parallel run ended.
+pub enum ParallelCampaignRun {
+    /// Every target ran all its episodes; curves in target order.
+    Completed {
+        /// Final reward per episode, one curve per target.
+        curves: Vec<Vec<f32>>,
+    },
+    /// At least one target's platform defeated an entire episode. Targets
+    /// that completed stay completed inside the checkpoint; interrupted
+    /// targets were rolled back to the episode boundary before the failure.
+    Interrupted {
+        /// Snapshot to hand to [`ParallelCampaign::resume`] later.
+        checkpoint: Box<ParallelCampaignCheckpoint>,
+        /// The platform error per interrupted target.
+        causes: Vec<(ItemId, RecError)>,
+    },
+}
+
+impl ParallelCampaign {
+    /// Builds one agent per target. Agent `i` uses the seed
+    /// `split_seed(cfg.seed, i)`, so the campaign seed fans out into
+    /// decorrelated per-target streams and adding a target never perturbs
+    /// the others. Fails if `targets` is empty or any target has no source
+    /// carrier.
+    pub fn try_new(
+        cfg: AttackConfig,
+        variant: CopyAttackVariant,
+        src: &SourceDomain<'_>,
+        targets: Vec<ItemId>,
+    ) -> Result<Self, String> {
+        if targets.is_empty() {
+            return Err("a campaign needs at least one target".into());
+        }
+        let campaigns = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let mut c = cfg.clone();
+                c.seed = par::split_seed(cfg.seed, i as u64);
+                Campaign::try_new(c, variant, src, vec![t])
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { campaigns })
+    }
+
+    /// Panicking wrapper over [`ParallelCampaign::try_new`].
+    ///
+    /// # Panics
+    /// Panics if `targets` is empty or any target has no source carrier.
+    pub fn new(
+        cfg: AttackConfig,
+        variant: CopyAttackVariant,
+        src: &SourceDomain<'_>,
+        targets: Vec<ItemId>,
+    ) -> Self {
+        Self::try_new(cfg, variant, src, targets).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The targets, in campaign order.
+    pub fn targets(&self) -> Vec<ItemId> {
+        self.campaigns.iter().map(|c| c.targets()[0]).collect()
+    }
+
+    /// The per-target campaigns, in target order.
+    pub fn per_target(&self) -> &[Campaign] {
+        &self.campaigns
+    }
+
+    /// Episodes completed per target (across resumptions).
+    pub fn episodes_completed(&self) -> Vec<usize> {
+        self.campaigns.iter().map(Campaign::episodes_completed).collect()
+    }
+
+    /// Learning curves per target (across resumptions).
+    pub fn curves(&self) -> Vec<Vec<f32>> {
+        self.campaigns.iter().map(|c| c.curve().to_vec()).collect()
+    }
+
+    /// Snapshots every per-target campaign for later
+    /// [`ParallelCampaign::resume`].
+    pub fn checkpoint(&self) -> ParallelCampaignCheckpoint {
+        ParallelCampaignCheckpoint {
+            checkpoints: self.campaigns.iter().map(Campaign::checkpoint).collect(),
+        }
+    }
+
+    /// Reconstructs a parallel campaign from a checkpoint.
+    pub fn resume(checkpoint: ParallelCampaignCheckpoint) -> Self {
+        Self { campaigns: checkpoint.checkpoints.into_iter().map(Campaign::resume).collect() }
+    }
+
+    /// Trains every target for `cfg.episodes` episodes, one worker per
+    /// target. `make_env` receives the *source-domain* target id and must
+    /// produce a fresh environment attacking that item; it is called from
+    /// worker threads, so it must be `Sync` (e.g. capture shared data by
+    /// reference and build the platform inside).
+    ///
+    /// Returns the learning curves in target order — independent of thread
+    /// count and identical to running each target alone.
+    pub fn train<R: FallibleBlackBox>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        make_env: impl Fn(ItemId) -> AttackEnvironment<R> + Sync,
+    ) -> Vec<Vec<f32>> {
+        par::map_mut(&mut self.campaigns, |_, campaign| campaign.train(src, &make_env))
+    }
+
+    /// Trains every target against a possibly-failing platform. Targets
+    /// that complete keep their full curves; targets whose platform defeats
+    /// an entire episode are rolled back to the preceding episode boundary.
+    /// If any target was interrupted, returns
+    /// [`ParallelCampaignRun::Interrupted`] with a checkpoint covering all
+    /// targets and the per-target causes.
+    pub fn train_resilient<R: FallibleBlackBox>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        make_env: impl Fn(ItemId) -> AttackEnvironment<R> + Sync,
+    ) -> ParallelCampaignRun {
+        let runs = par::map_mut(&mut self.campaigns, |_, campaign| {
+            let target = campaign.targets()[0];
+            let run = campaign.train_resilient(src, &make_env);
+            match run {
+                CampaignRun::Completed { .. } => None,
+                CampaignRun::Interrupted { cause, .. } => Some((target, cause)),
+            }
+        });
+        let causes: Vec<(ItemId, RecError)> = runs.into_iter().flatten().collect();
+        if causes.is_empty() {
+            ParallelCampaignRun::Completed { curves: self.curves() }
+        } else {
+            ParallelCampaignRun::Interrupted { checkpoint: Box::new(self.checkpoint()), causes }
+        }
+    }
+
+    /// Executes one attack on `target_src` without learning, using the
+    /// agent trained on that target when there is one and the first agent
+    /// otherwise (zero-shot transfer).
+    pub fn execute_on<R: FallibleBlackBox>(
+        &mut self,
+        src: &SourceDomain<'_>,
+        target_src: ItemId,
+        env: &mut AttackEnvironment<R>,
+    ) -> AttackOutcome {
+        let i = self.campaigns.iter().position(|c| c.targets()[0] == target_src).unwrap_or(0);
+        self.campaigns[i].execute_on(src, target_src, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AttackConfig;
+    use ca_mf::BprConfig;
+    use ca_recsys::{BlackBoxRecommender, Dataset, DatasetBuilder, UserId};
+
+    /// Counting fake platform, same flavor as the campaign tests.
+    struct CountingRec {
+        good: usize,
+        n_users: usize,
+        target: ItemId,
+        threshold: usize,
+    }
+    impl BlackBoxRecommender for CountingRec {
+        fn top_k(&self, _u: UserId, k: usize) -> Vec<ItemId> {
+            if self.good >= self.threshold {
+                vec![self.target; k.min(1)]
+            } else {
+                vec![ItemId(9999); k.min(1)]
+            }
+        }
+        fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+            if profile.contains(&ItemId(777)) {
+                self.good += 1;
+            }
+            let id = UserId(self.n_users as u32);
+            self.n_users += 1;
+            id
+        }
+        fn catalog_size(&self) -> usize {
+            10_000
+        }
+    }
+
+    fn world() -> (Dataset, Vec<ItemId>) {
+        let mut b = DatasetBuilder::new(100);
+        for u in 0..40u32 {
+            let mut profile = vec![ItemId(u % 30 + 30)];
+            if u < 15 {
+                profile.push(ItemId(3 + 2 * (u % 3))); // one of {3, 5, 7}
+                profile.push(ItemId(77));
+            }
+            profile.push(ItemId((u * 11) % 25));
+            b.user(&profile);
+        }
+        let map: Vec<ItemId> = (0..100).map(|s| ItemId(s * 10 + 7)).collect();
+        (b.build(), map)
+    }
+
+    fn cfg() -> AttackConfig {
+        AttackConfig {
+            budget: 6,
+            n_pretend: 1,
+            query_every: 2,
+            episodes: 10,
+            tree_depth: 2,
+            lr: 0.05,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    fn bandit_env(map: &[ItemId], t: ItemId) -> AttackEnvironment<CountingRec> {
+        AttackEnvironment::new(
+            CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
+            vec![UserId(0)],
+            map[t.idx()],
+            5,
+            6,
+        )
+    }
+
+    #[test]
+    fn curves_are_identical_across_thread_counts() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let targets = vec![ItemId(3), ItemId(5), ItemId(7)];
+        let run = |threads| {
+            par::set_threads(Some(threads));
+            let mut campaign = ParallelCampaign::new(
+                cfg(),
+                CopyAttackVariant::no_crafting(),
+                &src,
+                targets.clone(),
+            );
+            campaign.train(&src, |t| bandit_env(&map, t))
+        };
+        let base = run(1);
+        assert_eq!(base.len(), 3);
+        assert!(base.iter().all(|c| c.len() == 10));
+        for t in [2, 3, 8] {
+            let curves = run(t);
+            assert_eq!(curves, base, "threads {t}");
+        }
+        par::set_threads(None);
+    }
+
+    #[test]
+    fn per_target_curve_matches_a_standalone_single_target_run() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+
+        let mut many = ParallelCampaign::new(
+            cfg(),
+            CopyAttackVariant::no_crafting(),
+            &src,
+            vec![ItemId(3), ItemId(5)],
+        );
+        let curves = many.train(&src, |t| bandit_env(&map, t));
+
+        // Target 5 alone, at its derived seed, must reproduce curve 1.
+        let mut solo_cfg = cfg();
+        solo_cfg.seed = par::split_seed(cfg().seed, 1);
+        let mut solo =
+            Campaign::new(solo_cfg, CopyAttackVariant::no_crafting(), &src, vec![ItemId(5)]);
+        let solo_curve = solo.train(&src, |t| bandit_env(&map, t));
+        assert_eq!(curves[1], solo_curve);
+    }
+
+    #[test]
+    fn interruption_checkpoints_all_targets_and_resumes() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let targets = vec![ItemId(3), ItemId(5)];
+
+        // Reference: healthy run.
+        let mut reference =
+            ParallelCampaign::new(cfg(), CopyAttackVariant::no_crafting(), &src, targets.clone());
+        let reference_curves = reference.train(&src, |t| bandit_env(&map, t));
+
+        // Target 5's platform refuses every injection; target 3's is fine.
+        let mut halting =
+            ParallelCampaign::new(cfg(), CopyAttackVariant::no_crafting(), &src, targets);
+        let run = halting.train_resilient(&src, |t| {
+            AttackEnvironment::new(
+                DownThenUp {
+                    inner: CountingRec { good: 0, n_users: 0, target: map[t.idx()], threshold: 2 },
+                    refusals_left: if t == ItemId(5) { usize::MAX } else { 0 },
+                },
+                vec![UserId(0)],
+                map[t.idx()],
+                5,
+                6,
+            )
+        });
+        let ParallelCampaignRun::Interrupted { checkpoint, causes } = run else {
+            panic!("target 5's dead platform must interrupt");
+        };
+        assert_eq!(causes, vec![(ItemId(5), RecError::AccountSuspended)]);
+        assert_eq!(checkpoint.episodes_completed(), vec![10, 0]);
+
+        // Resume on a healthy platform: the combined curves must equal the
+        // reference (completed target untouched, dead target replayed).
+        let mut resumed = ParallelCampaign::resume(*checkpoint);
+        let ParallelCampaignRun::Completed { curves } =
+            resumed.train_resilient(&src, |t| bandit_env(&map, t))
+        else {
+            panic!("healthy platform must complete");
+        };
+        assert_eq!(curves, reference_curves);
+    }
+
+    #[test]
+    fn metering_matches_standalone_runs() {
+        let (ds, map) = world();
+        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
+        let mut campaign = ParallelCampaign::new(
+            cfg(),
+            CopyAttackVariant::no_crafting(),
+            &src,
+            vec![ItemId(3), ItemId(5)],
+        );
+        campaign.train(&src, |t| bandit_env(&map, t));
+        // Execute once per target on fresh metered envs: each env's meters
+        // reflect only its own target's traffic.
+        for &t in &[ItemId(3), ItemId(5)] {
+            let mut env = bandit_env(&map, t);
+            let _ = campaign.execute_on(&src, t, &mut env);
+            assert!(env.injections() > 0, "target {t} injected nothing");
+            assert!(env.queries() > 0, "target {t} queried nothing");
+        }
+    }
+
+    /// Platform that refuses injections until `refusals_left` runs out.
+    struct DownThenUp {
+        inner: CountingRec,
+        refusals_left: usize,
+    }
+    impl ca_recsys::FallibleBlackBox for DownThenUp {
+        fn try_top_k(&mut self, u: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
+            Ok(self.inner.top_k(u, k))
+        }
+        fn try_inject_user(&mut self, p: &[ItemId]) -> Result<UserId, RecError> {
+            if self.refusals_left > 0 {
+                self.refusals_left -= 1;
+                return Err(RecError::AccountSuspended);
+            }
+            Ok(self.inner.inject_user(p))
+        }
+        fn catalog_size(&self) -> usize {
+            BlackBoxRecommender::catalog_size(&self.inner)
+        }
+    }
+}

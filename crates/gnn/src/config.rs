@@ -15,11 +15,16 @@ pub struct GnnConfig {
     pub patience: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Pairs per minibatch in training: gradients within a batch are
+    /// computed against the frozen batch-start towers (in parallel on the
+    /// `ca-par` runtime) and applied in pair order. `1` recovers classic
+    /// per-pair SGD exactly.
+    pub minibatch: usize,
 }
 
 impl Default for GnnConfig {
     fn default() -> Self {
-        Self { dim: 8, hidden: 16, lr: 0.05, max_epochs: 40, patience: 5, seed: 0 }
+        Self { dim: 8, hidden: 16, lr: 0.05, max_epochs: 40, patience: 5, seed: 0, minibatch: 8 }
     }
 }
 

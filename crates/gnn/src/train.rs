@@ -4,12 +4,18 @@
 use crate::config::GnnConfig;
 use crate::model::PinSageModel;
 use crate::recommender::{Caches, PinSageRecommender};
+use ca_par as par;
 use ca_recsys::eval::RankingEval;
 use ca_recsys::{Dataset, HeldOut, ItemId, Scorer, UserId};
 use ca_tensor::ops::{self, sigmoid};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+
+/// Minimum minibatch size before per-pair gradients go to worker threads:
+/// below this, scoped-thread spawn costs more than the gradient math.
+/// Scheduling only — the serial and parallel paths return the same bits.
+const PAR_MIN_PAIRS: usize = 256;
 
 /// Summary of a training run.
 #[derive(Clone, Debug)]
@@ -84,18 +90,34 @@ fn train_model(
     let mut since_best = 0usize;
     let mut epochs_run = 0usize;
 
+    let batch = cfg.minibatch.max(1);
     for _epoch in 0..cfg.max_epochs {
         // Stale aggregates for this epoch.
         let caches = Caches::compute(&model, train_ds);
         pairs.shuffle(&mut rng);
-        for &(u, pos) in &pairs {
-            let neg = loop {
-                let cand = ItemId(rng.gen_range(0..n_items));
-                if cand != pos && !train_ds.contains(u, cand) {
-                    break cand;
-                }
-            };
-            bpr_step(&mut model, train_ds, &caches, u, pos, neg);
+        for chunk in pairs.chunks(batch) {
+            // Negative sampling stays on the single trainer RNG, so the
+            // random stream is identical at every minibatch/thread count.
+            let triples: Vec<(UserId, ItemId, ItemId)> = chunk
+                .iter()
+                .map(|&(u, pos)| {
+                    let neg = loop {
+                        let cand = ItemId(rng.gen_range(0..n_items));
+                        if cand != pos && !train_ds.contains(u, cand) {
+                            break cand;
+                        }
+                    };
+                    (u, pos, neg)
+                })
+                .collect();
+            let grads = par::map_min(&triples, PAR_MIN_PAIRS, |_, &(u, pos, neg)| {
+                pair_grad(&model, train_ds, &caches, u, pos, neg)
+            });
+            let lr = model.cfg.lr;
+            for g in &grads {
+                model.item_tower.sgd_step(&g.item, lr);
+                model.user_tower.sgd_step(&g.user, lr);
+            }
         }
         epochs_run += 1;
 
@@ -128,17 +150,21 @@ fn train_model(
     (rec, report)
 }
 
-/// One BPR-SGD step through both towers (features are frozen, so gradients
-/// stop at the tower inputs).
-fn bpr_step(
-    model: &mut PinSageModel,
+/// Tower gradients of one BPR triple against frozen towers (features are
+/// frozen, so gradients stop at the tower inputs).
+struct PairGrad {
+    item: ca_nn::MlpGrad,
+    user: ca_nn::MlpGrad,
+}
+
+fn pair_grad(
+    model: &PinSageModel,
     ds: &Dataset,
     caches: &Caches,
     u: UserId,
     pos: ItemId,
     neg: ItemId,
-) {
-    let lr = model.cfg.lr;
+) -> PairGrad {
     let profile = ds.profile(u);
 
     // Forward.
@@ -163,14 +189,14 @@ fn bpr_step(
     let g_hpos: Vec<f32> = h_u.iter().map(|x| g * x).collect();
     let g_hneg: Vec<f32> = h_u.iter().map(|x| -g * x).collect();
 
-    let mut grad_item = model.item_tower.zero_grad();
-    model.item_tower.backward(&cache_pos, &g_hpos, &mut grad_item);
-    model.item_tower.backward(&cache_neg, &g_hneg, &mut grad_item);
-    model.item_tower.sgd_step(&grad_item, lr);
+    let mut item = model.item_tower.zero_grad();
+    model.item_tower.backward(&cache_pos, &g_hpos, &mut item);
+    model.item_tower.backward(&cache_neg, &g_hneg, &mut item);
 
-    let mut grad_user = model.user_tower.zero_grad();
-    model.user_tower.backward(&cache_u, &g_hu, &mut grad_user);
-    model.user_tower.sgd_step(&grad_user, lr);
+    let mut user = model.user_tower.zero_grad();
+    model.user_tower.backward(&cache_u, &g_hu, &mut user);
+
+    PairGrad { item, user }
 }
 
 #[cfg(test)]

@@ -24,11 +24,25 @@ pub struct NcfConfig {
     pub patience: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Pairs per minibatch in [`crate::train::train`]: gradients within a
+    /// batch are computed against the frozen batch-start model (in parallel
+    /// on the `ca-par` runtime) and applied in pair order. `1` recovers
+    /// classic per-pair SGD exactly.
+    pub minibatch: usize,
 }
 
 impl Default for NcfConfig {
     fn default() -> Self {
-        Self { dim: 8, hidden: 16, lr: 0.05, reg: 1e-4, max_epochs: 30, patience: 5, seed: 0 }
+        Self {
+            dim: 8,
+            hidden: 16,
+            lr: 0.05,
+            reg: 1e-4,
+            max_epochs: 30,
+            patience: 5,
+            seed: 0,
+            minibatch: 32,
+        }
     }
 }
 

@@ -1,12 +1,19 @@
 //! BPR training and incremental fine-tuning for the NCF model.
 
 use crate::model::{NcfConfig, NcfModel};
+use ca_nn::MlpGrad;
+use ca_par as par;
 use ca_recsys::eval::RankingEval;
 use ca_recsys::{Dataset, HeldOut, ItemId, UserId};
 use ca_tensor::ops::sigmoid;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+
+/// Minimum minibatch size before per-pair gradients go to worker threads:
+/// below this, scoped-thread spawn costs more than the gradient math.
+/// Scheduling only — the serial and parallel paths return the same bits.
+const PAR_MIN_PAIRS: usize = 256;
 
 /// Training summary.
 #[derive(Clone, Debug)]
@@ -39,16 +46,30 @@ pub fn train(
     let mut since_best = 0usize;
     let mut epochs_run = 0usize;
 
+    let batch = cfg.minibatch.max(1);
     for _ in 0..cfg.max_epochs {
         pairs.shuffle(&mut rng);
-        for &(u, pos) in &pairs {
-            let neg = loop {
-                let cand = ItemId(rng.gen_range(0..n_items));
-                if cand != pos && !train_ds.contains(u, cand) {
-                    break cand;
-                }
-            };
-            bpr_step(&mut model, u, pos, neg);
+        for chunk in pairs.chunks(batch) {
+            // Negative sampling stays on the single trainer RNG, so the
+            // random stream is identical at every minibatch/thread count.
+            let triples: Vec<(UserId, ItemId, ItemId)> = chunk
+                .iter()
+                .map(|&(u, pos)| {
+                    let neg = loop {
+                        let cand = ItemId(rng.gen_range(0..n_items));
+                        if cand != pos && !train_ds.contains(u, cand) {
+                            break cand;
+                        }
+                    };
+                    (u, pos, neg)
+                })
+                .collect();
+            let grads = par::map_min(&triples, PAR_MIN_PAIRS, |_, &(u, pos, neg)| {
+                pair_grad(&model, u, pos, neg)
+            });
+            for (&(u, pos, neg), g) in triples.iter().zip(&grads) {
+                apply_grad(&mut model, u, pos, neg, g);
+            }
         }
         epochs_run += 1;
 
@@ -72,6 +93,69 @@ pub fn train(
         best_val_hr10: if best.is_finite() { best } else { 0.0 },
     };
     (model, report)
+}
+
+/// Gradient of one BPR triple through both branches, against a frozen
+/// model. Regularization is folded in, so applying is a uniform
+/// `param -= lr * d`.
+struct PairGrad {
+    mlp: MlpGrad,
+    d_pu: Vec<f32>,
+    d_qp: Vec<f32>,
+    d_qn: Vec<f32>,
+    d_w: Vec<f32>,
+}
+
+fn pair_grad(model: &NcfModel, u: UserId, pos: ItemId, neg: ItemId) -> PairGrad {
+    let reg = model.cfg.reg;
+    let dim = model.cfg.dim;
+
+    let x_pos = model.fusion_input(u, pos);
+    let x_neg = model.fusion_input(u, neg);
+    let (out_pos, cache_pos) = model.mlp.forward(&x_pos);
+    let (out_neg, cache_neg) = model.mlp.forward(&x_neg);
+    let gmf = |v: ItemId| -> f32 {
+        let pu = model.p.row(u.idx());
+        let qv = model.q.row(v.idx());
+        (0..dim).map(|k| model.w_gmf[k] * pu[k] * qv[k]).sum()
+    };
+    let s_pos = gmf(pos) + out_pos[0];
+    let s_neg = gmf(neg) + out_neg[0];
+    let g = sigmoid(s_pos - s_neg) - 1.0; // dL/ds⁺, negative
+
+    let mut mlp = model.mlp.zero_grad();
+    let gx_pos = model.mlp.backward(&cache_pos, &[g], &mut mlp);
+    let gx_neg = model.mlp.backward(&cache_neg, &[-g], &mut mlp);
+
+    let pu = model.p.row(u.idx());
+    let qp = model.q.row(pos.idx());
+    let qn = model.q.row(neg.idx());
+    let mut grad = PairGrad {
+        mlp,
+        d_pu: Vec::with_capacity(dim),
+        d_qp: Vec::with_capacity(dim),
+        d_qn: Vec::with_capacity(dim),
+        d_w: Vec::with_capacity(dim),
+    };
+    for k in 0..dim {
+        let w = model.w_gmf[k];
+        grad.d_pu.push(g * w * (qp[k] - qn[k]) + gx_pos[k] + gx_neg[k] + reg * pu[k]);
+        grad.d_qp.push(g * w * pu[k] + gx_pos[dim + k] + reg * qp[k]);
+        grad.d_qn.push(-g * w * pu[k] + gx_neg[dim + k] + reg * qn[k]);
+        grad.d_w.push(g * pu[k] * (qp[k] - qn[k]));
+    }
+    grad
+}
+
+fn apply_grad(model: &mut NcfModel, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad) {
+    let lr = model.cfg.lr;
+    model.mlp.sgd_step(&g.mlp, lr);
+    for k in 0..g.d_pu.len() {
+        model.p[(u.idx(), k)] -= lr * g.d_pu[k];
+        model.q[(pos.idx(), k)] -= lr * g.d_qp[k];
+        model.q[(neg.idx(), k)] -= lr * g.d_qn[k];
+        model.w_gmf[k] -= lr * g.d_w[k];
+    }
 }
 
 /// One BPR-SGD step on `(u, v⁺, v⁻)` through both branches.

@@ -1,0 +1,347 @@
+//! Deterministic parallel runtime for the offline pipeline.
+//!
+//! Every parallel construct in this workspace routes through this crate,
+//! and every one of them obeys a single contract: **the result is bitwise
+//! identical at any thread count**. That holds because nothing here lets
+//! scheduling order leak into results:
+//!
+//! - [`map`] / [`map_mut`] return outputs in input order — each slot is the
+//!   pure function of its input, so which worker computed it is invisible;
+//! - [`map_reduce`] folds *fixed-size* chunks whose boundaries depend only
+//!   on the input length and the caller's `grain` (never on the thread
+//!   count), and combines the per-chunk partials **serially, in ascending
+//!   chunk order** on the calling thread. Floating-point reductions are
+//!   therefore reproducible: the rounding schedule is pinned by the chunk
+//!   grid, not by whichever worker finished first;
+//! - [`SeedSplit`] derives statistically independent RNG seeds from a
+//!   parent seed and a *stable task index* (SplitMix64-style mixing), so a
+//!   task's random stream is a function of its position in the work tree,
+//!   not of the thread that ran it.
+//!
+//! Thread count comes from one process-wide knob: the `CA_THREADS`
+//! environment variable (read once), defaulting to
+//! `std::thread::available_parallelism()`, overridable at runtime with
+//! [`set_threads`] (used by benches and parity tests to sweep thread counts
+//! inside one process). Workers are plain `std::thread::scope` threads —
+//! no pools, no external dependencies, no unsafe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Runtime override set by [`set_threads`]; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `CA_THREADS` (or `available_parallelism`) — resolved once per process.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The process-wide worker count used by every construct in this crate.
+///
+/// Resolution order: the [`set_threads`] override if one is active, else
+/// the `CA_THREADS` environment variable (parsed once, first use wins),
+/// else `std::thread::available_parallelism()`. Always at least 1.
+pub fn threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("CA_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Overrides the process-wide thread count (`Some(n)`) or restores the
+/// `CA_THREADS`/`available_parallelism` default (`None`).
+///
+/// Safe to flip at any time: every construct in this crate produces
+/// bitwise-identical results at any thread count, so a concurrent override
+/// can change *wall-clock*, never *values*.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Derives per-task RNG seeds from a parent seed and a stable task index.
+///
+/// The derivation is two rounds of the SplitMix64 finalizer over
+/// `parent ⊕ (index + 1) · φ64`, which decorrelates sibling streams even
+/// for adjacent indices and never collides a child with its parent
+/// (index + 1 keeps child 0 distinct). Because the index names the task's
+/// *position* (child number, minibatch slot, target number) rather than an
+/// execution order, the same work tree yields the same seeds at any thread
+/// count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedSplit {
+    seed: u64,
+}
+
+impl SeedSplit {
+    /// Wraps a parent seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// This node's own seed (feed to `StdRng::seed_from_u64`).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The splitter for stable child task `index`.
+    pub fn child(&self, index: u64) -> SeedSplit {
+        SeedSplit { seed: split_seed(self.seed, index) }
+    }
+}
+
+/// Functional form of [`SeedSplit::child`]: the derived seed for stable
+/// task `index` under `parent`.
+pub fn split_seed(parent: u64, index: u64) -> u64 {
+    let mut z = parent ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // Two SplitMix64 finalizer rounds.
+    for _ in 0..2 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Deterministic parallel map: `out[i] = f(i, &items[i])`, in input order.
+///
+/// Work is handed out as contiguous chunks through an atomic cursor (cheap
+/// dynamic load balancing for uneven tasks like sibling-subtree builds);
+/// since each output slot depends only on its own input, scheduling cannot
+/// affect the result. Runs inline on the calling thread when one worker
+/// suffices.
+pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let t = threads().min(n);
+    if t <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    // Chunk grain: enough chunks for balancing, few enough to keep the
+    // cursor cold. Purely a scheduling choice — results are order-blind.
+    let grain = n.div_ceil(t * 4).max(1);
+    let n_chunks = n.div_ceil(grain);
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..t {
+            scope.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * grain;
+                let end = (start + grain).min(n);
+                let out: Vec<R> =
+                    items[start..end].iter().enumerate().map(|(j, x)| f(start + j, x)).collect();
+                parts.lock().expect("ca-par worker poisoned the part list").push((start, out));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().expect("ca-par worker poisoned the part list");
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    debug_assert_eq!(parts.iter().map(|(_, p)| p.len()).sum::<usize>(), n);
+    parts.into_iter().flat_map(|(_, p)| p).collect()
+}
+
+/// Like [`map`], but stays inline below `min_items` items.
+///
+/// For fine-grained workloads (per-pair SGD gradients, small minibatches)
+/// the tens-of-microseconds cost of spawning scoped workers dwarfs the
+/// work itself; callers that know their per-item cost pass the break-even
+/// batch size here. Purely a scheduling decision — [`map`] returns the
+/// same bits either way.
+pub fn map_min<T: Sync, R: Send>(
+    items: &[T],
+    min_items: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    if items.len() < min_items {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    map(items, f)
+}
+
+/// Deterministic parallel map over mutable slots: `out[i] = f(i, &mut
+/// items[i])`. Each item is visited exactly once by exactly one worker
+/// (contiguous chunk split), so `f` may mutate its item freely; outputs
+/// come back in input order.
+pub fn map_mut<T: Send, R: Send>(items: &mut [T], f: impl Fn(usize, &mut T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let t = threads().min(n);
+    if t <= 1 {
+        return items.iter_mut().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = n.div_ceil(t);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(t);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, slice)| {
+                let f = &f;
+                scope.spawn(move || {
+                    slice
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(j, x)| f(c * chunk + j, x))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        out.extend(handles.into_iter().map(|h| h.join().expect("ca-par map_mut worker panicked")));
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Deterministic parallel fold: the input is cut into fixed `grain`-sized
+/// chunks (boundaries depend only on `items.len()` and `grain`), each
+/// chunk is folded by `fold_chunk`, and the per-chunk partials are combined
+/// **serially in ascending chunk order** on the calling thread.
+///
+/// Because both the chunk grid and the combine order are independent of the
+/// worker count, floating-point accumulations through this function are
+/// bitwise identical at any thread count — the rounding schedule is a
+/// function of the data alone. Returns `None` for an empty input.
+pub fn map_reduce<T: Sync, A: Send>(
+    items: &[T],
+    grain: usize,
+    fold_chunk: impl Fn(usize, &[T]) -> A + Sync,
+    mut combine: impl FnMut(A, A) -> A,
+) -> Option<A> {
+    let n = items.len();
+    if n == 0 {
+        return None;
+    }
+    let grain = grain.max(1);
+    let chunks: Vec<(usize, &[T])> = items.chunks(grain).enumerate().collect();
+    let partials = map(&chunks, |_, &(c, slice)| fold_chunk(c, slice));
+    partials.into_iter().reduce(&mut combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `f` at several worker counts and asserts all results agree.
+    fn at_thread_counts<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) -> R {
+        set_threads(Some(1));
+        let base = f();
+        for t in [2, 3, 8] {
+            set_threads(Some(t));
+            assert_eq!(f(), base, "thread count {t} changed the result");
+        }
+        set_threads(None);
+        base
+    }
+
+    #[test]
+    fn threads_is_at_least_one() {
+        set_threads(None);
+        assert!(threads() >= 1);
+        set_threads(Some(6));
+        assert_eq!(threads(), 6);
+        set_threads(None);
+    }
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = at_thread_counts(|| map(&items, |i, &x| x * 2 + i as u64));
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(&empty, |_, &x| x).is_empty());
+        assert_eq!(map(&[7u32], |i, &x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn map_min_matches_map_on_both_sides_of_the_threshold() {
+        let small: Vec<u32> = (0..10).collect();
+        let large: Vec<u32> = (0..500).collect();
+        let f = |i: usize, x: &u32| *x as u64 + i as u64;
+        let out = at_thread_counts(|| (map_min(&small, 64, f), map_min(&large, 64, f)));
+        assert_eq!(out.0, map(&small, f));
+        assert_eq!(out.1, map(&large, f));
+    }
+
+    #[test]
+    fn map_mut_touches_every_slot_once() {
+        let out = at_thread_counts(|| {
+            let mut items: Vec<u32> = (0..100).collect();
+            let r = map_mut(&mut items, |i, x| {
+                *x += 1;
+                *x as usize + i
+            });
+            (items, r)
+        });
+        assert_eq!(out.0, (1..=100).collect::<Vec<u32>>());
+        assert!(out.1.iter().enumerate().all(|(i, &v)| v == 2 * i + 1));
+    }
+
+    #[test]
+    fn map_reduce_float_sum_is_bitwise_stable() {
+        // A sum that *does* depend on association order in f32 — the fixed
+        // chunk grid must pin one order regardless of worker count.
+        let items: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.731).sin() * 1e3).collect();
+        let sum = at_thread_counts(|| {
+            map_reduce(&items, 64, |_, chunk| chunk.iter().sum::<f32>(), |a, b| a + b)
+                .unwrap()
+                .to_bits()
+        });
+        // And the chunked sum equals the serial chunk-order fold.
+        let serial = items.chunks(64).map(|c| c.iter().sum::<f32>()).fold(None, |acc, p| {
+            Some(match acc {
+                None => p,
+                Some(a) => a + p,
+            })
+        });
+        assert_eq!(sum, serial.unwrap().to_bits());
+    }
+
+    #[test]
+    fn map_reduce_empty_is_none() {
+        let empty: Vec<f32> = Vec::new();
+        assert!(map_reduce(&empty, 8, |_, c| c.len(), |a, b| a + b).is_none());
+    }
+
+    #[test]
+    fn seed_split_is_stable_and_decorrelated() {
+        let root = SeedSplit::new(42);
+        assert_eq!(root.child(3).seed(), root.child(3).seed());
+        assert_eq!(root.child(3).seed(), split_seed(42, 3));
+        // Siblings and parent/child must not collide.
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(root.seed());
+        for i in 0..1000 {
+            assert!(seen.insert(root.child(i).seed()), "seed collision at child {i}");
+        }
+        // Nested derivation differs from flat derivation.
+        assert_ne!(root.child(0).child(0).seed(), root.child(0).seed());
+    }
+
+    #[test]
+    fn uneven_work_is_still_ordered() {
+        // Heavier tasks at the front so dynamic scheduling actually
+        // reorders execution; output order must be unaffected.
+        let items: Vec<usize> = (0..64).collect();
+        let out = at_thread_counts(|| {
+            map(&items, |_, &x| {
+                let spin = if x < 8 { 20_000 } else { 10 };
+                let mut acc = x as u64;
+                for i in 0..spin {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                (x, acc)
+            })
+        });
+        assert!(out.iter().enumerate().all(|(i, &(x, _))| x == i));
+    }
+}

@@ -158,8 +158,9 @@ pub fn auto_batch_top_k<E: ScoringEngine + Sync + ?Sized>(
 ) -> Vec<Vec<ItemId>> {
     let cells = users.len().saturating_mul(engine.catalog_len());
     if users.len() >= PAR_MIN_USERS && cells >= PAR_MIN_CELLS {
-        let threads =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(users.len());
+        // One process-wide knob (`CA_THREADS`, see `ca-par`) governs every
+        // parallel stage of the pipeline, this one included.
+        let threads = ca_par::threads().min(users.len());
         par_batch_top_k(engine, users, k, threads)
     } else {
         batch_top_k(engine, users, k)

@@ -44,6 +44,25 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
+    /// Packs equal-length row slices into one contiguous row-major buffer.
+    ///
+    /// The parallel k-means steps flatten their `&[&[f32]]` point set
+    /// through this once, then sweep cache-friendly [`Matrix::row_chunks`]
+    /// views instead of chasing per-row pointers.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows width mismatch");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
     /// Wraps an existing row-major buffer.
     ///
     /// # Panics
@@ -94,6 +113,39 @@ impl Matrix {
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
+    }
+
+    /// Contiguous view of rows `r0..r1` (row-major, `(r1 - r0) * cols`
+    /// floats).
+    ///
+    /// # Panics
+    /// Panics if `r0 > r1` or `r1 > rows`.
+    #[inline]
+    pub fn row_range(&self, r0: usize, r1: usize) -> &[f32] {
+        assert!(r0 <= r1 && r1 <= self.rows, "row_range {r0}..{r1} out of {} rows", self.rows);
+        &self.data[r0 * self.cols..r1 * self.cols]
+    }
+
+    /// Row-aligned chunked views: contiguous blocks of up to `rows_per_chunk`
+    /// whole rows, in row order. This is the unit the deterministic
+    /// parallel runtime (`ca-par`) hands to workers — the chunk grid
+    /// depends only on the matrix shape, never on the thread count.
+    ///
+    /// # Panics
+    /// Panics if `rows_per_chunk == 0`.
+    pub fn row_chunks(&self, rows_per_chunk: usize) -> impl Iterator<Item = &[f32]> {
+        assert!(rows_per_chunk > 0, "row_chunks needs a positive chunk height");
+        self.data.chunks(rows_per_chunk * self.cols.max(1))
+    }
+
+    /// Mutable row-aligned chunked views (disjoint, so workers can fill
+    /// them concurrently).
+    ///
+    /// # Panics
+    /// Panics if `rows_per_chunk == 0`.
+    pub fn row_chunks_mut(&mut self, rows_per_chunk: usize) -> impl Iterator<Item = &mut [f32]> {
+        assert!(rows_per_chunk > 0, "row_chunks_mut needs a positive chunk height");
+        self.data.chunks_mut(rows_per_chunk * self.cols.max(1))
     }
 
     /// Sets every element to zero, keeping the allocation.
@@ -472,6 +524,35 @@ mod tests {
     fn into_vec_roundtrips_the_buffer() {
         let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_rows_packs_row_major() {
+        let rows: Vec<Vec<f32>> = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = Matrix::from_rows(&refs);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn row_chunks_cover_the_matrix_in_order() {
+        let m = Matrix::from_fn(7, 3, |r, c| (r * 3 + c) as f32);
+        let chunks: Vec<&[f32]> = m.row_chunks(2).collect();
+        assert_eq!(chunks.len(), 4); // 2 + 2 + 2 + 1 rows
+        assert_eq!(chunks[0], m.row_range(0, 2));
+        assert_eq!(chunks[3], m.row_range(6, 7));
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn row_chunks_mut_are_disjoint_and_writable() {
+        let mut m = Matrix::zeros(5, 2);
+        for (i, chunk) in m.row_chunks_mut(2).enumerate() {
+            chunk.fill(i as f32);
+        }
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!
 //! | Re-export | Crate | Contents |
 //! |---|---|---|
+//! | [`par`] | `ca-par` | deterministic scoped-thread runtime (`CA_THREADS`) |
 //! | [`tensor`] | `ca-tensor` | dense linear algebra |
 //! | [`nn`] | `ca-nn` | MLP / RNN layers with manual backprop, REINFORCE head |
 //! | [`recsys`] | `ca-recsys` | datasets, black-box interface, HR/NDCG evaluation |
@@ -39,6 +40,7 @@ pub use ca_gnn as gnn;
 pub use ca_mf as mf;
 pub use ca_ncf as ncf;
 pub use ca_nn as nn;
+pub use ca_par as par;
 pub use ca_recsys as recsys;
 pub use ca_tensor as tensor;
 pub use copyattack_core as core;

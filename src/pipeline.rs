@@ -417,25 +417,12 @@ impl Pipeline {
     ) -> MethodRow {
         let items: Vec<ItemId> = items.to_vec();
         let start = std::time::Instant::now();
-        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let chunk = items.len().div_ceil(n_threads.max(1));
-        let results: Vec<(MetricAccumulator, f32)> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk_items in items.chunks(chunk.max(1)) {
-                handles.push(scope.spawn(move || {
-                    chunk_items
-                        .iter()
-                        .map(|&t| {
-                            let cfg = AttackConfig {
-                                seed: attack_cfg.seed ^ t.0 as u64,
-                                ..attack_cfg.clone()
-                            };
-                            self.run_method_cfg(method, t, &cfg)
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            handles.into_iter().flat_map(|h| h.join().expect("attack thread panicked")).collect()
+        // Per-item attacks are seed-isolated (`seed ^ item id`), so the
+        // deterministic runtime's ordered map gives the same row at any
+        // `CA_THREADS` setting.
+        let results: Vec<(MetricAccumulator, f32)> = ca_par::map(&items, |_, &t| {
+            let cfg = AttackConfig { seed: attack_cfg.seed ^ t.0 as u64, ..attack_cfg.clone() };
+            self.run_method_cfg(method, t, &cfg)
         });
         let mut metrics = MetricAccumulator::new(&[20, 10, 5]);
         let mut avg_items = 0.0;

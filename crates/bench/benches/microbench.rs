@@ -87,7 +87,7 @@ fn bench_mf_training(c: &mut Criterion) {
     let world = generate(&CrossDomainConfig::tiny(10));
     c.bench_function("bpr_epoch_tiny", |b| {
         b.iter(|| {
-            let cfg = BprConfig { epochs: 1, seed: 1, ..Default::default() };
+            let cfg = BprConfig { max_epochs: 1, seed: 1, ..Default::default() };
             black_box(copyattack::mf::train(&world.source, &cfg).item_bias[0])
         })
     });

@@ -33,7 +33,7 @@ fn main() {
     let pop = PopularityIndex::build(clean);
     let item_emb = &copyattack::mf::train(
         clean,
-        &copyattack::mf::BprConfig { epochs: 10, seed: seed ^ 9, ..Default::default() },
+        &copyattack::mf::BprConfig { max_epochs: 10, seed: seed ^ 9, ..Default::default() },
     )
     .item_emb;
     let genuine: Vec<_> = (0..clean.n_users() as u32)

@@ -14,7 +14,9 @@
 //! parallel columns show ~1.0× (plus scheduling overhead), which is the
 //! honest number for that machine, not a defect in the runtime.
 //!
-//! Emits `results/BENCH_offline.json`.
+//! Emits `results/BENCH_offline.json`, plus `results/BENCH_train.json`
+//! with per-epoch loss curves and pairs/sec for each model family's
+//! training run, captured through the `ca-train` observer hook.
 
 use std::time::Instant;
 
@@ -22,9 +24,14 @@ use copyattack::cluster::ClusterTree;
 use copyattack::core::{
     AttackConfig, AttackEnvironment, CopyAttackVariant, ParallelCampaign, SourceDomain,
 };
+use copyattack::gnn::GnnConfig;
 use copyattack::mf::{self, BprConfig};
+use copyattack::ncf::NcfConfig;
 use copyattack::par;
-use copyattack::recsys::{BlackBoxRecommender, Dataset, DatasetBuilder, ItemId, UserId};
+use copyattack::recsys::{
+    split_dataset, BlackBoxRecommender, Dataset, DatasetBuilder, ItemId, UserId,
+};
+use copyattack::train::{History, StopReason};
 use copyattack_bench::{f1, print_table, results_dir, Args};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -64,6 +71,33 @@ fn training_world(n_users: usize, n_items: usize, seed: u64) -> Dataset {
         b.user(&profile);
     }
     b.build()
+}
+
+/// Renders one model's captured training [`History`] as a JSON object with
+/// the curves the telemetry satellite promises: per-epoch loss, pairs/sec,
+/// and the validation trace (empty for fixed-epoch runs).
+fn history_json(model: &str, hist: &History) -> String {
+    let join_f32 = |xs: &[f32]| xs.iter().map(|x| format!("{x:.6}")).collect::<Vec<_>>().join(", ");
+    let pps: Vec<String> = hist.pairs_per_sec().iter().map(|x| format!("{x:.1}")).collect();
+    let stop = match &hist.stop {
+        None => "running".to_string(),
+        Some(StopReason::MaxEpochs) => "max_epochs".to_string(),
+        Some(StopReason::EarlyStop { best_epoch, .. }) => {
+            format!("early_stop(best_epoch={best_epoch})")
+        }
+    };
+    format!(
+        concat!(
+            "    {{\"model\": \"{}\", \"epochs_run\": {}, \"stop\": \"{}\", ",
+            "\"loss_curve\": [{}], \"pairs_per_sec\": [{}], \"val_curve\": [{}]}}"
+        ),
+        model,
+        hist.epochs.len(),
+        stop,
+        join_f32(&hist.loss_curve()),
+        pps.join(", "),
+        join_f32(&hist.val_curve()),
+    )
 }
 
 /// Counting bandit platform (same flavor as the campaign test suites):
@@ -159,7 +193,7 @@ fn main() {
     let ds = training_world(2_000, 1_000, 0xBEEF);
     // Minibatch past the trainers' PAR_MIN_PAIRS threshold so per-pair
     // gradients actually fan out to workers.
-    let cfg = BprConfig { epochs: 2, seed: 3, minibatch: 512, ..Default::default() };
+    let cfg = BprConfig { max_epochs: 2, seed: 3, minibatch: 512, ..Default::default() };
     let (t1, base) = timed_at(1, reps, || mf::train(&ds, &cfg));
     let (t2, _) = timed_at(2, reps, || mf::train(&ds, &cfg));
     let (tn, widest) = timed_at(wide, reps, || mf::train(&ds, &cfg));
@@ -173,7 +207,7 @@ fn main() {
 
     // --- Stage 3: 8-target parallel campaign -------------------------------
     let (src_ds, map) = campaign_world();
-    let surrogate = mf::train(&src_ds, &BprConfig { epochs: 3, ..Default::default() });
+    let surrogate = mf::train(&src_ds, &BprConfig { max_epochs: 3, ..Default::default() });
     let src = SourceDomain { data: &src_ds, mf: &surrogate, to_target: &map };
     let targets: Vec<ItemId> = (0..8u32).map(ItemId).collect();
     let attack = AttackConfig {
@@ -210,6 +244,57 @@ fn main() {
     push("campaign_8_targets", targets.len(), t1, t2, tn);
 
     par::set_threads(None);
+
+    // --- Stage 4: per-model training telemetry -----------------------------
+    // One real training run per model family, with the epoch-level curves
+    // captured through the `ca-train` observer hook.
+    let tele_ds = training_world(600, 300, 0xCAFE);
+    let mut split_rng = StdRng::seed_from_u64(5);
+    let split = split_dataset(&tele_ds, 0.1, &mut split_rng);
+
+    let mut mf_hist = History::new();
+    let mf_cfg = BprConfig { max_epochs: 5, seed: 21, minibatch: 128, ..Default::default() };
+    mf::train_observed(&split.train, &mf_cfg, &mut mf_hist);
+
+    let mut ncf_hist = History::new();
+    let ncf_cfg = NcfConfig { max_epochs: 5, seed: 22, ..Default::default() };
+    copyattack::ncf::train_observed(&split.train, &split.validation, &ncf_cfg, &mut ncf_hist);
+
+    let mut gnn_hist = History::new();
+    let gnn_cfg = GnnConfig { max_epochs: 5, seed: 23, ..Default::default() };
+    copyattack::gnn::train_observed(&split.train, &split.validation, &gnn_cfg, &mut gnn_hist);
+
+    let train_rows: Vec<Vec<String>> = [("mf", &mf_hist), ("ncf", &ncf_hist), ("gnn", &gnn_hist)]
+        .iter()
+        .map(|(name, h)| {
+            let mean_pps = h.pairs_per_sec().iter().sum::<f64>() / h.epochs.len().max(1) as f64;
+            vec![
+                name.to_string(),
+                h.epochs.len().to_string(),
+                h.loss_curve().first().map_or("-".into(), |l| format!("{l:.4}")),
+                h.loss_curve().last().map_or("-".into(), |l| format!("{l:.4}")),
+                format!("{mean_pps:.0}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "training telemetry (ca-train observer)",
+        &["model", "epochs", "loss_first", "loss_last", "pairs_per_sec"],
+        &train_rows,
+    );
+
+    let train_json = format!(
+        "{{\n  \"bench\": \"train\",\n  \"models\": [\n{}\n  ]\n}}\n",
+        [
+            history_json("mf", &mf_hist),
+            history_json("ncf", &ncf_hist),
+            history_json("gnn", &gnn_hist)
+        ]
+        .join(",\n")
+    );
+    let train_path = results_dir().join("BENCH_train.json");
+    std::fs::write(&train_path, train_json).expect("write BENCH_train.json");
+    println!("wrote {}", train_path.display());
 
     print_table(
         &format!("offline pipeline (machine parallelism = {machine}, wide = {wide})"),

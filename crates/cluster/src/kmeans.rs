@@ -1,4 +1,4 @@
-//! Lloyd's k-means [17] with k-means++ seeding.
+//! Lloyd's k-means \[17\] with k-means++ seeding.
 //!
 //! The Lloyd iterations run on the deterministic parallel runtime
 //! (`ca-par`): the assignment step is an ordered parallel map over fixed

@@ -489,7 +489,7 @@ mod tests {
     #[test]
     fn masking_restricts_selection_to_carriers() {
         let (ds, map) = source_world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let mut agent =
             CopyAttackAgent::new(quick_cfg(), CopyAttackVariant::full(), &src, ItemId(5));
@@ -519,7 +519,7 @@ mod tests {
     #[test]
     fn unmasked_variant_can_select_anyone_and_skips_crafting() {
         let (ds, map) = source_world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let mut agent =
             CopyAttackAgent::new(quick_cfg(), CopyAttackVariant::no_masking(), &src, ItemId(5));
@@ -538,7 +538,7 @@ mod tests {
     #[test]
     fn training_improves_reward_on_the_contrived_bandit() {
         let (ds, map) = source_world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         // Without masking the agent must *learn* to pick good users.
         let cfg = AttackConfig { episodes: 300, lr: 0.1, ..quick_cfg() };
@@ -576,7 +576,7 @@ mod tests {
         // With masking, every selectable user is good, so the attack should
         // reach reward 1 within the first episodes and stop early.
         let (ds, map) = source_world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let mut agent =
             CopyAttackAgent::new(quick_cfg(), CopyAttackVariant::no_crafting(), &src, ItemId(5));
@@ -602,7 +602,7 @@ mod tests {
     #[test]
     fn crafted_profiles_are_shorter_on_average() {
         let (ds, map) = source_world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let run = |variant: CopyAttackVariant, seed: u64| {
             let cfg = AttackConfig { seed, ..quick_cfg() };
@@ -632,7 +632,7 @@ mod tests {
     #[should_panic(expected = "no selectable source user")]
     fn rejects_target_absent_from_source() {
         let (ds, map) = source_world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 2, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let _ = CopyAttackAgent::new(quick_cfg(), CopyAttackVariant::full(), &src, ItemId(99));
     }

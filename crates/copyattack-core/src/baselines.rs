@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn random_attack_spends_exactly_the_budget() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 2, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let mut env =
             AttackEnvironment::new(NullRec { n_users: 0 }, vec![UserId(0)], ItemId(2), 5, 12);
@@ -306,7 +306,7 @@ mod tests {
     #[test]
     fn target_attack_selects_only_carriers() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 2, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let mut env =
             AttackEnvironment::new(NullRec { n_users: 0 }, vec![UserId(0)], ItemId(2), 5, 15);
@@ -322,7 +322,7 @@ mod tests {
     #[test]
     fn clipping_fraction_controls_profile_length() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 2, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let run = |fraction: f32| {
             let mut env =
@@ -341,7 +341,7 @@ mod tests {
     #[test]
     fn flat_agent_masks_non_carriers() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 2, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let cfg = AttackConfig {
             budget: 8,
@@ -364,7 +364,7 @@ mod tests {
     #[should_panic(expected = "no carrier")]
     fn target_attack_rejects_absent_item() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 2, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let mut env =
             AttackEnvironment::new(NullRec { n_users: 0 }, vec![UserId(0)], ItemId(3), 5, 5);

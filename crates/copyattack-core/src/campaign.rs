@@ -321,7 +321,7 @@ mod tests {
     #[test]
     fn campaign_trains_across_targets_and_masks_correctly() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let targets = vec![ItemId(3), ItemId(5)];
         let mut campaign = Campaign::new(cfg(), CopyAttackVariant::no_crafting(), &src, targets);
@@ -340,7 +340,7 @@ mod tests {
     #[test]
     fn zero_shot_target_respects_its_own_mask() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         // Train on {3, 5}; execute on 7 which the campaign never saw.
         let mut campaign = Campaign::new(
@@ -365,7 +365,7 @@ mod tests {
     #[should_panic(expected = "no selectable source user")]
     fn campaign_rejects_uncarried_target_up_front() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 2, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let _ = Campaign::new(cfg(), CopyAttackVariant::full(), &src, vec![ItemId(3), ItemId(99)]);
     }
@@ -373,7 +373,7 @@ mod tests {
     #[test]
     fn try_new_surfaces_errors_instead_of_panicking() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 2, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let err = Campaign::try_new(cfg(), CopyAttackVariant::full(), &src, vec![])
             .err()
@@ -393,7 +393,7 @@ mod tests {
     #[test]
     fn checkpoint_resume_reproduces_the_uninterrupted_curve() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let targets = vec![ItemId(3), ItemId(5)];
 
@@ -471,7 +471,7 @@ mod tests {
     #[test]
     fn total_outage_interrupts_with_a_resumable_checkpoint() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let mut campaign = Campaign::new(
             cfg(),

@@ -10,7 +10,7 @@
 //!    per-target-item masking;
 //! 2. **User-profile crafting** ([`crafting`]) — a policy network choosing a
 //!    clipping window `w ∈ {10%, …, 100%}` applied around the target item;
-//! 3. **Injection & queries** ([`env`]) — crafted profiles are injected
+//! 3. **Injection & queries** ([`mod@env`]) — crafted profiles are injected
 //!    through the black-box interface; the reward is the target item's hit
 //!    ratio in the Top-k lists of the attacker's pretend users (Eq. 1).
 //!
@@ -21,7 +21,7 @@
 
 //!
 //! Deployed platforms are not reliable: [`retry`] adds capped-backoff retry
-//! policies in logical time, [`env`] computes partial (quorum-gated)
+//! policies in logical time, [`mod@env`] computes partial (quorum-gated)
 //! rewards and re-establishes suspended pretend users, and [`campaign`]
 //! checkpoints/resumes training across platform outages.
 

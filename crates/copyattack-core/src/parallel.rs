@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn curves_are_identical_across_thread_counts() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let targets = vec![ItemId(3), ItemId(5), ItemId(7)];
         let run = |threads| {
@@ -302,7 +302,7 @@ mod tests {
     #[test]
     fn per_target_curve_matches_a_standalone_single_target_run() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
 
         let mut many = ParallelCampaign::new(
@@ -325,7 +325,7 @@ mod tests {
     #[test]
     fn interruption_checkpoints_all_targets_and_resumes() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let targets = vec![ItemId(3), ItemId(5)];
 
@@ -369,7 +369,7 @@ mod tests {
     #[test]
     fn metering_matches_standalone_runs() {
         let (ds, map) = world();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
         let src = SourceDomain { data: &ds, mf: &mf, to_target: &map };
         let mut campaign = ParallelCampaign::new(
             cfg(),

@@ -1,6 +1,6 @@
 //! REINFORCE machinery: discounted returns and a per-timestep baseline.
 //!
-//! The paper optimizes the policy networks with policy gradient [21] and a
+//! The paper optimizes the policy networks with policy gradient \[21\] and a
 //! discount factor γ = 0.6 (§5.1.3). Rewards arrive only at query steps
 //! (every 3 injections); other steps observe 0 and rely on the discounted
 //! return to propagate credit backwards.

@@ -4,7 +4,7 @@
 //! interactions)") does not pause for a flaky platform: every attempt —
 //! including retries of failed calls — spends metered budget, and backoff
 //! delays are spent in *logical time* through
-//! [`FallibleBlackBox::wait`](ca_recsys::FallibleBlackBox::wait), so a
+//! [`FallibleBlackBox::wait`], so a
 //! seeded run is exactly reproducible.
 
 use ca_recsys::{FallibleBlackBox, RecError, SplitMix64};

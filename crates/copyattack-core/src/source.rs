@@ -77,7 +77,7 @@ mod tests {
         b.user(&[ItemId(2), ItemId(3), ItemId(1)]);
         b.user(&[ItemId(5)]);
         let ds = b.build();
-        let mf = ca_mf::train(&ds, &BprConfig { epochs: 2, ..Default::default() });
+        let mf = ca_mf::train(&ds, &BprConfig { max_epochs: 2, ..Default::default() });
         // Source item s maps to target item s * 10.
         let map: Vec<ItemId> = (0..6).map(|s| ItemId(s * 10)).collect();
         (ds, mf, map)

@@ -1,6 +1,6 @@
 //! Classical generated fake profiles, for comparison against copied ones.
 //!
-//! The "average/random attack" family [15] builds each fake profile from
+//! The "average/random attack" family \[15\] builds each fake profile from
 //! the promotion target plus popular filler items — precisely the pattern
 //! detectors catch. CopyAttack's pitch is that *copied* profiles do not
 //! look like this.

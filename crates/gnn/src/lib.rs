@@ -1,6 +1,6 @@
 //! PinSage-like inductive GNN recommender — the black-box target model.
 //!
-//! §5.1.3 of the paper adopts PinSage [24], an industrial graph neural
+//! §5.1.3 of the paper adopts PinSage \[24\], an industrial graph neural
 //! network over the user–item bipartite graph that "aggregates the local
 //! neighbors (users/items) in an inductive way". The essential property the
 //! attack depends on is that *inductiveness*: when a new user registers and
@@ -33,4 +33,6 @@ pub mod train;
 pub use config::GnnConfig;
 pub use model::PinSageModel;
 pub use recommender::PinSageRecommender;
-pub use train::{train, train_with_features, TrainReport};
+pub use train::{
+    train, train_observed, train_with_features, train_with_features_observed, TrainReport,
+};

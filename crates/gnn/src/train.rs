@@ -1,21 +1,23 @@
 //! BPR training of the PinSage-like model with stale neighbor aggregates
 //! and early stopping on validation HR@10 (§5.1.3).
+//!
+//! The epoch loop lives in `ca-train`; this module contributes the
+//! PinSage-specific [`ca_train::PairwiseModel`] implementation: tower
+//! gradients against the frozen batch-start model *and* the epoch-start
+//! stale aggregate caches (recomputed in `begin_epoch`, before the pair
+//! shuffle), with validation scored through fresh caches after every
+//! epoch's updates.
 
 use crate::config::GnnConfig;
 use crate::model::PinSageModel;
 use crate::recommender::{Caches, PinSageRecommender};
-use ca_par as par;
 use ca_recsys::eval::RankingEval;
 use ca_recsys::{Dataset, HeldOut, ItemId, Scorer, UserId};
 use ca_tensor::ops::{self, sigmoid};
+use ca_train::{NullObserver, PairwiseModel, TrainConfig, TrainObserver};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
-/// Minimum minibatch size before per-pair gradients go to worker threads:
-/// below this, scoped-thread spawn costs more than the gradient math.
-/// Scheduling only — the serial and parallel paths return the same bits.
-const PAR_MIN_PAIRS: usize = 256;
+use rand::SeedableRng;
 
 /// Summary of a training run.
 #[derive(Clone, Debug)]
@@ -26,6 +28,22 @@ pub struct TrainReport {
     pub val_hr10_history: Vec<f32>,
     /// Best validation HR@10 observed.
     pub best_val_hr10: f32,
+}
+
+impl GnnConfig {
+    /// The `ca-train` driver configuration this config describes. PinSage
+    /// has no weight decay (features are frozen), so `reg` is zero.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            lr: self.lr,
+            reg: 0.0,
+            max_epochs: self.max_epochs,
+            patience: Some(self.patience),
+            minibatch: self.minibatch,
+            seed: self.seed,
+            ..TrainConfig::default()
+        }
+    }
 }
 
 /// View used for validation scoring during training.
@@ -44,14 +62,65 @@ impl Scorer for EvalView<'_> {
     }
 }
 
+/// The PinSage side of the [`PairwiseModel`] contract.
+struct GnnTrainer<'a> {
+    model: PinSageModel,
+    ds: &'a Dataset,
+    /// Stale aggregates, recomputed at the top of each epoch.
+    caches: Option<Caches>,
+    val_sample: Vec<HeldOut>,
+    val_seed: u64,
+}
+
+impl PairwiseModel for GnnTrainer<'_> {
+    type Grad = PairGrad;
+
+    /// Recompute the stale neighbor aggregates for this epoch (before the
+    /// driver shuffles the pair order).
+    fn begin_epoch(&mut self) {
+        self.caches = Some(Caches::compute(&self.model, self.ds));
+    }
+
+    fn pair_grad(&self, u: UserId, pos: ItemId, neg: ItemId) -> (PairGrad, f32) {
+        let caches = self.caches.as_ref().expect("begin_epoch computes the caches");
+        pair_grad(&self.model, self.ds, caches, u, pos, neg)
+    }
+
+    fn apply(&mut self, _u: UserId, _pos: ItemId, _neg: ItemId, g: &PairGrad, lr: f32) {
+        self.model.item_tower.sgd_step(&g.item, lr);
+        self.model.user_tower.sgd_step(&g.user, lr);
+    }
+
+    /// Post-update validation HR@10 through *fresh* caches (the stop
+    /// criterion always reads the score of the model after this epoch's
+    /// updates, not the stale training aggregates).
+    fn validate(&mut self) -> Option<f32> {
+        let fresh = Caches::compute(&self.model, self.ds);
+        let view = EvalView { model: &self.model, caches: &fresh };
+        let ev = RankingEval { seen: self.ds, ks: vec![10] };
+        let mut val_rng = StdRng::seed_from_u64(self.val_seed);
+        Some(ev.evaluate(&view, &self.val_sample, &mut val_rng).hr(10))
+    }
+}
+
 /// Trains on `train_ds` with random item features. See [`train_with_features`].
 pub fn train(
     train_ds: &Dataset,
     validation: &[HeldOut],
     cfg: &GnnConfig,
 ) -> (PinSageRecommender, TrainReport) {
+    train_observed(train_ds, validation, cfg, &mut NullObserver)
+}
+
+/// [`train`] with training telemetry streamed to `obs`.
+pub fn train_observed(
+    train_ds: &Dataset,
+    validation: &[HeldOut],
+    cfg: &GnnConfig,
+    obs: &mut dyn TrainObserver,
+) -> (PinSageRecommender, TrainReport) {
     let model = PinSageModel::with_random_features(train_ds.n_items(), cfg.clone());
-    train_model(model, train_ds, validation)
+    train_model(model, train_ds, validation, obs)
 }
 
 /// Trains on `train_ds` with the given frozen item features (e.g. MF item
@@ -66,93 +135,56 @@ pub fn train_with_features(
     validation: &[HeldOut],
     cfg: &GnnConfig,
 ) -> (PinSageRecommender, TrainReport) {
+    train_with_features_observed(features, train_ds, validation, cfg, &mut NullObserver)
+}
+
+/// [`train_with_features`] with training telemetry streamed to `obs`.
+pub fn train_with_features_observed(
+    features: ca_tensor::Matrix,
+    train_ds: &Dataset,
+    validation: &[HeldOut],
+    cfg: &GnnConfig,
+    obs: &mut dyn TrainObserver,
+) -> (PinSageRecommender, TrainReport) {
     assert_eq!(features.rows(), train_ds.n_items(), "feature/catalog mismatch");
     let model = PinSageModel::new(features, cfg.clone());
-    train_model(model, train_ds, validation)
+    train_model(model, train_ds, validation, obs)
 }
 
 fn train_model(
-    mut model: PinSageModel,
+    model: PinSageModel,
     train_ds: &Dataset,
     validation: &[HeldOut],
+    obs: &mut dyn TrainObserver,
 ) -> (PinSageRecommender, TrainReport) {
     let cfg = model.cfg.clone();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9E37_79B9));
-    let mut pairs: Vec<(UserId, ItemId)> = train_ds.interactions().collect();
-    let n_items = train_ds.n_items() as u32;
 
     let mut val_sample: Vec<HeldOut> = validation.to_vec();
     val_sample.shuffle(&mut rng);
     val_sample.truncate(500);
 
-    let mut history = Vec::new();
-    let mut best = f32::NEG_INFINITY;
-    let mut since_best = 0usize;
-    let mut epochs_run = 0usize;
+    let mut trainer = GnnTrainer {
+        model,
+        ds: train_ds,
+        caches: None,
+        val_sample,
+        val_seed: cfg.seed.wrapping_add(7777),
+    };
+    let outcome = ca_train::fit(&mut trainer, train_ds, &cfg.train_config(), &mut rng, obs);
 
-    let batch = cfg.minibatch.max(1);
-    for _epoch in 0..cfg.max_epochs {
-        // Stale aggregates for this epoch.
-        let caches = Caches::compute(&model, train_ds);
-        pairs.shuffle(&mut rng);
-        for chunk in pairs.chunks(batch) {
-            // Negative sampling stays on the single trainer RNG, so the
-            // random stream is identical at every minibatch/thread count.
-            let triples: Vec<(UserId, ItemId, ItemId)> = chunk
-                .iter()
-                .map(|&(u, pos)| {
-                    let neg = loop {
-                        let cand = ItemId(rng.gen_range(0..n_items));
-                        if cand != pos && !train_ds.contains(u, cand) {
-                            break cand;
-                        }
-                    };
-                    (u, pos, neg)
-                })
-                .collect();
-            let grads = par::map_min(&triples, PAR_MIN_PAIRS, |_, &(u, pos, neg)| {
-                pair_grad(&model, train_ds, &caches, u, pos, neg)
-            });
-            let lr = model.cfg.lr;
-            for g in &grads {
-                model.item_tower.sgd_step(&g.item, lr);
-                model.user_tower.sgd_step(&g.user, lr);
-            }
-        }
-        epochs_run += 1;
-
-        // Validation with fresh caches.
-        let fresh = Caches::compute(&model, train_ds);
-        let view = EvalView { model: &model, caches: &fresh };
-        let ev = RankingEval { seen: train_ds, ks: vec![10] };
-        let mut val_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(7777));
-        let acc = ev.evaluate(&view, &val_sample, &mut val_rng);
-        let hr10 = acc.hr(10);
-        history.push(hr10);
-
-        if hr10 > best + 1e-5 {
-            best = hr10;
-            since_best = 0;
-        } else {
-            since_best += 1;
-            if since_best >= cfg.patience {
-                break;
-            }
-        }
-    }
-
-    let rec = PinSageRecommender::deploy(model, train_ds.clone());
+    let rec = PinSageRecommender::deploy(trainer.model, train_ds.clone());
     let report = TrainReport {
-        epochs_run,
-        val_hr10_history: history,
-        best_val_hr10: if best.is_finite() { best } else { 0.0 },
+        epochs_run: outcome.epochs_run,
+        val_hr10_history: outcome.val_history,
+        best_val_hr10: if outcome.best_val.is_finite() { outcome.best_val } else { 0.0 },
     };
     (rec, report)
 }
 
 /// Tower gradients of one BPR triple against frozen towers (features are
 /// frozen, so gradients stop at the tower inputs).
-struct PairGrad {
+pub struct PairGrad {
     item: ca_nn::MlpGrad,
     user: ca_nn::MlpGrad,
 }
@@ -164,7 +196,7 @@ fn pair_grad(
     u: UserId,
     pos: ItemId,
     neg: ItemId,
-) -> PairGrad {
+) -> (PairGrad, f32) {
     let profile = ds.profile(u);
 
     // Forward.
@@ -196,7 +228,8 @@ fn pair_grad(
     let mut user = model.user_tower.zero_grad();
     model.user_tower.backward(&cache_u, &g_hu, &mut user);
 
-    PairGrad { item, user }
+    let loss = -sigmoid(s_pos - s_neg).ln();
+    (PairGrad { item, user }, loss)
 }
 
 #[cfg(test)]
@@ -287,5 +320,18 @@ mod tests {
             a.model().user_tower.layers()[0].w.as_slice(),
             b.model().user_tower.layers()[0].w.as_slice()
         );
+    }
+
+    #[test]
+    fn telemetry_matches_the_report() {
+        let ds = polarized(8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let split = split_dataset(&ds, 0.1, &mut rng);
+        let cfg = GnnConfig { max_epochs: 4, seed: 8, ..Default::default() };
+        let mut hist = ca_train::History::new();
+        let (_rec, report) = train_observed(&split.train, &split.validation, &cfg, &mut hist);
+        assert_eq!(hist.epochs.len(), report.epochs_run);
+        assert_eq!(hist.val_curve(), report.val_hr10_history);
+        assert!(hist.loss_curve().iter().all(|&l| l.is_finite() && l > 0.0));
     }
 }

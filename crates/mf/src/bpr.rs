@@ -2,22 +2,30 @@
 //!
 //! Maximizes `ln σ(score(u, v⁺) − score(u, v⁻))` over observed interactions
 //! `(u, v⁺)` and sampled negatives `v⁻ ∉ P_u`, with L2 regularization —
-//! the standard implicit-feedback fit for Koren-style MF [14].
+//! the standard implicit-feedback fit for Koren-style MF \[14\].
+//!
+//! The epoch loop itself lives in `ca-train` ([`ca_train::fit`]); this
+//! module contributes only what is MF-specific: the per-pair gradient
+//! against a frozen batch-start model and its fixed-order apply
+//! ([`ca_train::PairwiseModel`]), plus the optional HR@10 validation
+//! protocol for early stopping.
 
 use crate::model::MfModel;
-use ca_par as par;
-use ca_recsys::{Dataset, ItemId, UserId};
+use ca_recsys::eval::RankingEval;
+use ca_recsys::{Dataset, HeldOut, ItemId, UserId};
 use ca_tensor::ops::sigmoid;
+use ca_train::{NullObserver, PairwiseModel, TrainConfig, TrainObserver, TrainOutcome};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
-/// Minimum minibatch size before per-pair gradients go to worker threads:
-/// below this, scoped-thread spawn costs more than the gradient math.
-/// Scheduling only — the serial and parallel paths return the same bits.
-const PAR_MIN_PAIRS: usize = 256;
+use rand::SeedableRng;
 
 /// BPR hyper-parameters.
+///
+/// Naming note: earlier revisions called the epoch budget `epochs` and had
+/// no early stopping; the field is now `max_epochs` to match every other
+/// trainer in the workspace, and [`BprConfig::patience`] opts into the
+/// shared early-stopping rule (the `None` default preserves the historical
+/// fixed-epoch behavior bit-for-bit).
 #[derive(Clone, Debug)]
 pub struct BprConfig {
     /// Embedding dimensionality (the paper uses 8).
@@ -26,8 +34,11 @@ pub struct BprConfig {
     pub lr: f32,
     /// L2 regularization strength.
     pub reg: f32,
-    /// Training epochs (one pass over all interactions each).
-    pub epochs: usize,
+    /// Maximum training epochs (one pass over all interactions each).
+    pub max_epochs: usize,
+    /// Early-stopping patience on validation HR@10, used only by
+    /// [`train_with_validation`]. `None` trains for exactly `max_epochs`.
+    pub patience: Option<usize>,
     /// RNG seed for init, shuffling, and negative sampling.
     pub seed: u64,
     /// Pairs per minibatch. Gradients within a minibatch are computed
@@ -39,52 +50,110 @@ pub struct BprConfig {
 
 impl Default for BprConfig {
     fn default() -> Self {
-        Self { dim: 8, lr: 0.05, reg: 1e-4, epochs: 30, seed: 0, minibatch: 32 }
+        Self { dim: 8, lr: 0.05, reg: 1e-4, max_epochs: 30, patience: None, seed: 0, minibatch: 32 }
     }
 }
 
-/// Trains an [`MfModel`] on `ds` with minibatch BPR-SGD.
+impl BprConfig {
+    /// The `ca-train` driver configuration this config describes.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            lr: self.lr,
+            reg: self.reg,
+            max_epochs: self.max_epochs,
+            patience: self.patience,
+            minibatch: self.minibatch,
+            seed: self.seed,
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// The MF side of the [`PairwiseModel`] contract: model + the L2 strength
+/// its gradients fold in, plus an optional validation context.
+struct MfTrainer<'a> {
+    model: MfModel,
+    reg: f32,
+    val: Option<ValCtx<'a>>,
+}
+
+/// Validation protocol for early stopping: HR@10 of a ≤500-pair held-out
+/// sample against 100 sampled negatives, on a fresh RNG each epoch.
+struct ValCtx<'a> {
+    seen: &'a Dataset,
+    sample: Vec<HeldOut>,
+    seed: u64,
+}
+
+impl PairwiseModel for MfTrainer<'_> {
+    type Grad = PairGrad;
+
+    fn pair_grad(&self, u: UserId, pos: ItemId, neg: ItemId) -> (PairGrad, f32) {
+        pair_grad(&self.model, u, pos, neg, self.reg)
+    }
+
+    fn apply(&mut self, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad, lr: f32) {
+        apply_grad(&mut self.model, u, pos, neg, g, lr);
+    }
+
+    fn validate(&mut self) -> Option<f32> {
+        let val = self.val.as_ref()?;
+        let ev = RankingEval { seen: val.seen, ks: vec![10] };
+        let mut rng = StdRng::seed_from_u64(val.seed);
+        Some(ev.evaluate(&self.model, &val.sample, &mut rng).hr(10))
+    }
+}
+
+/// Trains an [`MfModel`] on `ds` with minibatch BPR-SGD for exactly
+/// `cfg.max_epochs` epochs (MF's historical fixed-epoch behavior).
 ///
 /// Determinism: negatives are sampled serially in pair order (the RNG
 /// stream is identical for every `minibatch` and thread count); per-pair
 /// gradients are order-blind functions of the frozen batch-start model and
 /// are applied serially in pair order.
 pub fn train(ds: &Dataset, cfg: &BprConfig) -> MfModel {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut model = MfModel::new(&mut rng, ds.n_users(), ds.n_items(), cfg.dim);
-    let mut pairs: Vec<(UserId, ItemId)> = ds.interactions().collect();
-    let n_items = ds.n_items() as u32;
-    let batch = cfg.minibatch.max(1);
+    train_observed(ds, cfg, &mut NullObserver).0
+}
 
-    for _epoch in 0..cfg.epochs {
-        pairs.shuffle(&mut rng);
-        for chunk in pairs.chunks(batch) {
-            // Negative sampling stays on the single trainer RNG.
-            let triples: Vec<(UserId, ItemId, ItemId)> = chunk
-                .iter()
-                .map(|&(u, pos)| {
-                    let neg = loop {
-                        let cand = ItemId(rng.gen_range(0..n_items));
-                        if cand != pos && !ds.contains(u, cand) {
-                            break cand;
-                        }
-                    };
-                    (u, pos, neg)
-                })
-                .collect();
-            let grads = par::map_min(&triples, PAR_MIN_PAIRS, |_, &(u, pos, neg)| {
-                pair_grad(&model, u, pos, neg, cfg.reg)
-            });
-            for (&(u, pos, neg), g) in triples.iter().zip(&grads) {
-                apply_grad(&mut model, u, pos, neg, g, cfg.lr);
-            }
-        }
-    }
-    model
+/// [`train`] with training telemetry: per-epoch loss, pairs/sec, and the
+/// stop reason stream to `obs` (see [`ca_train::History`]).
+pub fn train_observed(
+    ds: &Dataset,
+    cfg: &BprConfig,
+    obs: &mut dyn TrainObserver,
+) -> (MfModel, TrainOutcome) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let model = MfModel::new(&mut rng, ds.n_users(), ds.n_items(), cfg.dim);
+    let mut trainer = MfTrainer { model, reg: cfg.reg, val: None };
+    let driver_cfg = TrainConfig { patience: None, ..cfg.train_config() };
+    let outcome = ca_train::fit(&mut trainer, ds, &driver_cfg, &mut rng, obs);
+    (trainer.model, outcome)
+}
+
+/// Trains with early stopping on validation HR@10 (patience from
+/// `cfg.patience`), the same protocol the NCF and GNN trainers use: the
+/// held-out sample is shuffled on the trainer RNG and truncated to 500
+/// pairs, and each epoch's score is computed post-update on a fresh
+/// seeded RNG.
+pub fn train_with_validation(
+    ds: &Dataset,
+    validation: &[HeldOut],
+    cfg: &BprConfig,
+    obs: &mut dyn TrainObserver,
+) -> (MfModel, TrainOutcome) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let model = MfModel::new(&mut rng, ds.n_users(), ds.n_items(), cfg.dim);
+    let mut sample: Vec<HeldOut> = validation.to_vec();
+    sample.shuffle(&mut rng);
+    sample.truncate(500);
+    let val = ValCtx { seen: ds, sample, seed: cfg.seed.wrapping_add(31337) };
+    let mut trainer = MfTrainer { model, reg: cfg.reg, val: Some(val) };
+    let outcome = ca_train::fit(&mut trainer, ds, &cfg.train_config(), &mut rng, obs);
+    (trainer.model, outcome)
 }
 
 /// Gradient of one BPR triple `(u, v⁺, v⁻)` against a frozen model.
-struct PairGrad {
+pub struct PairGrad {
     d_pu: Vec<f32>,
     d_qp: Vec<f32>,
     d_qn: Vec<f32>,
@@ -92,7 +161,7 @@ struct PairGrad {
     d_bn: f32,
 }
 
-fn pair_grad(model: &MfModel, u: UserId, pos: ItemId, neg: ItemId, reg: f32) -> PairGrad {
+fn pair_grad(model: &MfModel, u: UserId, pos: ItemId, neg: ItemId, reg: f32) -> (PairGrad, f32) {
     let dim = model.dim();
     let s_pos = dot_rows(model, u, pos) + model.item_bias[pos.idx()];
     let s_neg = dot_rows(model, u, neg) + model.item_bias[neg.idx()];
@@ -115,7 +184,8 @@ fn pair_grad(model: &MfModel, u: UserId, pos: ItemId, neg: ItemId, reg: f32) -> 
         grad.d_qp.push(g * puk - reg * qpk);
         grad.d_qn.push(-g * puk - reg * qnk);
     }
-    grad
+    let loss = -sigmoid(s_pos - s_neg).ln();
+    (grad, loss)
 }
 
 fn apply_grad(model: &mut MfModel, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad, lr: f32) {
@@ -136,7 +206,9 @@ fn dot_rows(model: &MfModel, u: UserId, v: ItemId) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ca_recsys::{DatasetBuilder, Scorer};
+    use ca_par as par;
+    use ca_recsys::{split_dataset, DatasetBuilder, Scorer};
+    use rand::Rng;
 
     /// Two disjoint user groups with disjoint item tastes.
     fn polarized() -> Dataset {
@@ -153,7 +225,7 @@ mod tests {
     #[test]
     fn bpr_learns_group_structure() {
         let ds = polarized();
-        let cfg = BprConfig { epochs: 60, seed: 3, ..Default::default() };
+        let cfg = BprConfig { max_epochs: 60, seed: 3, ..Default::default() };
         let model = train(&ds, &cfg);
         // Every user should on average score their own group's items above
         // the other group's.
@@ -175,7 +247,7 @@ mod tests {
     #[test]
     fn bpr_ranks_positives_above_sampled_negatives() {
         let ds = polarized();
-        let model = train(&ds, &BprConfig { epochs: 60, seed: 4, ..Default::default() });
+        let model = train(&ds, &BprConfig { max_epochs: 60, seed: 4, ..Default::default() });
         let mut rng = StdRng::seed_from_u64(5);
         let mut wins = 0;
         let mut total = 0;
@@ -198,7 +270,7 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let ds = polarized();
-        let cfg = BprConfig { epochs: 5, seed: 9, ..Default::default() };
+        let cfg = BprConfig { max_epochs: 5, seed: 9, ..Default::default() };
         let a = train(&ds, &cfg);
         let b = train(&ds, &cfg);
         assert_eq!(a.user_emb.as_slice(), b.user_emb.as_slice());
@@ -208,7 +280,7 @@ mod tests {
     #[test]
     fn training_is_identical_across_thread_counts() {
         let ds = polarized();
-        let cfg = BprConfig { epochs: 3, seed: 2, ..Default::default() };
+        let cfg = BprConfig { max_epochs: 3, seed: 2, ..Default::default() };
         par::set_threads(Some(1));
         let base = train(&ds, &cfg);
         for t in [2, 8] {
@@ -228,16 +300,47 @@ mod tests {
         // minibatch size 1 must reproduce per-pair SGD bit for bit. Here we
         // just pin that it trains to the same quality and is deterministic.
         let ds = polarized();
-        let cfg = BprConfig { epochs: 5, seed: 9, minibatch: 1, ..Default::default() };
+        let cfg = BprConfig { max_epochs: 5, seed: 9, minibatch: 1, ..Default::default() };
         let a = train(&ds, &cfg);
         let b = train(&ds, &cfg);
         assert_eq!(a.user_emb.as_slice(), b.user_emb.as_slice());
     }
 
     #[test]
+    fn observer_sees_a_decreasing_loss_curve() {
+        let ds = polarized();
+        let cfg = BprConfig { max_epochs: 20, seed: 7, ..Default::default() };
+        let mut hist = ca_train::History::new();
+        let (_m, outcome) = train_observed(&ds, &cfg, &mut hist);
+        assert_eq!(outcome.epochs_run, 20);
+        assert_eq!(hist.epochs.len(), 20);
+        let curve = hist.loss_curve();
+        assert!(
+            curve.last().unwrap() < curve.first().unwrap(),
+            "BPR loss did not decrease: {curve:?}"
+        );
+        assert!(outcome.val_history.is_empty(), "plain train has no validation");
+    }
+
+    #[test]
+    fn validation_early_stopping_is_available() {
+        let ds = polarized();
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = split_dataset(&ds, 0.2, &mut rng);
+        let cfg = BprConfig { max_epochs: 80, patience: Some(3), seed: 6, ..Default::default() };
+        let (_m, outcome) =
+            train_with_validation(&split.train, &split.validation, &cfg, &mut NullObserver);
+        assert_eq!(outcome.val_history.len(), outcome.epochs_run);
+        assert!(outcome.epochs_run <= 80);
+        if let ca_train::StopReason::EarlyStop { best_epoch, .. } = outcome.stop {
+            assert!(outcome.epochs_run == best_epoch + 1 + 3, "patience 3 after best epoch");
+        }
+    }
+
+    #[test]
     fn same_taste_users_have_similar_embeddings() {
         let ds = polarized();
-        let model = train(&ds, &BprConfig { epochs: 60, seed: 1, ..Default::default() });
+        let model = train(&ds, &BprConfig { max_epochs: 60, seed: 1, ..Default::default() });
         let cos =
             |a: UserId, b: UserId| ca_tensor::ops::cosine(model.user_vec(a), model.user_vec(b));
         // Mean within-group vs cross-group cosine.

@@ -20,7 +20,7 @@ proptest! {
             b.user(&items);
         }
         let ds = b.build();
-        let cfg = BprConfig { epochs: 3, seed, ..Default::default() };
+        let cfg = BprConfig { max_epochs: 3, seed, ..Default::default() };
         let a = train(&ds, &cfg);
         let b2 = train(&ds, &cfg);
         prop_assert_eq!(a.user_emb.as_slice(), b2.user_emb.as_slice());

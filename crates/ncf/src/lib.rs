@@ -1,7 +1,7 @@
 //! NeuMF-style neural collaborative filtering — a *second* target-model
 //! family for the attack.
 //!
-//! The paper's evaluation protocol follows NCF [13] (He et al., WWW 2017),
+//! The paper's evaluation protocol follows NCF \[13\] (He et al., WWW 2017),
 //! and its target model is the inductive PinSage. This crate adds the other
 //! archetype of deployed deep recommenders: a **transductive** model with
 //! free user/item embeddings (GMF ⊕ MLP fusion) that cannot fold new users
@@ -33,4 +33,4 @@ pub mod train;
 
 pub use model::{NcfConfig, NcfModel};
 pub use recommender::NcfRecommender;
-pub use train::{fine_tune_user, train, NcfTrainReport};
+pub use train::{fine_tune_user, train, train_observed, NcfTrainReport};

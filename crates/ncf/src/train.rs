@@ -1,19 +1,21 @@
 //! BPR training and incremental fine-tuning for the NCF model.
+//!
+//! The epoch loop (minibatching, serial negative sampling, parallel
+//! gradient fan-out, early stopping) lives in `ca-train`; this module
+//! contributes the NCF-specific [`ca_train::PairwiseModel`] implementation
+//! — the two-branch (GMF ⊕ MLP) gradient against a frozen batch-start
+//! model and its fixed-order apply — plus the validation protocol (HR@10
+//! of a ≤500-pair sample, post-update, fresh seeded RNG per epoch).
 
 use crate::model::{NcfConfig, NcfModel};
 use ca_nn::MlpGrad;
-use ca_par as par;
 use ca_recsys::eval::RankingEval;
 use ca_recsys::{Dataset, HeldOut, ItemId, UserId};
 use ca_tensor::ops::sigmoid;
+use ca_train::{NullObserver, PairwiseModel, TrainConfig, TrainObserver};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-
-/// Minimum minibatch size before per-pair gradients go to worker threads:
-/// below this, scoped-thread spawn costs more than the gradient math.
-/// Scheduling only — the serial and parallel paths return the same bits.
-const PAR_MIN_PAIRS: usize = 256;
 
 /// Training summary.
 #[derive(Clone, Debug)]
@@ -26,79 +28,88 @@ pub struct NcfTrainReport {
     pub best_val_hr10: f32,
 }
 
+impl NcfConfig {
+    /// The `ca-train` driver configuration this config describes.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            lr: self.lr,
+            reg: self.reg,
+            max_epochs: self.max_epochs,
+            patience: Some(self.patience),
+            minibatch: self.minibatch,
+            seed: self.seed,
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// The NCF side of the [`PairwiseModel`] contract.
+struct NcfTrainer<'a> {
+    model: NcfModel,
+    seen: &'a Dataset,
+    val_sample: Vec<HeldOut>,
+    val_seed: u64,
+}
+
+impl PairwiseModel for NcfTrainer<'_> {
+    type Grad = PairGrad;
+
+    fn pair_grad(&self, u: UserId, pos: ItemId, neg: ItemId) -> (PairGrad, f32) {
+        pair_grad(&self.model, u, pos, neg)
+    }
+
+    fn apply(&mut self, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad, lr: f32) {
+        apply_grad(&mut self.model, u, pos, neg, g, lr);
+    }
+
+    /// Post-update validation HR@10 (the stop criterion always reads the
+    /// score of the model *after* this epoch's updates).
+    fn validate(&mut self) -> Option<f32> {
+        let ev = RankingEval { seen: self.seen, ks: vec![10] };
+        let mut val_rng = StdRng::seed_from_u64(self.val_seed);
+        Some(ev.evaluate(&self.model, &self.val_sample, &mut val_rng).hr(10))
+    }
+}
+
 /// Trains an [`NcfModel`] on the training split with early stopping.
 pub fn train(
     train_ds: &Dataset,
     validation: &[HeldOut],
     cfg: &NcfConfig,
 ) -> (NcfModel, NcfTrainReport) {
+    train_observed(train_ds, validation, cfg, &mut NullObserver)
+}
+
+/// [`train`] with training telemetry streamed to `obs` (per-epoch loss,
+/// pairs/sec, validation HR@10, stop reason — see [`ca_train::History`]).
+pub fn train_observed(
+    train_ds: &Dataset,
+    validation: &[HeldOut],
+    cfg: &NcfConfig,
+    obs: &mut dyn TrainObserver,
+) -> (NcfModel, NcfTrainReport) {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xACE));
-    let mut model = NcfModel::new(train_ds.n_users(), train_ds.n_items(), cfg.clone());
-    let mut pairs: Vec<(UserId, ItemId)> = train_ds.interactions().collect();
-    let n_items = train_ds.n_items() as u32;
+    let model = NcfModel::new(train_ds.n_users(), train_ds.n_items(), cfg.clone());
 
     let mut val_sample: Vec<HeldOut> = validation.to_vec();
     val_sample.shuffle(&mut rng);
     val_sample.truncate(500);
 
-    let mut history = Vec::new();
-    let mut best = f32::NEG_INFINITY;
-    let mut since_best = 0usize;
-    let mut epochs_run = 0usize;
-
-    let batch = cfg.minibatch.max(1);
-    for _ in 0..cfg.max_epochs {
-        pairs.shuffle(&mut rng);
-        for chunk in pairs.chunks(batch) {
-            // Negative sampling stays on the single trainer RNG, so the
-            // random stream is identical at every minibatch/thread count.
-            let triples: Vec<(UserId, ItemId, ItemId)> = chunk
-                .iter()
-                .map(|&(u, pos)| {
-                    let neg = loop {
-                        let cand = ItemId(rng.gen_range(0..n_items));
-                        if cand != pos && !train_ds.contains(u, cand) {
-                            break cand;
-                        }
-                    };
-                    (u, pos, neg)
-                })
-                .collect();
-            let grads = par::map_min(&triples, PAR_MIN_PAIRS, |_, &(u, pos, neg)| {
-                pair_grad(&model, u, pos, neg)
-            });
-            for (&(u, pos, neg), g) in triples.iter().zip(&grads) {
-                apply_grad(&mut model, u, pos, neg, g);
-            }
-        }
-        epochs_run += 1;
-
-        let ev = RankingEval { seen: train_ds, ks: vec![10] };
-        let mut val_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(31337));
-        let hr10 = ev.evaluate(&model, &val_sample, &mut val_rng).hr(10);
-        history.push(hr10);
-        if hr10 > best + 1e-5 {
-            best = hr10;
-            since_best = 0;
-        } else {
-            since_best += 1;
-            if since_best >= cfg.patience {
-                break;
-            }
-        }
-    }
+    let mut trainer =
+        NcfTrainer { model, seen: train_ds, val_sample, val_seed: cfg.seed.wrapping_add(31337) };
+    let outcome = ca_train::fit(&mut trainer, train_ds, &cfg.train_config(), &mut rng, obs);
     let report = NcfTrainReport {
-        epochs_run,
-        val_hr10_history: history,
-        best_val_hr10: if best.is_finite() { best } else { 0.0 },
+        epochs_run: outcome.epochs_run,
+        val_hr10_history: outcome.val_history,
+        best_val_hr10: if outcome.best_val.is_finite() { outcome.best_val } else { 0.0 },
     };
-    (model, report)
+    (trainer.model, report)
 }
 
 /// Gradient of one BPR triple through both branches, against a frozen
 /// model. Regularization is folded in, so applying is a uniform
 /// `param -= lr * d`.
-struct PairGrad {
+pub struct PairGrad {
     mlp: MlpGrad,
     d_pu: Vec<f32>,
     d_qp: Vec<f32>,
@@ -106,7 +117,7 @@ struct PairGrad {
     d_w: Vec<f32>,
 }
 
-fn pair_grad(model: &NcfModel, u: UserId, pos: ItemId, neg: ItemId) -> PairGrad {
+fn pair_grad(model: &NcfModel, u: UserId, pos: ItemId, neg: ItemId) -> (PairGrad, f32) {
     let reg = model.cfg.reg;
     let dim = model.cfg.dim;
 
@@ -144,11 +155,11 @@ fn pair_grad(model: &NcfModel, u: UserId, pos: ItemId, neg: ItemId) -> PairGrad 
         grad.d_qn.push(-g * w * pu[k] + gx_neg[dim + k] + reg * qn[k]);
         grad.d_w.push(g * pu[k] * (qp[k] - qn[k]));
     }
-    grad
+    let loss = -sigmoid(s_pos - s_neg).ln();
+    (grad, loss)
 }
 
-fn apply_grad(model: &mut NcfModel, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad) {
-    let lr = model.cfg.lr;
+fn apply_grad(model: &mut NcfModel, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad, lr: f32) {
     model.mlp.sgd_step(&g.mlp, lr);
     for k in 0..g.d_pu.len() {
         model.p[(u.idx(), k)] -= lr * g.d_pu[k];
@@ -290,6 +301,19 @@ mod tests {
         let (b, rb) = train(&split.train, &split.validation, &cfg);
         assert_eq!(ra.val_hr10_history, rb.val_hr10_history);
         assert_eq!(a.p.as_slice(), b.p.as_slice());
+    }
+
+    #[test]
+    fn telemetry_matches_the_report() {
+        let ds = polarized(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = split_dataset(&ds, 0.1, &mut rng);
+        let cfg = NcfConfig { max_epochs: 4, seed: 4, ..Default::default() };
+        let mut hist = ca_train::History::new();
+        let (_m, report) = train_observed(&split.train, &split.validation, &cfg, &mut hist);
+        assert_eq!(hist.epochs.len(), report.epochs_run);
+        assert_eq!(hist.val_curve(), report.val_hr10_history);
+        assert!(hist.loss_curve().iter().all(|&l| l.is_finite() && l > 0.0));
     }
 
     #[test]

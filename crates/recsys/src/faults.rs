@@ -11,7 +11,7 @@
 //! - [`RecError`] — the typed failure vocabulary of the platform;
 //! - [`FaultConfig`] — which faults fire and how often;
 //! - [`FaultyRecommender`] — a wrapper injecting faults into any
-//!   [`FallibleBlackBox`](crate::blackbox::FallibleBlackBox) according to a
+//!   [`FallibleBlackBox`] according to a
 //!   schedule driven by a seeded [`SplitMix64`] and a *logical clock* — no
 //!   wall-clock anywhere, so every chaos run is bit-for-bit reproducible.
 

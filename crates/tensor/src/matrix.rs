@@ -227,7 +227,7 @@ impl Matrix {
     ///
     /// This is the GEMM shape of batched scoring: a block of user vectors
     /// against an item-representation table. The kernel walks `other` in
-    /// column tiles of [`COL_TILE`] rows: each tile is packed transposed
+    /// column tiles of `COL_TILE` rows: each tile is packed transposed
     /// into a thread-local buffer (contiguous per inner index `k`), and the
     /// accumulation runs `k`-outer as an axpy over the tile — a contiguous
     /// `f32` sweep LLVM auto-vectorizes. Every `out` cell still accumulates

@@ -1,0 +1,343 @@
+//! The shared epoch driver: one BPR loop for every pairwise model.
+
+use crate::config::TrainConfig;
+use crate::observe::{EpochStats, TrainObserver};
+use ca_par as par;
+use ca_recsys::{Dataset, ItemId, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Minimum minibatch size before per-pair gradients go to worker threads:
+/// below this, scoped-thread spawn costs more than the gradient math.
+/// Scheduling only — the serial and parallel paths return the same bits.
+pub const PAR_MIN_PAIRS: usize = 256;
+
+/// A model trainable with pairwise (BPR) SGD by [`fit`].
+///
+/// The contract mirrors what the deterministic minibatch loop needs:
+///
+/// - [`PairwiseModel::pair_grad`] is a *pure* function of the model as it
+///   stood at the start of the minibatch (the driver only calls it between
+///   applies of *previous* batches), so it may run on any worker thread;
+/// - [`PairwiseModel::apply`] folds one pair's gradient into the model and
+///   is always called serially, in pair order, on the driver's thread;
+/// - [`PairwiseModel::begin_epoch`] runs before each epoch's shuffle — the
+///   place to refresh stale per-epoch state (the GNN's neighbor caches);
+/// - [`PairwiseModel::validate`] computes the post-update validation score
+///   after each epoch; returning `None` (the default) disables early
+///   stopping and validation telemetry.
+pub trait PairwiseModel: Sync {
+    /// Gradient of one training pair, produced by [`PairwiseModel::pair_grad`]
+    /// and consumed by [`PairwiseModel::apply`].
+    type Grad: Send;
+
+    /// Hook run at the start of each epoch, before shuffling.
+    fn begin_epoch(&mut self) {}
+
+    /// Gradient of the BPR triple `(u, v⁺, v⁻)` against the frozen
+    /// batch-start model, plus the pair's loss `-ln σ(s⁺ − s⁻)` (telemetry
+    /// only — the loss never feeds back into training).
+    fn pair_grad(&self, u: UserId, pos: ItemId, neg: ItemId) -> (Self::Grad, f32);
+
+    /// Applies one pair's gradient at learning rate `lr`. Called serially
+    /// in pair order.
+    fn apply(&mut self, u: UserId, pos: ItemId, neg: ItemId, grad: &Self::Grad, lr: f32);
+
+    /// Post-update validation score (higher is better), or `None` for
+    /// models trained a fixed number of epochs.
+    fn validate(&mut self) -> Option<f32> {
+        None
+    }
+}
+
+/// Why [`fit`] returned.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StopReason {
+    /// Ran the full `max_epochs`.
+    MaxEpochs,
+    /// Early stopping: `patience` consecutive epochs failed to improve the
+    /// best post-update validation score by more than the tolerance.
+    EarlyStop {
+        /// 0-based epoch that produced the best validation score.
+        best_epoch: usize,
+        /// The best validation score.
+        best_score: f32,
+    },
+}
+
+/// Summary of one [`fit`] run.
+#[derive(Clone, Debug)]
+pub struct TrainOutcome {
+    /// Epochs whose updates are present in the model (≤ `max_epochs`).
+    pub epochs_run: usize,
+    /// Why training stopped.
+    pub stop: StopReason,
+    /// Post-update validation score per epoch (empty for models without
+    /// validation).
+    pub val_history: Vec<f32>,
+    /// Best validation score observed (`NEG_INFINITY` if no epoch ever
+    /// produced a comparable score — no validation, or all-NaN scores).
+    pub best_val: f32,
+    /// 0-based epoch of the best validation score.
+    pub best_epoch: Option<usize>,
+}
+
+/// Trains `model` on `ds` with deterministic minibatch BPR-SGD.
+///
+/// Per epoch: run [`PairwiseModel::begin_epoch`], shuffle the interaction
+/// pairs on `rng`, then for each minibatch sample one negative per pair
+/// *serially in pair order* on the same `rng` (the random stream is
+/// identical at every minibatch size and thread count), compute per-pair
+/// gradients against the frozen batch-start model via [`ca_par::map_min`]
+/// (parallel at or above [`PAR_MIN_PAIRS`] pairs), and apply them serially
+/// in pair order. After the epoch's updates, the post-update validation
+/// score (if any) drives the shared early-stopping rule: stop once
+/// `patience` consecutive epochs fail to beat the best score by more than
+/// `tolerance`.
+///
+/// The caller owns `rng` so historical draw orders are reproducible (model
+/// init on the same stream before training, a validation-sample shuffle
+/// between model init and the first epoch); use [`fit_seeded`] when no such
+/// prelude exists.
+pub fn fit<M: PairwiseModel>(
+    model: &mut M,
+    ds: &Dataset,
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+    obs: &mut dyn TrainObserver,
+) -> TrainOutcome {
+    let mut pairs: Vec<(UserId, ItemId)> = ds.interactions().collect();
+    let n_items = ds.n_items() as u32;
+    let batch = cfg.minibatch.max(1);
+
+    let mut val_history = Vec::new();
+    let mut best = f32::NEG_INFINITY;
+    let mut best_epoch = None;
+    let mut since_best = 0usize;
+    let mut epochs_run = 0usize;
+    let mut stop = StopReason::MaxEpochs;
+
+    for epoch in 0..cfg.max_epochs {
+        let t0 = Instant::now();
+        model.begin_epoch();
+        pairs.shuffle(rng);
+        let lr = cfg.schedule.lr_at(epoch, cfg.lr);
+        let mut loss_sum = 0f64;
+        for chunk in pairs.chunks(batch) {
+            // Negative sampling stays on the single trainer RNG.
+            let triples: Vec<(UserId, ItemId, ItemId)> = chunk
+                .iter()
+                .map(|&(u, pos)| {
+                    let neg = loop {
+                        let cand = ItemId(rng.gen_range(0..n_items));
+                        if cand != pos && !ds.contains(u, cand) {
+                            break cand;
+                        }
+                    };
+                    (u, pos, neg)
+                })
+                .collect();
+            let frozen: &M = model;
+            let grads = par::map_min(&triples, PAR_MIN_PAIRS, |_, &(u, pos, neg)| {
+                frozen.pair_grad(u, pos, neg)
+            });
+            for (&(u, pos, neg), (g, loss)) in triples.iter().zip(&grads) {
+                loss_sum += *loss as f64;
+                model.apply(u, pos, neg, g, lr);
+            }
+        }
+        epochs_run += 1;
+        let seconds = t0.elapsed().as_secs_f64();
+
+        // The stop criterion reads the *post-update* score: validation runs
+        // after this epoch's applies, so the decision (and the recorded
+        // history) describes the model the caller will actually receive.
+        let val = model.validate();
+        obs.on_epoch(&EpochStats {
+            epoch,
+            pairs: pairs.len(),
+            loss: (loss_sum / pairs.len().max(1) as f64) as f32,
+            lr,
+            val_score: val,
+            seconds,
+        });
+        if let Some(score) = val {
+            val_history.push(score);
+            if score > best + cfg.tolerance {
+                best = score;
+                best_epoch = Some(epoch);
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if cfg.patience.is_some_and(|p| since_best >= p) {
+                    stop = StopReason::EarlyStop {
+                        best_epoch: best_epoch.unwrap_or(0),
+                        best_score: best,
+                    };
+                    break;
+                }
+            }
+        }
+    }
+    obs.on_stop(&stop, epochs_run);
+    TrainOutcome { epochs_run, stop, val_history, best_val: best, best_epoch }
+}
+
+/// [`fit`] with a fresh `StdRng` seeded from `cfg.seed`.
+pub fn fit_seeded<M: PairwiseModel>(
+    model: &mut M,
+    ds: &Dataset,
+    cfg: &TrainConfig,
+    obs: &mut dyn TrainObserver,
+) -> TrainOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    fit(model, ds, cfg, &mut rng, obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::{History, NullObserver};
+    use ca_recsys::DatasetBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A scalar "model" whose score for every pair is `theta` and whose
+    /// validation scores are scripted; records the order of driver calls.
+    struct Scripted {
+        theta: f32,
+        val_scores: Vec<f32>,
+        epoch: usize,
+        applies: AtomicUsize,
+        applies_at_validate: Vec<usize>,
+        begin_epochs: usize,
+    }
+
+    impl Scripted {
+        fn new(val_scores: Vec<f32>) -> Self {
+            Self {
+                theta: 0.0,
+                val_scores,
+                epoch: 0,
+                applies: AtomicUsize::new(0),
+                applies_at_validate: Vec::new(),
+                begin_epochs: 0,
+            }
+        }
+    }
+
+    impl PairwiseModel for Scripted {
+        type Grad = f32;
+        fn begin_epoch(&mut self) {
+            self.begin_epochs += 1;
+        }
+        fn pair_grad(&self, _u: UserId, _pos: ItemId, _neg: ItemId) -> (f32, f32) {
+            (1.0, self.theta.abs() + 0.5)
+        }
+        fn apply(&mut self, _u: UserId, _p: ItemId, _n: ItemId, g: &f32, lr: f32) {
+            self.theta += lr * g;
+            self.applies.fetch_add(1, Ordering::Relaxed);
+        }
+        fn validate(&mut self) -> Option<f32> {
+            let s = self.val_scores.get(self.epoch).copied();
+            self.epoch += 1;
+            self.applies_at_validate.push(self.applies.load(Ordering::Relaxed));
+            s
+        }
+    }
+
+    fn world() -> Dataset {
+        let mut b = DatasetBuilder::new(20);
+        for u in 0..10u32 {
+            let profile: Vec<ItemId> = (0..4).map(|i| ItemId((u + i * 5) % 20)).collect();
+            b.user(&profile);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fixed_epochs_without_patience() {
+        let ds = world();
+        // Scores never improve, but patience is None → all epochs run.
+        let mut m = Scripted::new(vec![0.1; 8]);
+        let cfg = TrainConfig { max_epochs: 8, patience: None, ..Default::default() };
+        let out = fit_seeded(&mut m, &ds, &cfg, &mut NullObserver);
+        assert_eq!(out.epochs_run, 8);
+        assert_eq!(out.stop, StopReason::MaxEpochs);
+        assert_eq!(out.val_history.len(), 8);
+    }
+
+    #[test]
+    fn early_stop_fires_patience_epochs_after_best() {
+        let ds = world();
+        let mut m = Scripted::new(vec![0.1, 0.3, 0.2, 0.2, 0.2, 0.9]);
+        let cfg = TrainConfig { max_epochs: 6, patience: Some(2), ..Default::default() };
+        let out = fit_seeded(&mut m, &ds, &cfg, &mut NullObserver);
+        // Best at epoch 1; epochs 2 and 3 exhaust patience 2.
+        assert_eq!(out.epochs_run, 4);
+        assert_eq!(out.stop, StopReason::EarlyStop { best_epoch: 1, best_score: 0.3 });
+        assert_eq!(out.best_epoch, Some(1));
+        assert_eq!(out.val_history, vec![0.1, 0.3, 0.2, 0.2]);
+    }
+
+    /// Regression for the stop-criterion audit: the decision must read the
+    /// *post-update* score. Every `validate` call must observe all of the
+    /// epoch's applies (40 pairs/epoch here), and the epoch count must
+    /// equal the number of epochs whose updates are in the model.
+    #[test]
+    fn stop_criterion_reads_post_update_score() {
+        let ds = world();
+        let n_pairs = ds.interactions().count();
+        let mut m = Scripted::new(vec![0.5, 0.1, 0.1]);
+        let cfg = TrainConfig { max_epochs: 5, patience: Some(2), ..Default::default() };
+        let out = fit_seeded(&mut m, &ds, &cfg, &mut NullObserver);
+        assert_eq!(out.epochs_run, 3);
+        // validate() after epoch e has seen exactly (e+1) × n_pairs applies:
+        // the score is computed strictly after the epoch's updates.
+        assert_eq!(m.applies_at_validate, vec![n_pairs, 2 * n_pairs, 3 * n_pairs]);
+        // Model state contains exactly epochs_run epochs of updates.
+        assert_eq!(m.applies.load(Ordering::Relaxed), out.epochs_run * n_pairs);
+        assert_eq!(m.begin_epochs, out.epochs_run);
+    }
+
+    #[test]
+    fn nan_validation_scores_never_count_as_improvement() {
+        let ds = world();
+        let mut m = Scripted::new(vec![f32::NAN; 6]);
+        let cfg = TrainConfig { max_epochs: 6, patience: Some(3), ..Default::default() };
+        let out = fit_seeded(&mut m, &ds, &cfg, &mut NullObserver);
+        assert_eq!(out.epochs_run, 3);
+        assert!(out.best_val == f32::NEG_INFINITY && out.best_epoch.is_none());
+    }
+
+    #[test]
+    fn history_observer_sees_every_epoch_and_the_stop() {
+        let ds = world();
+        let mut m = Scripted::new(vec![0.4, 0.1, 0.1]);
+        let cfg = TrainConfig { max_epochs: 9, patience: Some(2), ..Default::default() };
+        let mut h = History::new();
+        let out = fit_seeded(&mut m, &ds, &cfg, &mut h);
+        assert_eq!(h.epochs.len(), out.epochs_run);
+        assert_eq!(h.val_curve(), out.val_history);
+        assert!(h.epochs.iter().all(|e| e.pairs == ds.interactions().count()));
+        assert!(h.epochs.iter().all(|e| e.loss > 0.0));
+        assert_eq!(h.stop, Some(out.stop));
+    }
+
+    #[test]
+    fn schedule_drives_per_epoch_lr() {
+        let ds = world();
+        let mut m = Scripted::new(vec![]);
+        let cfg = TrainConfig {
+            max_epochs: 4,
+            lr: 1.0,
+            schedule: crate::LrSchedule::Exponential { gamma: 0.5 },
+            ..Default::default()
+        };
+        let mut h = History::new();
+        fit_seeded(&mut m, &ds, &cfg, &mut h);
+        let lrs: Vec<f32> = h.epochs.iter().map(|e| e.lr).collect();
+        assert_eq!(lrs, vec![1.0, 0.5, 0.25, 0.125]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Shared deterministic BPR trainer for every pairwise model in the
+//! workspace.
+//!
+//! CopyAttack trains recommenders in three places — the attacker's
+//! source-domain MF surrogate (§4.1), the frozen-feature MF used by the
+//! target GNN, and the deployed target models themselves (PinSage-like GNN,
+//! NeuMF-lite) — and before this crate existed each model crate carried its
+//! own near-identical epoch loop. `ca-train` owns that loop once:
+//!
+//! - [`PairwiseModel`] is the contract a model implements to be trainable:
+//!   a per-pair gradient against the **frozen batch-start model** plus a
+//!   fixed-order apply, with optional per-epoch setup (stale-cache refresh)
+//!   and an optional post-update validation score;
+//! - [`fit`] is the epoch driver: serial in-order negative sampling on the
+//!   single trainer RNG, minibatching, the `ca-par` gradient fan-out behind
+//!   [`PAR_MIN_PAIRS`], an early-stopping rule shared by every model, and a
+//!   learning-rate schedule;
+//! - [`TrainConfig`] unifies the hyper-parameters that used to drift across
+//!   the per-crate configs (`epochs` vs `max_epochs`, early stopping only
+//!   in some crates);
+//! - [`TrainObserver`] is the telemetry hook: every epoch reports loss,
+//!   pairs/sec, the learning rate, and the validation score to observers
+//!   such as [`History`] (structured record) and [`StderrProgress`] (live
+//!   log lines).
+//!
+//! # Determinism
+//!
+//! The driver preserves the `ca-par` contract — **bitwise-identical models
+//! at any thread count** — by construction:
+//!
+//! 1. shuffling and negative sampling draw from one trainer RNG, serially,
+//!    in pair order; the random stream never depends on `CA_THREADS` or the
+//!    minibatch size;
+//! 2. per-pair gradients are pure functions of the frozen batch-start
+//!    model, computed (possibly in parallel) by [`ca_par::map_min`], which
+//!    returns them in input order;
+//! 3. gradients are applied serially, in pair order, on the calling thread.
+//!
+//! Telemetry is computed *outside* that loop (loss folds over the returned
+//! gradient vector in pair order), so observing a run never perturbs it.
+//!
+//! # Stop criterion
+//!
+//! Early stopping always reads the **post-update** validation score: the
+//! score computed after the epoch's gradients have been applied. The epoch
+//! counted by `epochs_run` is therefore exactly the set of epochs whose
+//! updates are present in the returned model, and the score compared
+//! against `best + tolerance` describes the model the caller receives —
+//! never the previous epoch's parameters.
+
+pub mod config;
+pub mod driver;
+pub mod observe;
+
+pub use config::{LrSchedule, TrainConfig};
+pub use driver::{fit, fit_seeded, PairwiseModel, StopReason, TrainOutcome, PAR_MIN_PAIRS};
+pub use observe::{EpochStats, History, NullObserver, StderrProgress, Tee, TrainObserver};

@@ -32,7 +32,7 @@ fn main() {
     let clean = &pipe.split.train;
     let pop = PopularityIndex::build(clean);
     let item_emb =
-        &ca_mf::train(clean, &ca_mf::BprConfig { epochs: 10, seed: 5, ..Default::default() })
+        &ca_mf::train(clean, &ca_mf::BprConfig { max_epochs: 10, seed: 5, ..Default::default() })
             .item_emb;
     let genuine_features: Vec<_> = (0..clean.n_users() as u32)
         .map(|u| extract_features(clean.profile(UserId(u)), &pop, item_emb))

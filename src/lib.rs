@@ -15,6 +15,7 @@
 //! | [`recsys`] | `ca-recsys` | datasets, black-box interface, HR/NDCG evaluation |
 //! | [`datagen`] | `ca-datagen` | synthetic cross-domain worlds (Table 1 shapes) |
 //! | [`mf`] | `ca-mf` | BPR matrix factorization |
+//! | [`train`] | `ca-train` | shared deterministic BPR trainer + telemetry |
 //! | [`gnn`] | `ca-gnn` | PinSage-like inductive target recommender |
 //! | [`ncf`] | `ca-ncf` | NeuMF-style transductive target recommender (fine-tune cycle) |
 //! | [`cluster`] | `ca-cluster` | balanced hierarchical clustering tree + masking |
@@ -43,6 +44,7 @@ pub use ca_nn as nn;
 pub use ca_par as par;
 pub use ca_recsys as recsys;
 pub use ca_tensor as tensor;
+pub use ca_train as train;
 pub use copyattack_core as core;
 
 pub mod pipeline;

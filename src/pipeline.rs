@@ -16,12 +16,13 @@
 //!    real users plus the average injected-profile length (Table 2).
 
 use ca_datagen::{generate, CrossDomainConfig, CrossDomainDataset};
-use ca_gnn::{train_with_features, GnnConfig, PinSageRecommender, TrainReport};
+use ca_gnn::{train_with_features_observed, GnnConfig, PinSageRecommender, TrainReport};
 use ca_mf::{BprConfig, MfModel};
 use ca_recsys::eval::RankingEval;
 use ca_recsys::metrics::MetricAccumulator;
 use ca_recsys::{split_dataset, BlackBoxRecommender, ItemId, Split, UserId};
 use ca_recsys::{FaultConfig, FaultyRecommender};
+use ca_train::{History, StderrProgress, Tee, TrainObserver};
 use copyattack_core::baselines::{random_attack, target_attack, FlatPolicyAgent};
 use copyattack_core::env::plan_pretend_profiles;
 use copyattack_core::{
@@ -64,8 +65,8 @@ impl PipelineConfig {
     fn with_world(world: CrossDomainConfig, seed: u64) -> Self {
         Self {
             world,
-            source_mf: BprConfig { epochs: 15, seed, ..Default::default() },
-            target_mf: BprConfig { epochs: 15, seed: seed ^ 1, ..Default::default() },
+            source_mf: BprConfig { max_epochs: 15, seed, ..Default::default() },
+            target_mf: BprConfig { max_epochs: 15, seed: seed ^ 1, ..Default::default() },
             gnn: GnnConfig { seed: seed ^ 2, ..Default::default() },
             attack: AttackConfig { seed: seed ^ 3, ..Default::default() },
             n_target_items: 50,
@@ -180,6 +181,33 @@ pub struct MethodRow {
     pub attack_seconds: f64,
 }
 
+/// Per-model training telemetry captured while the pipeline was built:
+/// epoch-by-epoch loss, throughput, and validation curves for the three
+/// training runs (attacker-side MF, feature MF, target GNN). Set
+/// `CA_TRAIN_LOG=1` to additionally stream per-epoch progress to stderr
+/// while building.
+#[derive(Clone, Debug, Default)]
+pub struct TrainTelemetry {
+    /// Attacker-side MF on the source domain.
+    pub source_mf: History,
+    /// Feature MF on the clean target training split.
+    pub target_mf: History,
+    /// The PinSage-like target model.
+    pub gnn: History,
+}
+
+/// Runs a training closure against `hist`, teeing per-epoch progress to
+/// stderr when `CA_TRAIN_LOG` is set.
+fn observed<R>(label: &str, hist: &mut History, f: impl FnOnce(&mut dyn TrainObserver) -> R) -> R {
+    if std::env::var_os("CA_TRAIN_LOG").is_some() {
+        let mut progress = StderrProgress::new(label);
+        let mut tee = Tee(hist, &mut progress);
+        f(&mut tee)
+    } else {
+        f(hist)
+    }
+}
+
 /// The built pipeline, ready to run attacks.
 pub struct Pipeline {
     /// The generated world.
@@ -201,6 +229,8 @@ pub struct Pipeline {
     pub target_items: Vec<ItemId>,
     /// Target-model training report.
     pub train_report: TrainReport,
+    /// Epoch-level telemetry of the three training runs.
+    pub telemetry: TrainTelemetry,
     /// Configuration used.
     pub config: PipelineConfig,
 }
@@ -213,16 +243,24 @@ impl Pipeline {
         let split = split_dataset(&world.target, 0.1, &mut rng);
 
         // Attacker-side embeddings.
-        let source_mf = ca_mf::train(&world.source, &cfg.source_mf);
+        let mut telemetry = TrainTelemetry::default();
+        let (source_mf, _) = observed("source-mf", &mut telemetry.source_mf, |obs| {
+            ca_mf::train_observed(&world.source, &cfg.source_mf, obs)
+        });
         // Frozen item features for the GNN: MF pretrained on the clean
         // target training split.
-        let target_mf = ca_mf::train(&split.train, &cfg.target_mf);
-        let (mut recommender, train_report) = train_with_features(
-            target_mf.item_emb.clone(),
-            &split.train,
-            &split.validation,
-            &cfg.gnn,
-        );
+        let (target_mf, _) = observed("target-mf", &mut telemetry.target_mf, |obs| {
+            ca_mf::train_observed(&split.train, &cfg.target_mf, obs)
+        });
+        let (mut recommender, train_report) = observed("gnn", &mut telemetry.gnn, |obs| {
+            train_with_features_observed(
+                target_mf.item_emb.clone(),
+                &split.train,
+                &split.validation,
+                &cfg.gnn,
+                obs,
+            )
+        });
 
         // The attacker establishes pretend users before the attack (§4.2);
         // the profiles are kept so suspended accounts can be re-established
@@ -266,6 +304,7 @@ impl Pipeline {
             eval_users,
             target_items,
             train_report,
+            telemetry,
             config: cfg.clone(),
         }
     }
@@ -484,6 +523,11 @@ mod tests {
         for &u in &pipe.eval_users {
             assert!(u.idx() < pipe.world.target.n_users());
         }
+        // Telemetry covers every training run the build performed.
+        assert_eq!(pipe.telemetry.source_mf.epochs.len(), cfg.source_mf.max_epochs);
+        assert_eq!(pipe.telemetry.target_mf.epochs.len(), cfg.target_mf.max_epochs);
+        assert_eq!(pipe.telemetry.gnn.epochs.len(), pipe.train_report.epochs_run);
+        assert!(pipe.telemetry.gnn.loss_curve().iter().all(|l| l.is_finite()));
     }
 
     #[test]

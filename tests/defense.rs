@@ -18,7 +18,7 @@ fn fit_defense(pipe: &Pipeline) -> (ZScoreDetector, PopularityIndex, Matrix) {
     let pop = PopularityIndex::build(clean);
     let item_emb = copyattack::mf::train(
         clean,
-        &copyattack::mf::BprConfig { epochs: 10, seed: 5, ..Default::default() },
+        &copyattack::mf::BprConfig { max_epochs: 10, seed: 5, ..Default::default() },
     )
     .item_emb;
     let feats: Vec<_> = (0..clean.n_users() as u32)

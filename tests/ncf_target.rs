@@ -40,7 +40,7 @@ fn build() -> NcfWorld {
     eval_users.truncate(50);
     let source_mf = copyattack::mf::train(
         &world.source,
-        &BprConfig { epochs: 10, seed: 2, ..Default::default() },
+        &BprConfig { max_epochs: 10, seed: 2, ..Default::default() },
     );
     NcfWorld { world, train_ds: split.train, recommender, pretend, eval_users, source_mf }
 }

@@ -104,7 +104,7 @@ fn world() -> Dataset {
 #[test]
 fn mf_training_is_invariant_to_ca_threads() {
     let ds = world();
-    let cfg = BprConfig { epochs: 3, seed: 9, ..Default::default() };
+    let cfg = BprConfig { max_epochs: 3, seed: 9, ..Default::default() };
     assert_thread_invariant("mf::train", || {
         let m = mf::train(&ds, &cfg);
         (m.user_emb.clone(), m.item_emb.clone(), m.item_bias.clone())
@@ -213,7 +213,7 @@ fn campaign_env(map: &[ItemId], t: ItemId) -> AttackEnvironment<CountingRec> {
 #[test]
 fn parallel_campaign_curves_are_invariant_to_ca_threads() {
     let (ds, map) = campaign_world();
-    let surrogate = mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+    let surrogate = mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
     let src = SourceDomain { data: &ds, mf: &surrogate, to_target: &map };
     let targets = vec![ItemId(3), ItemId(5), ItemId(7)];
     assert_thread_invariant("ParallelCampaign::train", || {
@@ -231,7 +231,7 @@ fn parallel_campaign_curves_are_invariant_to_ca_threads() {
 #[test]
 fn parallel_campaign_matches_serial_single_target_campaigns() {
     let (ds, map) = campaign_world();
-    let surrogate = mf::train(&ds, &BprConfig { epochs: 3, ..Default::default() });
+    let surrogate = mf::train(&ds, &BprConfig { max_epochs: 3, ..Default::default() });
     let src = SourceDomain { data: &ds, mf: &surrogate, to_target: &map };
     let targets = vec![ItemId(3), ItemId(5), ItemId(7)];
 

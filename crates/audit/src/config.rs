@@ -1,0 +1,91 @@
+//! The audit configuration: which paths are exempt from which rules.
+//!
+//! The allowlist is code, not a config file, on purpose: an exemption is a
+//! reviewed policy decision, and the reason column keeps it honest. Inline
+//! pragmas (`// ca-audit: allow(<rule>) — <reason>`) handle single sites;
+//! allowlist entries handle whole path prefixes (bench binaries, the
+//! `ca-par` runtime itself, the audit fixtures).
+
+use crate::rules::Rule;
+
+/// One path-prefix exemption.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Workspace-relative path prefix (forward slashes).
+    pub prefix: &'static str,
+    /// `None` exempts the prefix from *every* rule (the walker skips such
+    /// files entirely); `Some(rule)` exempts exactly one rule.
+    pub rule: Option<Rule>,
+    /// Why the exemption is sound — mandatory, mirroring the pragma policy.
+    pub reason: &'static str,
+}
+
+/// The audit configuration.
+#[derive(Clone, Debug, Default)]
+pub struct AuditConfig {
+    /// Path-prefix exemptions.
+    pub allow: Vec<AllowEntry>,
+}
+
+impl AuditConfig {
+    /// A configuration with no exemptions (fixture tests use this).
+    pub fn strict() -> Self {
+        AuditConfig { allow: Vec::new() }
+    }
+
+    /// This workspace's policy.
+    pub fn workspace_default() -> Self {
+        AuditConfig {
+            allow: vec![
+                AllowEntry {
+                    prefix: "crates/bench/",
+                    rule: None,
+                    reason: "bench binaries measure wall-clock by design and never feed \
+                             attack results",
+                },
+                AllowEntry {
+                    prefix: "crates/audit/tests/fixtures/",
+                    rule: None,
+                    reason: "known-bad lint fixtures must keep their violations",
+                },
+                AllowEntry {
+                    prefix: "crates/par/src/",
+                    rule: Some(Rule::RawThread),
+                    reason: "ca-par is the runtime the rule points everyone else at",
+                },
+            ],
+        }
+    }
+
+    /// Whether `path` is fully exempt (an entry with `rule: None` matches).
+    pub fn is_file_skipped(&self, path: &str) -> bool {
+        self.allow.iter().any(|e| e.rule.is_none() && path.starts_with(e.prefix))
+    }
+
+    /// Whether `rule` is exempt at `path`.
+    pub fn is_allowed(&self, path: &str, rule: Rule) -> bool {
+        self.allow.iter().any(|e| path.starts_with(e.prefix) && e.rule.is_none_or(|r| r == rule))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_default_scopes_exemptions() {
+        let cfg = AuditConfig::workspace_default();
+        assert!(cfg.is_file_skipped("crates/bench/src/bin/offline.rs"));
+        assert!(!cfg.is_file_skipped("crates/par/src/lib.rs"));
+        assert!(cfg.is_allowed("crates/par/src/lib.rs", Rule::RawThread));
+        assert!(!cfg.is_allowed("crates/par/src/lib.rs", Rule::WallClock));
+        assert!(!cfg.is_allowed("crates/recsys/src/engine.rs", Rule::RawThread));
+    }
+
+    #[test]
+    fn every_exemption_carries_a_reason() {
+        for e in AuditConfig::workspace_default().allow {
+            assert!(!e.reason.trim().is_empty(), "no reason for {}", e.prefix);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! A comment- and string-aware tokenizer for Rust source.
+//!
+//! The audit rules match on *token* patterns, never on raw text, so a
+//! `"HashMap"` inside a string literal, a `thread_rng` in a doc comment, or
+//! a commented-out `Instant::now()` can never produce a finding. The lexer
+//! is deliberately tiny — identifiers and punctuation are all the rules
+//! need — but it handles every way Rust hides text from the token stream:
+//! line comments, nested block comments, string/char literals, raw strings
+//! (`r#"…"#` with any number of hashes), byte strings, and lifetimes
+//! (`'a` must not be confused with a char literal).
+//!
+//! Line comments are *captured* rather than dropped: suppression pragmas
+//! (`// ca-audit: allow(<rule>) — <reason>`) live in them.
+
+/// What a token is: the rules only ever distinguish identifiers (matched by
+/// name) from single punctuation characters (matched to recognize paths
+/// like `Instant::now` or chains like `.top_k(`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// The token.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A captured `//` comment (pragmas are parsed out of these).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Comment text after the `//` (doc-comment markers included).
+    pub text: String,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(s) if s == name)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Tokenizes `src`, returning the token stream and the captured `//`
+/// comments (block comments cannot carry pragmas and are dropped).
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                comments.push(Comment { line, text: b[start..j].iter().collect() });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = skip_string(&b, i, &mut line),
+            '\'' => {
+                // Char literal or lifetime. `'\x'`-style escapes and `'q'`
+                // are literals; `'a` followed by anything but a closing
+                // quote is a lifetime (leave the identifier to the ident
+                // arm below).
+                if i + 1 < n && b[i + 1] == '\\' {
+                    i += 2;
+                    while i < n && b[i] != '\'' {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    i += 3;
+                } else {
+                    i += 1; // lifetime tick
+                }
+            }
+            _ if c == '_' || c.is_alphabetic() => {
+                let start = i;
+                while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                let raw_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb");
+                if raw_prefix && i < n && b[i] == '"' {
+                    // Byte string `b"…"` (or malformed r"…"): normal escapes.
+                    i = skip_string(&b, i, &mut line);
+                } else if raw_prefix && i < n && b[i] == '#' {
+                    // Possible raw string `r#"…"#` / `br##"…"##`.
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    while j < n && b[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && b[j] == '"' {
+                        i = skip_raw_string(&b, j + 1, hashes, &mut line);
+                    } else {
+                        // Raw identifier (`r#match`) or stray hash: keep the
+                        // prefix as an ordinary identifier.
+                        toks.push(Tok { kind: TokKind::Ident(ident), line });
+                    }
+                } else {
+                    toks.push(Tok { kind: TokKind::Ident(ident), line });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                // Numeric literal (including suffixes); consume a fraction
+                // only when a digit follows the dot, so `0..n` stays `..`.
+                i += 1;
+                while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                toks.push(Tok { kind: TokKind::Punct(c), line });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Skips a `"…"` literal starting at the opening quote; returns the index
+/// just past the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string body (cursor just past the opening quote) that closes
+/// with `"` followed by `hashes` hash marks.
+fn skip_raw_string(b: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+        } else if b[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                TokKind::Punct(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_tokens() {
+        let src = r##"
+            let a = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block comment */
+            let b = r#"HashMap in a raw string"#;
+            let c = b"HashMap in a byte string";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "leaked: {ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // If `'a` were lexed as a char literal the following `>` and ident
+        // would be swallowed.
+        let ids = idents("fn f<'a>(x: &'a HashMap<u32, u32>) {}");
+        assert!(ids.contains(&"HashMap".to_string()));
+        let ids = idents("let c = 'x'; let d = '\\n'; Instant::now()");
+        assert!(ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let (toks, comments) = lex("a\nb // note\nc");
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("c"), 3);
+        assert_eq!(comments[0].line, 2);
+        assert_eq!(comments[0].text.trim(), "note");
+    }
+
+    #[test]
+    fn numeric_ranges_keep_their_dots() {
+        let (toks, _) = lex("for i in 0..10 { x.sum() }");
+        // `0..10` must leave two '.' puncts and then the `.sum` chain.
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! `ca-audit` — the workspace determinism & query-discipline lint pass.
+//!
+//! Every crate in this workspace stakes its correctness on two contracts
+//! that ordinary tests only check after the fact:
+//!
+//! 1. **Determinism** — bitwise-identical results at any `CA_THREADS`
+//!    setting (the `ca-par` contract), golden-hash training parity, and
+//!    resumable checkpoints. One stray `HashMap` iteration or
+//!    `Instant::now` in a hot path silently breaks reproducibility — and
+//!    with it the reward-signal fidelity CopyAttack's REINFORCE updates
+//!    depend on.
+//! 2. **Query discipline** — the black-box threat model assumes a strict
+//!    query budget, so every ranking call must flow through the metered
+//!    `BlackBoxRecommender`/`FallibleBlackBox` wrappers; a direct
+//!    `.top_k(…)` in attack code is a soundness bug, not a style issue.
+//!
+//! This crate machine-checks both on every build: a hand-rolled
+//! comment/string-aware tokenizer ([`lexer`]), a rule engine over the token
+//! stream ([`rules`]), a reviewed allowlist ([`config`]), and human/JSON
+//! reporters ([`report`]). It ships three ways:
+//!
+//! - `cargo run -p ca-audit [-- --format json]` — the CLI;
+//! - `tests/audit.rs` at the workspace root — the tier-1 gate asserting
+//!   zero findings;
+//! - a CI job running the JSON reporter.
+//!
+//! Single sites are suppressed inline with
+//! `// ca-audit: allow(<rule>) — <reason>`; the reason is mandatory
+//! (a reasonless pragma suppresses nothing and is itself a finding).
+//! The crate is dependency-free so the auditor builds even when the rest
+//! of the workspace does not.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::{AllowEntry, AuditConfig};
+pub use rules::{analyze_source, Finding, Rule};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The top-level directories the pass scans, relative to the workspace
+/// root. `vendor/` (offline dependency stand-ins) and `target/` are
+/// deliberately outside the contract.
+pub const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Audits the workspace at `root` under [`AuditConfig::workspace_default`].
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    audit_workspace_with(root, &AuditConfig::workspace_default())
+}
+
+/// Audits the workspace at `root` under an explicit configuration.
+///
+/// Files are visited in sorted path order, so the finding list (and the
+/// JSON report derived from it) is itself deterministic.
+pub fn audit_workspace_with(root: &Path, cfg: &AuditConfig) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if cfg.is_file_skipped(&rel) {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(analyze_source(&rel, &src, cfg));
+    }
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` files under `dir` (skipping `target/`).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target" || n == ".git") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]` (how the CLI finds the root when invoked from a
+/// subdirectory).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,73 @@
+//! The `ca-audit` CLI: run the workspace lint pass and report findings.
+//!
+//! ```text
+//! cargo run -p ca-audit                    # human-readable report
+//! cargo run -p ca-audit -- --format json   # machine-readable (CI)
+//! cargo run -p ca-audit -- --root <path>   # explicit workspace root
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when findings exist, 2 on usage or I/O
+//! errors — so CI can gate on the exit code alone.
+
+#![forbid(unsafe_code)]
+// The whole point of this binary is writing a report to stdout.
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format = "human".to_string();
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "human" || f == "json" => format = f,
+                _ => return usage("--format takes `human` or `json`"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root takes a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: ca-audit [--format human|json] [--root <workspace>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        ca_audit::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        return usage("no workspace root found (pass --root)");
+    };
+
+    match ca_audit::audit_workspace(&root) {
+        Ok(findings) => {
+            match format.as_str() {
+                "json" => println!("{}", ca_audit::report::json(&findings)),
+                _ => print!("{}", ca_audit::report::human(&findings)),
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ca-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ca-audit: {msg}");
+    eprintln!("usage: ca-audit [--format human|json] [--root <workspace>]");
+    ExitCode::from(2)
+}

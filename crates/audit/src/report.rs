@@ -1,0 +1,100 @@
+//! Finding reporters: human-readable text and machine-readable JSON.
+//!
+//! JSON serialization is hand-rolled (the crate is dependency-free); the
+//! escape routine covers everything a path, message, or hint can contain.
+
+use crate::rules::Finding;
+
+/// Human-readable report: one `file:line [rule] message` block per finding
+/// plus a fix hint, ending with a summary line.
+pub fn human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!("{}:{} [{}] {}\n", f.file, f.line, f.rule.id(), f.message));
+        out.push_str(&format!("    hint: {}\n", f.rule.hint()));
+    }
+    if findings.is_empty() {
+        out.push_str("ca-audit: clean\n");
+    } else {
+        out.push_str(&format!("ca-audit: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+/// JSON report: `{"findings": [...], "count": N}`.
+pub fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"hint\":{}}}",
+            escape(&f.file),
+            f.line,
+            escape(f.rule.id()),
+            escape(&f.message),
+            escape(f.rule.hint()),
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: Rule::WallClock,
+            message: Rule::WallClock.message().into(),
+        }]
+    }
+
+    #[test]
+    fn human_report_names_rule_and_line() {
+        let r = human(&sample());
+        assert!(r.contains("crates/x/src/lib.rs:7 [wall-clock]"));
+        assert!(r.contains("hint:"));
+        assert!(r.ends_with("1 finding(s)\n"));
+        assert!(human(&[]).contains("clean"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let r = json(&sample());
+        assert!(r.starts_with("{\"findings\":[{\"file\":\"crates/x/src/lib.rs\""));
+        assert!(r.ends_with("\"count\":1}"));
+        assert!(r.contains("\"rule\":\"wall-clock\""));
+        assert_eq!(json(&[]), "{\"findings\":[],\"count\":0}");
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+}

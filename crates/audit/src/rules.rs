@@ -1,0 +1,341 @@
+//! The audit rules and the per-file analysis pass.
+//!
+//! Each rule is a named, individually-suppressible invariant of this
+//! workspace (see `DESIGN.md` §11 for the policy behind each one). Rules
+//! match on the token stream produced by [`crate::lexer`], so nothing in a
+//! comment or string literal can fire, and every finding carries the rule
+//! id, the 1-based line, and a fix hint.
+//!
+//! Suppression: `// ca-audit: allow(<rule>) — <reason>` on the same line as
+//! the violation or the line directly above it silences that rule there.
+//! The reason is mandatory — a reasonless pragma suppresses nothing and is
+//! itself a finding ([`Rule::PragmaMissingReason`]). File-scope rules
+//! ([`Rule::UnsafeAudit`]) accept the pragma anywhere in the file.
+
+use crate::config::AuditConfig;
+use crate::lexer::{lex, Comment, Tok};
+
+/// The invariants the pass enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` in library code: iteration order is
+    /// nondeterministic, which breaks the bitwise-reproducibility contract
+    /// the moment anyone iterates one.
+    HashCollections,
+    /// `Instant::now` / `SystemTime::now` in a determinism-contract path.
+    WallClock,
+    /// `thread_rng` / `from_entropy`: ambient OS-seeded randomness outside
+    /// the seeded-`StdRng` discipline.
+    AdHocRng,
+    /// Raw `std::thread::spawn`/`scope` outside `ca-par`: threading that
+    /// the `CA_THREADS` knob does not govern.
+    RawThread,
+    /// Direct `.top_k(` / `.top_k_batch(` in `copyattack-core`: a ranking
+    /// query that bypasses the metered/retry `try_top_k*` wrappers and
+    /// therefore the query budget of the black-box threat model.
+    RawTopK,
+    /// A library crate whose `lib.rs` does not carry
+    /// `#![forbid(unsafe_code)]` (or a justification pragma).
+    UnsafeAudit,
+    /// `.sum()`/`.fold(` over values produced by a `par::map*` call in the
+    /// same statement: float reduction whose rounding schedule is not
+    /// pinned by the blessed `ca_par::map_reduce` combiner.
+    UnorderedReduce,
+    /// A `ca-audit: allow` pragma with no reason after the rule list.
+    PragmaMissingReason,
+    /// A `ca-audit` pragma naming a rule id that does not exist (typos
+    /// would otherwise silently suppress nothing).
+    PragmaUnknownRule,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 9] = [
+        Rule::HashCollections,
+        Rule::WallClock,
+        Rule::AdHocRng,
+        Rule::RawThread,
+        Rule::RawTopK,
+        Rule::UnsafeAudit,
+        Rule::UnorderedReduce,
+        Rule::PragmaMissingReason,
+        Rule::PragmaUnknownRule,
+    ];
+
+    /// Stable kebab-case id (used in pragmas, JSON output, and allowlists).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::HashCollections => "hash-collections",
+            Rule::WallClock => "wall-clock",
+            Rule::AdHocRng => "ad-hoc-rng",
+            Rule::RawThread => "raw-thread",
+            Rule::RawTopK => "raw-top-k",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::UnorderedReduce => "unordered-reduce",
+            Rule::PragmaMissingReason => "pragma-missing-reason",
+            Rule::PragmaUnknownRule => "pragma-unknown-rule",
+        }
+    }
+
+    /// Inverse of [`Rule::id`].
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+
+    /// One-line statement of the violation.
+    pub fn message(&self) -> &'static str {
+        match self {
+            Rule::HashCollections => {
+                "HashMap/HashSet in library code: iteration order is nondeterministic"
+            }
+            Rule::WallClock => "wall-clock read (Instant::now/SystemTime::now) in library code",
+            Rule::AdHocRng => "ambient RNG (thread_rng/from_entropy) outside the seeded discipline",
+            Rule::RawThread => "raw std::thread spawn/scope outside the ca-par runtime",
+            Rule::RawTopK => "direct .top_k/.top_k_batch call bypasses the metered query path",
+            Rule::UnsafeAudit => "library crate does not carry #![forbid(unsafe_code)]",
+            Rule::UnorderedReduce => {
+                "float reduction over par-produced values outside ca_par::map_reduce"
+            }
+            Rule::PragmaMissingReason => "ca-audit allow pragma without a reason",
+            Rule::PragmaUnknownRule => "ca-audit pragma names an unknown rule",
+        }
+    }
+
+    /// How to fix (or soundly suppress) the finding.
+    pub fn hint(&self) -> &'static str {
+        match self {
+            Rule::HashCollections => {
+                "use BTreeMap/BTreeSet or a dense Vec index; if the collection is provably \
+                 never iterated, suppress with a reasoned pragma"
+            }
+            Rule::WallClock => {
+                "derive timing from logical clocks; keep wall-clock strictly telemetry-only \
+                 and suppress with a reason"
+            }
+            Rule::AdHocRng => "thread a seeded StdRng (or derive one via ca_par::split_seed)",
+            Rule::RawThread => {
+                "route through ca_par::{map, map_min, map_mut, map_reduce} so the CA_THREADS \
+                 knob governs every parallel stage"
+            }
+            Rule::RawTopK => {
+                "query through FallibleBlackBox::try_top_k/try_top_k_batch (with a \
+                 RetryPolicy) so every ranking call is metered against the query budget"
+            }
+            Rule::UnsafeAudit => {
+                "add #![forbid(unsafe_code)] to the crate root, or suppress with a pragma \
+                 stating why unsafe is required"
+            }
+            Rule::UnorderedReduce => {
+                "reduce through ca_par::map_reduce: its fixed chunk grid and serial \
+                 ascending combine pin the float rounding schedule at any thread count"
+            }
+            Rule::PragmaMissingReason => "append `— <why this is sound>` after the rule list",
+            Rule::PragmaUnknownRule => {
+                "valid rules: hash-collections, wall-clock, ad-hoc-rng, raw-thread, \
+                 raw-top-k, unsafe-audit, unordered-reduce"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One violation: where, which rule, and what to do about it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// [`Rule::message`], owned so reporters need no lookups.
+    pub message: String,
+}
+
+impl Finding {
+    fn new(file: &str, line: u32, rule: Rule) -> Self {
+        Finding { file: file.to_string(), line, rule, message: rule.message().to_string() }
+    }
+}
+
+/// A parsed `ca-audit:` pragma comment.
+#[derive(Clone, Debug)]
+struct Pragma {
+    line: u32,
+    rules: Vec<Rule>,
+    unknown: Vec<String>,
+    has_reason: bool,
+}
+
+/// Parses `// ca-audit: allow(rule, …) — reason` out of the comments.
+fn parse_pragmas(comments: &[Comment]) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for c in comments {
+        // Doc comments arrive as `/ text` or `! text`; strip the marker.
+        let t = c.text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = t.strip_prefix("ca-audit:") else { continue };
+        let rest = rest.trim_start();
+        let mut pragma =
+            Pragma { line: c.line, rules: Vec::new(), unknown: Vec::new(), has_reason: false };
+        let body = rest.strip_prefix("allow").map(str::trim_start);
+        match body.and_then(|b| b.strip_prefix('(')).and_then(|b| b.split_once(')')) {
+            Some((list, tail)) => {
+                for name in list.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        continue;
+                    }
+                    match Rule::from_id(name) {
+                        Some(r) => pragma.rules.push(r),
+                        None => pragma.unknown.push(name.to_string()),
+                    }
+                }
+                // The reason is whatever survives after the separator dash
+                // (or any punctuation run) following the rule list.
+                let reason = tail.trim_start_matches([' ', '\t', '-', '—', '–', ':', '.', ',']);
+                pragma.has_reason = !reason.trim().is_empty();
+            }
+            None => pragma.unknown.push(rest.to_string()),
+        }
+        pragmas.push(pragma);
+    }
+    pragmas
+}
+
+/// Whether tokens starting at `i` spell the path segment `a::b`.
+fn path2(toks: &[Tok], i: usize, a: &[&str], b: &[&str]) -> bool {
+    i + 3 < toks.len()
+        && a.iter().any(|s| toks[i].is_ident(s))
+        && toks[i + 1].is_punct(':')
+        && toks[i + 2].is_punct(':')
+        && b.iter().any(|s| toks[i + 3].is_ident(s))
+}
+
+/// Whether the token stream contains `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+/// Whether `rel_path` is the root module of a library crate (where the
+/// unsafe-audit rule applies).
+fn is_lib_root(rel_path: &str) -> bool {
+    rel_path == "src/lib.rs"
+        || (rel_path.starts_with("crates/") && rel_path.ends_with("/src/lib.rs"))
+}
+
+/// Runs every applicable rule over one file.
+///
+/// `rel_path` is the workspace-relative path (forward slashes); it scopes
+/// path-dependent rules ([`Rule::RawTopK`], [`Rule::UnsafeAudit`]) and is
+/// matched against the allowlist in `cfg`.
+pub fn analyze_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> Vec<Finding> {
+    let (toks, comments) = lex(src);
+    let pragmas = parse_pragmas(&comments);
+    let mut findings = Vec::new();
+
+    // Pragma hygiene first: unknown rules and missing reasons are findings
+    // in their own right (and a reasonless pragma suppresses nothing).
+    for p in &pragmas {
+        for _ in &p.unknown {
+            findings.push(Finding::new(rel_path, p.line, Rule::PragmaUnknownRule));
+        }
+        if !p.unknown.is_empty() || !p.rules.is_empty() {
+            if !p.has_reason {
+                findings.push(Finding::new(rel_path, p.line, Rule::PragmaMissingReason));
+            }
+        } else {
+            // `ca-audit: allow()` with an empty list: malformed.
+            findings.push(Finding::new(rel_path, p.line, Rule::PragmaUnknownRule));
+        }
+    }
+
+    let in_core = rel_path.starts_with("crates/copyattack-core/src/");
+
+    // Statement window for the unordered-reduce rule: a statement runs
+    // between `;`/`{`/`}` boundaries; within one, a float reduction chained
+    // after a `par::map*` call is flagged.
+    let mut window_has_par_map = false;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.kind {
+            crate::lexer::TokKind::Punct(c) => {
+                if matches!(c, ';' | '{' | '}') {
+                    window_has_par_map = false;
+                }
+                // `.top_k(` / `.top_k_batch(`.
+                if in_core
+                    && *c == '.'
+                    && i + 2 < toks.len()
+                    && (toks[i + 1].is_ident("top_k") || toks[i + 1].is_ident("top_k_batch"))
+                    && toks[i + 2].is_punct('(')
+                {
+                    findings.push(Finding::new(rel_path, toks[i + 1].line, Rule::RawTopK));
+                }
+                // `.sum…` / `.fold(` after a par-map in the same statement.
+                if *c == '.'
+                    && window_has_par_map
+                    && i + 1 < toks.len()
+                    && (toks[i + 1].is_ident("sum") || toks[i + 1].is_ident("fold"))
+                {
+                    findings.push(Finding::new(rel_path, toks[i + 1].line, Rule::UnorderedReduce));
+                }
+            }
+            crate::lexer::TokKind::Ident(name) => match name.as_str() {
+                "HashMap" | "HashSet" => {
+                    findings.push(Finding::new(rel_path, t.line, Rule::HashCollections));
+                }
+                "thread_rng" | "from_entropy" => {
+                    findings.push(Finding::new(rel_path, t.line, Rule::AdHocRng));
+                }
+                "Instant" | "SystemTime" if path2(&toks, i, &[name], &["now"]) => {
+                    findings.push(Finding::new(rel_path, t.line, Rule::WallClock));
+                }
+                "thread" if path2(&toks, i, &["thread"], &["spawn", "scope"]) => {
+                    findings.push(Finding::new(rel_path, t.line, Rule::RawThread));
+                }
+                "par" | "ca_par" if path2(&toks, i, &[name], &["map", "map_min", "map_mut"]) => {
+                    window_has_par_map = true;
+                }
+                _ => {}
+            },
+        }
+        i += 1;
+    }
+
+    if is_lib_root(rel_path) && !has_forbid_unsafe(&toks) {
+        findings.push(Finding::new(rel_path, 1, Rule::UnsafeAudit));
+    }
+
+    // Apply suppressions: a *reasoned* pragma naming the rule, on the
+    // finding's line or the line directly above (file-wide for file-scope
+    // rules). Pragma-hygiene findings are never suppressible.
+    findings.retain(|f| match f.rule {
+        Rule::PragmaMissingReason | Rule::PragmaUnknownRule => true,
+        Rule::UnsafeAudit => {
+            !pragmas.iter().any(|p| p.has_reason && p.rules.contains(&Rule::UnsafeAudit))
+        }
+        rule => !pragmas.iter().any(|p| {
+            p.has_reason && p.rules.contains(&rule) && (p.line == f.line || p.line + 1 == f.line)
+        }),
+    });
+
+    // Apply the allowlist last so pragma hygiene still holds everywhere.
+    findings.retain(|f| !cfg.is_allowed(rel_path, f.rule));
+    findings
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture: ad-hoc-rng must fire on both ambient RNG sources.
+
+fn roll() -> u32 {
+    let mut rng = rand::thread_rng(); // MARK: thread_rng fires
+    rng.gen_range(0..6)
+}
+
+fn fresh() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy() // MARK: from_entropy fires
+}
+
+fn fine() -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(42) // seeded: must stay silent
+}

@@ -1,0 +1,9 @@
+//! Known-bad fixture: hash-collections must fire exactly once.
+//! Decoy: HashMap named in this comment must stay silent.
+const DECOY: &str = "HashSet inside a string must stay silent";
+
+fn bad() -> u32 {
+    let mut seen = std::collections::HashSet::new(); // MARK: fires
+    seen.insert(1u32);
+    seen.len() as u32
+}

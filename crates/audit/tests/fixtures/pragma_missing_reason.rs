@@ -1,0 +1,7 @@
+//! Known-bad fixture: a reasonless pragma is itself a finding and
+//! suppresses nothing — the clock read below it must still fire.
+
+fn sneaky() -> std::time::Instant {
+    // ca-audit: allow(wall-clock)
+    std::time::Instant::now() // MARK: still fires
+}

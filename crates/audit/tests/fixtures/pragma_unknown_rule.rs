@@ -1,0 +1,5 @@
+//! Known-bad fixture: a pragma naming a rule id that does not exist must
+//! be reported (a typo would otherwise silently suppress nothing).
+
+// ca-audit: allow(wallclock) — MARK: typo'd rule id fires
+fn innocuous() {}

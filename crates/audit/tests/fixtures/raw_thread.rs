@@ -1,0 +1,15 @@
+//! Known-bad fixture: raw-thread must fire on spawn and scope, but not on
+//! the scope handle's own `.spawn` method call.
+
+fn fan_out(xs: &[u32]) -> u32 {
+    let mut total = 0;
+    std::thread::scope(|s| { // MARK: scope fires
+        let h = s.spawn(|| xs.iter().sum::<u32>()); // method call: silent
+        total = h.join().unwrap();
+    });
+    total
+}
+
+fn detached() {
+    std::thread::spawn(|| ()); // MARK: spawn fires
+}

@@ -1,0 +1,14 @@
+//! Known-bad fixture (when placed under `crates/copyattack-core/src/`):
+//! raw-top-k must fire on both direct ranking calls.
+
+fn peek(rec: &mut Platform) -> Vec<ItemId> {
+    rec.top_k(UserId(0), 10) // MARK: top_k fires
+}
+
+fn peek_batch(rec: &mut Platform, users: &[UserId]) -> Vec<Vec<ItemId>> {
+    rec.top_k_batch(users, 10) // MARK: top_k_batch fires
+}
+
+fn metered(rec: &mut Platform) -> Result<Vec<ItemId>, RecError> {
+    rec.try_top_k(UserId(0), 10) // metered wrapper: must stay silent
+}

@@ -1,0 +1,17 @@
+//! Known-good fixture: every violation here carries a reasoned pragma, so
+//! the file must produce zero findings.
+
+fn timed_above() -> std::time::Instant {
+    // ca-audit: allow(wall-clock) — fixture exercising line-above suppression
+    std::time::Instant::now()
+}
+
+fn timed_inline() -> std::time::Instant {
+    std::time::Instant::now() // ca-audit: allow(wall-clock) — same-line suppression
+}
+
+fn membership() -> bool {
+    // ca-audit: allow(hash-collections) — membership-only set, never iterated
+    let s = std::collections::HashSet::from([1u32]);
+    s.contains(&1)
+}

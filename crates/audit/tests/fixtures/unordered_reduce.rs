@@ -1,0 +1,14 @@
+//! Known-bad fixture: unordered-reduce must fire on the float reduction
+//! chained off `ca_par::map`, but never on the blessed `map_reduce` path.
+
+fn bad_total(xs: &[f32]) -> f32 {
+    ca_par::map(xs, |_, &x| x * x).iter().sum::<f32>() // MARK: sum fires
+}
+
+fn blessed_total(xs: &[f32]) -> f32 {
+    ca_par::map_reduce(xs, 64, |c| c.iter().sum::<f32>(), 0.0f32, |a, b| a + b)
+}
+
+fn serial_total(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() // no par map in the statement: silent
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: analyzed under a `crates/*/src/lib.rs` path, the
+//! missing `#![forbid(unsafe_code)]` must fire at line 1.
+
+pub fn library_entry() -> u32 {
+    7
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture: wall-clock must fire on both clock reads.
+//! Decoy: Instant::now in this comment must stay silent.
+
+fn elapsed() -> f64 {
+    let t0 = std::time::Instant::now(); // MARK: instant fires
+    t0.elapsed().as_secs_f64()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now() // MARK: system-time fires
+}
+
+fn decoy() -> &'static str {
+    "calling Instant::now() in a string must stay silent"
+}

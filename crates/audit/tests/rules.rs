@@ -1,0 +1,238 @@
+//! Fixture tests for the rule engine: every rule must fire on its
+//! known-bad fixture at the exact marked line, stay silent on the decoys,
+//! and be silenced by (only) a *reasoned* suppression pragma.
+//!
+//! Fixtures live in `tests/fixtures/` and are never compiled; the
+//! workspace audit skips them via the allowlist, so they keep their
+//! violations on purpose.
+
+use ca_audit::{analyze_source, AuditConfig, Finding, Rule};
+
+/// 1-based line of the first fixture line containing `needle`.
+fn line_of(src: &str, needle: &str) -> u32 {
+    src.lines()
+        .position(|l| l.contains(needle))
+        .unwrap_or_else(|| panic!("marker {needle:?} not found")) as u32
+        + 1
+}
+
+fn strict(rel_path: &str, src: &str) -> Vec<Finding> {
+    analyze_source(rel_path, src, &AuditConfig::strict())
+}
+
+/// (rule id, line) pairs, sorted, for compact exact-match assertions.
+fn fired(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    let mut v: Vec<_> = findings.iter().map(|f| (f.rule.id(), f.line)).collect();
+    v.sort();
+    v
+}
+
+/// Copy of `src` with a reasoned `allow(rule)` pragma inserted directly
+/// above every line containing `marker` (line-above suppression form).
+fn pragma_above(src: &str, marker: &str, rule: &str) -> String {
+    let mut out = String::new();
+    for l in src.lines() {
+        if l.contains(marker) {
+            out.push_str(&format!("// ca-audit: allow({rule}) — fixture suppression check\n"));
+        }
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn hash_collections_fires_at_the_marked_line_only() {
+    let src = include_str!("fixtures/hash_collections.rs");
+    let f = strict("crates/x/src/lib.rs", src);
+    // The lib-root path also lacks #![forbid(unsafe_code)] — expected.
+    assert_eq!(
+        fired(&f),
+        vec![("hash-collections", line_of(src, "MARK: fires")), ("unsafe-audit", 1)]
+    );
+}
+
+#[test]
+fn wall_clock_fires_on_both_clocks_never_in_strings_or_comments() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let f = strict("crates/x/src/telemetry.rs", src);
+    assert_eq!(
+        fired(&f),
+        vec![
+            ("wall-clock", line_of(src, "MARK: instant fires")),
+            ("wall-clock", line_of(src, "MARK: system-time fires")),
+        ]
+    );
+}
+
+#[test]
+fn ad_hoc_rng_fires_on_ambient_sources_not_seeded_ones() {
+    let src = include_str!("fixtures/ad_hoc_rng.rs");
+    let f = strict("crates/x/src/sampling.rs", src);
+    assert_eq!(
+        fired(&f),
+        vec![
+            ("ad-hoc-rng", line_of(src, "MARK: thread_rng fires")),
+            ("ad-hoc-rng", line_of(src, "MARK: from_entropy fires")),
+        ]
+    );
+}
+
+#[test]
+fn raw_thread_fires_on_std_paths_not_scope_handle_methods() {
+    let src = include_str!("fixtures/raw_thread.rs");
+    let f = strict("crates/x/src/workers.rs", src);
+    assert_eq!(
+        fired(&f),
+        vec![
+            ("raw-thread", line_of(src, "MARK: scope fires")),
+            ("raw-thread", line_of(src, "MARK: spawn fires")),
+        ]
+    );
+}
+
+#[test]
+fn raw_top_k_fires_only_inside_copyattack_core() {
+    let src = include_str!("fixtures/raw_top_k.rs");
+    let f = strict("crates/copyattack-core/src/campaign.rs", src);
+    assert_eq!(
+        fired(&f),
+        vec![
+            ("raw-top-k", line_of(src, "MARK: top_k fires")),
+            ("raw-top-k", line_of(src, "MARK: top_k_batch fires")),
+        ]
+    );
+    // The same source outside the attack crate is not query-metered code.
+    assert!(strict("crates/recsys/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_audit_fires_on_lib_roots_only() {
+    let src = include_str!("fixtures/unsafe_audit.rs");
+    assert_eq!(fired(&strict("crates/x/src/lib.rs", src)), vec![("unsafe-audit", 1)]);
+    assert_eq!(fired(&strict("src/lib.rs", src)), vec![("unsafe-audit", 1)]);
+    // Non-root modules and binaries are out of the rule's scope.
+    assert!(strict("crates/x/src/util.rs", src).is_empty());
+    assert!(strict("crates/x/src/main.rs", src).is_empty());
+    // A file-scope pragma (anywhere in the file) suppresses it.
+    let pragmad =
+        format!("{src}\n// ca-audit: allow(unsafe-audit) — FFI shim needs raw pointers\n");
+    assert!(strict("crates/x/src/lib.rs", &pragmad).is_empty());
+}
+
+#[test]
+fn unordered_reduce_fires_on_par_map_chains_not_map_reduce() {
+    let src = include_str!("fixtures/unordered_reduce.rs");
+    let f = strict("crates/x/src/stats.rs", src);
+    assert_eq!(fired(&f), vec![("unordered-reduce", line_of(src, "MARK: sum fires"))]);
+}
+
+#[test]
+fn reasoned_pragmas_suppress_on_their_line_and_the_line_below() {
+    let src = include_str!("fixtures/suppressed.rs");
+    assert!(
+        strict("crates/x/src/telemetry.rs", src).is_empty(),
+        "reasoned pragmas must fully silence the fixture"
+    );
+}
+
+#[test]
+fn reasonless_pragma_is_a_finding_and_suppresses_nothing() {
+    let src = include_str!("fixtures/pragma_missing_reason.rs");
+    let f = strict("crates/x/src/telemetry.rs", src);
+    assert_eq!(
+        fired(&f),
+        vec![
+            ("pragma-missing-reason", line_of(src, "ca-audit: allow(wall-clock)")),
+            ("wall-clock", line_of(src, "MARK: still fires")),
+        ]
+    );
+}
+
+#[test]
+fn unknown_rule_in_pragma_is_reported() {
+    let src = include_str!("fixtures/pragma_unknown_rule.rs");
+    let f = strict("crates/x/src/anything.rs", src);
+    assert_eq!(fired(&f), vec![("pragma-unknown-rule", line_of(src, "MARK: typo'd"))]);
+}
+
+#[test]
+fn every_code_rule_is_silenced_by_a_reasoned_pragma_above_the_line() {
+    // (fixture, rule id, markers on its violating lines, analysis path).
+    // Non-root module paths keep unsafe-audit out of the picture; raw-top-k
+    // needs a copyattack-core path to fire at all.
+    let cases: &[(&str, &str, &[&str], &str)] = &[
+        (
+            include_str!("fixtures/hash_collections.rs"),
+            "hash-collections",
+            &["MARK: fires"],
+            "crates/x/src/util.rs",
+        ),
+        (
+            include_str!("fixtures/wall_clock.rs"),
+            "wall-clock",
+            &["MARK: instant fires", "MARK: system-time fires"],
+            "crates/x/src/telemetry.rs",
+        ),
+        (
+            include_str!("fixtures/ad_hoc_rng.rs"),
+            "ad-hoc-rng",
+            &["MARK: thread_rng fires", "MARK: from_entropy fires"],
+            "crates/x/src/sampling.rs",
+        ),
+        (
+            include_str!("fixtures/raw_thread.rs"),
+            "raw-thread",
+            &["MARK: scope fires", "MARK: spawn fires"],
+            "crates/x/src/workers.rs",
+        ),
+        (
+            include_str!("fixtures/raw_top_k.rs"),
+            "raw-top-k",
+            &["MARK: top_k fires", "MARK: top_k_batch fires"],
+            "crates/copyattack-core/src/campaign.rs",
+        ),
+        (
+            include_str!("fixtures/unordered_reduce.rs"),
+            "unordered-reduce",
+            &["MARK: sum fires"],
+            "crates/x/src/stats.rs",
+        ),
+    ];
+    for (src, rule, markers, path) in cases {
+        assert!(!strict(path, src).is_empty(), "{rule}: fixture must fire unsuppressed");
+        let mut patched = src.to_string();
+        for m in *markers {
+            patched = pragma_above(&patched, m, rule);
+        }
+        assert!(
+            strict(path, &patched).is_empty(),
+            "{rule}: reasoned pragma above each violation must silence the fixture"
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_distinct_id_roundtripping_through_from_id() {
+    for r in Rule::ALL {
+        assert_eq!(Rule::from_id(r.id()), Some(r));
+    }
+    let mut ids: Vec<_> = Rule::ALL.iter().map(|r| r.id()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), Rule::ALL.len(), "rule ids must be unique");
+}
+
+#[test]
+fn allowlist_entries_beat_strict_findings() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let cfg = AuditConfig::workspace_default();
+    assert!(
+        analyze_source("crates/bench/src/bin/offline.rs", src, &cfg).is_empty(),
+        "bench binaries are fully exempt by policy"
+    );
+    assert!(
+        !analyze_source("crates/train/src/driver.rs", src, &cfg).is_empty(),
+        "library crates get no such pass"
+    );
+}

@@ -15,6 +15,8 @@
 //! none of whose leaf users has `v*` in their profile, shrinking the
 //! explorable action space to the useful region.
 
+#![forbid(unsafe_code)]
+
 pub mod balanced;
 pub mod kmeans;
 pub mod mask;

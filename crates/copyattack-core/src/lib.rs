@@ -19,6 +19,8 @@
 //! methods (RandomAttack, TargetAttack-40/70/100, the flat PolicyNetwork,
 //! and the CopyAttack−Masking / CopyAttack−Length ablations).
 
+#![forbid(unsafe_code)]
+
 //!
 //! Deployed platforms are not reliable: [`retry`] adds capped-backoff retry
 //! policies in logical time, [`mod@env`] computes partial (quorum-gated)

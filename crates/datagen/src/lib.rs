@@ -21,6 +21,8 @@
 //!
 //! Presets mirror the *shape* of Table 1 at ~1/20 scale.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod generator;
 pub mod latent;

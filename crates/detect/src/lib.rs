@@ -22,6 +22,8 @@
 //! The detector standardizes features over the population and scores each
 //! profile by the L2 norm of its z-vector.
 
+#![forbid(unsafe_code)]
+
 pub mod detector;
 pub mod features;
 pub mod screen;

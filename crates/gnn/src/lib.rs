@@ -25,6 +25,8 @@
 //! stale neighborhoods). Early stopping follows §5.1.3: patience 5 on
 //! validation HR@10.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod model;
 pub mod recommender;

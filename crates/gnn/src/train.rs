@@ -14,7 +14,7 @@ use crate::recommender::{Caches, PinSageRecommender};
 use ca_recsys::eval::RankingEval;
 use ca_recsys::{Dataset, HeldOut, ItemId, Scorer, UserId};
 use ca_tensor::ops::{self, sigmoid};
-use ca_train::{NullObserver, PairwiseModel, TrainConfig, TrainObserver};
+use ca_train::{NullObserver, PairwiseModel, Step, TrainConfig, TrainObserver};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -41,6 +41,7 @@ impl GnnConfig {
             patience: Some(self.patience),
             minibatch: self.minibatch,
             seed: self.seed,
+            optimizer: self.optimizer,
             ..TrainConfig::default()
         }
     }
@@ -86,9 +87,13 @@ impl PairwiseModel for GnnTrainer<'_> {
         pair_grad(&self.model, self.ds, caches, u, pos, neg)
     }
 
-    fn apply(&mut self, _u: UserId, _pos: ItemId, _neg: ItemId, g: &PairGrad, lr: f32) {
-        self.model.item_tower.sgd_step(&g.item, lr);
-        self.model.user_tower.sgd_step(&g.user, lr);
+    /// Block-key layout: the item tower's layer blocks from key 0, the user
+    /// tower's directly after (two keys per layer, in layer order — the
+    /// same element order as `Mlp::sgd_step`, so the SGD path is bitwise
+    /// identical to the historical tower updates).
+    fn apply(&mut self, _u: UserId, _pos: ItemId, _neg: ItemId, g: &PairGrad, step: &mut Step<'_>) {
+        let next = step.descend_mlp(0, &mut self.model.item_tower, &g.item);
+        step.descend_mlp(next, &mut self.model.user_tower, &g.user);
     }
 
     /// Post-update validation HR@10 through *fresh* caches (the stop

@@ -14,7 +14,9 @@ use crate::model::MfModel;
 use ca_recsys::eval::RankingEval;
 use ca_recsys::{Dataset, HeldOut, ItemId, UserId};
 use ca_tensor::ops::sigmoid;
-use ca_train::{NullObserver, PairwiseModel, TrainConfig, TrainObserver, TrainOutcome};
+use ca_train::{
+    NullObserver, Optimizer, PairwiseModel, Step, TrainConfig, TrainObserver, TrainOutcome,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -41,6 +43,9 @@ pub struct BprConfig {
     pub patience: Option<usize>,
     /// RNG seed for init, shuffling, and negative sampling.
     pub seed: u64,
+    /// Per-pair update rule. The [`Optimizer::Sgd`] default reproduces the
+    /// historical hand-rolled update loop bit-for-bit.
+    pub optimizer: Optimizer,
     /// Pairs per minibatch. Gradients within a minibatch are computed
     /// against the frozen batch-start model (in parallel on the `ca-par`
     /// runtime) and applied in pair order, so results do not depend on the
@@ -50,7 +55,16 @@ pub struct BprConfig {
 
 impl Default for BprConfig {
     fn default() -> Self {
-        Self { dim: 8, lr: 0.05, reg: 1e-4, max_epochs: 30, patience: None, seed: 0, minibatch: 32 }
+        Self {
+            dim: 8,
+            lr: 0.05,
+            reg: 1e-4,
+            max_epochs: 30,
+            patience: None,
+            seed: 0,
+            optimizer: Optimizer::Sgd,
+            minibatch: 32,
+        }
     }
 }
 
@@ -64,6 +78,7 @@ impl BprConfig {
             patience: self.patience,
             minibatch: self.minibatch,
             seed: self.seed,
+            optimizer: self.optimizer,
             ..TrainConfig::default()
         }
     }
@@ -92,8 +107,8 @@ impl PairwiseModel for MfTrainer<'_> {
         pair_grad(&self.model, u, pos, neg, self.reg)
     }
 
-    fn apply(&mut self, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad, lr: f32) {
-        apply_grad(&mut self.model, u, pos, neg, g, lr);
+    fn apply(&mut self, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad, step: &mut Step<'_>) {
+        apply_grad(&mut self.model, u, pos, neg, g, step);
     }
 
     fn validate(&mut self) -> Option<f32> {
@@ -188,15 +203,26 @@ fn pair_grad(model: &MfModel, u: UserId, pos: ItemId, neg: ItemId, reg: f32) -> 
     (grad, loss)
 }
 
-fn apply_grad(model: &mut MfModel, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad, lr: f32) {
+/// Block-key layout: user rows at `u`, item rows at `n_users + v`, item
+/// biases at `n_users + n_items + v`. All five blocks a pair touches are
+/// disjoint (`pos ≠ neg` by sampling), so block-order application is
+/// bitwise identical to the historical interleaved per-`k` loop.
+fn apply_grad(
+    model: &mut MfModel,
+    u: UserId,
+    pos: ItemId,
+    neg: ItemId,
+    g: &PairGrad,
+    step: &mut Step<'_>,
+) {
     let (qp, qn) = (pos.idx(), neg.idx());
-    for k in 0..g.d_pu.len() {
-        model.user_emb[(u.idx(), k)] += lr * g.d_pu[k];
-        model.item_emb[(qp, k)] += lr * g.d_qp[k];
-        model.item_emb[(qn, k)] += lr * g.d_qn[k];
-    }
-    model.item_bias[qp] += lr * g.d_bp;
-    model.item_bias[qn] += lr * g.d_bn;
+    let n_users = model.user_emb.rows();
+    let n_items = model.item_emb.rows();
+    step.ascend(u.idx(), model.user_emb.row_mut(u.idx()), &g.d_pu);
+    step.ascend(n_users + qp, model.item_emb.row_mut(qp), &g.d_qp);
+    step.ascend(n_users + qn, model.item_emb.row_mut(qn), &g.d_qn);
+    step.ascend1(n_users + n_items + qp, &mut model.item_bias[qp], g.d_bp);
+    step.ascend1(n_users + n_items + qn, &mut model.item_bias[qn], g.d_bn);
 }
 
 fn dot_rows(model: &MfModel, u: UserId, v: ItemId) -> f32 {

@@ -17,6 +17,8 @@
 //! behind the black-box surface with mean-embedding fold-in of injected
 //! accounts.
 
+#![forbid(unsafe_code)]
+
 pub mod bpr;
 pub mod model;
 pub mod recommender;

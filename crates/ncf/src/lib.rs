@@ -27,6 +27,8 @@
 //! system has), with injected interactions entering the global fine-tune
 //! on the configured cadence.
 
+#![forbid(unsafe_code)]
+
 pub mod model;
 pub mod recommender;
 pub mod train;

@@ -24,6 +24,10 @@ pub struct NcfConfig {
     pub patience: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Per-pair update rule for [`crate::train::train`]. The
+    /// [`ca_train::Optimizer::Sgd`] default reproduces the historical
+    /// hand-rolled update loop bit-for-bit.
+    pub optimizer: ca_train::Optimizer,
     /// Pairs per minibatch in [`crate::train::train`]: gradients within a
     /// batch are computed against the frozen batch-start model (in parallel
     /// on the `ca-par` runtime) and applied in pair order. `1` recovers
@@ -41,6 +45,7 @@ impl Default for NcfConfig {
             max_epochs: 30,
             patience: 5,
             seed: 0,
+            optimizer: ca_train::Optimizer::Sgd,
             minibatch: 32,
         }
     }

@@ -12,7 +12,7 @@ use ca_nn::MlpGrad;
 use ca_recsys::eval::RankingEval;
 use ca_recsys::{Dataset, HeldOut, ItemId, UserId};
 use ca_tensor::ops::sigmoid;
-use ca_train::{NullObserver, PairwiseModel, TrainConfig, TrainObserver};
+use ca_train::{NullObserver, PairwiseModel, Step, TrainConfig, TrainObserver};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -38,6 +38,7 @@ impl NcfConfig {
             patience: Some(self.patience),
             minibatch: self.minibatch,
             seed: self.seed,
+            optimizer: self.optimizer,
             ..TrainConfig::default()
         }
     }
@@ -58,8 +59,8 @@ impl PairwiseModel for NcfTrainer<'_> {
         pair_grad(&self.model, u, pos, neg)
     }
 
-    fn apply(&mut self, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad, lr: f32) {
-        apply_grad(&mut self.model, u, pos, neg, g, lr);
+    fn apply(&mut self, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad, step: &mut Step<'_>) {
+        apply_grad(&mut self.model, u, pos, neg, g, step);
     }
 
     /// Post-update validation HR@10 (the stop criterion always reads the
@@ -159,14 +160,27 @@ fn pair_grad(model: &NcfModel, u: UserId, pos: ItemId, neg: ItemId) -> (PairGrad
     (grad, loss)
 }
 
-fn apply_grad(model: &mut NcfModel, u: UserId, pos: ItemId, neg: ItemId, g: &PairGrad, lr: f32) {
-    model.mlp.sgd_step(&g.mlp, lr);
-    for k in 0..g.d_pu.len() {
-        model.p[(u.idx(), k)] -= lr * g.d_pu[k];
-        model.q[(pos.idx(), k)] -= lr * g.d_qp[k];
-        model.q[(neg.idx(), k)] -= lr * g.d_qn[k];
-        model.w_gmf[k] -= lr * g.d_w[k];
-    }
+/// Block-key layout: user rows at `u`, item rows at `n_users + v`, the GMF
+/// fusion weights at `n_users + n_items`, and the MLP layer blocks from
+/// `n_users + n_items + 1` (two per layer, in layer order — the same
+/// element order as `Mlp::sgd_step`). All blocks a pair touches are
+/// disjoint (`pos ≠ neg` by sampling), so block-order application is
+/// bitwise identical to the historical interleaved per-`k` loop.
+fn apply_grad(
+    model: &mut NcfModel,
+    u: UserId,
+    pos: ItemId,
+    neg: ItemId,
+    g: &PairGrad,
+    step: &mut Step<'_>,
+) {
+    let n_users = model.p.rows();
+    let n_items = model.q.rows();
+    step.descend_mlp(n_users + n_items + 1, &mut model.mlp, &g.mlp);
+    step.descend(u.idx(), model.p.row_mut(u.idx()), &g.d_pu);
+    step.descend(n_users + pos.idx(), model.q.row_mut(pos.idx()), &g.d_qp);
+    step.descend(n_users + neg.idx(), model.q.row_mut(neg.idx()), &g.d_qn);
+    step.descend(n_users + n_items, &mut model.w_gmf, &g.d_w);
 }
 
 /// One BPR-SGD step on `(u, v⁺, v⁻)` through both branches.

@@ -16,6 +16,8 @@
 //! gradients into a mirror "grad" struct. Finite-difference tests in each
 //! module check every gradient path.
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod categorical;
 pub mod encoder;

@@ -25,6 +25,8 @@
 //! inside one process). Workers are plain `std::thread::scope` threads —
 //! no pools, no external dependencies, no unsafe.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -318,6 +320,7 @@ mod tests {
         assert_eq!(root.child(3).seed(), root.child(3).seed());
         assert_eq!(root.child(3).seed(), split_seed(42, 3));
         // Siblings and parent/child must not collide.
+        // ca-audit: allow(hash-collections) — membership-only set in a test; never iterated
         let mut seen = std::collections::HashSet::new();
         seen.insert(root.seed());
         for i in 0..1000 {

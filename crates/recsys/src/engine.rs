@@ -116,10 +116,10 @@ pub fn single_top_k<E: ScoringEngine + ?Sized>(engine: &E, user: UserId, k: usiz
 }
 
 /// Data-parallel batched Top-k: the user batch is split into `threads`
-/// contiguous chunks, each scored on its own `std::thread::scope` worker
-/// (no extra dependencies, no unsafe). Result order matches `users`, and
-/// every list equals the sequential path exactly — the split is over
-/// users, whose scores are independent.
+/// contiguous chunks, each scored through the deterministic `ca_par`
+/// runtime (ordered output, no raw thread handling here). Result order
+/// matches `users`, and every list equals the sequential path exactly —
+/// the split is over users, whose scores are independent.
 pub fn par_batch_top_k<E: ScoringEngine + Sync + ?Sized>(
     engine: &E,
     users: &[UserId],
@@ -131,15 +131,11 @@ pub fn par_batch_top_k<E: ScoringEngine + Sync + ?Sized>(
         return batch_top_k(engine, users, k);
     }
     let chunk = users.len().div_ceil(threads);
-    let mut chunked: Vec<Vec<Vec<ItemId>>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = users
-            .chunks(chunk)
-            .map(|chunk_users| scope.spawn(move || batch_top_k(engine, chunk_users, k)))
-            .collect();
-        chunked.extend(handles.into_iter().map(|h| h.join().expect("scoring worker panicked")));
-    });
-    chunked.into_iter().flatten().collect()
+    let chunks: Vec<&[UserId]> = users.chunks(chunk).collect();
+    ca_par::map(&chunks, |_, chunk_users| batch_top_k(engine, chunk_users, k))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Parallelize only past this many users…

@@ -17,7 +17,7 @@
 
 use crate::blackbox::FallibleBlackBox;
 use crate::ids::{ItemId, UserId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Account ids handed out for shadow-banned injections live above this
@@ -275,8 +275,8 @@ pub struct FaultyRecommender<R> {
     clock: u64,
     window_start: u64,
     calls_in_window: u32,
-    suspended: HashSet<UserId>,
-    ghosts: HashSet<UserId>,
+    suspended: BTreeSet<UserId>,
+    ghosts: BTreeSet<UserId>,
     n_ghosts: u32,
     calls: u64,
     stats: FaultStats,
@@ -297,8 +297,8 @@ impl<R: FallibleBlackBox> FaultyRecommender<R> {
             clock: 0,
             window_start: 0,
             calls_in_window: 0,
-            suspended: HashSet::new(),
-            ghosts: HashSet::new(),
+            suspended: BTreeSet::new(),
+            ghosts: BTreeSet::new(),
             n_ghosts: 0,
             calls: 0,
             stats: FaultStats::default(),

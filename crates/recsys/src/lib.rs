@@ -22,6 +22,8 @@
 //!   resilient attack loops;
 //! - [`popularity`] — item-popularity deciles for the Figure 4 analysis.
 
+#![forbid(unsafe_code)]
+
 pub mod blackbox;
 pub mod dataset;
 pub mod engine;

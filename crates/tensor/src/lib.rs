@@ -14,6 +14,8 @@
 //! - All randomness flows through caller-provided [`rand::Rng`] values so
 //!   experiments are reproducible bit-for-bit from a single `u64` seed.
 
+#![forbid(unsafe_code)]
+
 pub mod init;
 pub mod matrix;
 pub mod ops;

@@ -1,5 +1,7 @@
 //! The unified training configuration and learning-rate schedules.
 
+use crate::optim::Optimizer;
+
 /// Per-epoch learning-rate schedule.
 ///
 /// The schedule is a pure function of the epoch index and the base rate, so
@@ -67,6 +69,9 @@ pub struct TrainConfig {
     pub tolerance: f32,
     /// Learning-rate schedule over epochs.
     pub schedule: LrSchedule,
+    /// Per-pair update rule ([`Optimizer::Sgd`] reproduces the historical
+    /// hand-rolled loops bit-for-bit; see [`crate::optim`]).
+    pub optimizer: Optimizer,
     /// Pairs per minibatch: gradients within a batch are computed against
     /// the frozen batch-start model (in parallel on the `ca-par` runtime)
     /// and applied in pair order. `1` recovers classic per-pair SGD
@@ -88,6 +93,7 @@ impl Default for TrainConfig {
             patience: None,
             tolerance: 1e-5,
             schedule: LrSchedule::Constant,
+            optimizer: Optimizer::Sgd,
             minibatch: 32,
             seed: 0,
         }

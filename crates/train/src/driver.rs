@@ -2,6 +2,7 @@
 
 use crate::config::TrainConfig;
 use crate::observe::{EpochStats, TrainObserver};
+use crate::optim::{OptState, Step};
 use ca_par as par;
 use ca_recsys::{Dataset, ItemId, UserId};
 use rand::rngs::StdRng;
@@ -21,8 +22,9 @@ pub const PAR_MIN_PAIRS: usize = 256;
 /// - [`PairwiseModel::pair_grad`] is a *pure* function of the model as it
 ///   stood at the start of the minibatch (the driver only calls it between
 ///   applies of *previous* batches), so it may run on any worker thread;
-/// - [`PairwiseModel::apply`] folds one pair's gradient into the model and
-///   is always called serially, in pair order, on the driver's thread;
+/// - [`PairwiseModel::apply`] folds one pair's gradient into the model
+///   through the driver's [`Step`] (the configured optimizer) and is always
+///   called serially, in pair order, on the driver's thread;
 /// - [`PairwiseModel::begin_epoch`] runs before each epoch's shuffle — the
 ///   place to refresh stale per-epoch state (the GNN's neighbor caches);
 /// - [`PairwiseModel::validate`] computes the post-update validation score
@@ -41,9 +43,18 @@ pub trait PairwiseModel: Sync {
     /// only — the loss never feeds back into training).
     fn pair_grad(&self, u: UserId, pos: ItemId, neg: ItemId) -> (Self::Grad, f32);
 
-    /// Applies one pair's gradient at learning rate `lr`. Called serially
-    /// in pair order.
-    fn apply(&mut self, u: UserId, pos: ItemId, neg: ItemId, grad: &Self::Grad, lr: f32);
+    /// Applies one pair's gradient through `step` (which carries the epoch
+    /// learning rate and the configured optimizer's state). Called serially
+    /// in pair order. Models route each parameter block they own through
+    /// [`Step::ascend`] / [`Step::descend`] under a stable block key.
+    fn apply(
+        &mut self,
+        u: UserId,
+        pos: ItemId,
+        neg: ItemId,
+        grad: &Self::Grad,
+        step: &mut Step<'_>,
+    );
 
     /// Post-update validation score (higher is better), or `None` for
     /// models trained a fixed number of epochs.
@@ -111,6 +122,10 @@ pub fn fit<M: PairwiseModel>(
     let mut pairs: Vec<(UserId, ItemId)> = ds.interactions().collect();
     let n_items = ds.n_items() as u32;
     let batch = cfg.minibatch.max(1);
+    // Optimizer state (momentum velocities) lives with the driver and is
+    // only touched from the serial apply phase below — a momentum run is
+    // exactly as thread-count-independent as a plain-SGD run.
+    let mut opt = OptState::new(cfg.optimizer);
 
     let mut val_history = Vec::new();
     let mut best = f32::NEG_INFINITY;
@@ -120,6 +135,7 @@ pub fn fit<M: PairwiseModel>(
     let mut stop = StopReason::MaxEpochs;
 
     for epoch in 0..cfg.max_epochs {
+        // ca-audit: allow(wall-clock) — epoch seconds are telemetry only; no result depends on them
         let t0 = Instant::now();
         model.begin_epoch();
         pairs.shuffle(rng);
@@ -145,7 +161,7 @@ pub fn fit<M: PairwiseModel>(
             });
             for (&(u, pos, neg), (g, loss)) in triples.iter().zip(&grads) {
                 loss_sum += *loss as f64;
-                model.apply(u, pos, neg, g, lr);
+                model.apply(u, pos, neg, g, &mut opt.step(lr));
             }
         }
         epochs_run += 1;
@@ -235,8 +251,8 @@ mod tests {
         fn pair_grad(&self, _u: UserId, _pos: ItemId, _neg: ItemId) -> (f32, f32) {
             (1.0, self.theta.abs() + 0.5)
         }
-        fn apply(&mut self, _u: UserId, _p: ItemId, _n: ItemId, g: &f32, lr: f32) {
-            self.theta += lr * g;
+        fn apply(&mut self, _u: UserId, _p: ItemId, _n: ItemId, g: &f32, step: &mut Step<'_>) {
+            step.ascend(0, std::slice::from_mut(&mut self.theta), std::slice::from_ref(g));
             self.applies.fetch_add(1, Ordering::Relaxed);
         }
         fn validate(&mut self) -> Option<f32> {

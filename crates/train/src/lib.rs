@@ -34,7 +34,11 @@
 //! 2. per-pair gradients are pure functions of the frozen batch-start
 //!    model, computed (possibly in parallel) by [`ca_par::map_min`], which
 //!    returns them in input order;
-//! 3. gradients are applied serially, in pair order, on the calling thread.
+//! 3. gradients are applied serially, in pair order, on the calling thread,
+//!    through the configured [`Optimizer`] ([`optim`]): plain SGD is
+//!    bitwise-identical to the historical hand-rolled update loops, and
+//!    momentum keeps its velocity state in driver-owned [`OptState`] so it
+//!    is exactly as reproducible.
 //!
 //! Telemetry is computed *outside* that loop (loss folds over the returned
 //! gradient vector in pair order), so observing a run never perturbs it.
@@ -48,10 +52,14 @@
 //! against `best + tolerance` describes the model the caller receives —
 //! never the previous epoch's parameters.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod driver;
 pub mod observe;
+pub mod optim;
 
 pub use config::{LrSchedule, TrainConfig};
 pub use driver::{fit, fit_seeded, PairwiseModel, StopReason, TrainOutcome, PAR_MIN_PAIRS};
 pub use observe::{EpochStats, History, NullObserver, StderrProgress, Tee, TrainObserver};
+pub use optim::{OptState, Optimizer, Step};

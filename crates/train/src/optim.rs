@@ -1,0 +1,217 @@
+//! Pluggable per-pair update strategies for the shared BPR driver.
+//!
+//! The driver hands each [`crate::PairwiseModel::apply`] call a [`Step`]
+//! instead of a bare learning rate. A model routes every parameter block it
+//! owns through [`Step::ascend`] / [`Step::descend`] under a stable block
+//! key, and the configured [`Optimizer`] decides what one update means:
+//!
+//! - [`Optimizer::Sgd`] writes `param[i] += ±lr · grad[i]` — elementwise
+//!   *bitwise identical* to the historical hand-rolled loops (`+= lr·g`
+//!   ascent in MF, `add_scaled(g, -lr)` / `axpy(-lr, …)` descent in the
+//!   NCF/GNN towers), because IEEE-754 negation is exact:
+//!   `(-lr)·g ≡ -(lr·g)` and `a + (-x) ≡ a - x`. The golden-hash parity
+//!   tests in `tests/train_parity.rs` pin this.
+//! - [`Optimizer::Momentum`] keeps one velocity buffer per block key
+//!   (`v ← β·v + g`, `param[i] += ±lr · v[i]`), lazily allocated on first
+//!   touch — per-pair sparse updates (two item rows out of millions) cost
+//!   state proportional to what they actually touch.
+//!
+//! Determinism: all state lives in [`OptState`], owned by the driver and
+//! mutated only from the serial in-pair-order apply phase. Block keys are a
+//! pure function of the model layout (never of thread count or timing), so
+//! a momentum run is as reproducible as a plain-SGD run.
+
+/// The update rule applied to every parameter block.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Optimizer {
+    /// Plain SGD: `param += ±lr · grad`. Carries no state; this is the
+    /// default and reproduces the historical trainers bit-for-bit.
+    #[default]
+    Sgd,
+    /// Classical (heavy-ball) momentum: per block `v ← beta·v + grad`,
+    /// then `param += ±lr · v`.
+    Momentum {
+        /// Velocity decay β ∈ \[0, 1); `0.0` degrades to SGD plus a
+        /// velocity copy of the gradient.
+        beta: f32,
+    },
+}
+
+/// Optimizer state across one training run: one velocity buffer per
+/// parameter-block key, lazily grown. Plain SGD keeps this empty.
+#[derive(Clone, Debug)]
+pub struct OptState {
+    opt: Optimizer,
+    vel: Vec<Vec<f32>>,
+}
+
+impl OptState {
+    /// Fresh (zero-velocity) state for `opt`.
+    pub fn new(opt: Optimizer) -> Self {
+        Self { opt, vel: Vec::new() }
+    }
+
+    /// Borrows a [`Step`] at learning rate `lr` for one apply call.
+    pub fn step(&mut self, lr: f32) -> Step<'_> {
+        Step { lr, opt: self.opt, vel: &mut self.vel }
+    }
+
+    /// Number of parameter blocks with live velocity state (telemetry /
+    /// tests; always 0 for plain SGD).
+    pub fn live_blocks(&self) -> usize {
+        self.vel.iter().filter(|v| !v.is_empty()).count()
+    }
+}
+
+/// One model update at a fixed learning rate, borrowed from [`OptState`]
+/// for the duration of a single [`crate::PairwiseModel::apply`] call.
+///
+/// Block keys must be stable across the run (same block ⇒ same key) and
+/// disjoint (two different parameter blocks never share a key); each
+/// trainer documents its layout next to its `apply`.
+pub struct Step<'a> {
+    lr: f32,
+    opt: Optimizer,
+    vel: &'a mut Vec<Vec<f32>>,
+}
+
+impl Step<'_> {
+    /// The learning rate of this step (for models that keep bespoke update
+    /// arithmetic outside the block router).
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Gradient-*ascent* update of one block: `param += lr · dir` where
+    /// `dir` is the (possibly velocity-smoothed) gradient.
+    pub fn ascend(&mut self, key: usize, param: &mut [f32], grad: &[f32]) {
+        self.update(key, param, grad, self.lr);
+    }
+
+    /// Gradient-*descent* update of one block: `param += (-lr) · dir` —
+    /// bitwise equal to the `-= lr · dir` convention.
+    pub fn descend(&mut self, key: usize, param: &mut [f32], grad: &[f32]) {
+        self.update(key, param, grad, -self.lr);
+    }
+
+    /// [`Step::ascend`] for a scalar parameter (MF's per-item biases).
+    pub fn ascend1(&mut self, key: usize, param: &mut f32, grad: f32) {
+        self.update(key, std::slice::from_mut(param), &[grad], self.lr);
+    }
+
+    /// Descends every layer of an MLP, two blocks per layer (`base + 2·i`
+    /// for weights, `base + 2·i + 1` for biases), in layer order — the same
+    /// element order as [`ca_nn::Mlp::sgd_step`], so the SGD path stays
+    /// bitwise-identical to it. Returns the first key past the tower
+    /// (`base + 2·layers`), so callers can stack towers back to back.
+    pub fn descend_mlp(
+        &mut self,
+        base: usize,
+        mlp: &mut ca_nn::Mlp,
+        grad: &ca_nn::MlpGrad,
+    ) -> usize {
+        let layers = mlp.layers_mut();
+        assert_eq!(layers.len(), grad.layers.len(), "MLP/grad layer count mismatch");
+        for (i, (layer, g)) in layers.iter_mut().zip(grad.layers.iter()).enumerate() {
+            self.descend(base + 2 * i, layer.w.as_mut_slice(), g.w.as_slice());
+            self.descend(base + 2 * i + 1, &mut layer.b, &g.b);
+        }
+        base + 2 * layers.len()
+    }
+
+    fn update(&mut self, key: usize, param: &mut [f32], grad: &[f32], rate: f32) {
+        assert_eq!(param.len(), grad.len(), "block {key}: param/grad length mismatch");
+        match self.opt {
+            Optimizer::Sgd => {
+                for (p, &g) in param.iter_mut().zip(grad) {
+                    *p += rate * g;
+                }
+            }
+            Optimizer::Momentum { beta } => {
+                if self.vel.len() <= key {
+                    self.vel.resize_with(key + 1, Vec::new);
+                }
+                let v = &mut self.vel[key];
+                if v.len() < param.len() {
+                    v.resize(param.len(), 0.0);
+                }
+                for ((p, &g), vi) in param.iter_mut().zip(grad).zip(v.iter_mut()) {
+                    *vi = beta * *vi + g;
+                    *p += rate * *vi;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descend_is_bitwise_the_historical_loop() {
+        let grad = [0.123_f32, -7.5e-3, 1.0e-20, -3.0];
+        let lr = 0.05_f32;
+        let mut via_step = [1.0_f32, -2.0, 0.5, 1.0e-19];
+        let mut historical = via_step;
+
+        let mut state = OptState::new(Optimizer::Sgd);
+        state.step(lr).descend(0, &mut via_step, &grad);
+        for (p, &g) in historical.iter_mut().zip(&grad) {
+            *p += (-lr) * g; // what add_scaled(grad, -lr) / axpy(-lr, …) compute
+        }
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&via_step), bits(&historical));
+
+        // And the ascent convention matches `+= lr·g`.
+        let mut up = [1.0_f32; 4];
+        state.step(lr).ascend(0, &mut up, &grad);
+        for (i, &g) in grad.iter().enumerate() {
+            assert_eq!(up[i].to_bits(), (1.0 + lr * g).to_bits());
+        }
+        assert_eq!(state.live_blocks(), 0, "SGD must stay stateless");
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity_per_block() {
+        let mut state = OptState::new(Optimizer::Momentum { beta: 0.5 });
+        let mut p = [0.0_f32];
+        state.step(1.0).ascend(3, &mut p, &[1.0]); // v = 1.0, p = 1.0
+        state.step(1.0).ascend(3, &mut p, &[1.0]); // v = 1.5, p = 2.5
+        state.step(1.0).ascend(3, &mut p, &[1.0]); // v = 1.75, p = 4.25
+        assert_eq!(p[0], 4.25);
+        // Only the touched key holds state; untouched lower keys stay empty.
+        assert_eq!(state.live_blocks(), 1);
+    }
+
+    #[test]
+    fn momentum_blocks_are_independent() {
+        let mut state = OptState::new(Optimizer::Momentum { beta: 0.9 });
+        let (mut a, mut b) = ([0.0_f32], [0.0_f32]);
+        state.step(0.1).descend(0, &mut a, &[1.0]);
+        state.step(0.1).descend(7, &mut b, &[1.0]);
+        // First touch of each block sees the same zero velocity.
+        assert_eq!(a[0].to_bits(), b[0].to_bits());
+        assert_eq!(state.live_blocks(), 2);
+    }
+
+    #[test]
+    fn momentum_beta_zero_moves_like_sgd() {
+        let grad = [0.25_f32, -0.5];
+        let mut sgd = [1.0_f32, 1.0];
+        let mut mom = sgd;
+        OptState::new(Optimizer::Sgd).step(0.1).descend(0, &mut sgd, &grad);
+        OptState::new(Optimizer::Momentum { beta: 0.0 }).step(0.1).descend(0, &mut mom, &grad);
+        // β = 0 ⇒ v = 0·v + g = g exactly; the parameter moves identically.
+        assert_eq!(sgd[0].to_bits(), mom[0].to_bits());
+        assert_eq!(sgd[1].to_bits(), mom[1].to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_block_shapes_panic() {
+        let mut state = OptState::new(Optimizer::Sgd);
+        let mut p = [0.0_f32; 3];
+        state.step(0.1).ascend(0, &mut p, &[1.0]);
+    }
+}

@@ -34,6 +34,8 @@
 //! println!("CopyAttack HR@20 = {:.4}", row.metrics.hr(20));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ca_cluster as cluster;
 pub use ca_datagen as datagen;
 pub use ca_detect as detect;

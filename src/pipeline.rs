@@ -455,6 +455,7 @@ impl Pipeline {
         attack_cfg: &AttackConfig,
     ) -> MethodRow {
         let items: Vec<ItemId> = items.to_vec();
+        // ca-audit: allow(wall-clock) — MethodRow.seconds is reporting telemetry, never an input
         let start = std::time::Instant::now();
         // Per-item attacks are seed-isolated (`seed ^ item id`), so the
         // deterministic runtime's ordered map gives the same row at any

@@ -1,0 +1,22 @@
+//! Tier-1 gate: the workspace must be audit-clean.
+//!
+//! Runs the full `ca-audit` static pass over every Rust source in the
+//! repository and fails if any determinism, query-discipline, unsafe, or
+//! pragma-hygiene rule fires. New violations either get fixed or carry a
+//! `// ca-audit: allow(<rule>) — <reason>` pragma; reasonless pragmas are
+//! themselves findings, so this test cannot be silenced without a paper
+//! trail.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = ca_audit::audit_workspace(root).expect("audit walk must succeed");
+    assert!(
+        findings.is_empty(),
+        "ca-audit found {} violation(s):\n{}",
+        findings.len(),
+        ca_audit::report::human(&findings)
+    );
+}

@@ -11,7 +11,9 @@ use copyattack::mf::BprConfig;
 use copyattack::ncf::NcfConfig;
 use copyattack::par;
 use copyattack::recsys::{split_dataset, Dataset, DatasetBuilder, ItemId, Split, UserId};
-use copyattack::train::{fit_seeded, History, LrSchedule, PairwiseModel, StopReason, TrainConfig};
+use copyattack::train::{
+    fit_seeded, History, LrSchedule, Optimizer, PairwiseModel, Step, StopReason, TrainConfig,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -143,7 +145,7 @@ impl PairwiseModel for Scripted {
         ((), 0.0)
     }
 
-    fn apply(&mut self, _u: UserId, _pos: ItemId, _neg: ItemId, _g: &(), _lr: f32) {}
+    fn apply(&mut self, _u: UserId, _pos: ItemId, _neg: ItemId, _g: &(), _step: &mut Step<'_>) {}
 
     fn validate(&mut self) -> Option<f32> {
         let s = self.scores.get(self.epoch).copied().unwrap_or(0.0);
@@ -237,4 +239,74 @@ fn early_stop_counts_from_the_post_update_best() {
     // Epoch 0 sets the best; epochs 1 and 2 fail to improve; stop after 3.
     assert_eq!(epochs, 3);
     assert!(matches!(hist.stop, Some(StopReason::EarlyStop { best_epoch: 0, .. })));
+}
+
+/// Momentum is a *pluggable* strategy on the same driver: it must be just
+/// as deterministic as plain SGD — bitwise-identical models at any thread
+/// count — while actually changing the trajectory (β > 0 smooths updates
+/// through per-block velocity state, so the weights must differ from SGD).
+#[test]
+fn momentum_training_is_thread_count_invariant_and_distinct_from_sgd() {
+    let ds = golden_world();
+    let sgd_cfg = BprConfig { max_epochs: 4, seed: 11, ..Default::default() };
+    let mom_cfg = BprConfig { optimizer: Optimizer::Momentum { beta: 0.9 }, ..sgd_cfg.clone() };
+
+    par::set_threads(Some(1));
+    let base = copyattack::mf::train(&ds, &mom_cfg);
+    let sgd = copyattack::mf::train(&ds, &sgd_cfg);
+    par::set_threads(Some(4));
+    let wide = copyattack::mf::train(&ds, &mom_cfg);
+    par::set_threads(None);
+
+    assert_eq!(base.user_emb.as_slice(), wide.user_emb.as_slice(), "momentum broke determinism");
+    assert_eq!(base.item_emb.as_slice(), wide.item_emb.as_slice(), "momentum broke determinism");
+    assert_eq!(base.item_bias, wide.item_bias, "momentum broke determinism");
+    assert_ne!(
+        base.user_emb.as_slice(),
+        sgd.user_emb.as_slice(),
+        "momentum with beta 0.9 must change the trajectory"
+    );
+}
+
+/// The NCF and GNN trainers route their MLP towers through the same block
+/// router; momentum must stay thread-count-invariant there too. Hashes
+/// compare bit patterns, so the check is exact even if a hyper-parameter
+/// choice ever drives some weights non-finite.
+#[test]
+fn momentum_tower_training_is_thread_count_invariant() {
+    let split = golden_split();
+    let ncf_cfg = NcfConfig {
+        max_epochs: 3,
+        seed: 12,
+        optimizer: Optimizer::Momentum { beta: 0.5 },
+        ..Default::default()
+    };
+    let gnn_cfg = GnnConfig {
+        max_epochs: 3,
+        seed: 13,
+        optimizer: Optimizer::Momentum { beta: 0.5 },
+        ..Default::default()
+    };
+
+    let run = |threads| {
+        par::set_threads(Some(threads));
+        let (ncf, _) = copyattack::ncf::train(&split.train, &split.validation, &ncf_cfg);
+        let (gnn, _) = copyattack::gnn::train(&split.train, &split.validation, &gnn_cfg);
+        let mut h = FNV_OFFSET;
+        hash_f32s(&mut h, ncf.p.as_slice());
+        hash_f32s(&mut h, ncf.q.as_slice());
+        hash_f32s(&mut h, &ncf.w_gmf);
+        for l in ncf.mlp.layers().iter().chain(gnn.model().user_tower.layers()) {
+            hash_f32s(&mut h, l.w.as_slice());
+            hash_f32s(&mut h, &l.b);
+        }
+        let finite = ncf.p.as_slice().iter().all(|x| x.is_finite());
+        (h, finite)
+    };
+    let (base, base_finite) = run(1);
+    let (wide, _) = run(4);
+    par::set_threads(None);
+
+    assert_eq!(base, wide, "momentum tower training diverged across thread counts");
+    assert!(base_finite, "momentum with beta 0.5 must keep NCF embeddings finite");
 }

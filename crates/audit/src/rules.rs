@@ -41,6 +41,11 @@ pub enum Rule {
     /// same statement: float reduction whose rounding schedule is not
     /// pinned by the blessed `ca_par::map_reduce` combiner.
     UnorderedReduce,
+    /// `thread::sleep` inside the service-path crates (`ca-serve`,
+    /// `ca-recsys`): those layers run on logical clocks only, and a
+    /// real-time block there both stalls the deterministic event loop and
+    /// smuggles wall-clock timing into the replay contract.
+    ServiceSleep,
     /// A `ca-audit: allow` pragma with no reason after the rule list.
     PragmaMissingReason,
     /// A `ca-audit` pragma naming a rule id that does not exist (typos
@@ -50,7 +55,7 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 10] = [
         Rule::HashCollections,
         Rule::WallClock,
         Rule::AdHocRng,
@@ -58,6 +63,7 @@ impl Rule {
         Rule::RawTopK,
         Rule::UnsafeAudit,
         Rule::UnorderedReduce,
+        Rule::ServiceSleep,
         Rule::PragmaMissingReason,
         Rule::PragmaUnknownRule,
     ];
@@ -72,6 +78,7 @@ impl Rule {
             Rule::RawTopK => "raw-top-k",
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::UnorderedReduce => "unordered-reduce",
+            Rule::ServiceSleep => "service-sleep",
             Rule::PragmaMissingReason => "pragma-missing-reason",
             Rule::PragmaUnknownRule => "pragma-unknown-rule",
         }
@@ -96,6 +103,7 @@ impl Rule {
             Rule::UnorderedReduce => {
                 "float reduction over par-produced values outside ca_par::map_reduce"
             }
+            Rule::ServiceSleep => "thread::sleep in a logical-clock service path",
             Rule::PragmaMissingReason => "ca-audit allow pragma without a reason",
             Rule::PragmaUnknownRule => "ca-audit pragma names an unknown rule",
         }
@@ -129,10 +137,14 @@ impl Rule {
                 "reduce through ca_par::map_reduce: its fixed chunk grid and serial \
                  ascending combine pin the float rounding schedule at any thread count"
             }
+            Rule::ServiceSleep => {
+                "model every delay as logical ticks (FallibleBlackBox::wait, the ServeConfig \
+                 cadences); the service layer must never block real time"
+            }
             Rule::PragmaMissingReason => "append `— <why this is sound>` after the rule list",
             Rule::PragmaUnknownRule => {
                 "valid rules: hash-collections, wall-clock, ad-hoc-rng, raw-thread, \
-                 raw-top-k, unsafe-audit, unordered-reduce"
+                 raw-top-k, unsafe-audit, unordered-reduce, service-sleep"
             }
         }
     }
@@ -240,8 +252,8 @@ fn is_lib_root(rel_path: &str) -> bool {
 /// Runs every applicable rule over one file.
 ///
 /// `rel_path` is the workspace-relative path (forward slashes); it scopes
-/// path-dependent rules ([`Rule::RawTopK`], [`Rule::UnsafeAudit`]) and is
-/// matched against the allowlist in `cfg`.
+/// path-dependent rules ([`Rule::RawTopK`], [`Rule::UnsafeAudit`],
+/// [`Rule::ServiceSleep`]) and is matched against the allowlist in `cfg`.
 pub fn analyze_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> Vec<Finding> {
     let (toks, comments) = lex(src);
     let pragmas = parse_pragmas(&comments);
@@ -264,6 +276,8 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> Vec<Findi
     }
 
     let in_core = rel_path.starts_with("crates/copyattack-core/src/");
+    let in_service =
+        rel_path.starts_with("crates/serve/src/") || rel_path.starts_with("crates/recsys/src/");
 
     // Statement window for the unordered-reduce rule: a statement runs
     // between `;`/`{`/`}` boundaries; within one, a float reduction chained
@@ -308,6 +322,9 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> Vec<Findi
                 }
                 "thread" if path2(&toks, i, &["thread"], &["spawn", "scope"]) => {
                     findings.push(Finding::new(rel_path, t.line, Rule::RawThread));
+                }
+                "thread" if in_service && path2(&toks, i, &["thread"], &["sleep"]) => {
+                    findings.push(Finding::new(rel_path, t.line, Rule::ServiceSleep));
                 }
                 "par" | "ca_par" if path2(&toks, i, &[name], &["map", "map_min", "map_mut"]) => {
                     window_has_par_map = true;

@@ -107,6 +107,22 @@ fn raw_top_k_fires_only_inside_copyattack_core() {
 }
 
 #[test]
+fn service_sleep_fires_only_in_service_path_crates() {
+    let src = include_str!("fixtures/service_sleep.rs");
+    let expected = vec![
+        ("service-sleep", line_of(src, "MARK: qualified sleep fires")),
+        ("service-sleep", line_of(src, "MARK: imported sleep fires")),
+    ];
+    // Both service-path crates are in scope: the live platform and the
+    // fault/retry layer it is built on.
+    assert_eq!(fired(&strict("crates/serve/src/shard.rs", src)), expected);
+    assert_eq!(fired(&strict("crates/recsys/src/faults.rs", src)), expected);
+    // The same source elsewhere is not bound by the logical-clock contract.
+    assert!(strict("crates/train/src/driver.rs", src).is_empty());
+    assert!(strict("src/pipeline.rs", src).is_empty());
+}
+
+#[test]
 fn unsafe_audit_fires_on_lib_roots_only() {
     let src = include_str!("fixtures/unsafe_audit.rs");
     assert_eq!(fired(&strict("crates/x/src/lib.rs", src)), vec![("unsafe-audit", 1)]);
@@ -197,6 +213,12 @@ fn every_code_rule_is_silenced_by_a_reasoned_pragma_above_the_line() {
             "unordered-reduce",
             &["MARK: sum fires"],
             "crates/x/src/stats.rs",
+        ),
+        (
+            include_str!("fixtures/service_sleep.rs"),
+            "service-sleep",
+            &["MARK: qualified sleep fires", "MARK: imported sleep fires"],
+            "crates/serve/src/shard.rs",
         ),
     ];
     for (src, rule, markers, path) in cases {

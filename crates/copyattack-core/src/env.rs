@@ -518,7 +518,13 @@ mod tests {
             }
         }
         let resilience = ResilienceConfig {
-            retry: RetryPolicy { max_retries: 1, base_delay: 1, max_delay: 2, jitter: 0.0 },
+            retry: RetryPolicy {
+                max_retries: 1,
+                base_delay: 1,
+                max_delay: 2,
+                jitter: 0.0,
+                max_total_wait: 64,
+            },
             min_quorum: 0.5,
             reestablish: false,
             seed: 1,
@@ -645,7 +651,13 @@ mod tests {
             },
         );
         let resilience = ResilienceConfig {
-            retry: RetryPolicy { max_retries: 3, base_delay: 1, max_delay: 16, jitter: 0.0 },
+            retry: RetryPolicy {
+                max_retries: 3,
+                base_delay: 1,
+                max_delay: 16,
+                jitter: 0.0,
+                max_total_wait: 256,
+            },
             min_quorum: 1.0,
             reestablish: false,
             seed: 5,

@@ -14,8 +14,16 @@ use ca_recsys::{FallibleBlackBox, RecError, SplitMix64};
 /// Attempt `i` (0-based) waits `min(base_delay · 2^i, max_delay)` logical
 /// ticks, stretched by up to `jitter` (a fraction, e.g. `0.25` = up to 25%
 /// extra) drawn from the caller's [`SplitMix64`]. A
-/// [`RecError::RateLimited`] overrides the computed delay with the
-/// platform's own `retry_after` hint when that hint is longer.
+/// [`RecError::RateLimited`] (or [`RecError::Degraded`]) overrides the
+/// computed delay with the platform's own `retry_after` hint when that hint
+/// is longer.
+///
+/// On top of the per-attempt schedule, `max_total_wait` caps the
+/// *cumulative* logical ticks one [`RetryPolicy::run`] invocation may spend
+/// waiting. A dead or flapping shard that keeps handing out large
+/// `retry_after` hints would otherwise stall a campaign unboundedly; once
+/// the budget is exhausted the call degrades to the typed failure that
+/// triggered the final give-up.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Retries after the first attempt (0 = fail fast).
@@ -27,18 +35,22 @@ pub struct RetryPolicy {
     /// Jitter fraction in `[0, 1]`: each wait is stretched by
     /// `delay · jitter · U[0,1)`.
     pub jitter: f64,
+    /// Cumulative wait budget (logical ticks) per `run`/`run_after`
+    /// invocation. A wait that would push the running total past this cap
+    /// is not taken; the triggering error is returned instead.
+    pub max_total_wait: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        Self { max_retries: 4, base_delay: 2, max_delay: 64, jitter: 0.25 }
+        Self { max_retries: 4, base_delay: 2, max_delay: 64, jitter: 0.25, max_total_wait: 1024 }
     }
 }
 
 impl RetryPolicy {
     /// A policy that never retries.
     pub fn none() -> Self {
-        Self { max_retries: 0, base_delay: 0, max_delay: 0, jitter: 0.0 }
+        Self { max_retries: 0, base_delay: 0, max_delay: 0, jitter: 0.0, max_total_wait: 0 }
     }
 
     /// Sanity-checks the policy.
@@ -51,6 +63,12 @@ impl RetryPolicy {
         }
         if !(0.0..=1.0).contains(&self.jitter) {
             return Err(format!("jitter {} outside [0, 1]", self.jitter));
+        }
+        if self.max_retries > 0 && self.max_total_wait < self.base_delay {
+            return Err(format!(
+                "max_total_wait {} cannot fund even one base_delay {} wait",
+                self.max_total_wait, self.base_delay
+            ));
         }
         Ok(())
     }
@@ -69,14 +87,17 @@ impl RetryPolicy {
         let base = self.backoff(attempt);
         let jittered = base + (base as f64 * self.jitter * rng.unit_f64()) as u64;
         match err {
-            RecError::RateLimited { retry_after } => jittered.max(*retry_after),
+            RecError::RateLimited { retry_after } | RecError::Degraded { retry_after } => {
+                jittered.max(*retry_after)
+            }
             _ => jittered,
         }
     }
 
     /// Runs `call` against `platform`, retrying retryable errors up to
     /// `max_retries` times with backoff spent via
-    /// [`FallibleBlackBox::wait`]. Non-retryable errors (suspensions,
+    /// [`FallibleBlackBox::wait`], subject to the cumulative
+    /// `max_total_wait` budget. Non-retryable errors (suspensions,
     /// truncations — which carry data the caller should use) return
     /// immediately. Every attempt goes through `platform`, so metering
     /// wrappers charge retries to the attacker's budget.
@@ -87,11 +108,19 @@ impl RetryPolicy {
         mut call: impl FnMut(&mut B) -> Result<T, RecError>,
     ) -> Result<T, RecError> {
         let mut attempt = 0u32;
+        let mut waited = 0u64;
         loop {
             match call(platform) {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_retryable() && attempt < self.max_retries => {
-                    platform.wait(self.delay_for(attempt, &e, rng));
+                    let delay = self.delay_for(attempt, &e, rng);
+                    match waited.checked_add(delay).filter(|&w| w <= self.max_total_wait) {
+                        // Budget exhausted: degrade to the typed failure
+                        // instead of waiting out a dead shard.
+                        None => return Err(e),
+                        Some(w) => waited = w,
+                    }
+                    platform.wait(delay);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -114,11 +143,17 @@ impl RetryPolicy {
     ) -> Result<T, RecError> {
         let mut err = first_err;
         let mut attempt = 0u32;
+        let mut waited = 0u64;
         loop {
             if !err.is_retryable() || attempt >= self.max_retries {
                 return Err(err);
             }
-            platform.wait(self.delay_for(attempt, &err, rng));
+            let delay = self.delay_for(attempt, &err, rng);
+            match waited.checked_add(delay).filter(|&w| w <= self.max_total_wait) {
+                None => return Err(err),
+                Some(w) => waited = w,
+            }
+            platform.wait(delay);
             attempt += 1;
             match call(platform) {
                 Ok(v) => return Ok(v),
@@ -193,7 +228,13 @@ mod tests {
 
     #[test]
     fn backoff_is_capped_exponential() {
-        let p = RetryPolicy { max_retries: 10, base_delay: 2, max_delay: 20, jitter: 0.0 };
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay: 2,
+            max_delay: 20,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
         assert_eq!(p.backoff(0), 2);
         assert_eq!(p.backoff(1), 4);
         assert_eq!(p.backoff(2), 8);
@@ -205,7 +246,13 @@ mod tests {
 
     #[test]
     fn delay_honors_retry_after() {
-        let p = RetryPolicy { max_retries: 3, base_delay: 1, max_delay: 4, jitter: 0.0 };
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_delay: 1,
+            max_delay: 4,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
         let mut rng = SplitMix64::new(7);
         let d = p.delay_for(0, &RecError::RateLimited { retry_after: 50 }, &mut rng);
         assert_eq!(d, 50, "platform hint beats the computed backoff");
@@ -215,7 +262,13 @@ mod tests {
 
     #[test]
     fn run_retries_until_success_and_waits_in_logical_time() {
-        let p = RetryPolicy { max_retries: 3, base_delay: 2, max_delay: 16, jitter: 0.0 };
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_delay: 2,
+            max_delay: 16,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
         let inner = EventuallyUp { fail_first: 2, calls: 0, err: RecError::Timeout };
         // FaultyRecommender with a transparent config is used purely as a
         // logical clock so the waits are observable.
@@ -231,7 +284,13 @@ mod tests {
     fn run_after_continues_the_schedule_like_run() {
         // Handing run_after the failure of an externally-made first attempt
         // must reproduce run()'s waits and attempt counts exactly.
-        let p = RetryPolicy { max_retries: 3, base_delay: 2, max_delay: 16, jitter: 0.0 };
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_delay: 2,
+            max_delay: 16,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
         let inner = EventuallyUp { fail_first: 2, calls: 0, err: RecError::Timeout };
         let mut platform = FaultyRecommender::new(inner, FaultConfig::default());
         let mut rng = SplitMix64::new(1);
@@ -256,7 +315,13 @@ mod tests {
 
     #[test]
     fn run_after_gives_up_after_max_retries() {
-        let p = RetryPolicy { max_retries: 2, base_delay: 1, max_delay: 4, jitter: 0.0 };
+        let p = RetryPolicy {
+            max_retries: 2,
+            base_delay: 1,
+            max_delay: 4,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
         let mut platform = EventuallyUp { fail_first: 100, calls: 0, err: RecError::Timeout };
         let mut rng = SplitMix64::new(1);
         let r = p
@@ -267,7 +332,13 @@ mod tests {
 
     #[test]
     fn run_gives_up_after_max_retries() {
-        let p = RetryPolicy { max_retries: 2, base_delay: 1, max_delay: 4, jitter: 0.0 };
+        let p = RetryPolicy {
+            max_retries: 2,
+            base_delay: 1,
+            max_delay: 4,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
         let mut platform = EventuallyUp { fail_first: 100, calls: 0, err: RecError::Timeout };
         let mut rng = SplitMix64::new(1);
         let r = p.run(&mut platform, &mut rng, |pf| pf.try_top_k(UserId(0), 3));
@@ -287,8 +358,56 @@ mod tests {
     }
 
     #[test]
+    fn cumulative_wait_budget_degrades_to_typed_failure() {
+        // A flapping shard keeps handing out a huge retry_after hint; the
+        // cumulative budget caps the stall and surfaces the typed error
+        // well before max_retries is exhausted.
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay: 1,
+            max_delay: 4,
+            jitter: 0.0,
+            max_total_wait: 100,
+        };
+        let inner =
+            EventuallyUp { fail_first: 100, calls: 0, err: RecError::Degraded { retry_after: 60 } };
+        let mut platform = FaultyRecommender::new(inner, FaultConfig::default());
+        let mut rng = SplitMix64::new(3);
+        let r = p.run(&mut platform, &mut rng, |pf| pf.try_top_k(UserId(0), 3));
+        assert_eq!(r, Err(RecError::Degraded { retry_after: 60 }));
+        // One 60-tick wait fits the budget; the second (120 total) does
+        // not, so the loop stops after two calls and one wait.
+        assert_eq!(platform.clock(), 2 + 60);
+    }
+
+    #[test]
+    fn wait_budget_applies_to_run_after_too() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay: 1,
+            max_delay: 4,
+            jitter: 0.0,
+            max_total_wait: 50,
+        };
+        let mut platform =
+            EventuallyUp { fail_first: 100, calls: 0, err: RecError::Degraded { retry_after: 60 } };
+        let mut rng = SplitMix64::new(3);
+        let first = RecError::Degraded { retry_after: 60 };
+        let r =
+            p.run_after(first.clone(), &mut platform, &mut rng, |pf| pf.try_top_k(UserId(0), 3));
+        assert_eq!(r, Err(first));
+        assert_eq!(platform.calls, 0, "a wait the budget cannot fund is never taken");
+    }
+
+    #[test]
     fn same_seed_same_jitter_sequence() {
-        let p = RetryPolicy { max_retries: 8, base_delay: 3, max_delay: 100, jitter: 0.5 };
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_delay: 3,
+            max_delay: 100,
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
         let delays = |seed| {
             let mut rng = SplitMix64::new(seed);
             (0..8).map(|a| p.delay_for(a, &RecError::Timeout, &mut rng)).collect::<Vec<_>>()
@@ -299,10 +418,17 @@ mod tests {
 
     #[test]
     fn invalid_policies_rejected() {
-        assert!(RetryPolicy { max_retries: 1, base_delay: 10, max_delay: 5, jitter: 0.0 }
-            .validate()
-            .is_err());
+        assert!(RetryPolicy {
+            max_retries: 1,
+            base_delay: 10,
+            max_delay: 5,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
         assert!(RetryPolicy { jitter: 1.5, ..RetryPolicy::default() }.validate().is_err());
+        assert!(RetryPolicy { max_total_wait: 0, ..RetryPolicy::default() }.validate().is_err());
         assert!(RetryPolicy::none().validate().is_ok());
         assert!(ResilienceConfig { min_quorum: -0.1, ..Default::default() }.validate().is_err());
         assert!(ResilienceConfig::default().validate().is_ok());

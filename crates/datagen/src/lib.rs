@@ -26,7 +26,9 @@
 pub mod config;
 pub mod generator;
 pub mod latent;
+pub mod organic;
 
 pub use config::{CrossDomainConfig, DomainConfig};
 pub use generator::{generate, CrossDomainDataset};
 pub use latent::LatentTruth;
+pub use organic::{OrganicEvent, OrganicSampler};

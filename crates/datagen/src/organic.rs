@@ -1,0 +1,201 @@
+//! Organic traffic drawn from the generator's latent ground truth.
+//!
+//! A live platform is never quiescent: real users keep querying and
+//! interacting while an attack campaign runs, and the platform's periodic
+//! retrains drift on whatever those interactions were. This module samples
+//! that background traffic *from the same latent world model the data came
+//! from* ([`LatentTruth`]), so organic interactions are distributionally
+//! consistent with the profiles the platform was trained on: item choice
+//! follows `pop(v) · exp(β·⟨center_c, q_v⟩)` for the user's ground-truth
+//! cluster `c`, exactly the affinity model behind profile generation.
+//!
+//! Determinism: all draws come from a caller-owned
+//! [`SplitMix64`], and the sampler itself is
+//! immutable after construction — the event stream is a pure function of
+//! `(truth, β, seed)`, independent of platform state, shard count, or
+//! thread count. That is what lets `ca-serve` replay a workload bit for
+//! bit.
+
+use crate::latent::LatentTruth;
+use ca_recsys::{ItemId, SplitMix64, UserId};
+use ca_tensor::ops;
+
+/// One organic event hitting the live platform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrganicEvent {
+    /// An organic user asks for a recommendation list.
+    Query {
+        /// The platform-side id of the querying user.
+        user: UserId,
+    },
+    /// An organic user interacts with an item; the platform appends it to
+    /// the user's profile and the next retrain drifts on it.
+    Interaction {
+        /// The platform-side id of the interacting user.
+        user: UserId,
+        /// The item interacted with.
+        item: ItemId,
+    },
+}
+
+impl OrganicEvent {
+    /// The user behind the event.
+    pub fn user(&self) -> UserId {
+        match *self {
+            OrganicEvent::Query { user } | OrganicEvent::Interaction { user, .. } => user,
+        }
+    }
+}
+
+/// Seeded sampler of organic queries and interactions over a generated
+/// world's latent truth.
+#[derive(Clone, Debug)]
+pub struct OrganicSampler {
+    /// Per-cluster CDF over the catalog: `pop(v) · exp(β·⟨center_c, q_v⟩)`,
+    /// cumulated and normalized to end at 1.
+    cluster_cdf: Vec<Vec<f64>>,
+    /// Ground-truth cluster of each target-domain user.
+    user_cluster: Vec<usize>,
+}
+
+impl OrganicSampler {
+    /// Builds the sampler from a world's ground truth. `beta` is the
+    /// affinity sharpness (the generator's `affinity_beta` reproduces the
+    /// training distribution).
+    pub fn from_truth(truth: &LatentTruth, beta: f32) -> Self {
+        let cluster_cdf = truth
+            .centers
+            .iter()
+            .map(|center| {
+                let mut acc = 0.0f64;
+                let mut cdf: Vec<f64> = truth
+                    .item_vecs
+                    .iter()
+                    .zip(&truth.item_pop)
+                    .map(|(q, &pop)| {
+                        acc += f64::from(pop) * f64::from(beta * ops::dot(center, q)).exp();
+                        acc
+                    })
+                    .collect();
+                if acc > 0.0 {
+                    for c in &mut cdf {
+                        *c /= acc;
+                    }
+                }
+                cdf
+            })
+            .collect();
+        Self { cluster_cdf, user_cluster: truth.target_user_cluster.clone() }
+    }
+
+    /// Number of organic (target-domain) users the sampler draws from.
+    pub fn n_users(&self) -> usize {
+        self.user_cluster.len()
+    }
+
+    /// Samples one organic user, uniformly.
+    pub fn sample_user(&self, rng: &mut SplitMix64) -> UserId {
+        UserId((rng.next_u64() % self.user_cluster.len() as u64) as u32)
+    }
+
+    /// Samples an item for `user` from their cluster's affinity-weighted
+    /// popularity distribution.
+    pub fn sample_item(&self, user: UserId, rng: &mut SplitMix64) -> ItemId {
+        let cdf = &self.cluster_cdf[self.user_cluster[user.idx()]];
+        let u = rng.unit_f64();
+        let v = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+        ItemId(v as u32)
+    }
+
+    /// Samples one organic event: a query with probability `query_fraction`,
+    /// otherwise an interaction. Draw order is fixed (user, kind, item), so
+    /// the stream is reproducible from the rng seed alone.
+    pub fn sample_event(&self, query_fraction: f64, rng: &mut SplitMix64) -> OrganicEvent {
+        let user = self.sample_user(rng);
+        if rng.unit_f64() < query_fraction {
+            OrganicEvent::Query { user }
+        } else {
+            OrganicEvent::Interaction { user, item: self.sample_item(user, rng) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CrossDomainConfig;
+    use crate::generator::generate;
+
+    fn sampler() -> (OrganicSampler, usize) {
+        let cfg = CrossDomainConfig::tiny(11);
+        let world = generate(&cfg);
+        (OrganicSampler::from_truth(&world.truth, cfg.affinity_beta), cfg.n_target_items)
+    }
+
+    #[test]
+    fn event_stream_is_seed_deterministic() {
+        let (s, _) = sampler();
+        let draw = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            (0..200).map(|_| s.sample_event(0.7, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6), "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn events_stay_inside_the_world() {
+        let (s, n_items) = sampler();
+        let mut rng = SplitMix64::new(3);
+        let mut queries = 0;
+        for _ in 0..500 {
+            match s.sample_event(0.5, &mut rng) {
+                OrganicEvent::Query { user } => {
+                    queries += 1;
+                    assert!(user.idx() < s.n_users());
+                }
+                OrganicEvent::Interaction { user, item } => {
+                    assert!(user.idx() < s.n_users());
+                    assert!(item.idx() < n_items);
+                }
+            }
+        }
+        assert!(queries > 150 && queries < 350, "query fraction drifted: {queries}/500");
+    }
+
+    #[test]
+    fn query_fraction_extremes_are_pure() {
+        let (s, _) = sampler();
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..50 {
+            assert!(matches!(s.sample_event(1.0, &mut rng), OrganicEvent::Query { .. }));
+            assert!(matches!(s.sample_event(0.0, &mut rng), OrganicEvent::Interaction { .. }));
+        }
+    }
+
+    #[test]
+    fn item_choice_is_affinity_weighted() {
+        // With a sharp beta, a user's samples should concentrate on items
+        // aligned with their cluster center more than a uniform draw would.
+        let cfg = CrossDomainConfig::tiny(11);
+        let world = generate(&cfg);
+        let s = OrganicSampler::from_truth(&world.truth, 8.0);
+        let mut rng = SplitMix64::new(1);
+        let user = UserId(0);
+        let c = world.truth.target_user_cluster[0];
+        let mut aligned = 0;
+        let n = 400;
+        for _ in 0..n {
+            let item = s.sample_item(user, &mut rng);
+            if world.truth.item_cluster[item.idx()] == c {
+                aligned += 1;
+            }
+        }
+        let uniform_share = world.truth.item_cluster.iter().filter(|&&k| k == c).count() as f64
+            / world.truth.item_cluster.len() as f64;
+        assert!(
+            f64::from(aligned) / f64::from(n) > uniform_share,
+            "sharp beta must over-sample the user's own cluster"
+        );
+    }
+}

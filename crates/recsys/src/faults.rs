@@ -47,6 +47,14 @@ pub enum RecError {
     AccountSuspended,
     /// The platform is down; retry later.
     ServiceUnavailable,
+    /// The platform answered in degraded mode *instead of stalling*: the
+    /// shard responsible for this request is down, restarting, or stalled
+    /// and its supervisor shed the call. Retry after the given number of
+    /// logical ticks — the shard's estimated time back to healthy.
+    Degraded {
+        /// Ticks until the responsible shard is expected back.
+        retry_after: u64,
+    },
 }
 
 impl fmt::Display for RecError {
@@ -61,6 +69,9 @@ impl fmt::Display for RecError {
             }
             RecError::AccountSuspended => write!(f, "account suspended"),
             RecError::ServiceUnavailable => write!(f, "service unavailable"),
+            RecError::Degraded { retry_after } => {
+                write!(f, "degraded service (shard back in ~{retry_after} ticks)")
+            }
         }
     }
 }
@@ -74,7 +85,10 @@ impl RecError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            RecError::RateLimited { .. } | RecError::Timeout | RecError::ServiceUnavailable
+            RecError::RateLimited { .. }
+                | RecError::Timeout
+                | RecError::ServiceUnavailable
+                | RecError::Degraded { .. }
         )
     }
 }
@@ -264,14 +278,18 @@ impl FaultStats {
 /// Wraps a [`FallibleBlackBox`] (so wrappers stack, and any infallible
 /// [`BlackBoxRecommender`](crate::BlackBoxRecommender) fits via the blanket
 /// impl) and makes its calls fail according to a [`FaultConfig`]. All
-/// randomness comes from one seeded [`SplitMix64`] drawn in a fixed,
-/// documented order; time is a logical clock advanced once per call and by
-/// [`FallibleBlackBox::wait`]. Two instances with the same seed, config,
-/// and call sequence produce the same fault sequence.
+/// randomness is *per-call-derived*: each call seeds a fresh [`SplitMix64`]
+/// from `(config seed, logical clock, account id)`, so the fault outcome of
+/// a call is a pure function of *when* it happens and *whose* account makes
+/// it — never of how many draws other calls consumed. That is what makes
+/// the batched query path ([`FallibleBlackBox::try_top_k_batch`]) see the
+/// exact same fault sequence as per-user querying. Time is a logical clock
+/// advanced once per call and by [`FallibleBlackBox::wait`]. Two instances
+/// with the same seed, config, and call sequence produce the same fault
+/// sequence.
 pub struct FaultyRecommender<R> {
     inner: R,
     cfg: FaultConfig,
-    rng: SplitMix64,
     clock: u64,
     window_start: u64,
     calls_in_window: u32,
@@ -289,11 +307,9 @@ impl<R: FallibleBlackBox> FaultyRecommender<R> {
     /// Panics on an invalid [`FaultConfig`].
     pub fn new(inner: R, cfg: FaultConfig) -> Self {
         cfg.validate().unwrap_or_else(|e| panic!("invalid fault config: {e}"));
-        let rng = SplitMix64::new(cfg.seed);
         Self {
             inner,
             cfg,
-            rng,
             clock: 0,
             window_start: 0,
             calls_in_window: 0,
@@ -359,14 +375,31 @@ impl<R: FallibleBlackBox> FaultyRecommender<R> {
         self.calls_in_window += 1;
         Ok(())
     }
-}
 
-impl<R: FallibleBlackBox> FallibleBlackBox for FaultyRecommender<R> {
-    /// Fault order per query (all draws from the schedule RNG, fixed order):
-    /// rate limiter → suspension check → one uniform roll across
-    /// {timeout, unavailable, truncate} → inner call → suspension roll.
-    fn try_top_k(&mut self, user: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
-        self.admit_call()?;
+    /// The per-call fault RNG: a fresh [`SplitMix64`] keyed on the config
+    /// seed, the logical tick of the call, and a per-account salt. One
+    /// extra mixing round decorrelates adjacent `(tick, salt)` pairs.
+    fn call_rng(&self, salt: u64) -> SplitMix64 {
+        let mut mix = SplitMix64::new(
+            self.cfg.seed
+                ^ self.clock.wrapping_mul(0x9E3779B97F4A7C15)
+                ^ salt.wrapping_mul(0xD1B54A32D192ED03),
+        );
+        SplitMix64::new(mix.next_u64())
+    }
+
+    /// The query-fault screen shared by the single and batched paths:
+    /// suspension/ghost check, then one uniform roll across
+    /// {timeout, unavailable, truncate}. `Ok(None)` means the call survived
+    /// and needs a full inner list; `Ok(Some(keep))` means it survived but
+    /// must be truncated to `keep` items; `Err` is the fault. The caller
+    /// runs the suspension roll after the inner call using the same `rng`.
+    fn screen_query(
+        &mut self,
+        user: UserId,
+        k: usize,
+        rng: &mut SplitMix64,
+    ) -> Result<Option<usize>, RecError> {
         if self.suspended.contains(&user) || self.ghosts.contains(&user) {
             // Ghost accounts read as suspended: the platform pretends they
             // never existed. Their ids are unknown to the inner model, so
@@ -374,7 +407,7 @@ impl<R: FallibleBlackBox> FallibleBlackBox for FaultyRecommender<R> {
             self.stats.suspensions += 1;
             return Err(RecError::AccountSuspended);
         }
-        let roll = self.rng.unit_f64();
+        let roll = rng.unit_f64();
         if roll < self.cfg.timeout_prob {
             self.stats.timeouts += 1;
             return Err(RecError::Timeout);
@@ -384,15 +417,29 @@ impl<R: FallibleBlackBox> FallibleBlackBox for FaultyRecommender<R> {
             return Err(RecError::ServiceUnavailable);
         }
         if roll < self.cfg.query_fault_rate() {
-            let list = self.inner.try_top_k(user, k)?;
-            let keep =
-                ((k as f64 * self.cfg.truncate_keep).ceil() as usize).clamp(1, list.len().max(1));
+            let keep = ((k as f64 * self.cfg.truncate_keep).ceil() as usize).max(1);
+            return Ok(Some(keep));
+        }
+        Ok(None)
+    }
+
+    /// Finishes a surviving query: truncation bookkeeping and the
+    /// post-response suspension roll, in the same draw order as
+    /// [`FallibleBlackBox::try_top_k`].
+    fn finish_query(
+        &mut self,
+        user: UserId,
+        truncate_keep: Option<usize>,
+        list: Vec<ItemId>,
+        rng: &mut SplitMix64,
+    ) -> Result<Vec<ItemId>, RecError> {
+        if let Some(keep) = truncate_keep {
+            let keep = keep.clamp(1, list.len().max(1));
             let items = list.into_iter().take(keep).collect();
             self.stats.truncated += 1;
             return Err(RecError::TruncatedList { items });
         }
-        let list = self.inner.try_top_k(user, k)?;
-        if self.cfg.suspend_prob > 0.0 && self.rng.unit_f64() < self.cfg.suspend_prob {
+        if self.cfg.suspend_prob > 0.0 && rng.unit_f64() < self.cfg.suspend_prob {
             // The screening pipeline flags the account as the response is
             // served; the caller sees the suspension, not the list.
             self.suspended.insert(user);
@@ -402,11 +449,90 @@ impl<R: FallibleBlackBox> FallibleBlackBox for FaultyRecommender<R> {
         Ok(list)
     }
 
+    /// One distinct-user run of a batched query: per-entry admit + screen
+    /// in order, a single inner batch over the survivors, then per-entry
+    /// finish in order. Because the users are distinct, no entry's finish
+    /// can change another entry's screen outcome.
+    fn batch_segment(
+        &mut self,
+        users: &[UserId],
+        k: usize,
+        out: &mut Vec<Result<Vec<ItemId>, RecError>>,
+    ) {
+        let base = out.len();
+        out.resize_with(base + users.len(), || Err(RecError::Timeout));
+        // (slot, user, per-call rng, pending truncation) for screen survivors.
+        let mut live: Vec<(usize, UserId, SplitMix64, Option<usize>)> = Vec::new();
+        for (i, &u) in users.iter().enumerate() {
+            if let Err(e) = self.admit_call() {
+                out[base + i] = Err(e);
+                continue;
+            }
+            let mut rng = self.call_rng(u.0 as u64 + 1);
+            match self.screen_query(u, k, &mut rng) {
+                Err(e) => out[base + i] = Err(e),
+                Ok(keep) => live.push((i, u, rng, keep)),
+            }
+        }
+        let survivors: Vec<UserId> = live.iter().map(|&(_, u, _, _)| u).collect();
+        let answers = self.inner.try_top_k_batch(&survivors, k);
+        for ((i, u, mut rng, keep), ans) in live.into_iter().zip(answers) {
+            out[base + i] = match ans {
+                Err(e) => Err(e),
+                Ok(list) => self.finish_query(u, keep, list, &mut rng),
+            };
+        }
+    }
+}
+
+impl<R: FallibleBlackBox> FallibleBlackBox for FaultyRecommender<R> {
+    /// Fault order per query (all draws from the per-call RNG, fixed
+    /// order): rate limiter → suspension check → one uniform roll across
+    /// {timeout, unavailable, truncate} → inner call → suspension roll.
+    fn try_top_k(&mut self, user: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
+        self.admit_call()?;
+        let mut rng = self.call_rng(user.0 as u64 + 1);
+        let truncate_keep = self.screen_query(user, k, &mut rng)?;
+        let list = self.inner.try_top_k(user, k)?;
+        self.finish_query(user, truncate_keep, list, &mut rng)
+    }
+
+    /// Batched queries draw the *same* per-entry fault sequence as the
+    /// per-user loop (each entry is admitted on its own tick and screened
+    /// with its own `(seed, tick, account)` RNG), but all entries that
+    /// survive the screen are answered by a single inner batch call — on an
+    /// engine-backed platform that is one scoring pass instead of `m`.
+    ///
+    /// A batch is split at repeated accounts: a suspension fired by one
+    /// entry must be visible to a *later* entry for the same user (in the
+    /// per-user loop it is), so each inner batch covers a maximal run of
+    /// distinct users. Attack-loop batches — one entry per pretend user —
+    /// keep the single scoring pass.
+    fn try_top_k_batch(
+        &mut self,
+        users: &[UserId],
+        k: usize,
+    ) -> Vec<Result<Vec<ItemId>, RecError>> {
+        let mut out = Vec::with_capacity(users.len());
+        let mut start = 0;
+        while start < users.len() {
+            let mut seen = BTreeSet::new();
+            let mut end = start;
+            while end < users.len() && seen.insert(users[end]) {
+                end += 1;
+            }
+            self.batch_segment(&users[start..end], k, &mut out);
+            start = end;
+        }
+        out
+    }
+
     /// Fault order per injection: rate limiter → one uniform roll across
     /// {timeout, unavailable, reject, shadow-ban} → inner call.
     fn try_inject_user(&mut self, profile: &[ItemId]) -> Result<UserId, RecError> {
         self.admit_call()?;
-        let roll = self.rng.unit_f64();
+        let mut rng = self.call_rng(0);
+        let roll = rng.unit_f64();
         if roll < self.cfg.timeout_prob {
             self.stats.timeouts += 1;
             return Err(RecError::Timeout);
@@ -576,6 +702,30 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn batched_faults_match_the_per_user_loop() {
+        let cfg = FaultConfig::chaos(7);
+        let mut batched = FaultyRecommender::new(Fixed { n_items: 30, n_users: 0 }, cfg.clone());
+        let mut looped = FaultyRecommender::new(Fixed { n_items: 30, n_users: 0 }, cfg);
+        // `% 5` with chunks of 8 puts repeated accounts inside one batch:
+        // a suspension fired mid-batch must reach the user's next entry.
+        let users: Vec<UserId> = (0..48u32).map(|u| UserId(u % 5)).collect();
+        for chunk in users.chunks(8) {
+            let rb = batched.try_top_k_batch(chunk, 10);
+            let rl: Vec<_> = chunk.iter().map(|&u| looped.try_top_k(u, 10)).collect();
+            assert_eq!(rb, rl, "batched and per-user fault sequences diverged");
+        }
+        assert_eq!(batched.clock(), looped.clock());
+        assert_eq!(batched.stats(), looped.stats());
+    }
+
+    #[test]
+    fn degraded_is_retryable_and_displays() {
+        let e = RecError::Degraded { retry_after: 12 };
+        assert!(e.is_retryable());
+        assert!(format!("{e}").contains("12 ticks"));
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Service-layer configuration.
+
+/// Everything that shapes a [`LivePlatform`](crate::LivePlatform) run:
+/// sharding, organic load, retrain cadence, checkpointing, and the seeded
+/// fault injection the supervisor must survive.
+///
+/// All time quantities are *logical ticks* (one tenant call or one platform
+/// step); nothing in the service layer reads a wall clock, so a
+/// configuration plus a call sequence replays bit for bit.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Master seed: per-shard fault streams and the organic event stream
+    /// are split from it.
+    pub seed: u64,
+    /// Number of user-sharded fault domains.
+    pub n_shards: usize,
+    /// Organic events per logical tick (fractional rates accumulate).
+    pub organic_rate: f64,
+    /// Fraction of organic events that are queries (the rest interact).
+    pub query_fraction: f64,
+    /// Ticks between retrain starts on a healthy shard.
+    pub retrain_every: u64,
+    /// Ticks a retrain occupies the shard (it serves stale popularity to
+    /// tenants and sheds organic queries meanwhile).
+    pub retrain_ticks: u64,
+    /// Ticks between crash-consistent shard checkpoints.
+    pub checkpoint_every: u64,
+    /// Per-shard, per-tick probability of an injected crash.
+    pub crash_prob: f64,
+    /// Per-shard, per-tick probability of an injected stall (the shard
+    /// stops progressing until the health check notices).
+    pub stall_prob: f64,
+    /// Health-check threshold: a shard whose logical clock has not
+    /// progressed for this many ticks is declared dead and restarted.
+    pub stall_detect_ticks: u64,
+    /// Base restart backoff after a crash, in ticks.
+    pub restart_base: u64,
+    /// Ceiling on the restart backoff.
+    pub restart_max: u64,
+    /// Deterministic forced crashes `(tick, shard)` — the chaos-test hook
+    /// for reproducing an exact mid-campaign shard loss.
+    pub scripted_crashes: Vec<(u64, usize)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xCA5E,
+            n_shards: 4,
+            organic_rate: 2.0,
+            query_fraction: 0.7,
+            retrain_every: 64,
+            retrain_ticks: 8,
+            checkpoint_every: 32,
+            crash_prob: 0.0,
+            stall_prob: 0.0,
+            stall_detect_ticks: 16,
+            restart_base: 16,
+            restart_max: 256,
+            scripted_crashes: Vec::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_shards == 0 {
+            return Err("n_shards must be at least 1".into());
+        }
+        if !(self.organic_rate.is_finite() && self.organic_rate >= 0.0) {
+            return Err(format!("organic_rate {} must be finite and >= 0", self.organic_rate));
+        }
+        for (name, p) in [
+            ("query_fraction", self.query_fraction),
+            ("crash_prob", self.crash_prob),
+            ("stall_prob", self.stall_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} {p} outside [0, 1]"));
+            }
+        }
+        if self.crash_prob + self.stall_prob > 1.0 {
+            return Err("crash_prob + stall_prob exceed 1".into());
+        }
+        if self.retrain_every == 0 || self.checkpoint_every == 0 {
+            return Err("retrain_every and checkpoint_every must be positive".into());
+        }
+        if self.retrain_ticks >= self.retrain_every {
+            return Err(format!(
+                "retrain_ticks {} must undercut retrain_every {} or the shard never serves live",
+                self.retrain_ticks, self.retrain_every
+            ));
+        }
+        if self.stall_detect_ticks == 0 {
+            return Err("stall_detect_ticks must be positive".into());
+        }
+        if self.restart_base == 0 || self.restart_max < self.restart_base {
+            return Err(format!(
+                "restart backoff range [{}, {}] is empty",
+                self.restart_base, self.restart_max
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bounded restart backoff for the given 0-based crash count:
+    /// `min(restart_base · 2^attempt, restart_max)`.
+    pub fn restart_backoff(&self, attempt: u32) -> u64 {
+        let exp = self.restart_base.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        exp.min(self.restart_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(ServeConfig { n_shards: 0, ..Default::default() }.validate().is_err());
+        assert!(ServeConfig { crash_prob: 1.5, ..Default::default() }.validate().is_err());
+        assert!(ServeConfig { retrain_ticks: 64, retrain_every: 64, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(ServeConfig { restart_max: 1, restart_base: 16, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(ServeConfig { organic_rate: f64::NAN, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn restart_backoff_is_capped_exponential() {
+        let cfg = ServeConfig { restart_base: 8, restart_max: 50, ..Default::default() };
+        assert_eq!(cfg.restart_backoff(0), 8);
+        assert_eq!(cfg.restart_backoff(1), 16);
+        assert_eq!(cfg.restart_backoff(2), 32);
+        assert_eq!(cfg.restart_backoff(3), 50, "capped");
+        assert_eq!(cfg.restart_backoff(200), 50, "overflow saturates at the cap");
+    }
+}

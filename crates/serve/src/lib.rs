@@ -1,0 +1,41 @@
+//! `ca-serve` — the live platform the attack actually runs against.
+//!
+//! Everything below the [`FallibleBlackBox`](ca_recsys::FallibleBlackBox)
+//! surface in the rest of the workspace is a frozen model; this crate
+//! replaces it with a *deployment*: user profiles sharded across
+//! supervised fault domains, organic traffic drawn from the generator's
+//! latent world model, periodic retrains that drift the served model onto
+//! whatever the traffic (and the attacker) did, seeded crash/stall
+//! injection, crash-consistent checkpoint recovery, and a graceful
+//! degradation ladder instead of stalls.
+//!
+//! The attack campaign is **one tenant among thousands**: it talks to
+//! [`LivePlatform`] through the same fallible trait as any other target,
+//! while the supervisor, the organic crowd, and the retrain loop keep the
+//! world moving underneath it.
+//!
+//! Layout:
+//!
+//! - [`config`] — [`ServeConfig`]: sharding, traffic, cadence, and fault
+//!   injection knobs (all in logical ticks; no wall clock anywhere);
+//! - [`model`] — [`ModelVersion`]: immutable uid-ordered serving
+//!   snapshots, shared by pointer;
+//! - [`shard`] — [`Shard`]: one fault domain's state machine, checkpoint
+//!   rollback, and bounded restart backoff;
+//! - [`service`] — [`LivePlatform`]: the event loop, the degradation
+//!   ladder, owner-side metrics, and the deterministic parallel read path.
+//!
+//! Replays are bit-for-bit at any `CA_THREADS` setting, and — with fault
+//! injection off — at any shard count.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod model;
+pub mod service;
+pub mod shard;
+
+pub use config::ServeConfig;
+pub use model::ModelVersion;
+pub use service::{LivePlatform, ServeStats};
+pub use shard::{Shard, ShardCheckpoint, ShardState, ShardStats};

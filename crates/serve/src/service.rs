@@ -1,0 +1,631 @@
+//! The live platform: a supervised, sharded serving loop.
+//!
+//! [`LivePlatform`] is the whole deployment: every user's current profile
+//! partitioned across [`Shard`] fault domains, a global organic event
+//! stream drawn from the generator's latent truth, and a supervisor that
+//! drives each shard's state machine once per logical tick. Tenants — an
+//! attack [`Campaign`](../../copyattack_core) among thousands of organic
+//! users — talk to it through the ordinary
+//! [`FallibleBlackBox`] surface; every tenant
+//! call advances the world by one tick, so organic traffic, retrains,
+//! checkpoints, crashes, and restarts all interleave with the campaign on
+//! one deterministic clock.
+//!
+//! Degradation ladder (cheapest sacrifice first):
+//!
+//! 1. **Shed organic load.** A retraining, stalled, or down shard drops
+//!    organic queries; interactions are dropped only by stalled/down
+//!    shards.
+//! 2. **Serve stale popularity.** Tenant queries against a retraining
+//!    shard get the previous snapshot's popularity ranking — degraded but
+//!    answered, never stalled.
+//! 3. **Fail typed.** Only a down or stalled shard refuses tenant calls,
+//!    and then with [`RecError::Degraded`] carrying a `retry_after` hint a
+//!    [`RetryPolicy`](../../copyattack_core) can budget against.
+//!
+//! Determinism: no wall clock, no ambient RNG, no iteration over unordered
+//! maps. At a fixed config the run replays bit for bit at any `CA_THREADS`
+//! setting; with fault injection disabled it is also bitwise identical at
+//! any shard count (model rows are uid-ordered and all shards share the
+//! uniform retrain/checkpoint schedule).
+
+use crate::config::ServeConfig;
+use crate::model::ModelVersion;
+use crate::shard::{Shard, ShardState};
+use ca_datagen::{OrganicEvent, OrganicSampler};
+use ca_recsys::{Dataset, FallibleBlackBox, ItemId, RecError, SplitMix64, UserId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// List length computed for organic queries (their results are not
+/// observed by tenants; the work still counts toward served load).
+const ORGANIC_K: usize = 10;
+
+/// Service-wide traffic and supervision counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Organic queries answered by a healthy shard.
+    pub organic_queries_served: u64,
+    /// Organic queries shed by a degraded shard (ladder rung 1).
+    pub organic_queries_shed: u64,
+    /// Organic interactions appended to a profile.
+    pub organic_interactions_applied: u64,
+    /// Organic interactions dropped by a stalled/down shard.
+    pub organic_interactions_dropped: u64,
+    /// Tenant queries served live from the user's model rows.
+    pub tenant_queries_live: u64,
+    /// Tenant queries served stale popularity mid-retrain (ladder rung 2).
+    pub tenant_queries_stale: u64,
+    /// Tenant queries for users newer than the serving snapshot, served
+    /// the cold-start popularity fallback.
+    pub tenant_queries_cold: u64,
+    /// Tenant queries refused with [`RecError::Degraded`] (ladder rung 3).
+    pub tenant_queries_degraded: u64,
+    /// Tenant queries for accounts lost to a crash rollback.
+    pub tenant_queries_lost: u64,
+    /// Accepted tenant account injections.
+    pub tenant_injections: u64,
+    /// Injections refused by a degraded shard.
+    pub tenant_injections_rejected: u64,
+    /// Global model snapshots built (shards retraining on the same tick
+    /// share one build).
+    pub models_built: u64,
+}
+
+impl ServeStats {
+    /// Fraction of organic queries that were answered.
+    pub fn organic_availability(&self) -> f64 {
+        let total = self.organic_queries_served + self.organic_queries_shed;
+        if total == 0 {
+            1.0
+        } else {
+            self.organic_queries_served as f64 / total as f64
+        }
+    }
+
+    /// Fraction of tenant queries that got a list (live, stale, or cold).
+    pub fn tenant_availability(&self) -> f64 {
+        let ok = self.tenant_queries_live + self.tenant_queries_stale + self.tenant_queries_cold;
+        let total = ok + self.tenant_queries_degraded + self.tenant_queries_lost;
+        if total == 0 {
+            1.0
+        } else {
+            ok as f64 / total as f64
+        }
+    }
+}
+
+/// How a single tenant query was resolved against the ladder.
+enum ServeClass {
+    Live,
+    Stale,
+    Cold,
+    Lost,
+    Degraded,
+}
+
+/// A supervised, fault-domained deployment of the recommender.
+#[derive(Clone, Debug)]
+pub struct LivePlatform {
+    cfg: ServeConfig,
+    n_items: usize,
+    sampler: OrganicSampler,
+    organic_rng: SplitMix64,
+    /// Fractional-rate accumulator: `organic_rate` is added every tick and
+    /// one event fires per whole unit.
+    organic_carry: f64,
+    clock: u64,
+    /// Next platform account id; never reused, never rolled back — an
+    /// account lost to a crash stays a dangling id.
+    next_uid: u32,
+    shards: Vec<Shard>,
+    version_counter: u64,
+    /// Snapshot built this tick, shared by every shard retraining on it.
+    model_cache: Option<(u64, Arc<ModelVersion>)>,
+    stats: ServeStats,
+}
+
+impl LivePlatform {
+    /// Deploys the service over `data` (one profile per organic user, ids
+    /// `0..n_users`), with organic traffic drawn from `sampler`.
+    pub fn launch(
+        data: &Dataset,
+        sampler: OrganicSampler,
+        cfg: ServeConfig,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if sampler.n_users() > data.n_users() {
+            return Err(format!(
+                "sampler draws {} users but the dataset hosts {}",
+                sampler.n_users(),
+                data.n_users()
+            ));
+        }
+        let pairs: Vec<(u32, Vec<ItemId>)> =
+            data.users().map(|u| (u.0, data.profile(u).to_vec())).collect();
+        let v0 = Arc::new(ModelVersion::build(0, 0, &pairs, data.n_items()));
+        let mut parts: Vec<BTreeMap<u32, Vec<ItemId>>> = vec![BTreeMap::new(); cfg.n_shards];
+        for (uid, profile) in pairs {
+            parts[uid as usize % cfg.n_shards].insert(uid, profile);
+        }
+        let shards = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, users)| {
+                Shard::new(i, users, v0.clone(), ca_par::split_seed(cfg.seed, i as u64 + 1))
+            })
+            .collect();
+        Ok(Self {
+            organic_rng: SplitMix64::new(ca_par::split_seed(cfg.seed, 0)),
+            n_items: data.n_items(),
+            sampler,
+            organic_carry: 0.0,
+            clock: 0,
+            next_uid: data.n_users() as u32,
+            shards,
+            version_counter: 0,
+            model_cache: None,
+            stats: ServeStats::default(),
+            cfg,
+        })
+    }
+
+    /// The platform's logical clock (ticks elapsed since launch).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Traffic and supervision counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The shards, in id order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Advances the world by `ticks` without any tenant call: organic
+    /// traffic flows, supervisors run, retrains and crashes happen.
+    pub fn advance(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+
+    /// One tick: supervisor pass over every shard, then the tick's share
+    /// of organic events.
+    fn step(&mut self) {
+        self.clock += 1;
+        let t = self.clock;
+        let mut retrain = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if shard.supervisor_tick(t, &self.cfg) {
+                retrain.push(i);
+            }
+        }
+        if !retrain.is_empty() {
+            let snapshot = self.snapshot_model(t);
+            for i in retrain {
+                self.shards[i].begin_retrain(t, &self.cfg, snapshot.clone());
+            }
+        }
+        self.organic_carry += self.cfg.organic_rate;
+        while self.organic_carry >= 1.0 {
+            self.organic_carry -= 1.0;
+            let ev = self.sampler.sample_event(self.cfg.query_fraction, &mut self.organic_rng);
+            self.apply_organic(ev);
+        }
+    }
+
+    /// Builds (or reuses, when several shards retrain on the same tick)
+    /// the global model snapshot for tick `t`: the uid-sorted union of
+    /// every shard's current users, so the model bits are independent of
+    /// shard count.
+    fn snapshot_model(&mut self, t: u64) -> Arc<ModelVersion> {
+        if let Some((at, m)) = &self.model_cache {
+            if *at == t {
+                return m.clone();
+            }
+        }
+        let mut pairs: Vec<(u32, Vec<ItemId>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.users().iter().map(|(&u, p)| (u, p.clone())))
+            .collect();
+        pairs.sort_by_key(|&(uid, _)| uid);
+        self.version_counter += 1;
+        let m = Arc::new(ModelVersion::build(self.version_counter, t, &pairs, self.n_items));
+        self.stats.models_built += 1;
+        self.model_cache = Some((t, m.clone()));
+        m
+    }
+
+    fn apply_organic(&mut self, ev: OrganicEvent) {
+        match ev {
+            OrganicEvent::Query { user } => {
+                let shard = &self.shards[user.idx() % self.shards.len()];
+                if shard.is_live() {
+                    // The result is not observed, but the scoring work is
+                    // real served load.
+                    let m = shard.model();
+                    let _ =
+                        m.top_k(user.0, ORGANIC_K).unwrap_or_else(|| m.pop_top_k(&[], ORGANIC_K));
+                    self.stats.organic_queries_served += 1;
+                } else {
+                    self.stats.organic_queries_shed += 1;
+                }
+            }
+            OrganicEvent::Interaction { user, item } => {
+                let si = user.idx() % self.shards.len();
+                let shard = &mut self.shards[si];
+                if shard.accepting() && shard.record_interaction(user.0, item) {
+                    self.stats.organic_interactions_applied += 1;
+                } else {
+                    self.stats.organic_interactions_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Resolves one query against the degradation ladder without touching
+    /// the clock or the stats — the shared read path behind
+    /// [`FallibleBlackBox::try_top_k`], [`LivePlatform::par_serve_queries`],
+    /// and the owner-side metrics.
+    fn classify_serve(&self, uid: u32, k: usize) -> (Result<Vec<ItemId>, RecError>, ServeClass) {
+        let shard = &self.shards[uid as usize % self.shards.len()];
+        match shard.state() {
+            ShardState::Down { .. } | ShardState::Stalled => {
+                let retry = shard.degraded_retry_after(self.clock, &self.cfg);
+                (Err(RecError::Degraded { retry_after: retry }), ServeClass::Degraded)
+            }
+            ShardState::Healthy => match shard.profile_of(uid) {
+                // The account was lost to a crash rollback (or never
+                // existed): it is gone, not retryable — re-establish it.
+                None => (Err(RecError::AccountSuspended), ServeClass::Lost),
+                Some(profile) => match shard.model().top_k(uid, k) {
+                    Some(list) => (Ok(list), ServeClass::Live),
+                    // Newer than the serving snapshot: cold-start
+                    // popularity until a retrain picks the profile up.
+                    None => (Ok(shard.model().pop_top_k(profile, k)), ServeClass::Cold),
+                },
+            },
+            ShardState::Retraining { .. } => match shard.profile_of(uid) {
+                None => (Err(RecError::AccountSuspended), ServeClass::Lost),
+                Some(profile) => (Ok(shard.model().pop_top_k(profile, k)), ServeClass::Stale),
+            },
+        }
+    }
+
+    /// Read-only query (no tick, no stats): what the platform would serve
+    /// `uid` right now.
+    pub fn serve_readonly(&self, uid: u32, k: usize) -> Result<Vec<ItemId>, RecError> {
+        self.classify_serve(uid, k).0
+    }
+
+    /// Answers a read-only query batch with one deterministic parallel
+    /// pass ([`ca_par::map`]): outcome `i` belongs to `users[i]`, bitwise
+    /// identical at any `CA_THREADS` setting. This is the throughput path
+    /// the serving benchmark measures.
+    pub fn par_serve_queries(
+        &self,
+        users: &[UserId],
+        k: usize,
+    ) -> Vec<Result<Vec<ItemId>, RecError>> {
+        ca_par::map(users, |_, &u| self.serve_readonly(u.0, k))
+    }
+
+    /// Owner-side promotion metric: the fraction of organic users whose
+    /// current served list contains `item` (degraded users count as
+    /// misses). The live-platform analogue of the offline HR@k.
+    pub fn owner_hit_rate(&self, item: ItemId, k: usize) -> f64 {
+        let users: Vec<UserId> = (0..self.sampler.n_users() as u32).map(UserId).collect();
+        if users.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .par_serve_queries(&users, k)
+            .iter()
+            .filter(|r| matches!(r, Ok(list) if list.contains(&item)))
+            .count();
+        hits as f64 / users.len() as f64
+    }
+
+    /// Order-sensitive digest of the observable platform state: clock,
+    /// accounts, every hosted profile, serving versions, and the full
+    /// counter set. Two runs are replays of each other iff their digests
+    /// agree tick for tick. Built only from shard-count-independent state
+    /// (the uid-ordered user union), so crash-free runs digest identically
+    /// at any shard count.
+    pub fn replay_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut absorb = |v: u64| {
+            h = (h ^ v).wrapping_mul(0x100_0000_01b3);
+            h ^= h >> 29;
+        };
+        absorb(self.clock);
+        absorb(u64::from(self.next_uid));
+        absorb(self.version_counter);
+        let s = &self.stats;
+        for c in [
+            s.organic_queries_served,
+            s.organic_queries_shed,
+            s.organic_interactions_applied,
+            s.organic_interactions_dropped,
+            s.tenant_queries_live,
+            s.tenant_queries_stale,
+            s.tenant_queries_cold,
+            s.tenant_queries_degraded,
+            s.tenant_queries_lost,
+            s.tenant_injections,
+            s.tenant_injections_rejected,
+            s.models_built,
+        ] {
+            absorb(c);
+        }
+        // Walk users in global uid order regardless of which shard hosts
+        // them; absorb each profile and the user's serving state.
+        let mut uids: Vec<u32> =
+            self.shards.iter().flat_map(|sh| sh.users().keys().copied()).collect();
+        uids.sort_unstable();
+        for uid in uids {
+            let shard = &self.shards[uid as usize % self.shards.len()];
+            absorb(u64::from(uid));
+            let profile = shard.profile_of(uid).unwrap_or(&[]);
+            absorb(profile.len() as u64);
+            for v in profile {
+                absorb(u64::from(v.0));
+            }
+            absorb(shard.model().version);
+            absorb(match shard.state() {
+                ShardState::Healthy => 0,
+                ShardState::Retraining { .. } => 1,
+                ShardState::Stalled => 2,
+                ShardState::Down { .. } => 3,
+            });
+        }
+        h
+    }
+}
+
+impl FallibleBlackBox for LivePlatform {
+    /// Tenant query. The call itself advances the world one tick — the
+    /// platform keeps living between an attacker's calls.
+    fn try_top_k(&mut self, user: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
+        self.step();
+        let (result, class) = self.classify_serve(user.0, k);
+        match class {
+            ServeClass::Live => self.stats.tenant_queries_live += 1,
+            ServeClass::Stale => self.stats.tenant_queries_stale += 1,
+            ServeClass::Cold => self.stats.tenant_queries_cold += 1,
+            ServeClass::Lost => self.stats.tenant_queries_lost += 1,
+            ServeClass::Degraded => self.stats.tenant_queries_degraded += 1,
+        }
+        result
+    }
+
+    /// Tenant account creation. An account id is consumed only on success,
+    /// so a retried rejection replays identically.
+    fn try_inject_user(&mut self, profile: &[ItemId]) -> Result<UserId, RecError> {
+        self.step();
+        for v in profile {
+            assert!(v.idx() < self.n_items, "item {} outside the catalog", v.0);
+        }
+        let uid = self.next_uid;
+        let si = uid as usize % self.shards.len();
+        let shard = &mut self.shards[si];
+        if shard.accepting() {
+            let mut dedup: Vec<ItemId> = Vec::with_capacity(profile.len());
+            for &v in profile {
+                if !dedup.contains(&v) {
+                    dedup.push(v);
+                }
+            }
+            shard.insert_user(uid, dedup);
+            self.next_uid += 1;
+            self.stats.tenant_injections += 1;
+            Ok(UserId(uid))
+        } else {
+            let retry = shard.degraded_retry_after(self.clock, &self.cfg);
+            self.stats.tenant_injections_rejected += 1;
+            Err(RecError::Degraded { retry_after: retry })
+        }
+    }
+
+    fn catalog_size(&self) -> usize {
+        self.n_items
+    }
+
+    /// "Sleeping" through a backoff keeps the world running: organic
+    /// traffic flows and supervisors act for every waited tick.
+    fn wait(&mut self, ticks: u64) {
+        self.advance(ticks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_datagen::{generate, CrossDomainConfig};
+
+    fn world() -> (Dataset, OrganicSampler) {
+        let cfg = CrossDomainConfig::tiny(13);
+        let w = generate(&cfg);
+        let sampler = OrganicSampler::from_truth(&w.truth, cfg.affinity_beta);
+        (w.target, sampler)
+    }
+
+    fn platform(cfg: ServeConfig) -> LivePlatform {
+        let (data, sampler) = world();
+        LivePlatform::launch(&data, sampler, cfg).unwrap()
+    }
+
+    fn drive(p: &mut LivePlatform, calls: u64) {
+        for i in 0..calls {
+            let _ = p.try_top_k(UserId((i % 7) as u32), 10);
+            if i % 5 == 0 {
+                let _ = p.try_inject_user(&[ItemId(1), ItemId(3)]);
+            }
+            if i % 11 == 0 {
+                p.wait(3);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_configs_replay_bit_for_bit() {
+        let cfg = ServeConfig {
+            crash_prob: 0.01,
+            stall_prob: 0.005,
+            retrain_every: 16,
+            retrain_ticks: 4,
+            checkpoint_every: 8,
+            ..Default::default()
+        };
+        let mut a = platform(cfg.clone());
+        let mut b = platform(cfg);
+        drive(&mut a, 120);
+        drive(&mut b, 120);
+        assert_eq!(a.replay_digest(), b.replay_digest());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.clock(), b.clock());
+    }
+
+    #[test]
+    fn crash_free_runs_are_shard_count_invariant() {
+        let base = ServeConfig {
+            retrain_every: 16,
+            retrain_ticks: 4,
+            checkpoint_every: 8,
+            ..Default::default()
+        };
+        let digests: Vec<u64> = [1usize, 2, 4]
+            .into_iter()
+            .map(|n| {
+                let mut p = platform(ServeConfig { n_shards: n, ..base.clone() });
+                drive(&mut p, 150);
+                p.replay_digest()
+            })
+            .collect();
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[1], digests[2]);
+    }
+
+    #[test]
+    fn scripted_crash_loses_uncheckpointed_state_and_recovers() {
+        let cfg = ServeConfig {
+            n_shards: 2,
+            organic_rate: 0.0,
+            checkpoint_every: 100,
+            retrain_every: 200,
+            restart_base: 4,
+            restart_max: 4,
+            scripted_crashes: vec![(5, 0)],
+            ..Default::default()
+        };
+        let mut p = platform(cfg);
+        // An injected account lands on shard 0 (uid = n_users, even ids on
+        // shard 0 because tiny worlds have even user counts).
+        let uid = p.try_inject_user(&[ItemId(0), ItemId(2)]).unwrap();
+        assert_eq!(uid.idx() % 2, 0);
+        assert!(p.serve_readonly(uid.0, 5).is_ok());
+        p.advance(5); // tick 5 fires the scripted crash
+        assert!(matches!(p.shards()[0].state(), ShardState::Down { .. }));
+        // Ladder rung 3: typed failure with a retry hint, never a stall.
+        let err = p.serve_readonly(uid.0, 5).unwrap_err();
+        assert!(matches!(err, RecError::Degraded { retry_after } if retry_after >= 1));
+        p.advance(4); // restart backoff elapses
+        assert!(p.shards()[0].state() == ShardState::Healthy);
+        assert_eq!(p.shards()[0].stats().restarts, 1);
+        // Crash-consistent rollback: the post-launch injection is gone.
+        assert_eq!(p.serve_readonly(uid.0, 5), Err(RecError::AccountSuspended));
+        assert_eq!(p.stats().models_built, 0);
+    }
+
+    #[test]
+    fn retraining_shard_serves_stale_popularity_and_sheds_organics() {
+        let cfg = ServeConfig {
+            n_shards: 1,
+            organic_rate: 4.0,
+            retrain_every: 10,
+            retrain_ticks: 5,
+            checkpoint_every: 7,
+            ..Default::default()
+        };
+        let mut p = platform(cfg);
+        p.advance(10); // tick 10 starts a retrain until tick 15
+        assert!(matches!(p.shards()[0].state(), ShardState::Retraining { .. }));
+        let stale = p.try_top_k(UserId(0), 5).unwrap();
+        assert_eq!(p.stats().tenant_queries_stale, 1);
+        // Stale serving is the snapshot's popularity order minus the
+        // user's own profile.
+        let shard = &p.shards()[0];
+        let expect = shard.model().pop_top_k(shard.profile_of(0).unwrap(), 5);
+        assert_eq!(stale, expect);
+        assert!(p.stats().organic_queries_shed > 0, "retrain must shed organic queries");
+        p.advance(5);
+        assert_eq!(p.shards()[0].state(), ShardState::Healthy);
+        assert_eq!(p.shards()[0].model().version, 1);
+    }
+
+    #[test]
+    fn injected_users_are_cold_until_a_retrain_snapshots_them() {
+        let cfg = ServeConfig {
+            n_shards: 2,
+            organic_rate: 1.0,
+            retrain_every: 20,
+            retrain_ticks: 2,
+            checkpoint_every: 10,
+            ..Default::default()
+        };
+        let mut p = platform(cfg);
+        let uid = p.try_inject_user(&[ItemId(2), ItemId(4)]).unwrap();
+        assert!(!p.shards()[uid.idx() % 2].model().knows(uid.0));
+        let _ = p.try_top_k(uid, 5).unwrap();
+        assert_eq!(p.stats().tenant_queries_cold, 1, "pre-retrain serving is the cold path");
+        p.advance(25); // past the tick-20 retrain and its 2-tick window
+        assert!(p.shards()[uid.idx() % 2].model().knows(uid.0), "retrain drifted onto the account");
+        let _ = p.try_top_k(uid, 5).unwrap();
+        assert_eq!(p.stats().tenant_queries_live, 1);
+    }
+
+    #[test]
+    fn par_serving_matches_serial_at_any_thread_count() {
+        let mut p = platform(ServeConfig {
+            crash_prob: 0.02,
+            retrain_every: 16,
+            retrain_ticks: 4,
+            checkpoint_every: 8,
+            ..Default::default()
+        });
+        p.advance(60);
+        let users: Vec<UserId> = (0..40).map(UserId).collect();
+        let serial: Vec<_> = users.iter().map(|&u| p.serve_readonly(u.0, 8)).collect();
+        assert_eq!(p.par_serve_queries(&users, 8), serial);
+    }
+
+    #[test]
+    fn organic_world_keeps_moving_through_tenant_waits() {
+        let mut p = platform(ServeConfig { organic_rate: 2.0, ..Default::default() });
+        p.wait(30);
+        assert_eq!(p.clock(), 30);
+        let s = p.stats();
+        assert_eq!(s.organic_queries_served + s.organic_interactions_applied, 60);
+    }
+
+    #[test]
+    fn launch_rejects_bad_configs() {
+        let (data, sampler) = world();
+        assert!(LivePlatform::launch(
+            &data,
+            sampler,
+            ServeConfig { n_shards: 0, ..Default::default() }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! One shard: a user-partitioned fault domain under supervision.
+//!
+//! A shard owns the *current* profiles of its users (platform id mod shard
+//! count), a serving replica of the global model
+//! ([`ModelVersion`]), and its own seeded fault stream. The supervisor
+//! drives it through a small state machine:
+//!
+//! ```text
+//!            retrain due            retrain done
+//!  Healthy ───────────────► Retraining ──────────► Healthy
+//!     │  ▲                      │
+//!     │  │ restart backoff      │ crash/stall roll (every live tick)
+//!     ▼  │ elapsed              ▼
+//!    Down ◄──────────────── Stalled (health check: no clock progress)
+//! ```
+//!
+//! Crash consistency: the instant a shard crashes, its users and model are
+//! rolled back to the last [`ShardCheckpoint`] — every interaction and
+//! injection since then is lost, exactly like a process that never flushed.
+//! The restart itself is then just a delayed state flip, so recovery can
+//! never observe half-applied writes.
+
+use crate::config::ServeConfig;
+use crate::model::ModelVersion;
+use ca_recsys::{ItemId, SplitMix64};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Lifecycle state of a shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardState {
+    /// Serving live traffic from its model replica.
+    Healthy,
+    /// Mid-retrain until the given tick: tenants get stale popularity,
+    /// organic queries are shed.
+    Retraining {
+        /// Tick at which the pending model is adopted.
+        until: u64,
+    },
+    /// Injected stall: the shard stops progressing; only the supervisor's
+    /// logical-clock health check can get it out (by restarting it).
+    Stalled,
+    /// Crashed; restarting with backoff until the given tick.
+    Down {
+        /// Tick at which the restart completes.
+        until: u64,
+    },
+}
+
+/// Per-shard supervision counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Crashes (injected, scripted, or stall-escalated).
+    pub crashes: u64,
+    /// Injected stalls.
+    pub stalls: u64,
+    /// Completed restarts.
+    pub restarts: u64,
+    /// Adopted model versions (completed retrains).
+    pub retrains: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
+/// A crash-consistent snapshot of one shard's state.
+#[derive(Clone, Debug)]
+pub struct ShardCheckpoint {
+    /// Tick the checkpoint was taken at.
+    pub taken_at: u64,
+    users: BTreeMap<u32, Vec<ItemId>>,
+    model: Arc<ModelVersion>,
+}
+
+/// One user-sharded fault domain.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    id: usize,
+    users: BTreeMap<u32, Vec<ItemId>>,
+    model: Arc<ModelVersion>,
+    pending: Option<Arc<ModelVersion>>,
+    state: ShardState,
+    restart_attempts: u32,
+    last_progress: u64,
+    checkpoint: ShardCheckpoint,
+    rng: SplitMix64,
+    stats: ShardStats,
+}
+
+impl Shard {
+    /// A fresh shard owning `users`, serving `model`, with its fault
+    /// stream seeded from `seed`. The launch state doubles as the first
+    /// checkpoint.
+    pub fn new(
+        id: usize,
+        users: BTreeMap<u32, Vec<ItemId>>,
+        model: Arc<ModelVersion>,
+        seed: u64,
+    ) -> Self {
+        let checkpoint =
+            ShardCheckpoint { taken_at: 0, users: users.clone(), model: model.clone() };
+        Self {
+            id,
+            users,
+            model,
+            pending: None,
+            state: ShardState::Healthy,
+            restart_attempts: 0,
+            last_progress: 0,
+            checkpoint,
+            rng: SplitMix64::new(seed),
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ShardState {
+        self.state
+    }
+
+    /// Whether the shard accepts reads and writes at all (healthy or
+    /// mid-retrain — degraded, but answering).
+    pub fn accepting(&self) -> bool {
+        matches!(self.state, ShardState::Healthy | ShardState::Retraining { .. })
+    }
+
+    /// Whether the shard serves live (non-degraded) recommendations.
+    pub fn is_live(&self) -> bool {
+        self.state == ShardState::Healthy
+    }
+
+    /// The serving model replica.
+    pub fn model(&self) -> &Arc<ModelVersion> {
+        &self.model
+    }
+
+    /// Current (possibly post-snapshot) profiles of this shard's users.
+    pub fn users(&self) -> &BTreeMap<u32, Vec<ItemId>> {
+        &self.users
+    }
+
+    /// The current profile of one user, if this shard hosts them.
+    pub fn profile_of(&self, uid: u32) -> Option<&[ItemId]> {
+        self.users.get(&uid).map(Vec::as_slice)
+    }
+
+    /// Supervision counters.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// The last crash-consistent checkpoint.
+    pub fn checkpoint(&self) -> &ShardCheckpoint {
+        &self.checkpoint
+    }
+
+    /// Ticks until a degraded shard expects to serve again — the
+    /// `retry_after` hint behind [`RecError::Degraded`](ca_recsys::RecError).
+    pub fn degraded_retry_after(&self, t: u64, cfg: &ServeConfig) -> u64 {
+        match self.state {
+            ShardState::Down { until } => until.saturating_sub(t).max(1),
+            // A stalled shard first has to fail the health check, then sit
+            // out a restart backoff.
+            ShardState::Stalled => (self.last_progress + cfg.stall_detect_ticks)
+                .saturating_sub(t)
+                .saturating_add(cfg.restart_backoff(self.restart_attempts))
+                .max(1),
+            ShardState::Healthy | ShardState::Retraining { .. } => 1,
+        }
+    }
+
+    /// One supervisor step at tick `t`. Returns `true` when the shard is
+    /// due a retrain — the service then builds (or reuses) the global
+    /// snapshot for tick `t` and hands it to [`Shard::begin_retrain`].
+    pub(crate) fn supervisor_tick(&mut self, t: u64, cfg: &ServeConfig) -> bool {
+        match self.state {
+            ShardState::Down { until } => {
+                if t >= until {
+                    // State was already rolled back when the crash hit;
+                    // completing the restart is a pure state flip.
+                    self.state = ShardState::Healthy;
+                    self.stats.restarts += 1;
+                    self.last_progress = t;
+                }
+                return false;
+            }
+            ShardState::Stalled => {
+                // Health check on the logical clock: a shard that has not
+                // progressed for stall_detect_ticks is declared dead and
+                // restarted through the crash-recovery path.
+                if t.saturating_sub(self.last_progress) >= cfg.stall_detect_ticks {
+                    self.crash(t, cfg);
+                }
+                return false;
+            }
+            ShardState::Healthy | ShardState::Retraining { .. } => {}
+        }
+        // Seeded fault injection: one roll per live tick per shard, plus
+        // the scripted crashes chaos tests use for exact reproductions.
+        let scripted = cfg.scripted_crashes.iter().any(|&(ct, cs)| ct == t && cs == self.id);
+        let roll = self.rng.unit_f64();
+        if scripted || roll < cfg.crash_prob {
+            self.crash(t, cfg);
+            return false;
+        }
+        if roll < cfg.crash_prob + cfg.stall_prob {
+            self.stats.stalls += 1;
+            self.state = ShardState::Stalled;
+            return false;
+        }
+        if let ShardState::Retraining { until } = self.state {
+            if t >= until {
+                if let Some(m) = self.pending.take() {
+                    self.model = m;
+                }
+                self.state = ShardState::Healthy;
+                self.stats.retrains += 1;
+            }
+        }
+        if self.state == ShardState::Healthy {
+            self.last_progress = t;
+            if t.is_multiple_of(cfg.checkpoint_every) {
+                self.take_checkpoint(t);
+            }
+            if t.is_multiple_of(cfg.retrain_every) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Starts a retrain at tick `t` onto the given global snapshot. With
+    /// `retrain_ticks == 0` the adoption is immediate.
+    pub(crate) fn begin_retrain(&mut self, t: u64, cfg: &ServeConfig, snapshot: Arc<ModelVersion>) {
+        if cfg.retrain_ticks == 0 {
+            self.model = snapshot;
+            self.stats.retrains += 1;
+        } else {
+            self.pending = Some(snapshot);
+            self.state = ShardState::Retraining { until: t + cfg.retrain_ticks };
+        }
+    }
+
+    /// Kills the shard at tick `t`: rolls state back to the last
+    /// checkpoint (crash consistency) and schedules a backed-off restart.
+    pub(crate) fn crash(&mut self, t: u64, cfg: &ServeConfig) {
+        self.users = self.checkpoint.users.clone();
+        self.model = self.checkpoint.model.clone();
+        self.pending = None;
+        let backoff = cfg.restart_backoff(self.restart_attempts);
+        self.restart_attempts = self.restart_attempts.saturating_add(1);
+        self.state = ShardState::Down { until: t + backoff };
+        self.stats.crashes += 1;
+    }
+
+    fn take_checkpoint(&mut self, t: u64) {
+        self.checkpoint =
+            ShardCheckpoint { taken_at: t, users: self.users.clone(), model: self.model.clone() };
+        // A clean checkpoint is proof of stability: the restart backoff
+        // resets so a later crash starts the ladder from the base again.
+        self.restart_attempts = 0;
+        self.stats.checkpoints += 1;
+    }
+
+    /// Appends an interaction to a hosted user's profile (idempotent per
+    /// item). Returns `false` when this shard does not host `uid`.
+    pub(crate) fn record_interaction(&mut self, uid: u32, item: ItemId) -> bool {
+        match self.users.get_mut(&uid) {
+            Some(p) => {
+                if !p.contains(&item) {
+                    p.push(item);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Registers a newly injected user.
+    pub(crate) fn insert_user(&mut self, uid: u32, profile: Vec<ItemId>) {
+        self.users.insert(uid, profile);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    fn shard(cfg: &ServeConfig) -> Shard {
+        let users: BTreeMap<u32, Vec<ItemId>> =
+            [(0u32, items(&[0, 1])), (4, items(&[2]))].into_iter().collect();
+        let pairs: Vec<(u32, Vec<ItemId>)> = users.iter().map(|(&u, p)| (u, p.clone())).collect();
+        let model = Arc::new(ModelVersion::build(0, 0, &pairs, 6));
+        let _ = cfg;
+        Shard::new(0, users, model, 7)
+    }
+
+    #[test]
+    fn crash_rolls_back_to_checkpoint_and_backs_off() {
+        let cfg = ServeConfig { restart_base: 4, restart_max: 16, ..Default::default() };
+        let mut s = shard(&cfg);
+        s.record_interaction(0, ItemId(5));
+        assert_eq!(s.profile_of(0).unwrap().len(), 3);
+        s.crash(10, &cfg);
+        // Crash-consistent: the un-checkpointed write is gone immediately.
+        assert_eq!(s.profile_of(0).unwrap(), &items(&[0, 1])[..]);
+        assert_eq!(s.state(), ShardState::Down { until: 14 });
+        assert!(!s.accepting());
+        // Second crash (after a restart) doubles the backoff.
+        assert!(!s.supervisor_tick(14, &cfg));
+        assert_eq!(s.state(), ShardState::Healthy);
+        s.crash(20, &cfg);
+        assert_eq!(s.state(), ShardState::Down { until: 28 });
+    }
+
+    #[test]
+    fn stall_is_escalated_by_the_logical_clock_health_check() {
+        let cfg = ServeConfig {
+            stall_prob: 1.0,
+            stall_detect_ticks: 5,
+            restart_base: 2,
+            ..Default::default()
+        };
+        let mut s = shard(&cfg);
+        assert!(!s.supervisor_tick(1, &cfg));
+        assert_eq!(s.state(), ShardState::Stalled);
+        assert_eq!(s.stats().stalls, 1);
+        // Not dead long enough yet.
+        assert!(!s.supervisor_tick(4, &cfg));
+        assert_eq!(s.state(), ShardState::Stalled);
+        // Health check fires: last progress was the launch tick 0.
+        assert!(!s.supervisor_tick(5, &cfg));
+        assert!(matches!(s.state(), ShardState::Down { .. }));
+        assert_eq!(s.stats().crashes, 1);
+    }
+
+    #[test]
+    fn checkpoint_resets_the_restart_ladder() {
+        let cfg = ServeConfig {
+            checkpoint_every: 8,
+            restart_base: 4,
+            restart_max: 64,
+            retrain_every: 1000,
+            ..Default::default()
+        };
+        let mut s = shard(&cfg);
+        s.crash(1, &cfg);
+        assert_eq!(s.state(), ShardState::Down { until: 5 });
+        assert!(!s.supervisor_tick(5, &cfg));
+        // Tick 8 is a checkpoint tick: stability proven, ladder reset.
+        assert!(!s.supervisor_tick(8, &cfg));
+        assert_eq!(s.stats().checkpoints, 1);
+        s.crash(9, &cfg);
+        assert_eq!(s.state(), ShardState::Down { until: 13 }, "backoff restarts from base");
+    }
+
+    #[test]
+    fn retrain_window_serves_pending_only_after_adoption() {
+        let cfg = ServeConfig { retrain_ticks: 3, ..Default::default() };
+        let mut s = shard(&cfg);
+        let v1 = Arc::new(ModelVersion::build(1, 10, &[(0, items(&[0]))], 6));
+        s.begin_retrain(10, &cfg, v1);
+        assert_eq!(s.state(), ShardState::Retraining { until: 13 });
+        assert_eq!(s.model().version, 0, "still serving the old replica");
+        assert!(!s.supervisor_tick(13, &cfg));
+        assert_eq!(s.model().version, 1);
+        assert_eq!(s.state(), ShardState::Healthy);
+        assert_eq!(s.stats().retrains, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! A promotion campaign against a *live* platform.
+//!
+//! Earlier examples attack a frozen recommender: the model never changes
+//! between the attacker's calls. Real platforms are services — organic
+//! users keep browsing and rating, the model is retrained on a cadence,
+//! shards crash and recover from checkpoints, and the operator degrades
+//! gracefully instead of going dark. This example deploys the pipeline's
+//! target world on the `ca-serve` service layer and runs the attack as
+//! one tenant among that traffic:
+//!
+//! 1. launch a 4-shard supervised platform with organic load, a retrain
+//!    loop, and seeded shard crashes;
+//! 2. measure the owner population's HR@20 for a cold target item;
+//! 3. run the full RL campaign (retries, typed degradation, account
+//!    re-establishment) against per-episode clones of the platform;
+//! 4. replay the learned injections on the live platform, let the drift
+//!    absorb them, and report the uplift plus what the supervisor saw.
+//!
+//! Everything runs on the logical clock — rerunning this binary
+//! reproduces the same crashes, restarts, retrains, and uplift.
+//!
+//! Run with: `cargo run --release --example live_platform`
+
+use copyattack::core::{Campaign, CampaignRun, CopyAttackVariant, ResilienceConfig};
+use copyattack::datagen::OrganicSampler;
+use copyattack::pipeline::{Pipeline, PipelineConfig};
+use copyattack::recsys::{FallibleBlackBox, UserId};
+use copyattack::serve::{LivePlatform, ServeConfig};
+
+fn main() {
+    println!("== promotion campaign on a live platform ==");
+    let cfg = PipelineConfig::tiny(7);
+    let pipe = Pipeline::build(&cfg);
+    let src = pipe.source_domain();
+    let target = pipe.target_items[0];
+    let target_src = pipe.world.source_item(target).expect("overlap");
+
+    // A supervised 4-shard deployment: organic queries and interactions
+    // drawn from the ground-truth latent model, periodic retrains, and a
+    // seeded crash/stall injector the supervisor has to ride out.
+    let serve_cfg = ServeConfig {
+        n_shards: 4,
+        organic_rate: 2.0,
+        retrain_every: 32,
+        retrain_ticks: 4,
+        checkpoint_every: 16,
+        crash_prob: 0.004,
+        stall_prob: 0.002,
+        stall_detect_ticks: 12,
+        restart_base: 8,
+        restart_max: 64,
+        ..Default::default()
+    };
+    let sampler = OrganicSampler::from_truth(&pipe.world.truth, cfg.world.affinity_beta);
+    let mut live =
+        LivePlatform::launch(&pipe.world.target, sampler, serve_cfg).expect("valid config");
+    live.advance(200);
+    let before = live.owner_hit_rate(target, 20);
+    println!(
+        "warmed up: clock {}, {} retrains, owner HR@20 for target {} = {before:.4}",
+        live.clock(),
+        live.stats().models_built,
+        target
+    );
+
+    // Train the policy against pristine per-episode clones: each episode
+    // replays the same drifting world, so the curve is reproducible.
+    let template = live.clone();
+    let mut campaign =
+        Campaign::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, vec![target_src]);
+    let run = campaign.train_resilient(&src, |_t| {
+        let mut env_platform = template.clone();
+        let accounts: Vec<UserId> = pipe
+            .pretend_profiles
+            .iter()
+            .map(|p| env_platform.try_inject_user(p).expect("episode setup"))
+            .collect();
+        copyattack::core::AttackEnvironment::new(
+            env_platform,
+            accounts,
+            target,
+            cfg.attack.reward_k,
+            cfg.attack.budget,
+        )
+        .with_resilience(ResilienceConfig::default())
+        .with_pretend_profiles(pipe.pretend_profiles.clone())
+    });
+    let curve = match run {
+        CampaignRun::Completed { curve } => curve,
+        CampaignRun::Interrupted { checkpoint, cause } => panic!(
+            "platform stayed down past the retry budget after {} episodes: {cause}",
+            checkpoint.episodes_completed()
+        ),
+    };
+    println!(
+        "campaign: {} episodes, reward {:.3} -> {:.3}",
+        curve.len(),
+        curve.first().copied().unwrap_or(0.0),
+        curve.last().copied().unwrap_or(0.0)
+    );
+
+    // Execute the promotion on the *running* platform: copy the crafted
+    // profiles in as tenant accounts and let the retrain loop absorb them.
+    let mut landed = 0usize;
+    for profile in &pipe.pretend_profiles {
+        let mut crafted = profile.clone();
+        crafted.push(target);
+        if live.try_inject_user(&crafted).is_ok() {
+            landed += 1;
+        }
+    }
+    live.advance(200);
+    let after = live.owner_hit_rate(target, 20);
+
+    let crashes: u64 = live.shards().iter().map(|s| s.stats().crashes).sum();
+    let restarts: u64 = live.shards().iter().map(|s| s.stats().restarts).sum();
+    println!(
+        "injected {landed}/{} crafted accounts; drift absorbed them over {} retrains",
+        pipe.pretend_profiles.len(),
+        live.stats().models_built
+    );
+    println!(
+        "supervisor: {crashes} crashes, {restarts} restarts, organic availability {:.4}",
+        live.stats().organic_availability()
+    );
+    println!("owner HR@20: {before:.4} -> {after:.4} (uplift {:+.4})", after - before);
+}

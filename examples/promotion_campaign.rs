@@ -84,7 +84,13 @@ fn main() {
     println!("\n== replaying the attack on a flaky platform ==");
     let target_src = pipe.world.source_item(target).expect("overlap");
     let resilience = ResilienceConfig {
-        retry: RetryPolicy { max_retries: 5, base_delay: 2, max_delay: 64, jitter: 0.25 },
+        retry: RetryPolicy {
+            max_retries: 5,
+            base_delay: 2,
+            max_delay: 64,
+            jitter: 0.25,
+            max_total_wait: 1024,
+        },
         ..ResilienceConfig::default()
     };
     let mut agent =

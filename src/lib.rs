@@ -21,6 +21,7 @@
 //! | [`cluster`] | `ca-cluster` | balanced hierarchical clustering tree + masking |
 //! | [`core`] | `copyattack-core` | the attack: selection, crafting, env, RL |
 //! | [`detect`] | `ca-detect` | shilling-attack detectors (profile realism) |
+//! | [`serve`] | `ca-serve` | supervised sharded live platform (degradation, drift) |
 //! | [`pipeline`] | this crate | end-to-end experiment pipeline |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@ pub use ca_ncf as ncf;
 pub use ca_nn as nn;
 pub use ca_par as par;
 pub use ca_recsys as recsys;
+pub use ca_serve as serve;
 pub use ca_tensor as tensor;
 pub use ca_train as train;
 pub use copyattack_core as core;

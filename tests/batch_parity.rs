@@ -8,7 +8,10 @@ use ca_gnn::{GnnConfig, PinSageModel, PinSageRecommender};
 use ca_mf::{MfModel, MfRecommender};
 use ca_ncf::{NcfConfig, NcfModel, NcfRecommender};
 use ca_recsys::knn::ItemKnnRecommender;
-use ca_recsys::{BlackBoxRecommender, DatasetBuilder, ItemId, PopularityRecommender, UserId};
+use ca_recsys::{
+    BlackBoxRecommender, DatasetBuilder, FallibleBlackBox, FaultConfig, FaultyRecommender, ItemId,
+    PopularityRecommender, RateLimit, UserId,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -123,6 +126,52 @@ proptest! {
     ) {
         let rec = PopularityRecommender::deploy(dataset(20, &profiles));
         assert_batch_parity(&rec, profiles.len(), k);
+    }
+
+    // Fault-layer parity: on an unreliable platform, batching must not
+    // change *which calls fail and how*. Fault draws are a pure function
+    // of (seed, logical clock, account), so any chunking of the same user
+    // sequence reproduces the per-user loop outcome-for-outcome — errors,
+    // truncations, suspensions, clock, and counters included.
+
+    #[test]
+    fn faulty_batch_reproduces_per_user_fault_sequences(
+        profiles in prop::collection::vec(prop::collection::vec(0u32..12, 1..6), 4..10),
+        k in 1usize..8,
+        chunk in 1usize..9,
+        seed in 0u64..1_000,
+        timeout in 0.0f64..0.25,
+        truncate in 0.0f64..0.25,
+        suspend in 0.0f64..0.08,
+    ) {
+        let cfg = FaultConfig {
+            seed,
+            timeout_prob: timeout,
+            unavailable_prob: 0.05,
+            truncate_prob: truncate,
+            truncate_keep: 0.5,
+            suspend_prob: suspend,
+            reject_inject_prob: 0.05,
+            shadow_ban_prob: 0.05,
+            rate_limit: Some(RateLimit { window: 8, max_calls: 6 }),
+        };
+        prop_assert!(cfg.validate().is_ok());
+        let data = dataset(12, &profiles);
+        let n_users = data.n_users();
+        let users: Vec<UserId> = (0..48u32).map(|i| UserId(i % n_users as u32)).collect();
+
+        let mut batched = FaultyRecommender::new(ItemKnnRecommender::deploy(data.clone()), cfg.clone());
+        let mut looped = FaultyRecommender::new(ItemKnnRecommender::deploy(data), cfg);
+
+        let mut from_batches = Vec::with_capacity(users.len());
+        for group in users.chunks(chunk) {
+            from_batches.extend(batched.try_top_k_batch(group, k));
+        }
+        let from_loop: Vec<_> = users.iter().map(|&u| looped.try_top_k(u, k)).collect();
+
+        prop_assert_eq!(&from_batches, &from_loop, "chunk size {} changed the fault sequence", chunk);
+        prop_assert_eq!(batched.clock(), looped.clock(), "batching must cost the same logical time");
+        prop_assert_eq!(batched.stats(), looped.stats());
     }
 
     #[test]

@@ -10,17 +10,28 @@
 //!    stack cannot hide attacker cost;
 //! 4. an identical-seed rerun reproduces the same outcome bit for bit.
 
-use copyattack::core::{CopyAttackAgent, CopyAttackVariant, ResilienceConfig, RetryPolicy};
+use copyattack::core::{
+    AttackConfig, AttackEnvironment, Campaign, CampaignRun, CopyAttackAgent, CopyAttackVariant,
+    ResilienceConfig, RetryPolicy,
+};
+use copyattack::datagen::OrganicSampler;
 use copyattack::pipeline::{Pipeline, PipelineConfig};
-use copyattack::recsys::{BlackBoxRecommender, FallibleBlackBox};
+use copyattack::recsys::{BlackBoxRecommender, FallibleBlackBox, RecError};
 use copyattack::recsys::{FaultConfig, FaultStats, FaultyRecommender, ItemId, UserId};
+use copyattack::serve::{LivePlatform, ServeConfig};
 use proptest::prelude::*;
 
 const FAULT_SEED: u64 = 0xC0FFEE;
 
 fn chaos_resilience() -> ResilienceConfig {
     ResilienceConfig {
-        retry: RetryPolicy { max_retries: 5, base_delay: 2, max_delay: 128, jitter: 0.25 },
+        retry: RetryPolicy {
+            max_retries: 5,
+            base_delay: 2,
+            max_delay: 128,
+            jitter: 0.25,
+            max_total_wait: 1024,
+        },
         min_quorum: 0.5,
         reestablish: true,
         seed: 99,
@@ -126,6 +137,167 @@ fn identical_seeds_reproduce_the_chaos_outcome_exactly() {
 }
 
 // ---------------------------------------------------------------------------
+// Shard-crash chaos: the campaign against the ca-serve live platform.
+// ---------------------------------------------------------------------------
+
+/// Deploys the pipeline's target world as a live platform (organic
+/// traffic, retrain drift) and establishes the pipeline's pretend
+/// accounts on it. Returned platforms are pristine per-episode templates:
+/// clone one for each episode so every run replays identically.
+fn live_service(pipe: &Pipeline, serve_cfg: ServeConfig) -> (LivePlatform, Vec<UserId>) {
+    let sampler = OrganicSampler::from_truth(&pipe.world.truth, pipe.config.world.affinity_beta);
+    let mut p = LivePlatform::launch(&pipe.world.target, sampler, serve_cfg).unwrap();
+    let pretend: Vec<UserId> = pipe
+        .pretend_profiles
+        .iter()
+        .map(|profile| p.try_inject_user(profile).expect("healthy launch accepts accounts"))
+        .collect();
+    (p, pretend)
+}
+
+fn healthy_serve_cfg() -> ServeConfig {
+    ServeConfig {
+        n_shards: 1,
+        organic_rate: 1.0,
+        retrain_every: 16,
+        retrain_ticks: 2,
+        checkpoint_every: 8,
+        ..Default::default()
+    }
+}
+
+/// Same platform, but a scripted shard crash on the first tick after the
+/// pretend accounts are established (establishment costs one tick per
+/// account), with a restart backoff far beyond any retry budget: the
+/// episode's first call finds the only shard down, and the whole episode
+/// degrades to typed failures.
+fn doomed_serve_cfg(n_pretend: u64) -> ServeConfig {
+    ServeConfig {
+        scripted_crashes: vec![(n_pretend + 1, 0)],
+        restart_base: 50_000,
+        restart_max: 50_000,
+        ..healthy_serve_cfg()
+    }
+}
+
+#[test]
+fn shard_crash_interrupts_the_campaign_and_resume_replays_the_curve() {
+    let cfg = PipelineConfig::tiny(42);
+    let pipe = Pipeline::build(&cfg);
+    let target = pipe.target_items[0];
+    let target_src = pipe.world.source_item(target).unwrap();
+    let src = pipe.source_domain();
+    let attack_cfg = AttackConfig { episodes: 8, ..pipe.config.attack.clone() };
+
+    let (healthy, pretend) = live_service(&pipe, healthy_serve_cfg());
+    let (doomed, doomed_pretend) =
+        live_service(&pipe, doomed_serve_cfg(pipe.pretend_profiles.len() as u64));
+    let make_episode = |template: &LivePlatform, accounts: &[UserId]| {
+        AttackEnvironment::new(
+            template.clone(),
+            accounts.to_vec(),
+            target,
+            attack_cfg.reward_k,
+            attack_cfg.budget,
+        )
+        .with_resilience(chaos_resilience())
+        .with_pretend_profiles(pipe.pretend_profiles.clone())
+    };
+
+    // Reference: every episode served by a healthy platform clone.
+    let mut reference =
+        Campaign::new(attack_cfg.clone(), CopyAttackVariant::full(), &src, vec![target_src]);
+    let CampaignRun::Completed { curve: full_curve } =
+        reference.train_resilient(&src, |_| make_episode(&healthy, &pretend))
+    else {
+        panic!("a healthy platform cannot interrupt the campaign");
+    };
+    assert_eq!(full_curve.len(), 8);
+
+    // Interrupted run: episode 4 lands on a platform whose only shard
+    // crashes on the first tick and stays down past every retry budget.
+    let mut campaign =
+        Campaign::new(attack_cfg.clone(), CopyAttackVariant::full(), &src, vec![target_src]);
+    let mut episode_no = 0usize;
+    let run = campaign.train_resilient(&src, |_| {
+        let doomed_now = episode_no == 4;
+        episode_no += 1;
+        if doomed_now {
+            make_episode(&doomed, &doomed_pretend)
+        } else {
+            make_episode(&healthy, &pretend)
+        }
+    });
+    let CampaignRun::Interrupted { checkpoint, cause } = run else {
+        panic!("a dead shard must interrupt the campaign");
+    };
+    assert!(
+        matches!(cause, RecError::Degraded { retry_after } if retry_after > 0),
+        "the supervisor must fail typed, with a retry hint: got {cause}"
+    );
+    assert_eq!(checkpoint.episodes_completed(), 4);
+    assert_eq!(checkpoint.curve(), &full_curve[..4], "pre-crash prefix must match");
+
+    // The shard comes back (fresh healthy clones): resuming from the
+    // checkpoint replays the aborted episode cleanly and the combined
+    // curve is bit-identical to the uninterrupted reference.
+    let mut resumed = Campaign::resume(*checkpoint);
+    let CampaignRun::Completed { curve } =
+        resumed.train_resilient(&src, |_| make_episode(&healthy, &pretend))
+    else {
+        panic!("recovered platform cannot interrupt");
+    };
+    assert_eq!(curve, full_curve, "resume must reproduce the uninterrupted curve exactly");
+}
+
+#[test]
+fn mid_campaign_shard_crash_with_recovery_still_completes() {
+    // Unlike the doomed config above, here the shard crash heals within
+    // the retry budget: the campaign rides through on retries and typed
+    // degradation without ever aborting, and the run stays reproducible.
+    let cfg = PipelineConfig::tiny(42);
+    let pipe = Pipeline::build(&cfg);
+    let target = pipe.target_items[0];
+    let target_src = pipe.world.source_item(target).unwrap();
+    let src = pipe.source_domain();
+    let attack_cfg = AttackConfig { episodes: 6, ..pipe.config.attack.clone() };
+
+    let crash_at = pipe.pretend_profiles.len() as u64 + 10;
+    let serve_cfg = ServeConfig {
+        scripted_crashes: vec![(crash_at, 0)],
+        restart_base: 12,
+        restart_max: 12,
+        ..healthy_serve_cfg()
+    };
+    let run = || {
+        let (template, pretend) = live_service(&pipe, serve_cfg.clone());
+        let mut campaign =
+            Campaign::new(attack_cfg.clone(), CopyAttackVariant::full(), &src, vec![target_src]);
+        let outcome = campaign.train_resilient(&src, |_| {
+            AttackEnvironment::new(
+                template.clone(),
+                pretend.clone(),
+                target,
+                attack_cfg.reward_k,
+                attack_cfg.budget,
+            )
+            .with_resilience(chaos_resilience())
+            .with_pretend_profiles(pipe.pretend_profiles.clone())
+        });
+        match outcome {
+            CampaignRun::Completed { curve } => curve,
+            CampaignRun::Interrupted { cause, .. } => {
+                panic!("a 12-tick outage must be absorbed by retries, got: {cause}")
+            }
+        }
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), 6);
+    assert_eq!(a, b, "recovered-crash campaign must replay bit for bit");
+}
+
+// ---------------------------------------------------------------------------
 // Determinism proptests for the fault layer and the retry policy.
 // ---------------------------------------------------------------------------
 
@@ -205,7 +377,7 @@ proptest! {
         attempt in 0u32..128,
     ) {
         let max_delay = base.saturating_mul(factor);
-        let p = RetryPolicy { max_retries: 10, base_delay: base, max_delay, jitter: 0.0 };
+        let p = RetryPolicy { max_retries: 10, base_delay: base, max_delay, jitter: 0.0, ..RetryPolicy::default() };
         let d = p.backoff(attempt);
         prop_assert!(d <= max_delay, "backoff {} above cap {}", d, max_delay);
         prop_assert!(d >= base.min(max_delay));
@@ -223,7 +395,7 @@ proptest! {
         jitter in 0.0f64..1.0,
         attempt in 0u32..32,
     ) {
-        let p = RetryPolicy { max_retries: 8, base_delay: 3, max_delay: 1 << 20, jitter };
+        let p = RetryPolicy { max_retries: 8, base_delay: 3, max_delay: 1 << 20, jitter, ..RetryPolicy::default() };
         let delay = |s| {
             let mut rng = copyattack::recsys::SplitMix64::new(s);
             p.delay_for(attempt, &copyattack::recsys::RecError::Timeout, &mut rng)

@@ -1,0 +1,168 @@
+//! Golden-replay suite for the `ca-serve` live platform.
+//!
+//! The service layer promises the same determinism contract as every other
+//! parallel construct in the workspace: a fixed `ServeConfig` plus a fixed
+//! call sequence replays bit for bit at any `CA_THREADS` setting, and —
+//! with fault injection disabled — at any shard count. With fault
+//! injection *enabled*, replays stay exact at a fixed shard count, through
+//! crashes, checkpoint rollbacks, and restarts.
+
+use copyattack::datagen::{generate, CrossDomainConfig, OrganicSampler};
+use copyattack::par;
+use copyattack::recsys::{FallibleBlackBox, FaultConfig, FaultyRecommender, ItemId, UserId};
+use copyattack::serve::{LivePlatform, ServeConfig};
+
+fn platform(cfg: ServeConfig) -> LivePlatform {
+    let dcfg = CrossDomainConfig::tiny(21);
+    let world = generate(&dcfg);
+    let sampler = OrganicSampler::from_truth(&world.truth, dcfg.affinity_beta);
+    LivePlatform::launch(&world.target, sampler, cfg).unwrap()
+}
+
+/// A tenant workload mixing queries, injections, and waits.
+fn drive(p: &mut LivePlatform, calls: u64) {
+    for i in 0..calls {
+        let _ = p.try_top_k(UserId((i % 11) as u32), 10);
+        if i % 4 == 0 {
+            let _ = p.try_inject_user(&[ItemId(1), ItemId(5), ItemId((i % 17) as u32)]);
+        }
+        if i % 9 == 0 {
+            p.wait(5);
+        }
+    }
+}
+
+fn chaos_cfg() -> ServeConfig {
+    ServeConfig {
+        crash_prob: 0.02,
+        stall_prob: 0.01,
+        retrain_every: 24,
+        retrain_ticks: 6,
+        checkpoint_every: 12,
+        stall_detect_ticks: 8,
+        restart_base: 8,
+        restart_max: 64,
+        ..Default::default()
+    }
+}
+
+/// Runs the full workload — world ticks, tenant calls, and the parallel
+/// read path — and folds everything observable into one digest.
+fn run_digest(cfg: ServeConfig) -> u64 {
+    let mut p = platform(cfg);
+    p.advance(80);
+    drive(&mut p, 160);
+    let users: Vec<UserId> = (0..64).map(UserId).collect();
+    let mut h = p.replay_digest();
+    for r in p.par_serve_queries(&users, 12) {
+        let v = match r {
+            Ok(list) => {
+                list.iter().fold(1u64, |a, i| a.wrapping_mul(0x100_0000_01b3) ^ u64::from(i.0))
+            }
+            Err(e) => 0x5EED ^ e.to_string().len() as u64,
+        };
+        h = (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    h
+}
+
+#[test]
+fn replay_is_identical_across_thread_counts() {
+    par::set_threads(Some(1));
+    let reference = run_digest(chaos_cfg());
+    for t in [2usize, 4, 8] {
+        par::set_threads(Some(t));
+        assert_eq!(run_digest(chaos_cfg()), reference, "serve replay diverged at CA_THREADS={t}");
+    }
+    par::set_threads(None);
+}
+
+#[test]
+fn crash_free_runs_replay_across_shard_counts() {
+    let base = ServeConfig {
+        retrain_every: 24,
+        retrain_ticks: 6,
+        checkpoint_every: 12,
+        ..Default::default()
+    };
+    let reference = run_digest(ServeConfig { n_shards: 1, ..base.clone() });
+    for n in [2usize, 3, 4, 8] {
+        assert_eq!(
+            run_digest(ServeConfig { n_shards: n, ..base.clone() }),
+            reference,
+            "crash-free serve replay diverged at {n} shards"
+        );
+    }
+}
+
+#[test]
+fn crashy_runs_replay_exactly_at_a_fixed_shard_count() {
+    assert_eq!(run_digest(chaos_cfg()), run_digest(chaos_cfg()));
+    // The run being reproduced is genuinely eventful: faults fired and
+    // the supervisor recovered from them.
+    let mut p = platform(chaos_cfg());
+    p.advance(80);
+    drive(&mut p, 160);
+    let crashes: u64 = p.shards().iter().map(|s| s.stats().crashes).sum();
+    let restarts: u64 = p.shards().iter().map(|s| s.stats().restarts).sum();
+    assert!(crashes > 0, "chaos config produced no crashes");
+    assert!(restarts > 0, "no shard ever restarted");
+    assert!(p.stats().organic_availability() < 1.0, "faults must cost availability");
+    assert!(p.stats().organic_availability() > 0.5, "platform collapsed entirely");
+}
+
+#[test]
+fn scripted_crash_and_checkpoint_recovery_replay_exactly() {
+    let cfg = ServeConfig {
+        scripted_crashes: vec![(40, 0), (90, 1)],
+        retrain_every: 32,
+        retrain_ticks: 4,
+        checkpoint_every: 16,
+        restart_base: 10,
+        restart_max: 10,
+        ..Default::default()
+    };
+    let run = || {
+        let mut p = platform(cfg.clone());
+        drive(&mut p, 120);
+        p
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.replay_digest(), b.replay_digest());
+    assert_eq!(a.stats(), b.stats());
+    // Both scripted crashes fired and both shards came back.
+    assert_eq!(a.shards()[0].stats().crashes, 1);
+    assert_eq!(a.shards()[1].stats().crashes, 1);
+    assert_eq!(a.shards()[0].stats().restarts, 1);
+    assert_eq!(a.shards()[1].stats().restarts, 1);
+}
+
+#[test]
+fn fault_wrapper_stacks_on_the_live_platform_deterministically() {
+    // The PR-1 fault layer composes over the service layer: per-call
+    // faults in front, shard-level faults behind, one logical clock each.
+    let run = || {
+        let inner = platform(chaos_cfg());
+        let mut f = FaultyRecommender::new(inner, FaultConfig::chaos(0xFEED));
+        let mut trace = Vec::new();
+        for i in 0..120u64 {
+            let sig = match f.try_top_k(UserId((i % 9) as u32), 8) {
+                Ok(v) => format!("q:{}", v.len()),
+                Err(e) => format!("e:{e}"),
+            };
+            trace.push(sig);
+            if i % 6 == 0 {
+                let sig = match f.try_inject_user(&[ItemId(2), ItemId(3)]) {
+                    Ok(u) => format!("i:{u}"),
+                    Err(e) => format!("x:{e}"),
+                };
+                trace.push(sig);
+            }
+        }
+        trace.push(format!("clock:{}", f.clock()));
+        trace.push(format!("inner:{}", f.inner().replay_digest()));
+        trace
+    };
+    assert_eq!(run(), run());
+}

@@ -46,6 +46,11 @@ pub enum Rule {
     /// real-time block there both stalls the deterministic event loop and
     /// smuggles wall-clock timing into the replay contract.
     ServiceSleep,
+    /// `Vec<Vec<` in the data-plane crates (`ca-recsys`, `ca-datagen`):
+    /// the compact CSR arena layout must not silently regress to
+    /// pointer-chasing nested allocations on the paths that carry
+    /// dataset-scale state.
+    NestedVec,
     /// A `ca-audit: allow` pragma with no reason after the rule list.
     PragmaMissingReason,
     /// A `ca-audit` pragma naming a rule id that does not exist (typos
@@ -55,7 +60,7 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 11] = [
         Rule::HashCollections,
         Rule::WallClock,
         Rule::AdHocRng,
@@ -64,6 +69,7 @@ impl Rule {
         Rule::UnsafeAudit,
         Rule::UnorderedReduce,
         Rule::ServiceSleep,
+        Rule::NestedVec,
         Rule::PragmaMissingReason,
         Rule::PragmaUnknownRule,
     ];
@@ -79,6 +85,7 @@ impl Rule {
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::UnorderedReduce => "unordered-reduce",
             Rule::ServiceSleep => "service-sleep",
+            Rule::NestedVec => "nested-vec",
             Rule::PragmaMissingReason => "pragma-missing-reason",
             Rule::PragmaUnknownRule => "pragma-unknown-rule",
         }
@@ -104,6 +111,7 @@ impl Rule {
                 "float reduction over par-produced values outside ca_par::map_reduce"
             }
             Rule::ServiceSleep => "thread::sleep in a logical-clock service path",
+            Rule::NestedVec => "nested Vec<Vec<…>> in a compact-data-plane crate",
             Rule::PragmaMissingReason => "ca-audit allow pragma without a reason",
             Rule::PragmaUnknownRule => "ca-audit pragma names an unknown rule",
         }
@@ -141,10 +149,15 @@ impl Rule {
                 "model every delay as logical ticks (FallibleBlackBox::wait, the ServeConfig \
                  cadences); the service layer must never block real time"
             }
+            Rule::NestedVec => {
+                "store dataset-scale state in flat CSR arenas (one buffer + offsets, see \
+                 recsys::Dataset) or ca_tensor::Matrix; per-query k-sized batch results \
+                 may keep the nested shape behind a reasoned pragma"
+            }
             Rule::PragmaMissingReason => "append `— <why this is sound>` after the rule list",
             Rule::PragmaUnknownRule => {
                 "valid rules: hash-collections, wall-clock, ad-hoc-rng, raw-thread, \
-                 raw-top-k, unsafe-audit, unordered-reduce, service-sleep"
+                 raw-top-k, unsafe-audit, unordered-reduce, service-sleep, nested-vec"
             }
         }
     }
@@ -278,6 +291,8 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> Vec<Findi
     let in_core = rel_path.starts_with("crates/copyattack-core/src/");
     let in_service =
         rel_path.starts_with("crates/serve/src/") || rel_path.starts_with("crates/recsys/src/");
+    let in_dataplane =
+        rel_path.starts_with("crates/recsys/src/") || rel_path.starts_with("crates/datagen/src/");
 
     // Statement window for the unordered-reduce rule: a statement runs
     // between `;`/`{`/`}` boundaries; within one, a float reduction chained
@@ -328,6 +343,16 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> Vec<Findi
                 }
                 "par" | "ca_par" if path2(&toks, i, &[name], &["map", "map_min", "map_mut"]) => {
                     window_has_par_map = true;
+                }
+                // `Vec < Vec <` — a nested dataset-scale allocation.
+                "Vec"
+                    if in_dataplane
+                        && i + 3 < toks.len()
+                        && toks[i + 1].is_punct('<')
+                        && toks[i + 2].is_ident("Vec")
+                        && toks[i + 3].is_punct('<') =>
+                {
+                    findings.push(Finding::new(rel_path, t.line, Rule::NestedVec));
                 }
                 _ => {}
             },

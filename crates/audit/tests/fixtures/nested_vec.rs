@@ -1,0 +1,18 @@
+//! Known-bad fixture: nested-vec must fire on `Vec<Vec<…>>` in data-plane
+//! crates (ca-recsys / ca-datagen sources only).
+//! Decoy: Vec<Vec<u32>> in this comment must stay silent.
+
+struct Profiles {
+    rows: Vec<Vec<u32>>, // MARK: field fires
+}
+
+fn batch_result() -> Vec<Vec<u32>> { // MARK: return type fires
+    Vec::new()
+}
+
+fn decoys() {
+    let flat: Vec<u32> = Vec::new();
+    let boxed: Vec<Box<[u32]>> = Vec::new();
+    let s = "a Vec<Vec<u32>> inside a string must stay silent";
+    let _ = (flat, boxed, s);
+}

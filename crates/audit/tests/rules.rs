@@ -103,7 +103,9 @@ fn raw_top_k_fires_only_inside_copyattack_core() {
         ]
     );
     // The same source outside the attack crate is not query-metered code.
-    assert!(strict("crates/recsys/src/engine.rs", src).is_empty());
+    // (A non-data-plane path, so the fixture's Vec<Vec<…>> return stays
+    // out of nested-vec's scope too.)
+    assert!(strict("crates/train/src/driver.rs", src).is_empty());
 }
 
 #[test]
@@ -119,6 +121,21 @@ fn service_sleep_fires_only_in_service_path_crates() {
     assert_eq!(fired(&strict("crates/recsys/src/faults.rs", src)), expected);
     // The same source elsewhere is not bound by the logical-clock contract.
     assert!(strict("crates/train/src/driver.rs", src).is_empty());
+    assert!(strict("src/pipeline.rs", src).is_empty());
+}
+
+#[test]
+fn nested_vec_fires_only_in_data_plane_crates() {
+    let src = include_str!("fixtures/nested_vec.rs");
+    let expected = vec![
+        ("nested-vec", line_of(src, "MARK: field fires")),
+        ("nested-vec", line_of(src, "MARK: return type fires")),
+    ];
+    // Both compact-data-plane crates are in scope.
+    assert_eq!(fired(&strict("crates/recsys/src/dataset.rs", src)), expected);
+    assert_eq!(fired(&strict("crates/datagen/src/latent.rs", src)), expected);
+    // Elsewhere the nested shape carries no dataset-scale state contract.
+    assert!(strict("crates/mf/src/recommender.rs", src).is_empty());
     assert!(strict("src/pipeline.rs", src).is_empty());
 }
 
@@ -219,6 +236,12 @@ fn every_code_rule_is_silenced_by_a_reasoned_pragma_above_the_line() {
             "service-sleep",
             &["MARK: qualified sleep fires", "MARK: imported sleep fires"],
             "crates/serve/src/shard.rs",
+        ),
+        (
+            include_str!("fixtures/nested_vec.rs"),
+            "nested-vec",
+            &["MARK: field fires", "MARK: return type fires"],
+            "crates/datagen/src/organic.rs",
         ),
     ];
     for (src, rule, markers, path) in cases {

@@ -1,0 +1,325 @@
+//! Data-plane bench: compact CSR arenas vs the legacy nested-`Vec` layout,
+//! and serial vs streaming chunk-seeded dataset generation.
+//!
+//! Two comparisons, each swept over user counts:
+//!
+//! 1. **Layout** — build the same deduped interaction data into the CSR
+//!    `Dataset` and into an in-bench replica of the pre-refactor nested
+//!    model (one `Vec` per profile, one `Vec` per item's users), then scan
+//!    both ways. Reports peak RSS (`VmHWM`) and build/scan throughput.
+//! 2. **Datagen** — `generate` (serial, bitwise-pinned stream) vs
+//!    `generate_streaming` (chunk-seeded, runs on `ca-par`). Reports
+//!    interactions generated per second.
+//!
+//! `VmHWM` is monotone over a process's lifetime, so every scenario runs
+//! in its own subprocess (`--scenario=`) and reports one `RESULT {json}`
+//! line; the parent collects them into `results/BENCH_dataplane.json`.
+//!
+//! ```text
+//! cargo run --release -p copyattack-bench --bin dataplane
+//! cargo run --release -p copyattack-bench --bin dataplane -- --smoke=1
+//! ```
+//!
+//! `--smoke=1` runs only the 1M-user streaming-generation scenario (small
+//! catalog, short profiles) — the CI guard that large-scale generation
+//! stays healthy.
+
+use std::process::Command;
+use std::time::Instant;
+
+use copyattack::datagen::{generate, generate_streaming, CrossDomainConfig};
+use copyattack::par;
+use copyattack::recsys::{DatasetBuilder, ItemId, UserId};
+use copyattack_bench::{print_table, results_dir, Args};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Catalog for the layout comparison; profiles are short (2..=10 items) so
+/// per-profile overhead — where nested layouts pay — is in proportion.
+const LAYOUT_CATALOG: usize = 2_000;
+
+fn vm_hwm_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+        .expect("VmHWM in /proc/self/status")
+}
+
+fn fill_profile(rng: &mut StdRng, buf: &mut Vec<ItemId>) {
+    buf.clear();
+    let len = rng.gen_range(2..=10);
+    for _ in 0..len {
+        buf.push(ItemId(rng.gen_range(0..LAYOUT_CATALOG as u32)));
+    }
+}
+
+/// In-bench replica of the pre-CSR data model: nested profiles, nested
+/// insertion-order inverted index, linear-scan dedup. Kept verbatim so the
+/// bench keeps measuring the layout this refactor replaced.
+struct NestedModel {
+    profiles: Vec<Vec<ItemId>>,
+    item_profiles: Vec<Vec<UserId>>,
+}
+
+impl NestedModel {
+    fn new(n_items: usize) -> Self {
+        Self { profiles: Vec::new(), item_profiles: vec![Vec::new(); n_items] }
+    }
+
+    fn add(&mut self, raw: &[ItemId]) {
+        let uid = UserId(self.profiles.len() as u32);
+        let mut kept: Vec<ItemId> = Vec::new();
+        for &v in raw {
+            if !kept.contains(&v) {
+                kept.push(v);
+                self.item_profiles[v.idx()].push(uid);
+            }
+        }
+        self.profiles.push(kept);
+    }
+}
+
+/// One `RESULT` line for the parent to collect.
+fn emit(fields: &str) {
+    println!("RESULT {{{fields}}}");
+}
+
+fn scenario_layout_csr(n_users: usize) {
+    let mut rng = StdRng::seed_from_u64(0xDA7A);
+    let mut buf = Vec::new();
+    let t = Instant::now();
+    let mut b = DatasetBuilder::new(LAYOUT_CATALOG);
+    for _ in 0..n_users {
+        fill_profile(&mut rng, &mut buf);
+        b.user(&buf);
+    }
+    let ds = b.build();
+    let build_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut sink = 0u64;
+    for u in ds.users() {
+        for &v in ds.profile(u) {
+            sink += u64::from(v.0);
+        }
+    }
+    for v in ds.items() {
+        sink += ds.item_profile(v).len() as u64;
+    }
+    let scan_s = t.elapsed().as_secs_f64();
+    assert!(sink > 0);
+    emit(&format!(
+        "\"interactions\": {}, \"build_s\": {build_s:.4}, \"scan_s\": {scan_s:.4}, \"hwm_kb\": {}",
+        ds.n_interactions(),
+        vm_hwm_kb()
+    ));
+}
+
+fn scenario_layout_nested(n_users: usize) {
+    let mut rng = StdRng::seed_from_u64(0xDA7A);
+    let mut buf = Vec::new();
+    let t = Instant::now();
+    let mut m = NestedModel::new(LAYOUT_CATALOG);
+    for _ in 0..n_users {
+        fill_profile(&mut rng, &mut buf);
+        m.add(&buf);
+    }
+    let build_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut sink = 0u64;
+    for p in &m.profiles {
+        for &v in p {
+            sink += u64::from(v.0);
+        }
+    }
+    for ip in &m.item_profiles {
+        sink += ip.len() as u64;
+    }
+    let scan_s = t.elapsed().as_secs_f64();
+    assert!(sink > 0);
+    emit(&format!(
+        "\"interactions\": {}, \"build_s\": {build_s:.4}, \"scan_s\": {scan_s:.4}, \"hwm_kb\": {}",
+        m.profiles.iter().map(Vec::len).sum::<usize>(),
+        vm_hwm_kb()
+    ));
+}
+
+/// Generator config scaled to `n_users` target users: small catalog, short
+/// profiles, a 1/10-sized source domain — the data plane is the subject,
+/// not the latent model.
+fn gen_cfg(n_users: usize) -> CrossDomainConfig {
+    let mut cfg = CrossDomainConfig::tiny(0xBEEF);
+    cfg.n_target_items = 500;
+    cfg.n_overlap = 300;
+    cfg.target.n_users = n_users;
+    cfg.target.profile_len_mean = 6.0;
+    cfg.target.profile_len_min = 2;
+    cfg.target.profile_len_max = 12;
+    cfg.source.n_users = (n_users / 10).max(100);
+    cfg.source.profile_len_mean = 6.0;
+    cfg.source.profile_len_min = 2;
+    cfg.source.profile_len_max = 12;
+    cfg
+}
+
+fn scenario_gen(n_users: usize, streaming: bool) {
+    let cfg = gen_cfg(n_users);
+    let t = Instant::now();
+    let world = if streaming { generate_streaming(&cfg) } else { generate(&cfg) };
+    let gen_s = t.elapsed().as_secs_f64();
+    let interactions = world.target.n_interactions() + world.source.n_interactions();
+    assert_eq!(world.target.n_users(), n_users);
+    emit(&format!(
+        "\"interactions\": {interactions}, \"gen_s\": {gen_s:.4}, \"hwm_kb\": {}",
+        vm_hwm_kb()
+    ));
+}
+
+/// Spawns this binary on one scenario and returns the parsed `RESULT`
+/// fields as (key, value) pairs.
+fn run_child(scenario: &str, n_users: usize) -> Vec<(String, f64)> {
+    let exe = std::env::current_exe().expect("current exe");
+    let out = Command::new(exe)
+        .arg(format!("--scenario={scenario}"))
+        .arg(format!("--users={n_users}"))
+        .output()
+        .expect("spawn scenario subprocess");
+    assert!(out.status.success(), "scenario {scenario} ({n_users} users) failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("RESULT "))
+        .unwrap_or_else(|| panic!("no RESULT line from {scenario}: {stdout}"));
+    line.trim_matches(['{', '}'])
+        .split(", ")
+        .filter_map(|kv| {
+            let (k, v) = kv.split_once(": ")?;
+            Some((k.trim_matches('"').to_string(), v.parse().ok()?))
+        })
+        .collect()
+}
+
+fn get(fields: &[(String, f64)], key: &str) -> f64 {
+    fields.iter().find(|(k, _)| k == key).unwrap_or_else(|| panic!("missing field {key}")).1
+}
+
+fn main() {
+    let args = Args::parse();
+    let scenario = args.get("scenario", "");
+    let n_users: usize = args.get_parse("users", 10_000);
+    match scenario.as_str() {
+        "layout-csr" => return scenario_layout_csr(n_users),
+        "layout-nested" => return scenario_layout_nested(n_users),
+        "gen-serial" => return scenario_gen(n_users, false),
+        "gen-stream" => return scenario_gen(n_users, true),
+        "" => {}
+        other => panic!("unknown scenario {other:?}"),
+    }
+
+    if args.get_parse("smoke", 0u32) == 1 {
+        // CI guard: 1M-user streaming generation must finish and stay sane.
+        let t = Instant::now();
+        scenario_gen(1_000_000, true);
+        println!("smoke: 1M-user streaming datagen ok in {:.1}s", t.elapsed().as_secs_f64());
+        return;
+    }
+
+    let layout_sizes = [10_000usize, 100_000, 1_000_000];
+    let gen_sizes = [10_000usize, 100_000, 1_000_000];
+
+    let mut rows = Vec::new();
+    let mut layout_cases = Vec::new();
+    for &n in &layout_sizes {
+        let csr = run_child("layout-csr", n);
+        let nested = run_child("layout-nested", n);
+        assert_eq!(
+            get(&csr, "interactions"),
+            get(&nested, "interactions"),
+            "layouts must store identical data"
+        );
+        let reduction = get(&nested, "hwm_kb") / get(&csr, "hwm_kb");
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.0}", get(&csr, "interactions")),
+            format!("{:.0}", get(&csr, "hwm_kb")),
+            format!("{:.0}", get(&nested, "hwm_kb")),
+            format!("{reduction:.2}x"),
+            format!("{:.0}", get(&csr, "interactions") / get(&csr, "build_s")),
+            format!("{:.0}", get(&csr, "interactions") / get(&csr, "scan_s")),
+        ]);
+        layout_cases.push(format!(
+            concat!(
+                "    {{\"users\": {}, \"interactions\": {:.0}, ",
+                "\"csr_hwm_kb\": {:.0}, \"nested_hwm_kb\": {:.0}, \"rss_reduction\": {:.3}, ",
+                "\"csr_build_s\": {:.4}, \"nested_build_s\": {:.4}, ",
+                "\"csr_scan_s\": {:.4}, \"nested_scan_s\": {:.4}}}"
+            ),
+            n,
+            get(&csr, "interactions"),
+            get(&csr, "hwm_kb"),
+            get(&nested, "hwm_kb"),
+            reduction,
+            get(&csr, "build_s"),
+            get(&nested, "build_s"),
+            get(&csr, "scan_s"),
+            get(&nested, "scan_s"),
+        ));
+    }
+    print_table(
+        "layout: CSR arenas vs nested Vec (per-process VmHWM)",
+        &["users", "inter", "csr_kb", "nested_kb", "rss_x", "build_ips", "scan_ips"],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    let mut gen_cases = Vec::new();
+    for &n in &gen_sizes {
+        let serial = run_child("gen-serial", n);
+        let stream = run_child("gen-stream", n);
+        let serial_ips = get(&serial, "interactions") / get(&serial, "gen_s");
+        let stream_ips = get(&stream, "interactions") / get(&stream, "gen_s");
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.0}", get(&serial, "interactions")),
+            format!("{serial_ips:.0}"),
+            format!("{stream_ips:.0}"),
+            format!("{:.2}x", stream_ips / serial_ips),
+        ]);
+        gen_cases.push(format!(
+            concat!(
+                "    {{\"target_users\": {}, \"serial_interactions\": {:.0}, ",
+                "\"stream_interactions\": {:.0}, \"serial_s\": {:.4}, \"stream_s\": {:.4}, ",
+                "\"serial_ips\": {:.0}, \"stream_ips\": {:.0}}}"
+            ),
+            n,
+            get(&serial, "interactions"),
+            get(&stream, "interactions"),
+            get(&serial, "gen_s"),
+            get(&stream, "gen_s"),
+            serial_ips,
+            stream_ips,
+        ));
+    }
+    print_table(
+        "datagen: serial generate vs chunk-seeded generate_streaming",
+        &["users", "inter", "serial_ips", "stream_ips", "speedup"],
+        &rows,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"dataplane\",\n  \"threads\": {},\n",
+            "  \"layout\": [\n{}\n  ],\n  \"datagen\": [\n{}\n  ]\n}}\n"
+        ),
+        par::threads(),
+        layout_cases.join(",\n"),
+        gen_cases.join(",\n"),
+    );
+    let path = results_dir().join("BENCH_dataplane.json");
+    std::fs::write(&path, json).expect("write BENCH_dataplane.json");
+    println!("wrote {}", path.display());
+}

@@ -35,7 +35,9 @@ impl SourceDomain<'_> {
 
     /// All source users whose profiles contain `v_src`.
     pub fn users_with_item(&self, v_src: ItemId) -> Vec<UserId> {
-        self.data.item_profile(v_src).to_vec()
+        // The source domain is never injected into, so this is a plain
+        // copy of the frozen inverted run (`Cow::Borrowed`).
+        self.data.item_profile(v_src).into_owned()
     }
 
     /// The source user embeddings, cloned row-wise (tree-construction

@@ -1,9 +1,22 @@
 //! The cross-domain dataset generator.
+//!
+//! Two generation paths share one world model:
+//!
+//! - [`generate`] — the historical serial path: a single RNG stream drives
+//!   the whole world. Its output is bitwise-pinned by golden hashes
+//!   (`tests/dataplane_golden.rs`) and must never change.
+//! - [`generate_streaming`] — the scale path: user profiles are produced in
+//!   fixed-size blocks of [`STREAM_CHUNK`] users, each block seeded from
+//!   `split_seed(domain_seed, chunk_index)`, fanned out over `ca-par`, and
+//!   emitted straight into the flat [`DatasetBuilder`] arenas in chunk
+//!   order. The stream is a pure function of the config seed — identical at
+//!   any `CA_THREADS` — but it is a *different* stream from [`generate`]'s
+//!   (per-chunk seeding necessarily decouples the draws).
 
 use crate::config::CrossDomainConfig;
 use crate::latent::{around, sample_centers, zipf_weights, LatentTruth};
-use ca_recsys::{Dataset, ItemId};
-use ca_tensor::ops;
+use ca_recsys::{Dataset, DatasetBuilder, ItemId};
+use ca_tensor::{ops, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -103,32 +116,43 @@ impl CrossDomainDataset {
     }
 }
 
-/// Generates a cross-domain world from the configuration.
-///
-/// # Panics
-/// Panics if the configuration fails [`CrossDomainConfig::validate`].
-pub fn generate(cfg: &CrossDomainConfig) -> CrossDomainDataset {
-    cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+/// Everything about a generated world except the users: latent structure,
+/// popularity, and the cross-domain alignment. Shared by the serial and
+/// streaming paths.
+struct World {
+    centers: Matrix,
+    item_vecs: Matrix,
+    item_cluster: Vec<usize>,
+    item_pop: Vec<f32>,
+    source_to_target: Vec<ItemId>,
+    target_to_source: Vec<Option<ItemId>>,
+    /// `0..n_items` — the target sampling catalog.
+    full_catalog: Vec<usize>,
+    /// Overlap items as target-space indices — the source sampling catalog.
+    overlap_catalog: Vec<usize>,
+}
 
-    // --- Ground-truth world -------------------------------------------------
-    let centers = sample_centers(&mut rng, cfg.n_clusters, cfg.latent_dim);
+/// Draws the world (centers, item vectors, popularity ranks, overlap) from
+/// `rng`. The draw order is part of [`generate`]'s bitwise contract.
+fn build_world(rng: &mut StdRng, cfg: &CrossDomainConfig) -> World {
+    let centers = sample_centers(rng, cfg.n_clusters, cfg.latent_dim);
     let n_items = cfg.n_target_items;
     let mut item_cluster = Vec::with_capacity(n_items);
-    let mut item_vecs = Vec::with_capacity(n_items);
-    for _ in 0..n_items {
+    let mut item_vecs = Matrix::zeros(n_items, cfg.latent_dim);
+    for i in 0..n_items {
         let c = rng.gen_range(0..cfg.n_clusters);
         item_cluster.push(c);
-        item_vecs.push(around(&mut rng, &centers[c], cfg.item_noise));
+        let v = around(rng, centers.row(c), cfg.item_noise);
+        item_vecs.row_mut(i).copy_from_slice(&v);
     }
     // Popularity ranks: a random permutation of 0..n (rank 0 = most popular).
     let mut ranks: Vec<usize> = (0..n_items).collect();
-    ranks.shuffle(&mut rng);
+    ranks.shuffle(rng);
     let item_pop = zipf_weights(&ranks, cfg.popularity_alpha);
 
     // --- Overlap / alignment ------------------------------------------------
     let mut target_ids: Vec<u32> = (0..n_items as u32).collect();
-    target_ids.shuffle(&mut rng);
+    target_ids.shuffle(rng);
     let mut overlap: Vec<u32> = target_ids[..cfg.n_overlap].to_vec();
     overlap.sort_unstable();
     let source_to_target: Vec<ItemId> = overlap.iter().map(|&t| ItemId(t)).collect();
@@ -136,84 +160,270 @@ pub fn generate(cfg: &CrossDomainConfig) -> CrossDomainDataset {
     for (s, &t) in overlap.iter().enumerate() {
         target_to_source[t as usize] = Some(ItemId(s as u32));
     }
-
-    // Popularity restricted to the overlap (for source-domain sampling).
-    let overlap_pop: Vec<f32> = overlap.iter().map(|&t| item_pop[t as usize]).collect();
-
-    // --- Users and profiles -------------------------------------------------
-    let full_catalog: Vec<usize> = (0..n_items).collect();
     let overlap_catalog: Vec<usize> = overlap.iter().map(|&t| t as usize).collect();
 
-    let mut target_user_vecs = Vec::with_capacity(cfg.target.n_users);
-    let mut target_user_cluster = Vec::with_capacity(cfg.target.n_users);
-    let mut target_ds = Dataset::empty(n_items);
-    for _ in 0..cfg.target.n_users {
-        let c = rng.gen_range(0..cfg.n_clusters);
-        let uvec = around(&mut rng, &centers[c], cfg.user_noise);
-        let len = sample_len(&mut rng, &cfg.target);
-        let profile = sample_profile(
-            &mut rng,
-            &uvec,
-            &full_catalog,
-            &item_pop,
-            &item_vecs,
-            cfg.affinity_beta,
-            len,
-        );
-        let ids: Vec<ItemId> = profile.iter().map(|&i| ItemId(i as u32)).collect();
-        target_ds.add_user(&ids);
-        target_user_cluster.push(c);
-        target_user_vecs.push(uvec);
-    }
-
-    let mut source_user_vecs = Vec::with_capacity(cfg.source.n_users);
-    let mut source_user_cluster = Vec::with_capacity(cfg.source.n_users);
-    let mut source_ds = Dataset::empty(cfg.n_overlap);
-    for _ in 0..cfg.source.n_users {
-        let c = rng.gen_range(0..cfg.n_clusters);
-        let uvec = around(&mut rng, &centers[c], cfg.user_noise);
-        let len = sample_len(&mut rng, &cfg.source);
-        // Sample in *target* item space over the overlap catalog, then map
-        // down to source ids.
-        let profile = sample_profile(
-            &mut rng,
-            &uvec,
-            &overlap_catalog,
-            &item_pop,
-            &item_vecs,
-            cfg.affinity_beta,
-            len,
-        );
-        let ids: Vec<ItemId> = profile
-            .iter()
-            .map(|&t| target_to_source[t].expect("overlap catalog item must map back"))
-            .collect();
-        source_ds.add_user(&ids);
-        source_user_cluster.push(c);
-        source_user_vecs.push(uvec);
-    }
-    let _ = overlap_pop; // popularity over overlap is implied by filtering item_pop
-
-    let truth = LatentTruth {
-        dim: cfg.latent_dim,
+    World {
         centers,
         item_vecs,
         item_cluster,
         item_pop,
+        source_to_target,
+        target_to_source,
+        full_catalog: (0..n_items).collect(),
+        overlap_catalog,
+    }
+}
+
+/// Draws one user: cluster, latent vector, and a profile over `catalog`
+/// (target-space indices). The temporal ordering is applied inside
+/// [`sample_profile`].
+fn sample_user(
+    rng: &mut StdRng,
+    world: &World,
+    dcfg: &crate::config::DomainConfig,
+    catalog: &[usize],
+    n_clusters: usize,
+    user_noise: f32,
+    beta: f32,
+) -> (usize, Vec<f32>, Vec<usize>) {
+    let c = rng.gen_range(0..n_clusters);
+    let uvec = around(rng, world.centers.row(c), user_noise);
+    let len = sample_len(rng, dcfg);
+    let profile = sample_profile(rng, &uvec, catalog, &world.item_pop, &world.item_vecs, beta, len);
+    (c, uvec, profile)
+}
+
+/// Generates a cross-domain world from the configuration (serial path;
+/// bitwise-pinned by golden hashes).
+///
+/// # Panics
+/// Panics if the configuration fails [`CrossDomainConfig::validate`].
+pub fn generate(cfg: &CrossDomainConfig) -> CrossDomainDataset {
+    cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let world = build_world(&mut rng, cfg);
+
+    // --- Users and profiles -------------------------------------------------
+    let mut target_user_vecs = Matrix::zeros(cfg.target.n_users, cfg.latent_dim);
+    let mut target_user_cluster = Vec::with_capacity(cfg.target.n_users);
+    let mut target_b = DatasetBuilder::new(cfg.n_target_items);
+    let mut ids: Vec<ItemId> = Vec::new();
+    for u in 0..cfg.target.n_users {
+        let (c, uvec, profile) = sample_user(
+            &mut rng,
+            &world,
+            &cfg.target,
+            &world.full_catalog,
+            cfg.n_clusters,
+            cfg.user_noise,
+            cfg.affinity_beta,
+        );
+        ids.clear();
+        ids.extend(profile.iter().map(|&i| ItemId(i as u32)));
+        target_b.user(&ids);
+        target_user_cluster.push(c);
+        target_user_vecs.row_mut(u).copy_from_slice(&uvec);
+    }
+
+    let mut source_user_vecs = Matrix::zeros(cfg.source.n_users, cfg.latent_dim);
+    let mut source_user_cluster = Vec::with_capacity(cfg.source.n_users);
+    let mut source_b = DatasetBuilder::new(cfg.n_overlap);
+    for u in 0..cfg.source.n_users {
+        // Sample in *target* item space over the overlap catalog, then map
+        // down to source ids.
+        let (c, uvec, profile) = sample_user(
+            &mut rng,
+            &world,
+            &cfg.source,
+            &world.overlap_catalog,
+            cfg.n_clusters,
+            cfg.user_noise,
+            cfg.affinity_beta,
+        );
+        ids.clear();
+        ids.extend(
+            profile
+                .iter()
+                .map(|&t| world.target_to_source[t].expect("overlap catalog item must map back")),
+        );
+        source_b.user(&ids);
+        source_user_cluster.push(c);
+        source_user_vecs.row_mut(u).copy_from_slice(&uvec);
+    }
+
+    assemble(
+        cfg,
+        world,
+        target_b,
+        target_user_vecs,
+        target_user_cluster,
+        source_b,
+        source_user_vecs,
+        source_user_cluster,
+    )
+}
+
+/// Fixed user-block size of [`generate_streaming`]. Part of the determinism
+/// contract: chunk `i` always covers users `i*STREAM_CHUNK..`, whatever the
+/// thread count, so its seed — and therefore the whole dataset — never
+/// depends on scheduling.
+pub const STREAM_CHUNK: usize = 1024;
+
+/// One generated block of users, in flat arena form ready to append.
+struct ChunkOut {
+    clusters: Vec<usize>,
+    /// `n_chunk_users × dim`, row-major.
+    uvecs: Vec<f32>,
+    /// Per-user profile runs, back to back.
+    items: Vec<ItemId>,
+    /// `n_chunk_users + 1` local offsets into `items`.
+    offsets: Vec<u32>,
+}
+
+/// Generates a cross-domain world with chunk-seeded parallel user
+/// generation (see the [module docs](self)).
+///
+/// The output is deterministic in `cfg.seed` and independent of
+/// `CA_THREADS`, but is a different sample than [`generate`] produces for
+/// the same seed.
+///
+/// # Panics
+/// Panics if the configuration fails [`CrossDomainConfig::validate`].
+pub fn generate_streaming(cfg: &CrossDomainConfig) -> CrossDomainDataset {
+    cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+    // Stream seed layout: child 0 drives the shared world; children 1 / 2
+    // are the target / source domain roots, split once more per chunk.
+    let mut world_rng = StdRng::seed_from_u64(ca_par::split_seed(cfg.seed, 0));
+    let world = build_world(&mut world_rng, cfg);
+
+    let (target_b, target_user_vecs, target_user_cluster) = stream_domain(
+        cfg,
+        &world,
+        &cfg.target,
+        ca_par::split_seed(cfg.seed, 1),
+        cfg.n_target_items,
+        &world.full_catalog,
+        |i| ItemId(i as u32),
+    );
+    let (source_b, source_user_vecs, source_user_cluster) = stream_domain(
+        cfg,
+        &world,
+        &cfg.source,
+        ca_par::split_seed(cfg.seed, 2),
+        cfg.n_overlap,
+        &world.overlap_catalog,
+        |t| world.target_to_source[t].expect("overlap catalog item must map back"),
+    );
+
+    assemble(
+        cfg,
+        world,
+        target_b,
+        target_user_vecs,
+        target_user_cluster,
+        source_b,
+        source_user_vecs,
+        source_user_cluster,
+    )
+}
+
+/// Streams one domain's users: chunks are generated in parallel waves and
+/// appended to the builder in chunk order, so transient memory stays
+/// bounded by the wave size while the result is order-identical to a
+/// serial chunk walk.
+fn stream_domain(
+    cfg: &CrossDomainConfig,
+    world: &World,
+    dcfg: &crate::config::DomainConfig,
+    domain_seed: u64,
+    n_items: usize,
+    catalog: &[usize],
+    to_domain_id: impl Fn(usize) -> ItemId + Sync,
+) -> (DatasetBuilder, Matrix, Vec<usize>) {
+    let n_users = dcfg.n_users;
+    let n_chunks = n_users.div_ceil(STREAM_CHUNK);
+    let mut builder = DatasetBuilder::new(n_items);
+    builder.reserve(n_users * dcfg.profile_len_mean as usize);
+    let mut user_vecs = Matrix::zeros(n_users, cfg.latent_dim);
+    let mut clusters = Vec::with_capacity(n_users);
+
+    let gen_chunk = |ci: usize| -> ChunkOut {
+        let lo = ci * STREAM_CHUNK;
+        let hi = (lo + STREAM_CHUNK).min(n_users);
+        let mut rng = StdRng::seed_from_u64(ca_par::split_seed(domain_seed, ci as u64));
+        let mut out = ChunkOut {
+            clusters: Vec::with_capacity(hi - lo),
+            uvecs: Vec::with_capacity((hi - lo) * cfg.latent_dim),
+            items: Vec::new(),
+            offsets: vec![0],
+        };
+        for _ in lo..hi {
+            let (c, uvec, profile) = sample_user(
+                &mut rng,
+                world,
+                dcfg,
+                catalog,
+                cfg.n_clusters,
+                cfg.user_noise,
+                cfg.affinity_beta,
+            );
+            out.clusters.push(c);
+            out.uvecs.extend_from_slice(&uvec);
+            out.items.extend(profile.iter().map(|&i| to_domain_id(i)));
+            out.offsets.push(out.items.len() as u32);
+        }
+        out
+    };
+
+    // Wave size bounds in-flight chunk buffers without affecting the
+    // output: chunk content depends only on the chunk index.
+    let wave = (ca_par::threads() * 4).max(1);
+    let chunk_ids: Vec<usize> = (0..n_chunks).collect();
+    for wave_ids in chunk_ids.chunks(wave) {
+        for out in ca_par::map(wave_ids, |_, &ci| gen_chunk(ci)) {
+            for w in out.offsets.windows(2) {
+                builder.user(&out.items[w[0] as usize..w[1] as usize]);
+            }
+            let row0 = clusters.len();
+            user_vecs.row_range_mut(row0, row0 + out.clusters.len()).copy_from_slice(&out.uvecs);
+            clusters.extend_from_slice(&out.clusters);
+        }
+    }
+    (builder, user_vecs, clusters)
+}
+
+/// Finalizes both domains into a [`CrossDomainDataset`].
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    cfg: &CrossDomainConfig,
+    world: World,
+    target_b: DatasetBuilder,
+    target_user_vecs: Matrix,
+    target_user_cluster: Vec<usize>,
+    source_b: DatasetBuilder,
+    source_user_vecs: Matrix,
+    source_user_cluster: Vec<usize>,
+) -> CrossDomainDataset {
+    let truth = LatentTruth {
+        dim: cfg.latent_dim,
+        centers: world.centers,
+        item_vecs: world.item_vecs,
+        item_cluster: world.item_cluster,
+        item_pop: world.item_pop,
         target_user_vecs,
         target_user_cluster,
         source_user_vecs,
         source_user_cluster,
     };
-
-    debug_assert!(target_ds.check_consistency().is_ok());
-    debug_assert!(source_ds.check_consistency().is_ok());
-
+    let target = target_b.build();
+    let source = source_b.build();
+    debug_assert!(target.check_consistency().is_ok());
+    debug_assert!(source.check_consistency().is_ok());
     CrossDomainDataset {
-        target: target_ds,
-        source: source_ds,
-        source_to_target,
-        target_to_source,
+        target,
+        source,
+        source_to_target: world.source_to_target,
+        target_to_source: world.target_to_source,
         truth,
     }
 }
@@ -233,7 +443,7 @@ fn sample_profile(
     uvec: &[f32],
     catalog: &[usize],
     pop: &[f32],
-    item_vecs: &[Vec<f32>],
+    item_vecs: &Matrix,
     beta: f32,
     len: usize,
 ) -> Vec<usize> {
@@ -242,7 +452,7 @@ fn sample_profile(
     let mut cdf = Vec::with_capacity(catalog.len());
     let mut acc = 0.0f64;
     for &i in catalog {
-        let w = pop[i] as f64 * (beta * ops::dot(uvec, &item_vecs[i])).exp() as f64;
+        let w = pop[i] as f64 * (beta * ops::dot(uvec, item_vecs.row(i))).exp() as f64;
         acc += w;
         cdf.push(acc);
     }
@@ -277,7 +487,7 @@ fn sample_profile(
 /// Greedy similarity chain with Gumbel noise: produces an ordering where
 /// consecutive items tend to be similar — the "temporal relations of items
 /// interacted around the same time" that profile crafting relies on.
-fn order_chain(rng: &mut impl Rng, mut items: Vec<usize>, item_vecs: &[Vec<f32>]) -> Vec<usize> {
+fn order_chain(rng: &mut impl Rng, mut items: Vec<usize>, item_vecs: &Matrix) -> Vec<usize> {
     if items.len() <= 2 {
         return items;
     }
@@ -292,7 +502,7 @@ fn order_chain(rng: &mut impl Rng, mut items: Vec<usize>, item_vecs: &[Vec<f32>]
         for (j, &cand) in items.iter().enumerate() {
             let u: f32 = rng.gen::<f32>().max(1e-9);
             let gumbel = -(-u.ln()).ln() * TAU;
-            let s = ops::dot(&item_vecs[prev], &item_vecs[cand]) + gumbel;
+            let s = ops::dot(item_vecs.row(prev), item_vecs.row(cand)) + gumbel;
             if s > best_score {
                 best_score = s;
                 best = j;
@@ -399,7 +609,8 @@ mod tests {
         let mut own_n = 0;
         let mut all = 0.0;
         let mut all_n = 0;
-        for (u, uvec) in truth.target_user_vecs.iter().enumerate().take(50) {
+        for u in 0..50usize {
+            let uvec = truth.target_user_vec(u);
             for &v in world.target.profile(UserId(u as u32)) {
                 own += truth.affinity(uvec, v.idx());
                 own_n += 1;
@@ -425,12 +636,11 @@ mod tests {
         for u in 0..50u32 {
             let p = world.target.profile(UserId(u));
             for w in p.windows(2) {
-                adj += ops::dot(&truth.item_vecs[w[0].idx()], &truth.item_vecs[w[1].idx()]);
+                adj += ops::dot(truth.item_vec(w[0].idx()), truth.item_vec(w[1].idx()));
                 adj_n += 1;
             }
             if p.len() >= 4 {
-                far +=
-                    ops::dot(&truth.item_vecs[p[0].idx()], &truth.item_vecs[p[p.len() - 1].idx()]);
+                far += ops::dot(truth.item_vec(p[0].idx()), truth.item_vec(p[p.len() - 1].idx()));
                 far_n += 1;
             }
         }
@@ -453,5 +663,67 @@ mod tests {
             let s = world.source_item(v).expect("must overlap");
             assert!(world.source.item_popularity(s) >= 2);
         }
+    }
+
+    #[test]
+    fn streaming_world_has_configured_shape() {
+        let cfg = CrossDomainConfig::tiny(42);
+        let world = generate_streaming(&cfg);
+        let s = world.stats();
+        assert_eq!(s.target_users, cfg.target.n_users);
+        assert_eq!(s.target_items, cfg.n_target_items);
+        assert_eq!(s.source_users, cfg.source.n_users);
+        assert_eq!(s.overlap_items, cfg.n_overlap);
+        assert!(s.target_interactions > 0);
+        assert!(world.target.check_consistency().is_ok());
+        assert!(world.source.check_consistency().is_ok());
+        assert_eq!(world.truth.target_user_cluster.len(), cfg.target.n_users);
+        assert_eq!(world.truth.target_user_vecs.rows(), cfg.target.n_users);
+    }
+
+    #[test]
+    fn streaming_is_thread_count_invariant() {
+        // The whole point of chunk seeding: CA_THREADS must not leak into
+        // the sample. tiny() has n_users < STREAM_CHUNK for the target and
+        // > 1 chunk for nothing — so also widen a preset past one chunk.
+        let mut cfg = CrossDomainConfig::tiny(13);
+        cfg.target.n_users = STREAM_CHUNK + 257; // straddle a chunk boundary
+        let run = |t: usize| {
+            ca_par::set_threads(Some(t));
+            let w = generate_streaming(&cfg);
+            ca_par::set_threads(None);
+            w
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.stats(), b.stats());
+        for u in a.target.users() {
+            assert_eq!(a.target.profile(u), b.target.profile(u), "profile of {u} diverged");
+        }
+        for u in a.source.users() {
+            assert_eq!(a.source.profile(u), b.source.profile(u));
+        }
+        assert_eq!(a.truth.target_user_cluster, b.truth.target_user_cluster);
+        assert_eq!(
+            a.truth.target_user_vecs.as_slice(),
+            b.truth.target_user_vecs.as_slice(),
+            "user vectors diverged across thread counts"
+        );
+    }
+
+    #[test]
+    fn streaming_shares_the_world_but_not_the_user_stream() {
+        // Same latent world family (both draw a valid alignment), but the
+        // user sample is a different stream than the serial path's.
+        let cfg = CrossDomainConfig::tiny(21);
+        let serial = generate(&cfg);
+        let streamed = generate_streaming(&cfg);
+        assert_eq!(serial.target.n_users(), streamed.target.n_users());
+        let differs = serial
+            .target
+            .users()
+            .take(50)
+            .any(|u| serial.target.profile(u) != streamed.target.profile(u));
+        assert!(differs, "streaming must be a distinct (chunk-seeded) sample");
     }
 }

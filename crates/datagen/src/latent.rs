@@ -3,9 +3,14 @@
 //! This is the "world model" the generator samples from; it is kept in the
 //! output so tests and analyses can compare learned structure (MF
 //! embeddings, k-means clusters) against the truth.
+//!
+//! All vector families live in flat row-major [`Matrix`] storage — one
+//! allocation per family instead of one per vector — matching the compact
+//! CSR data plane of `ca-recsys`. Row accessors ([`LatentTruth::item_vec`]
+//! and friends) hand out `&[f32]` slices.
 
 use ca_tensor::init::gaussian_vec;
-use ca_tensor::ops;
+use ca_tensor::{ops, Matrix};
 use rand::Rng;
 
 /// Ground-truth latent state for one generated cross-domain world.
@@ -13,21 +18,21 @@ use rand::Rng;
 pub struct LatentTruth {
     /// Latent dimensionality.
     pub dim: usize,
-    /// Cluster centers, `n_clusters` unit vectors.
-    pub centers: Vec<Vec<f32>>,
-    /// Item latent vectors (unit length), indexed by *target* item id.
+    /// Cluster centers, `n_clusters × dim`, unit rows.
+    pub centers: Matrix,
+    /// Item latent vectors (unit rows), indexed by *target* item id.
     /// Overlapping items share these vectors across domains.
-    pub item_vecs: Vec<Vec<f32>>,
+    pub item_vecs: Matrix,
     /// Item cluster assignment.
     pub item_cluster: Vec<usize>,
     /// Zipf popularity weight per item (sums to 1).
     pub item_pop: Vec<f32>,
-    /// Target-domain user vectors (unit length).
-    pub target_user_vecs: Vec<Vec<f32>>,
+    /// Target-domain user vectors (unit rows).
+    pub target_user_vecs: Matrix,
     /// Target-domain user cluster assignment.
     pub target_user_cluster: Vec<usize>,
-    /// Source-domain user vectors (unit length).
-    pub source_user_vecs: Vec<Vec<f32>>,
+    /// Source-domain user vectors (unit rows).
+    pub source_user_vecs: Matrix,
     /// Source-domain user cluster assignment.
     pub source_user_cluster: Vec<usize>,
 }
@@ -49,15 +54,15 @@ pub fn around(rng: &mut impl Rng, center: &[f32], noise: f32) -> Vec<f32> {
     v
 }
 
-/// Samples `n` unit cluster centers.
-pub fn sample_centers(rng: &mut impl Rng, n: usize, dim: usize) -> Vec<Vec<f32>> {
-    (0..n)
-        .map(|_| {
-            let mut c = gaussian_vec(rng, dim, 0.0, 1.0);
-            normalize(&mut c);
-            c
-        })
-        .collect()
+/// Samples `n` unit cluster centers as the rows of an `n × dim` matrix.
+pub fn sample_centers(rng: &mut impl Rng, n: usize, dim: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, dim);
+    for r in 0..n {
+        let mut c = gaussian_vec(rng, dim, 0.0, 1.0);
+        normalize(&mut c);
+        m.row_mut(r).copy_from_slice(&c);
+    }
+    m
 }
 
 /// Zipf weights: weight of the item with popularity rank `r` (0-based) is
@@ -71,10 +76,35 @@ pub fn zipf_weights(ranks: &[usize], alpha: f32) -> Vec<f32> {
 }
 
 impl LatentTruth {
+    /// Cluster center `c`.
+    pub fn center(&self, c: usize) -> &[f32] {
+        self.centers.row(c)
+    }
+
+    /// Latent vector of item `v` (target-domain id).
+    pub fn item_vec(&self, v: usize) -> &[f32] {
+        self.item_vecs.row(v)
+    }
+
+    /// Latent vector of target-domain user `u`.
+    pub fn target_user_vec(&self, u: usize) -> &[f32] {
+        self.target_user_vecs.row(u)
+    }
+
+    /// Latent vector of source-domain user `u`.
+    pub fn source_user_vec(&self, u: usize) -> &[f32] {
+        self.source_user_vecs.row(u)
+    }
+
+    /// Number of items in the world.
+    pub fn n_items(&self) -> usize {
+        self.item_vecs.rows()
+    }
+
     /// Ground-truth affinity between a user vector and item `v`
     /// (cosine, since all vectors are unit length).
     pub fn affinity(&self, user_vec: &[f32], item: usize) -> f32 {
-        ops::dot(user_vec, &self.item_vecs[item])
+        ops::dot(user_vec, self.item_vec(item))
     }
 }
 
@@ -120,8 +150,9 @@ mod tests {
     #[test]
     fn centers_are_unit_length() {
         let mut rng = StdRng::seed_from_u64(9);
-        for c in sample_centers(&mut rng, 6, 8) {
-            assert!((ops::l2_norm(&c) - 1.0).abs() < 1e-5);
+        let centers = sample_centers(&mut rng, 6, 8);
+        for r in 0..centers.rows() {
+            assert!((ops::l2_norm(centers.row(r)) - 1.0).abs() < 1e-5);
         }
     }
 }

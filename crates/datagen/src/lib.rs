@@ -29,6 +29,6 @@ pub mod latent;
 pub mod organic;
 
 pub use config::{CrossDomainConfig, DomainConfig};
-pub use generator::{generate, CrossDomainDataset};
+pub use generator::{generate, generate_streaming, CrossDomainDataset, STREAM_CHUNK};
 pub use latent::LatentTruth;
 pub use organic::{OrganicEvent, OrganicSampler};

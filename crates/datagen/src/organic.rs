@@ -51,9 +51,12 @@ impl OrganicEvent {
 /// world's latent truth.
 #[derive(Clone, Debug)]
 pub struct OrganicSampler {
-    /// Per-cluster CDF over the catalog: `pop(v) · exp(β·⟨center_c, q_v⟩)`,
+    /// Per-cluster CDFs over the catalog, flattened row-major
+    /// (`n_clusters × n_items`): `pop(v) · exp(β·⟨center_c, q_v⟩)`,
     /// cumulated and normalized to end at 1.
-    cluster_cdf: Vec<Vec<f64>>,
+    cluster_cdf: Vec<f64>,
+    /// Catalog size — the row stride of `cluster_cdf`.
+    n_items: usize,
     /// Ground-truth cluster of each target-domain user.
     user_cluster: Vec<usize>,
 }
@@ -63,29 +66,24 @@ impl OrganicSampler {
     /// affinity sharpness (the generator's `affinity_beta` reproduces the
     /// training distribution).
     pub fn from_truth(truth: &LatentTruth, beta: f32) -> Self {
-        let cluster_cdf = truth
-            .centers
-            .iter()
-            .map(|center| {
-                let mut acc = 0.0f64;
-                let mut cdf: Vec<f64> = truth
-                    .item_vecs
-                    .iter()
-                    .zip(&truth.item_pop)
-                    .map(|(q, &pop)| {
-                        acc += f64::from(pop) * f64::from(beta * ops::dot(center, q)).exp();
-                        acc
-                    })
-                    .collect();
-                if acc > 0.0 {
-                    for c in &mut cdf {
-                        *c /= acc;
-                    }
+        let n_items = truth.n_items();
+        let n_clusters = truth.centers.rows();
+        let mut cluster_cdf = Vec::with_capacity(n_clusters * n_items);
+        for c in 0..n_clusters {
+            let center = truth.center(c);
+            let row0 = cluster_cdf.len();
+            let mut acc = 0.0f64;
+            for (v, &pop) in truth.item_pop.iter().enumerate() {
+                acc += f64::from(pop) * f64::from(beta * ops::dot(center, truth.item_vec(v))).exp();
+                cluster_cdf.push(acc);
+            }
+            if acc > 0.0 {
+                for x in &mut cluster_cdf[row0..] {
+                    *x /= acc;
                 }
-                cdf
-            })
-            .collect();
-        Self { cluster_cdf, user_cluster: truth.target_user_cluster.clone() }
+            }
+        }
+        Self { cluster_cdf, n_items, user_cluster: truth.target_user_cluster.clone() }
     }
 
     /// Number of organic (target-domain) users the sampler draws from.
@@ -101,9 +99,10 @@ impl OrganicSampler {
     /// Samples an item for `user` from their cluster's affinity-weighted
     /// popularity distribution.
     pub fn sample_item(&self, user: UserId, rng: &mut SplitMix64) -> ItemId {
-        let cdf = &self.cluster_cdf[self.user_cluster[user.idx()]];
+        let c = self.user_cluster[user.idx()];
+        let cdf = &self.cluster_cdf[c * self.n_items..(c + 1) * self.n_items];
         let u = rng.unit_f64();
-        let v = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+        let v = cdf.partition_point(|&x| x < u).min(cdf.len() - 1);
         ItemId(v as u32)
     }
 

@@ -72,9 +72,9 @@ proptest! {
         }
 
         // Ground truth has matching shapes.
-        prop_assert_eq!(world.truth.item_vecs.len(), cfg.n_target_items);
-        prop_assert_eq!(world.truth.target_user_vecs.len(), cfg.target.n_users);
-        prop_assert_eq!(world.truth.source_user_vecs.len(), cfg.source.n_users);
+        prop_assert_eq!(world.truth.item_vecs.rows(), cfg.n_target_items);
+        prop_assert_eq!(world.truth.target_user_vecs.rows(), cfg.target.n_users);
+        prop_assert_eq!(world.truth.source_user_vecs.rows(), cfg.source.n_users);
         let pop_sum: f32 = world.truth.item_pop.iter().sum();
         prop_assert!((pop_sum - 1.0).abs() < 1e-3);
     }

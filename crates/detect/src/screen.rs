@@ -131,8 +131,7 @@ mod tests {
         let mut screened =
             ScreenedRecommender::new(NullRec { n_users: 0, injected: vec![] }, det, pop, emb, 3.0);
         // Replay a genuine profile: population-typical, must pass.
-        let profile: Vec<ItemId> = ds.profile(UserId(0)).to_vec();
-        screened.inject_user(&profile);
+        screened.inject_user(ds.profile(UserId(0)));
         assert_eq!(screened.accepted(), 1);
         assert_eq!(screened.rejected(), 0);
     }
@@ -169,9 +168,8 @@ mod tests {
             100.0,
         );
         for u in 0..10u32 {
-            let profile: Vec<ItemId> = ds.profile(UserId(u)).to_vec();
-            strict.inject_user(&profile);
-            lax.inject_user(&profile);
+            strict.inject_user(ds.profile(UserId(u)));
+            lax.inject_user(ds.profile(UserId(u)));
         }
         assert_eq!(lax.accepted(), 10, "lax threshold must accept everything");
         assert!(strict.rejected() > 0, "near-zero threshold must reject genuine profiles too");

@@ -148,10 +148,11 @@ impl BlackBoxRecommender for PinSageRecommender {
     /// inductive deployment and the paper's fixed-target-model setting.
     fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
         let uid = self.data.add_user(profile);
-        // `add_user` dedups; read back the stored profile.
-        let stored: Vec<ItemId> = self.data.profile(uid).to_vec();
-        let hu = self.model.user_repr(&stored);
-        for &v in &stored {
+        // `add_user` dedups; read the stored run straight from the arena
+        // (disjoint field borrows: `data` read, `caches`/`model` written).
+        let stored = self.data.profile(uid);
+        let hu = self.model.user_repr(stored);
+        for &v in stored {
             ops::axpy(1.0, &hu, &mut self.caches.n_item_sum[v.idx()]);
             self.caches.n_item_cnt[v.idx()] += 1;
             let n_v = self.caches.n_item(v);

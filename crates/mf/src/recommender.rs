@@ -85,8 +85,8 @@ impl BlackBoxRecommender for MfRecommender {
 
     fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
         let uid = self.data.add_user(profile);
-        let stored: Vec<ItemId> = self.data.profile(uid).to_vec();
-        let mid = self.model.onboard_user(&stored);
+        // `add_user` dedups; read the stored run straight from the arena.
+        let mid = self.model.onboard_user(self.data.profile(uid));
         debug_assert_eq!(uid, mid);
         uid
     }

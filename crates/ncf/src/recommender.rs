@@ -73,8 +73,7 @@ impl NcfRecommender {
     pub fn refresh(&mut self) {
         for _ in 0..self.refresh_epochs {
             for &u in &self.fresh_users {
-                let profile: Vec<ItemId> = self.data.profile(u).to_vec();
-                for &pos in &profile {
+                for &pos in self.data.profile(u) {
                     let neg = loop {
                         use rand::Rng;
                         let cand = ItemId(self.rng.gen_range(0..self.data.n_items() as u32));
@@ -150,8 +149,8 @@ impl BlackBoxRecommender for NcfRecommender {
 
     fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
         let uid = self.data.add_user(profile);
-        let stored: Vec<ItemId> = self.data.profile(uid).to_vec();
-        let mid = self.model.onboard_user(&stored);
+        // `add_user` dedups; read the stored run straight from the arena.
+        let mid = self.model.onboard_user(self.data.profile(uid));
         debug_assert_eq!(uid, mid);
         // Local onboarding fine-tune (only the new user's embedding moves).
         fine_tune_user(&mut self.model, &self.data, uid, 2, &mut self.rng);

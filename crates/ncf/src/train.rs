@@ -240,12 +240,12 @@ pub fn fine_tune_user(
     let dim = model.cfg.dim;
     let lr = model.cfg.lr;
     let n_items = data.n_items() as u32;
-    let profile: Vec<ItemId> = data.profile(user).to_vec();
+    let profile = data.profile(user);
     if profile.is_empty() {
         return;
     }
     for _ in 0..epochs {
-        for &pos in &profile {
+        for &pos in profile {
             let neg = loop {
                 let cand = ItemId(rng.gen_range(0..n_items));
                 if cand != pos && !data.contains(user, cand) {

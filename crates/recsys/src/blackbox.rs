@@ -41,6 +41,7 @@ pub trait BlackBoxRecommender {
     /// to score the whole batch through the shared
     /// [`ScoringEngine`](crate::engine::ScoringEngine). Either way the
     /// result must equal the per-user loop element-for-element.
+    // ca-audit: allow(nested-vec) — k-sized per-query batch result, not dataset-scale state
     fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
         users.iter().map(|&u| self.top_k(u, k)).collect()
     }
@@ -168,6 +169,7 @@ impl<R: BlackBoxRecommender> BlackBoxRecommender for MeteredRecommender<R> {
         self.inner.top_k(user, k)
     }
 
+    // ca-audit: allow(nested-vec) — k-sized per-query batch result, not dataset-scale state
     fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
         // A batch is users.len() queries, not one: batching is an execution
         // detail and must not discount attacker cost.

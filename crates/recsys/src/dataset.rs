@@ -1,43 +1,84 @@
-//! Interaction dataset: sequential user profiles + inverted item profiles.
+//! Interaction dataset: compact CSR arenas for user and item profiles.
+//!
+//! The interaction matrix `Y` lives in flat, cache-friendly buffers instead
+//! of nested `Vec`s:
+//!
+//! ```text
+//!   items:        [ v v v | v v | v v v v | … ]   temporal profile order
+//!   sorted_items: [ v v v | v v | v v v v | … ]   same runs, id-ascending
+//!   user_offsets: [ 0, 3, 5, 9, … ]               n_users + 1
+//!
+//!   inv_users:    [ u u | u u u | … ]             frozen inverted index
+//!   inv_offsets:  [ 0, 2, 5, … ]                  n_items + 1
+//!   item_pop:     [ 2, 3, … ]                     counts incl. injected tail
+//! ```
+//!
+//! `items` holds every user profile `P_u` back to back in temporal order
+//! (the paper's `v_1 → v_2 → … → v_l`); `sorted_items` mirrors the same
+//! per-user runs in ascending item order so membership tests are a binary
+//! search instead of a linear scan. The inverted item profiles `P_v` are a
+//! counting-sorted CSR built once when a [`DatasetBuilder`] finishes.
+//!
+//! Users may still be appended after construction ([`Dataset::add_user`]) —
+//! that is exactly the injection-attack surface — but existing profiles are
+//! immutable, matching the paper's threat model (the attacker creates new
+//! accounts; it cannot edit other people's histories). Injected users form
+//! an *injection tail*: their interactions live in the same flat arenas, but
+//! the frozen inverted index is not rebuilt. [`Dataset::item_profile`]
+//! returns the frozen slice borrowed when no injected user touched the item
+//! (the common case — detected in O(1) from `item_pop`), and merges the tail
+//! in user-id order otherwise, which reproduces the legacy insertion order
+//! bit for bit because injected ids are always larger than base ids.
 
 use crate::ids::{ItemId, UserId};
+use std::borrow::Cow;
 
 /// An implicit-feedback interaction dataset for one domain.
 ///
-/// Stores the interaction matrix `Y` in two redundant, mutually consistent
-/// layouts:
-///
-/// - `profiles[u]` — the *user profile* `P_u`: the sequence of items user `u`
-///   interacted with, in temporal order (the paper's `v_1 → v_2 → … → v_l`);
-/// - `item_users[v]` — the *item profile* `P_v`: the users who interacted
-///   with `v`, in insertion order.
-///
-/// Users may be appended after construction ([`Dataset::add_user`]) — that is
-/// exactly the injection-attack surface — but existing profiles are
-/// immutable, matching the paper's threat model (the attacker creates new
-/// accounts; it cannot edit other people's histories).
+/// See the [module docs](self) for the storage layout. The observable
+/// semantics — profile iteration order, inverted-index order, dedup rules,
+/// injection growth — are identical to the historical nested-`Vec` layout
+/// and are pinned by golden hashes in `tests/dataplane_golden.rs`.
 #[derive(Clone, Debug)]
 pub struct Dataset {
     n_items: usize,
-    profiles: Vec<Vec<ItemId>>,
-    item_users: Vec<Vec<UserId>>,
-    n_interactions: usize,
+    /// Users covered by the frozen inverted index; ids `>= n_base_users`
+    /// are the injection tail.
+    n_base_users: usize,
+    /// Flat interaction arena, per-user runs in temporal order.
+    items: Vec<ItemId>,
+    /// The same per-user runs in ascending item order (membership index).
+    sorted_items: Vec<ItemId>,
+    /// `user_offsets[u]..user_offsets[u + 1]` bounds user `u`'s run.
+    user_offsets: Vec<u32>,
+    /// Inverted CSR arena over the base users, per-item runs in user order.
+    inv_users: Vec<UserId>,
+    /// `inv_offsets[v]..inv_offsets[v + 1]` bounds item `v`'s frozen run.
+    inv_offsets: Vec<u32>,
+    /// Interaction count per item, kept current across injections.
+    item_pop: Vec<u32>,
 }
 
 impl Dataset {
     /// An empty dataset over a fixed item catalog of size `n_items`.
+    ///
+    /// Every user subsequently added lands in the injection tail; bulk
+    /// construction should go through [`DatasetBuilder`] so the inverted
+    /// index gets frozen over the full user set.
     pub fn empty(n_items: usize) -> Self {
-        Self {
-            n_items,
-            profiles: Vec::new(),
-            item_users: vec![Vec::new(); n_items],
-            n_interactions: 0,
-        }
+        DatasetBuilder::new(n_items).build()
     }
 
     /// Number of users (including any injected ones).
     pub fn n_users(&self) -> usize {
-        self.profiles.len()
+        self.user_offsets.len() - 1
+    }
+
+    /// Number of users covered by the frozen inverted index. Users with
+    /// ids `>= n_base_users` were appended after construction (the
+    /// injection tail).
+    pub fn n_base_users(&self) -> usize {
+        self.n_base_users
     }
 
     /// Size of the item catalog.
@@ -47,7 +88,11 @@ impl Dataset {
 
     /// Total number of interactions.
     pub fn n_interactions(&self) -> usize {
-        self.n_interactions
+        self.items.len()
+    }
+
+    fn user_range(&self, u: UserId) -> std::ops::Range<usize> {
+        self.user_offsets[u.idx()] as usize..self.user_offsets[u.idx() + 1] as usize
     }
 
     /// The sequential profile of user `u`.
@@ -55,27 +100,52 @@ impl Dataset {
     /// # Panics
     /// Panics if `u` is out of range.
     pub fn profile(&self, u: UserId) -> &[ItemId] {
-        &self.profiles[u.idx()]
+        &self.items[self.user_range(u)]
     }
 
-    /// The users who interacted with item `v`.
-    pub fn item_profile(&self, v: ItemId) -> &[UserId] {
-        &self.item_users[v.idx()]
+    /// User `u`'s profile in ascending item-id order — the membership run
+    /// backing [`Dataset::contains`]. Same multiset as
+    /// [`Dataset::profile`], different order.
+    pub fn sorted_profile(&self, u: UserId) -> &[ItemId] {
+        &self.sorted_items[self.user_range(u)]
     }
 
-    /// Popularity (interaction count) of item `v`.
+    /// The users who interacted with item `v`, in user-id order.
+    ///
+    /// Borrows the frozen inverted run when no injected user touched `v`
+    /// (detected in O(1)); otherwise merges the injection tail, scanning
+    /// only users `>= n_base_users`.
+    pub fn item_profile(&self, v: ItemId) -> Cow<'_, [UserId]> {
+        let frozen = &self.inv_users
+            [self.inv_offsets[v.idx()] as usize..self.inv_offsets[v.idx() + 1] as usize];
+        if self.item_pop[v.idx()] as usize == frozen.len() {
+            return Cow::Borrowed(frozen);
+        }
+        let mut merged = Vec::with_capacity(self.item_pop[v.idx()] as usize);
+        merged.extend_from_slice(frozen);
+        for raw in self.n_base_users..self.n_users() {
+            let u = UserId(raw as u32);
+            if self.contains(u, v) {
+                merged.push(u);
+            }
+        }
+        Cow::Owned(merged)
+    }
+
+    /// Popularity (interaction count) of item `v`, in O(1).
     pub fn item_popularity(&self, v: ItemId) -> usize {
-        self.item_users[v.idx()].len()
+        self.item_pop[v.idx()] as usize
     }
 
-    /// Whether user `u` has interacted with item `v` (O(|P_u|)).
+    /// Whether user `u` has interacted with item `v` (O(log |P_u|) via the
+    /// per-user sorted membership run).
     pub fn contains(&self, u: UserId, v: ItemId) -> bool {
-        self.profiles[u.idx()].contains(&v)
+        self.sorted_profile(u).binary_search_by_key(&v.0, |w| w.0).is_ok()
     }
 
     /// Iterator over all user ids.
     pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
-        (0..self.profiles.len() as u32).map(UserId)
+        (0..self.n_users() as u32).map(UserId)
     }
 
     /// Iterator over all item ids.
@@ -85,93 +155,236 @@ impl Dataset {
 
     /// Iterator over `(user, item)` pairs in profile order.
     pub fn interactions(&self) -> impl Iterator<Item = (UserId, ItemId)> + '_ {
-        self.profiles
-            .iter()
-            .enumerate()
-            .flat_map(|(u, p)| p.iter().map(move |&v| (UserId(u as u32), v)))
+        self.users().flat_map(move |u| self.profile(u).iter().map(move |&v| (u, v)))
     }
 
     /// Appends a new user with the given sequential profile and returns its
     /// id. Duplicate items within the profile are kept once (first
     /// occurrence wins) to preserve the "set of items interacted with"
-    /// semantics of the interaction matrix.
+    /// semantics of the interaction matrix. The new user lands in the
+    /// injection tail: the frozen inverted index is left untouched and
+    /// [`Dataset::item_profile`] merges on read.
     ///
     /// # Panics
     /// Panics if any item id is outside the catalog.
     pub fn add_user(&mut self, profile: &[ItemId]) -> UserId {
-        let uid = UserId(self.profiles.len() as u32);
-        // Cheap dedup without a HashSet: profiles are short (≤ a few hundred).
-        let mut dedup: Vec<ItemId> = Vec::with_capacity(profile.len());
-        for &v in profile {
-            assert!(v.idx() < self.n_items, "item {v} outside catalog of {}", self.n_items);
-            if !dedup.contains(&v) {
-                dedup.push(v);
-            }
-        }
-        for &v in &dedup {
-            self.item_users[v.idx()].push(uid);
-        }
-        self.n_interactions += dedup.len();
-        self.profiles.push(dedup);
+        let uid = UserId(self.n_users() as u32);
+        append_profile(
+            self.n_items,
+            profile,
+            &mut self.items,
+            &mut self.sorted_items,
+            &mut self.user_offsets,
+            &mut self.item_pop,
+        );
         uid
     }
 
     /// Mean profile length.
     pub fn mean_profile_len(&self) -> f32 {
-        if self.profiles.is_empty() {
+        if self.n_users() == 0 {
             0.0
         } else {
-            self.n_interactions as f32 / self.profiles.len() as f32
+            self.n_interactions() as f32 / self.n_users() as f32
         }
     }
 
-    /// Validates the two layouts against each other; used by tests and
-    /// debug assertions after mutation-heavy code paths.
+    /// Validates the arenas against each other; used by tests and debug
+    /// assertions after mutation-heavy code paths.
     pub fn check_consistency(&self) -> Result<(), String> {
-        let mut count = 0;
-        for (u, p) in self.profiles.iter().enumerate() {
+        if self.user_offsets.first() != Some(&0) {
+            return Err("user offsets must start at 0".into());
+        }
+        if self.user_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("user offsets are not monotone".into());
+        }
+        if *self.user_offsets.last().unwrap() as usize != self.items.len() {
+            return Err(format!(
+                "user offsets end at {} but arena holds {}",
+                self.user_offsets.last().unwrap(),
+                self.items.len()
+            ));
+        }
+        if self.sorted_items.len() != self.items.len() {
+            return Err("membership arena length diverges from interaction arena".into());
+        }
+        if self.inv_offsets.len() != self.n_items + 1
+            || self.inv_offsets.windows(2).any(|w| w[0] > w[1])
+            || *self.inv_offsets.last().unwrap_or(&0) as usize != self.inv_users.len()
+        {
+            return Err("inverted offsets are malformed".into());
+        }
+        if self.item_pop.len() != self.n_items {
+            return Err("popularity counter length diverges from catalog".into());
+        }
+        if self.n_base_users > self.n_users() {
+            return Err("base user count exceeds user count".into());
+        }
+        let mut pop = vec![0u32; self.n_items];
+        for u in self.users() {
+            let (p, s) = (self.profile(u), self.sorted_profile(u));
             for &v in p {
                 if v.idx() >= self.n_items {
-                    return Err(format!("user u{u} references out-of-catalog item {v}"));
+                    return Err(format!("user u{} references out-of-catalog item {v}", u.0));
                 }
-                if !self.item_users[v.idx()].contains(&UserId(u as u32)) {
-                    return Err(format!("u{u} -> {v} missing from item profile"));
-                }
-                count += 1;
+                pop[v.idx()] += 1;
+            }
+            if s.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(format!("membership run of u{} is not strictly increasing", u.0));
+            }
+            let mut resorted: Vec<ItemId> = p.to_vec();
+            resorted.sort_unstable_by_key(|v| v.0);
+            if resorted != s {
+                return Err(format!("membership run of u{} diverges from its profile", u.0));
             }
         }
-        if count != self.n_interactions {
-            return Err(format!("interaction count {} != stored {}", count, self.n_interactions));
+        if pop != self.item_pop {
+            return Err("popularity counters diverge from profiles".into());
         }
-        let inverted: usize = self.item_users.iter().map(Vec::len).sum();
-        if inverted != count {
-            return Err(format!("inverted index holds {inverted} edges, profiles hold {count}"));
+        // Replay base users in order against the frozen inverted index: each
+        // item's run must list exactly its base interactions, user-ascending.
+        let mut cursor: Vec<u32> = self.inv_offsets[..self.n_items].to_vec();
+        for raw in 0..self.n_base_users {
+            let u = UserId(raw as u32);
+            for &v in self.profile(u) {
+                let c = cursor[v.idx()] as usize;
+                if c >= self.inv_offsets[v.idx() + 1] as usize || self.inv_users[c] != u {
+                    return Err(format!("u{} -> {v} missing from item profile", u.0));
+                }
+                cursor[v.idx()] += 1;
+            }
+        }
+        for v in self.items() {
+            if cursor[v.idx()] != self.inv_offsets[v.idx() + 1] {
+                return Err(format!("frozen item profile of {v} has unreferenced entries"));
+            }
         }
         Ok(())
     }
 }
 
+/// Appends one profile (validated, deduped) to the flat arenas.
+///
+/// Dedup is order-preserving and O(l log l): positions are sorted by
+/// `(item, position)` so the first occurrence of each distinct item
+/// survives, then the survivors are re-sorted by position to restore
+/// temporal order. The `(item, position)` pass doubles as construction of
+/// the user's sorted membership run.
+fn append_profile(
+    n_items: usize,
+    profile: &[ItemId],
+    items: &mut Vec<ItemId>,
+    sorted_items: &mut Vec<ItemId>,
+    user_offsets: &mut Vec<u32>,
+    item_pop: &mut [u32],
+) {
+    for &v in profile {
+        assert!(v.idx() < n_items, "item {v} outside catalog of {n_items}");
+    }
+    let mut by_item: Vec<u32> = (0..profile.len() as u32).collect();
+    by_item.sort_unstable_by_key(|&i| (profile[i as usize].0, i));
+    let mut kept: Vec<u32> = Vec::with_capacity(by_item.len());
+    let mut prev: Option<ItemId> = None;
+    for &i in &by_item {
+        let v = profile[i as usize];
+        if prev != Some(v) {
+            prev = Some(v);
+            kept.push(i);
+            sorted_items.push(v);
+            item_pop[v.idx()] += 1;
+        }
+    }
+    kept.sort_unstable();
+    items.extend(kept.iter().map(|&i| profile[i as usize]));
+    let end = u32::try_from(items.len()).expect("interaction arena exceeds u32 offsets");
+    user_offsets.push(end);
+}
+
 /// Incremental builder for a [`Dataset`].
+///
+/// Profiles stream straight into the flat arenas; [`DatasetBuilder::build`]
+/// freezes the inverted item index with one counting-sort pass over the
+/// arena, visiting users in id order so each item's run comes out in the
+/// historical insertion order.
 #[derive(Clone, Debug)]
 pub struct DatasetBuilder {
-    ds: Dataset,
+    n_items: usize,
+    items: Vec<ItemId>,
+    sorted_items: Vec<ItemId>,
+    user_offsets: Vec<u32>,
+    item_pop: Vec<u32>,
 }
 
 impl DatasetBuilder {
     /// Builder over an item catalog of `n_items`.
     pub fn new(n_items: usize) -> Self {
-        Self { ds: Dataset::empty(n_items) }
+        Self {
+            n_items,
+            items: Vec::new(),
+            sorted_items: Vec::new(),
+            user_offsets: vec![0],
+            item_pop: vec![0; n_items],
+        }
+    }
+
+    /// Pre-sizes the arenas for a bulk load of roughly `n_interactions`.
+    pub fn reserve(&mut self, n_interactions: usize) {
+        self.items.reserve(n_interactions);
+        self.sorted_items.reserve(n_interactions);
+    }
+
+    /// Number of users added so far.
+    pub fn n_users(&self) -> usize {
+        self.user_offsets.len() - 1
     }
 
     /// Adds a user profile; returns the assigned id.
     pub fn user(&mut self, profile: &[ItemId]) -> UserId {
-        self.ds.add_user(profile)
+        let uid = UserId(self.n_users() as u32);
+        append_profile(
+            self.n_items,
+            profile,
+            &mut self.items,
+            &mut self.sorted_items,
+            &mut self.user_offsets,
+            &mut self.item_pop,
+        );
+        uid
     }
 
-    /// Finalizes the dataset.
-    pub fn build(self) -> Dataset {
-        debug_assert!(self.ds.check_consistency().is_ok());
-        self.ds
+    /// Finalizes the dataset: freezes the inverted item index over every
+    /// user added so far.
+    pub fn build(mut self) -> Dataset {
+        self.items.shrink_to_fit();
+        self.sorted_items.shrink_to_fit();
+        let mut inv_offsets = vec![0u32; self.n_items + 1];
+        for &v in &self.items {
+            inv_offsets[v.idx() + 1] += 1;
+        }
+        for i in 0..self.n_items {
+            inv_offsets[i + 1] += inv_offsets[i];
+        }
+        let mut cursor = inv_offsets.clone();
+        let mut inv_users = vec![UserId(0); self.items.len()];
+        for u in 0..self.n_users() {
+            let run = &self.items[self.user_offsets[u] as usize..self.user_offsets[u + 1] as usize];
+            for &v in run {
+                inv_users[cursor[v.idx()] as usize] = UserId(u as u32);
+                cursor[v.idx()] += 1;
+            }
+        }
+        let ds = Dataset {
+            n_items: self.n_items,
+            n_base_users: self.n_users(),
+            items: self.items,
+            sorted_items: self.sorted_items,
+            user_offsets: self.user_offsets,
+            inv_users,
+            inv_offsets,
+            item_pop: self.item_pop,
+        };
+        debug_assert!(ds.check_consistency().is_ok(), "{:?}", ds.check_consistency());
+        ds
     }
 }
 
@@ -202,8 +415,8 @@ mod tests {
         let u0 = b.user(&items(&[0, 1]));
         let u1 = b.user(&items(&[1, 2]));
         let ds = b.build();
-        assert_eq!(ds.item_profile(ItemId(1)), &[u0, u1]);
-        assert_eq!(ds.item_profile(ItemId(3)), &[]);
+        assert_eq!(ds.item_profile(ItemId(1)), &[u0, u1][..]);
+        assert!(ds.item_profile(ItemId(3)).is_empty());
         assert_eq!(ds.item_popularity(ItemId(1)), 2);
     }
 
@@ -212,6 +425,7 @@ mod tests {
         let mut ds = Dataset::empty(5);
         let u = ds.add_user(&items(&[3, 1, 3, 2, 1]));
         assert_eq!(ds.profile(u), &items(&[3, 1, 2])[..]);
+        assert_eq!(ds.sorted_profile(u), &items(&[1, 2, 3])[..]);
         assert_eq!(ds.n_interactions(), 3);
         assert!(ds.check_consistency().is_ok());
     }
@@ -261,6 +475,51 @@ mod tests {
         let injected = ds.add_user(&items(&[0, 1]));
         assert_eq!(ds.item_popularity(ItemId(0)), before + 1);
         assert_eq!(injected, UserId(1));
+        assert!(ds.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn injected_tail_merges_into_item_profiles_in_user_order() {
+        let mut b = DatasetBuilder::new(4);
+        let u0 = b.user(&items(&[0, 1]));
+        let u1 = b.user(&items(&[1, 2]));
+        let mut ds = b.build();
+        assert_eq!(ds.n_base_users(), 2);
+        // Untouched item: still the borrowed frozen run.
+        assert!(matches!(ds.item_profile(ItemId(1)), Cow::Borrowed(_)));
+        let u2 = ds.add_user(&items(&[1, 3]));
+        let u3 = ds.add_user(&items(&[1]));
+        assert_eq!(ds.n_base_users(), 2);
+        // Touched item: frozen run + tail, user-ascending — the legacy
+        // insertion order.
+        assert_eq!(ds.item_profile(ItemId(1)), &[u0, u1, u2, u3][..]);
+        assert_eq!(ds.item_profile(ItemId(3)), &[u2][..]);
+        // Item only the base users touched stays borrowed.
+        assert!(matches!(ds.item_profile(ItemId(0)), Cow::Borrowed(_)));
+        assert_eq!(ds.item_profile(ItemId(0)), &[u0][..]);
+        assert!(ds.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn empty_then_add_user_matches_builder() {
+        let profiles = [vec![0u32, 2, 1], vec![2, 2, 3], vec![], vec![4, 0]];
+        let mut b = DatasetBuilder::new(5);
+        let mut ds = Dataset::empty(5);
+        for p in &profiles {
+            let bp = items(p);
+            assert_eq!(b.user(&bp), ds.add_user(&bp));
+        }
+        let built = b.build();
+        assert_eq!(built.n_interactions(), ds.n_interactions());
+        for u in built.users() {
+            assert_eq!(built.profile(u), ds.profile(u));
+            assert_eq!(built.sorted_profile(u), ds.sorted_profile(u));
+        }
+        for v in built.items() {
+            assert_eq!(built.item_profile(v), ds.item_profile(v));
+            assert_eq!(built.item_popularity(v), ds.item_popularity(v));
+        }
+        assert!(built.check_consistency().is_ok());
         assert!(ds.check_consistency().is_ok());
     }
 }

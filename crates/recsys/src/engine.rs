@@ -89,6 +89,7 @@ pub fn batch_top_k_with<E: ScoringEngine + ?Sized>(
     users: &[UserId],
     k: usize,
     scratch: &mut Scratch,
+    // ca-audit: allow(nested-vec) — k-sized per-query batch result, not dataset-scale state
 ) -> Vec<Vec<ItemId>> {
     let mut scores = scratch.matrix(users.len(), engine.catalog_len());
     engine.score_batch(users, &mut scores);
@@ -106,6 +107,7 @@ pub fn batch_top_k<E: ScoringEngine + ?Sized>(
     engine: &E,
     users: &[UserId],
     k: usize,
+    // ca-audit: allow(nested-vec) — k-sized per-query batch result, not dataset-scale state
 ) -> Vec<Vec<ItemId>> {
     ENGINE_SCRATCH.with(|s| batch_top_k_with(engine, users, k, &mut s.borrow_mut()))
 }
@@ -125,6 +127,7 @@ pub fn par_batch_top_k<E: ScoringEngine + Sync + ?Sized>(
     users: &[UserId],
     k: usize,
     threads: usize,
+    // ca-audit: allow(nested-vec) — k-sized per-query batch result, not dataset-scale state
 ) -> Vec<Vec<ItemId>> {
     let threads = threads.max(1).min(users.len().max(1));
     if threads <= 1 {
@@ -151,6 +154,7 @@ pub fn auto_batch_top_k<E: ScoringEngine + Sync + ?Sized>(
     engine: &E,
     users: &[UserId],
     k: usize,
+    // ca-audit: allow(nested-vec) — k-sized per-query batch result, not dataset-scale state
 ) -> Vec<Vec<ItemId>> {
     let cells = users.len().saturating_mul(engine.catalog_len());
     if users.len() >= PAR_MIN_USERS && cells >= PAR_MIN_CELLS {

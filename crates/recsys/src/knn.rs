@@ -33,33 +33,16 @@ impl ItemKnnRecommender {
     /// Builds the model from the platform's interaction data.
     pub fn deploy(data: Dataset) -> Self {
         let n_items = data.n_items();
-        let mut rec =
-            Self { co: vec![0; n_items * (n_items.saturating_sub(1)) / 2], data, n_items };
-        for u in 0..rec.data.n_users() {
-            let profile: Vec<ItemId> = rec.data.profile(UserId(u as u32)).to_vec();
-            rec.count_pairs(&profile, 1);
+        let mut co = vec![0; n_items * (n_items.saturating_sub(1)) / 2];
+        for u in data.users() {
+            count_pairs(&mut co, n_items, data.profile(u), 1);
         }
-        rec
+        Self { co, data, n_items }
     }
 
     #[inline]
     fn tri_index(&self, a: usize, b: usize) -> usize {
-        debug_assert!(a < b);
-        a * self.n_items - a * (a + 1) / 2 + (b - a - 1)
-    }
-
-    fn count_pairs(&mut self, profile: &[ItemId], delta: i64) {
-        for i in 0..profile.len() {
-            for j in (i + 1)..profile.len() {
-                let (a, b) = (profile[i].idx(), profile[j].idx());
-                let (a, b) = if a < b { (a, b) } else { (b, a) };
-                if a == b {
-                    continue;
-                }
-                let idx = self.tri_index(a, b);
-                self.co[idx] = (self.co[idx] as i64 + delta).max(0) as u32;
-            }
-        }
+        tri_index(self.n_items, a, b)
     }
 
     /// Raw co-occurrence count between two distinct items.
@@ -84,6 +67,29 @@ impl ItemKnnRecommender {
     /// The platform data (owner-side).
     pub fn data(&self) -> &Dataset {
         &self.data
+    }
+}
+
+#[inline]
+fn tri_index(n_items: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a < b);
+    a * n_items - a * (a + 1) / 2 + (b - a - 1)
+}
+
+/// Adds `delta` to every unordered item pair of `profile` in the flattened
+/// upper-triangular count table. A free function (not a method) so callers
+/// can hold the profile slice borrowed from the same recommender's dataset.
+fn count_pairs(co: &mut [u32], n_items: usize, profile: &[ItemId], delta: i64) {
+    for i in 0..profile.len() {
+        for j in (i + 1)..profile.len() {
+            let (a, b) = (profile[i].idx(), profile[j].idx());
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            if a == b {
+                continue;
+            }
+            let idx = tri_index(n_items, a, b);
+            co[idx] = (co[idx] as i64 + delta).max(0) as u32;
+        }
     }
 }
 
@@ -130,14 +136,16 @@ impl BlackBoxRecommender for ItemKnnRecommender {
         engine::single_top_k(self, user, k)
     }
 
+    // ca-audit: allow(nested-vec) — k-sized per-query batch result, not dataset-scale state
     fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
         engine::auto_batch_top_k(self, users, k)
     }
 
     fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
         let uid = self.data.add_user(profile);
-        let stored: Vec<ItemId> = self.data.profile(uid).to_vec();
-        self.count_pairs(&stored, 1);
+        // Disjoint field borrows: read the stored (deduped) run straight
+        // from the arena while updating the co-occurrence counts.
+        count_pairs(&mut self.co, self.n_items, self.data.profile(uid), 1);
         uid
     }
 

@@ -76,6 +76,7 @@ impl BlackBoxRecommender for PopularityRecommender {
         engine::single_top_k(self, user, k)
     }
 
+    // ca-audit: allow(nested-vec) — k-sized per-query batch result, not dataset-scale state
     fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
         engine::auto_batch_top_k(self, users, k)
     }
@@ -90,9 +91,15 @@ impl BlackBoxRecommender for PopularityRecommender {
 }
 
 /// Items grouped into popularity buckets, most popular bucket first.
+///
+/// CSR layout: the whole catalog, popularity-sorted, in one flat buffer
+/// with per-group offsets — groups are contiguous slices of the sort.
 #[derive(Clone, Debug)]
 pub struct PopularityGroups {
-    groups: Vec<Vec<ItemId>>,
+    /// Catalog sorted by descending popularity, groups back to back.
+    items: Vec<ItemId>,
+    /// `offsets[g]..offsets[g + 1]` bounds group `g`.
+    offsets: Vec<u32>,
 }
 
 impl PopularityGroups {
@@ -107,34 +114,29 @@ impl PopularityGroups {
         let mut items: Vec<ItemId> = ds.items().collect();
         items.sort_by_key(|&v| std::cmp::Reverse(ds.item_popularity(v)));
         let n = items.len();
-        let groups = (0..n_groups)
-            .map(|g| {
-                let lo = g * n / n_groups;
-                let hi = (g + 1) * n / n_groups;
-                items[lo..hi].to_vec()
-            })
-            .collect();
-        Self { groups }
+        let offsets = (0..=n_groups).map(|g| (g * n / n_groups) as u32).collect();
+        Self { items, offsets }
     }
 
     /// Number of groups.
     pub fn len(&self) -> usize {
-        self.groups.len()
+        self.offsets.len() - 1
     }
 
     /// Whether there are no groups (never true after `build`).
     pub fn is_empty(&self) -> bool {
-        self.groups.is_empty()
+        self.len() == 0
     }
 
     /// The items of group `g` (0 = most popular).
     pub fn group(&self, g: usize) -> &[ItemId] {
-        &self.groups[g]
+        assert!(g < self.len(), "group {g} out of {}", self.len());
+        &self.items[self.offsets[g] as usize..self.offsets[g + 1] as usize]
     }
 
     /// Samples up to `n` items from group `g` without replacement.
     pub fn sample(&self, g: usize, n: usize, rng: &mut impl Rng) -> Vec<ItemId> {
-        let mut items = self.groups[g].clone();
+        let mut items = self.group(g).to_vec();
         items.shuffle(rng);
         items.truncate(n);
         items

@@ -6,7 +6,7 @@
 //! Held-out interactions are dropped from the training profiles but the
 //! user's remaining sequence order is preserved.
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, DatasetBuilder};
 use crate::ids::{ItemId, UserId};
 use rand::Rng;
 
@@ -42,14 +42,18 @@ pub fn split_dataset(ds: &Dataset, holdout_frac: f64, rng: &mut impl Rng) -> Spl
         (0.0..0.5).contains(&holdout_frac),
         "holdout fraction {holdout_frac} must be in [0, 0.5)"
     );
-    let mut train = Dataset::empty(ds.n_items());
+    // Build through `DatasetBuilder` so the training set gets a frozen
+    // inverted index over *all* of its users (the empty-then-append path
+    // would leave every user in the injection tail).
+    let mut train = DatasetBuilder::new(ds.n_items());
+    train.reserve(ds.n_interactions());
     let mut validation = Vec::new();
     let mut test = Vec::new();
 
+    let mut kept: Vec<ItemId> = Vec::new();
     for u in ds.users() {
-        let profile = ds.profile(u);
-        let mut kept: Vec<ItemId> = Vec::with_capacity(profile.len());
-        for &v in profile {
+        kept.clear();
+        for &v in ds.profile(u) {
             let r: f64 = rng.gen();
             if r < holdout_frac && !kept.is_empty() {
                 validation.push(HeldOut { user: u, item: v });
@@ -59,10 +63,10 @@ pub fn split_dataset(ds: &Dataset, holdout_frac: f64, rng: &mut impl Rng) -> Spl
                 kept.push(v);
             }
         }
-        let new_id = train.add_user(&kept);
+        let new_id = train.user(&kept);
         debug_assert_eq!(new_id, u, "split must preserve user ids");
     }
-    Split { train, validation, test }
+    Split { train: train.build(), validation, test }
 }
 
 #[cfg(test)]

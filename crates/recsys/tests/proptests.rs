@@ -1,10 +1,24 @@
 //! Property-based tests for the data model and ranking metrics.
 
 use ca_recsys::metrics::{hit_ratio, ndcg, MetricAccumulator};
-use ca_recsys::{split_dataset, Dataset, DatasetBuilder, ItemId};
+use ca_recsys::{split_dataset, Dataset, DatasetBuilder, ItemId, UserId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The pre-CSR dedup algorithm, verbatim: walk the profile in order and
+/// keep each item on first sight via an O(n²) `contains` scan. The arena
+/// builder's sort-index dedup must reproduce this order exactly.
+fn legacy_contains_dedup(n_items: usize, profile: &[u32]) -> Vec<ItemId> {
+    let mut kept: Vec<ItemId> = Vec::new();
+    for &v in profile {
+        let v = ItemId(v % n_items as u32);
+        if !kept.contains(&v) {
+            kept.push(v);
+        }
+    }
+    kept
+}
 
 fn build_dataset(n_items: usize, profiles: &[Vec<u32>]) -> Dataset {
     let mut b = DatasetBuilder::new(n_items);
@@ -90,6 +104,29 @@ proptest! {
         for h in split.validation.iter().chain(split.test.iter()) {
             prop_assert!(ds.contains(h.user, h.item));
         }
+    }
+
+    #[test]
+    fn dedup_matches_the_legacy_contains_scan(
+        profile in prop::collection::vec(0u32..60, 0..80),
+        injected in prop::collection::vec(0u32..60, 0..80),
+    ) {
+        // Builder path and injection path both run the sort-index dedup;
+        // each must keep first occurrences in original order, like the old
+        // quadratic scan did.
+        let mut b = DatasetBuilder::new(60);
+        let items: Vec<ItemId> = profile.iter().map(|&v| ItemId(v % 60)).collect();
+        b.user(&items);
+        let mut ds = b.build();
+        prop_assert_eq!(ds.profile(UserId(0)), &legacy_contains_dedup(60, &profile)[..]);
+
+        let items: Vec<ItemId> = injected.iter().map(|&v| ItemId(v % 60)).collect();
+        let uid = ds.add_user(&items);
+        prop_assert_eq!(ds.profile(uid), &legacy_contains_dedup(60, &injected)[..]);
+        // The sorted companion run holds the same items, ascending.
+        let mut sorted = ds.profile(uid).to_vec();
+        sorted.sort_by_key(|v| v.0);
+        prop_assert_eq!(ds.sorted_profile(uid), &sorted[..]);
     }
 
     #[test]

@@ -126,6 +126,17 @@ impl Matrix {
         &self.data[r0 * self.cols..r1 * self.cols]
     }
 
+    /// Mutable contiguous view of rows `r0..r1` (row-major,
+    /// `(r1 - r0) * cols` floats).
+    ///
+    /// # Panics
+    /// Panics if `r0 > r1` or `r1 > rows`.
+    #[inline]
+    pub fn row_range_mut(&mut self, r0: usize, r1: usize) -> &mut [f32] {
+        assert!(r0 <= r1 && r1 <= self.rows, "row_range {r0}..{r1} out of {} rows", self.rows);
+        &mut self.data[r0 * self.cols..r1 * self.cols]
+    }
+
     /// Row-aligned chunked views: contiguous blocks of up to `rows_per_chunk`
     /// whole rows, in row order. This is the unit the deterministic
     /// parallel runtime (`ca-par`) hands to workers — the chunk grid

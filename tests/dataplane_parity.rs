@@ -1,0 +1,107 @@
+//! Property parity for the compact CSR data plane: the flat-arena
+//! `Dataset` must be observationally identical to the legacy nested-`Vec`
+//! data model it replaced — same profile iteration order, same inverted
+//! (item → users) order, same popularity counts, same `contains` answers —
+//! through both the builder path and post-freeze injection.
+//!
+//! The legacy model lives in this test as a straight port of the pre-CSR
+//! implementation, so the contract stays pinned even though the original
+//! code is gone. Every property is checked at CA_THREADS ∈ {1, 4}: the
+//! data plane is serial by design, and holding the assertions under the
+//! sweep proves the global thread knob cannot leak into it.
+
+use copyattack::par;
+use copyattack::recsys::{DatasetBuilder, ItemId, UserId};
+use proptest::prelude::*;
+
+const N_ITEMS: usize = 40;
+
+/// Straight port of the pre-CSR `Dataset`: one `Vec` per user profile, one
+/// `Vec` per item's users, linear-scan membership, insertion-order
+/// inverted index.
+struct LegacyModel {
+    profiles: Vec<Vec<ItemId>>,
+    item_profiles: Vec<Vec<UserId>>,
+}
+
+impl LegacyModel {
+    fn new() -> Self {
+        Self { profiles: Vec::new(), item_profiles: vec![Vec::new(); N_ITEMS] }
+    }
+
+    fn add(&mut self, raw: &[u32]) -> UserId {
+        let uid = UserId(self.profiles.len() as u32);
+        let mut kept: Vec<ItemId> = Vec::new();
+        for &v in raw {
+            let v = ItemId(v % N_ITEMS as u32);
+            if !kept.contains(&v) {
+                kept.push(v);
+                self.item_profiles[v.idx()].push(uid);
+            }
+        }
+        self.profiles.push(kept);
+        uid
+    }
+
+    fn contains(&self, u: UserId, v: ItemId) -> bool {
+        self.profiles[u.idx()].contains(&v)
+    }
+}
+
+/// Builds both models from the same raw input — `base` through the
+/// builder, `injected` through `add_user` — and asserts every observable
+/// facet matches.
+fn assert_models_agree(base: &[Vec<u32>], injected: &[Vec<u32>]) {
+    let mut legacy = LegacyModel::new();
+    let mut b = DatasetBuilder::new(N_ITEMS);
+    for p in base {
+        legacy.add(p);
+        let items: Vec<ItemId> = p.iter().map(|&v| ItemId(v % N_ITEMS as u32)).collect();
+        b.user(&items);
+    }
+    let mut ds = b.build();
+    for p in injected {
+        let lid = legacy.add(p);
+        let items: Vec<ItemId> = p.iter().map(|&v| ItemId(v % N_ITEMS as u32)).collect();
+        assert_eq!(ds.add_user(&items), lid, "injection must mint the same user id");
+    }
+
+    assert_eq!(ds.n_users(), legacy.profiles.len());
+    assert_eq!(
+        ds.n_interactions(),
+        legacy.profiles.iter().map(Vec::len).sum::<usize>(),
+        "interaction totals diverge"
+    );
+    for u in ds.users() {
+        assert_eq!(ds.profile(u), &legacy.profiles[u.idx()][..], "profile order of {u:?}");
+        for v in 0..N_ITEMS as u32 {
+            let v = ItemId(v);
+            assert_eq!(ds.contains(u, v), legacy.contains(u, v), "contains({u:?}, {v:?})");
+        }
+    }
+    for v in ds.items() {
+        assert_eq!(
+            &*ds.item_profile(v),
+            &legacy.item_profiles[v.idx()][..],
+            "inverted order of {v:?}"
+        );
+        assert_eq!(ds.item_popularity(v), legacy.item_profiles[v.idx()].len());
+    }
+    ds.check_consistency().expect("CSR invariants");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_dataset_matches_the_legacy_nested_vec_model(
+        base in prop::collection::vec(prop::collection::vec(0u32..64, 0..12), 1..14),
+        injected in prop::collection::vec(prop::collection::vec(0u32..64, 0..12), 0..6),
+    ) {
+        for threads in [1usize, 4] {
+            par::set_threads(Some(threads));
+            assert_models_agree(&base, &injected);
+        }
+        par::set_threads(None);
+    }
+}

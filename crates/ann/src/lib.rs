@@ -1,0 +1,39 @@
+//! Deterministic IVF (inverted-file) approximate retrieval.
+//!
+//! The exact engine answers every Top-k query with a full-catalog GEMM —
+//! `O(users × items × dim)` per reward round. That is a hard wall at the
+//! million-item scale the ROADMAP north-star demands: the CopyAttack loop
+//! re-ranks the catalog for 50 pretend users after *every* injection step.
+//! This crate makes retrieval sublinear the way production recommenders do
+//! it, while keeping the workspace determinism contract:
+//!
+//! - **Index** ([`IvfIndex`]): item representations (from
+//!   [`EmbeddingEngine`](ca_recsys::EmbeddingEngine)) are partitioned into
+//!   `nlist` cells by `ca-cluster` k-means (balanced when the catalog is
+//!   small enough to cluster whole, sampled + nearest-assign above that),
+//!   stored as a flat CSR cell→items arena in the PR-7 style.
+//! - **Search**: a query probes the `nprobe` cells whose centroids score
+//!   highest against the user's query vector, exact-scores only the items
+//!   in those cells through `EmbeddingEngine::score_items` (bitwise equal
+//!   to the full GEMM's cells), and ranks survivors through the *same*
+//!   deterministic tie-break as the exact path
+//!   ([`select_top_k`](ca_recsys::select_top_k)). Pruning the candidate
+//!   set is therefore the only source of approximation; the exact engine
+//!   stays available as the parity/recall oracle.
+//! - **Determinism**: the index build is seeded ([`IvfConfig::seed`]) and
+//!   its only parallel stage assigns points independently, so index and
+//!   results are bitwise-identical at any `CA_THREADS`.
+//!
+//! [`IvfRecommender`] wraps an embedding-backed black-box target so whole
+//! attack campaigns run against an ANN-backed platform; injected profiles
+//! drift against the frozen index until an explicit
+//! [`rebuild_index`](IvfRecommender::rebuild_index) (= retrain), mirroring
+//! how deployed systems refresh ANN shards.
+
+#![forbid(unsafe_code)]
+
+pub mod ivf;
+pub mod recommender;
+
+pub use ivf::{retrieve_batch_top_k, IvfConfig, IvfIndex};
+pub use recommender::IvfRecommender;

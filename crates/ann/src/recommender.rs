@@ -1,0 +1,78 @@
+//! An ANN-backed black-box platform: the same attack surface, sublinear
+//! retrieval behind it.
+
+use crate::ivf::{IvfConfig, IvfIndex};
+use ca_recsys::{BlackBoxRecommender, EmbeddingEngine, ItemId, UserId};
+
+/// Wraps an embedding-backed recommender so every Top-k it serves goes
+/// through an [`IvfIndex`] instead of the exact full-catalog scan.
+///
+/// The index is built once at [`deploy`](IvfRecommender::deploy) and then
+/// *frozen*: injected profiles update the underlying model (fold-in) but
+/// not the cell assignment, exactly like a deployed system whose ANN
+/// shards refresh only at retrain. Call
+/// [`rebuild_index`](IvfRecommender::rebuild_index) to model that retrain
+/// and observe how drift interacts with cell assignment.
+#[derive(Clone, Debug)]
+pub struct IvfRecommender<R> {
+    inner: R,
+    cfg: IvfConfig,
+    index: IvfIndex,
+}
+
+impl<R: EmbeddingEngine + Sync> IvfRecommender<R> {
+    /// Builds the index over `inner`'s current item embeddings and serves
+    /// all further queries through it.
+    pub fn deploy(inner: R, cfg: IvfConfig) -> Self {
+        let index = IvfIndex::build(&inner, &cfg);
+        IvfRecommender { inner, cfg, index }
+    }
+
+    /// Re-clusters the catalog against the *current* embeddings — the
+    /// retrain boundary at which a real platform refreshes its ANN shards.
+    pub fn rebuild_index(&mut self) {
+        self.index = IvfIndex::build(&self.inner, &self.cfg);
+    }
+
+    /// The wrapped recommender.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Unwraps the underlying recommender (e.g. to evaluate promotion on
+    /// the model itself after an ANN-backed campaign).
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// The live index.
+    pub fn index(&self) -> &IvfIndex {
+        &self.index
+    }
+
+    /// The build/search parameters.
+    pub fn config(&self) -> &IvfConfig {
+        &self.cfg
+    }
+}
+
+impl<R: EmbeddingEngine + BlackBoxRecommender + Sync> BlackBoxRecommender for IvfRecommender<R> {
+    fn top_k(&self, user: UserId, k: usize) -> Vec<ItemId> {
+        self.index.top_k(&self.inner, user, k, self.cfg.nprobe)
+    }
+
+    // ca-audit: allow(nested-vec) — k-sized per-query batch result, not dataset-scale state
+    fn top_k_batch(&self, users: &[UserId], k: usize) -> Vec<Vec<ItemId>> {
+        self.index.batch_top_k(&self.inner, users, k, self.cfg.nprobe)
+    }
+
+    fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
+        // Deliberately no index rebuild: the injected profile folds into
+        // the model while cell assignments stay frozen until retrain.
+        self.inner.inject_user(profile)
+    }
+
+    fn catalog_size(&self) -> usize {
+        self.inner.catalog_size()
+    }
+}

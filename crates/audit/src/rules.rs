@@ -51,6 +51,11 @@ pub enum Rule {
     /// pointer-chasing nested allocations on the paths that carry
     /// dataset-scale state.
     NestedVec,
+    /// Direct `.score_batch(` call outside the shared retrieval path
+    /// (`recsys::engine` and `ca-ann`): a full-catalog scan that bypasses
+    /// the Top-k entry points, and with them the IVF sublinear path and
+    /// the scratch-buffer reuse discipline.
+    ExactScan,
     /// A `ca-audit: allow` pragma with no reason after the rule list.
     PragmaMissingReason,
     /// A `ca-audit` pragma naming a rule id that does not exist (typos
@@ -60,7 +65,7 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 12] = [
         Rule::HashCollections,
         Rule::WallClock,
         Rule::AdHocRng,
@@ -70,6 +75,7 @@ impl Rule {
         Rule::UnorderedReduce,
         Rule::ServiceSleep,
         Rule::NestedVec,
+        Rule::ExactScan,
         Rule::PragmaMissingReason,
         Rule::PragmaUnknownRule,
     ];
@@ -86,6 +92,7 @@ impl Rule {
             Rule::UnorderedReduce => "unordered-reduce",
             Rule::ServiceSleep => "service-sleep",
             Rule::NestedVec => "nested-vec",
+            Rule::ExactScan => "exact-scan",
             Rule::PragmaMissingReason => "pragma-missing-reason",
             Rule::PragmaUnknownRule => "pragma-unknown-rule",
         }
@@ -112,6 +119,9 @@ impl Rule {
             }
             Rule::ServiceSleep => "thread::sleep in a logical-clock service path",
             Rule::NestedVec => "nested Vec<Vec<…>> in a compact-data-plane crate",
+            Rule::ExactScan => {
+                "direct .score_batch call scans the full catalog outside the retrieval path"
+            }
             Rule::PragmaMissingReason => "ca-audit allow pragma without a reason",
             Rule::PragmaUnknownRule => "ca-audit pragma names an unknown rule",
         }
@@ -154,10 +164,16 @@ impl Rule {
                  recsys::Dataset) or ca_tensor::Matrix; per-query k-sized batch results \
                  may keep the nested shape behind a reasoned pragma"
             }
+            Rule::ExactScan => {
+                "rank through the engine entry points (single_top_k/batch_top_k/\
+                 auto_batch_top_k or ca_ann::IvfIndex) so callers inherit the sublinear \
+                 path; parity tests pinning the dense kernel may suppress with a reason"
+            }
             Rule::PragmaMissingReason => "append `— <why this is sound>` after the rule list",
             Rule::PragmaUnknownRule => {
                 "valid rules: hash-collections, wall-clock, ad-hoc-rng, raw-thread, \
-                 raw-top-k, unsafe-audit, unordered-reduce, service-sleep, nested-vec"
+                 raw-top-k, unsafe-audit, unordered-reduce, service-sleep, nested-vec, \
+                 exact-scan"
             }
         }
     }
@@ -293,6 +309,10 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> Vec<Findi
         rel_path.starts_with("crates/serve/src/") || rel_path.starts_with("crates/recsys/src/");
     let in_dataplane =
         rel_path.starts_with("crates/recsys/src/") || rel_path.starts_with("crates/datagen/src/");
+    // The engine module and the ANN crate *are* the retrieval path; a
+    // `.score_batch(` there is the implementation, not a bypass.
+    let in_retrieval_path =
+        rel_path == "crates/recsys/src/engine.rs" || rel_path.starts_with("crates/ann/src/");
 
     // Statement window for the unordered-reduce rule: a statement runs
     // between `;`/`{`/`}` boundaries; within one, a float reduction chained
@@ -315,6 +335,17 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> Vec<Findi
                     && toks[i + 2].is_punct('(')
                 {
                     findings.push(Finding::new(rel_path, toks[i + 1].line, Rule::RawTopK));
+                }
+                // `.score_batch(` — a full-catalog scan off the shared
+                // retrieval path. Definitions (`fn score_batch(`) have no
+                // leading dot and do not match.
+                if !in_retrieval_path
+                    && *c == '.'
+                    && i + 2 < toks.len()
+                    && toks[i + 1].is_ident("score_batch")
+                    && toks[i + 2].is_punct('(')
+                {
+                    findings.push(Finding::new(rel_path, toks[i + 1].line, Rule::ExactScan));
                 }
                 // `.sum…` / `.fold(` after a par-map in the same statement.
                 if *c == '.'

@@ -140,6 +140,25 @@ fn nested_vec_fires_only_in_data_plane_crates() {
 }
 
 #[test]
+fn exact_scan_fires_everywhere_except_the_retrieval_path() {
+    let src = include_str!("fixtures/exact_scan.rs");
+    let expected = vec![
+        ("exact-scan", line_of(src, "MARK: method call fires")),
+        ("exact-scan", line_of(src, "MARK: chained call fires")),
+    ];
+    // Full-catalog scans are flagged wherever they appear off-path…
+    assert_eq!(fired(&strict("crates/mf/src/recommender.rs", src)), expected);
+    assert_eq!(fired(&strict("src/pipeline.rs", src)), expected);
+    assert_eq!(fired(&strict("tests/ann_parity.rs", src)), expected);
+    // …but the engine module and the ANN crate *are* the retrieval path.
+    // (engine.rs is also data-plane scoped, so filter to this rule only.)
+    let silent = |path| strict(path, src).iter().all(|f| f.rule != Rule::ExactScan);
+    assert!(silent("crates/recsys/src/engine.rs"));
+    assert!(silent("crates/ann/src/ivf.rs"));
+    assert!(silent("crates/ann/src/recommender.rs"));
+}
+
+#[test]
 fn unsafe_audit_fires_on_lib_roots_only() {
     let src = include_str!("fixtures/unsafe_audit.rs");
     assert_eq!(fired(&strict("crates/x/src/lib.rs", src)), vec![("unsafe-audit", 1)]);
@@ -242,6 +261,12 @@ fn every_code_rule_is_silenced_by_a_reasoned_pragma_above_the_line() {
             "nested-vec",
             &["MARK: field fires", "MARK: return type fires"],
             "crates/datagen/src/organic.rs",
+        ),
+        (
+            include_str!("fixtures/exact_scan.rs"),
+            "exact-scan",
+            &["MARK: method call fires", "MARK: chained call fires"],
+            "crates/mf/src/recommender.rs",
         ),
     ];
     for (src, rule, markers, path) in cases {

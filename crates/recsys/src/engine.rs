@@ -45,35 +45,109 @@ pub trait ScoringEngine {
     fn is_seen(&self, user: UserId, item: ItemId) -> bool;
 }
 
+/// Engines whose items live in a vector space: the contract approximate
+/// retrieval indexes against.
+///
+/// An implementor exposes, besides full-catalog scoring, (a) a fixed-width
+/// representation per item (what gets clustered into index cells), (b) a
+/// query vector per user in the *same* space (inner product against item
+/// representations must rank like the model score, at least coarsely — it
+/// only steers which cells are probed), and (c) exact scoring of an
+/// arbitrary candidate subset, **bitwise identical** to the corresponding
+/// `score_batch` cells, so pruning the candidate set is the *only* source
+/// of approximation. Engines without such a space (co-occurrence KNN,
+/// popularity) simply don't implement this trait and always serve the
+/// exact path.
+pub trait EmbeddingEngine: ScoringEngine {
+    /// Width of the item/query representation vectors.
+    fn embedding_dim(&self) -> usize;
+
+    /// Writes `item`'s representation into `out` (`embedding_dim` floats).
+    fn item_embedding_into(&self, item: ItemId, out: &mut [f32]);
+
+    /// Writes `user`'s query vector into `out` (`embedding_dim` floats).
+    fn query_embedding_into(&self, user: UserId, out: &mut [f32]);
+
+    /// Scores exactly the given candidate items for `user`:
+    /// `out[i] = score(user, items[i])`, bitwise equal to what
+    /// `score_batch` would put in those columns.
+    fn score_items(&self, user: UserId, items: &[ItemId], out: &mut [f32]);
+}
+
+/// How a recommender answers Top-k queries.
+///
+/// `Exact` is the default full-catalog GEMM + partial-select path; `Ivf`
+/// routes through a seeded inverted-file index (`ca-ann`) that scores only
+/// the `nprobe` nearest of `nlist` cells — sublinear in the catalog, with
+/// the exact path kept as the parity/recall oracle. Engines without item
+/// embeddings (ItemKNN without a sketch, popularity) fall back to `Exact`
+/// regardless of the knob.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RetrievalMode {
+    /// Score the full catalog (the parity/recall oracle).
+    #[default]
+    Exact,
+    /// IVF approximate retrieval: `nlist` k-means cells, probe `nprobe`.
+    Ivf {
+        /// Number of index cells the catalog is partitioned into.
+        nlist: usize,
+        /// Number of nearest cells scored per query.
+        nprobe: usize,
+    },
+}
+
 /// Deterministic ranking order: score descending, then item id ascending.
 #[inline]
-fn rank_cmp(a: &(f32, u32), b: &(f32, u32)) -> Ordering {
+pub(crate) fn rank_cmp(a: &(f32, u32), b: &(f32, u32)) -> Ordering {
     b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
 }
 
-/// The best `k` items of one score row, excluding items for which
-/// `is_seen` returns true. Partial-select (`select_nth_unstable`) keeps
-/// this `O(n + k log k)` instead of a full sort's `O(n log n)`; ties break
-/// deterministically by ascending item id.
-pub fn top_k_from_scores(
+/// Orders the best `k` candidates of `cand` into its prefix (score
+/// descending, id ascending) and truncates to them. Partial-select
+/// (`select_nth_unstable`) keeps this `O(n + k log k)`; the IVF path ranks
+/// its probed candidates through this same function, so exact and
+/// approximate retrieval share one tie-break.
+pub fn select_top_k(cand: &mut Vec<(f32, u32)>, k: usize) {
+    let k = k.min(cand.len());
+    if k == 0 {
+        cand.clear();
+        return;
+    }
+    cand.select_nth_unstable_by(k - 1, rank_cmp);
+    cand.truncate(k);
+    cand.sort_unstable_by(rank_cmp);
+}
+
+/// [`top_k_from_scores`] with a caller-provided candidate buffer, so
+/// steady-state ranking performs no allocation (the buffer comes from the
+/// [`Scratch`] pair pool in the batched paths). The buffer is cleared on
+/// entry and holds the ranked survivors on return.
+pub fn top_k_from_scores_into(
     scores: &[f32],
     k: usize,
     mut is_seen: impl FnMut(ItemId) -> bool,
+    cand: &mut Vec<(f32, u32)>,
 ) -> Vec<ItemId> {
-    let mut scored: Vec<(f32, u32)> = Vec::with_capacity(scores.len());
+    cand.clear();
     for (v, &s) in scores.iter().enumerate() {
         if !is_seen(ItemId(v as u32)) {
-            scored.push((s, v as u32));
+            cand.push((s, v as u32));
         }
     }
-    let k = k.min(scored.len());
-    if k == 0 {
-        return Vec::new();
-    }
-    scored.select_nth_unstable_by(k - 1, rank_cmp);
-    scored.truncate(k);
-    scored.sort_unstable_by(rank_cmp);
-    scored.into_iter().map(|(_, v)| ItemId(v)).collect()
+    select_top_k(cand, k);
+    cand.iter().map(|&(_, v)| ItemId(v)).collect()
+}
+
+/// The best `k` items of one score row, excluding items for which
+/// `is_seen` returns true. Ties break deterministically by ascending item
+/// id. Allocating convenience wrapper over [`top_k_from_scores_into`].
+pub fn top_k_from_scores(
+    scores: &[f32],
+    k: usize,
+    is_seen: impl FnMut(ItemId) -> bool,
+) -> Vec<ItemId> {
+    let mut cand = Vec::with_capacity(scores.len());
+    top_k_from_scores_into(scores, k, is_seen, &mut cand)
 }
 
 thread_local! {
@@ -83,7 +157,9 @@ thread_local! {
 }
 
 /// Sequential batched Top-k: one `score_batch` call, then shared ranking
-/// per row. Score matrices come from an explicit [`Scratch`] pool.
+/// per row. Score matrices *and* the per-row candidate buffer come from an
+/// explicit [`Scratch`] pool, so steady-state ranking allocates nothing
+/// beyond the k-sized result lists.
 pub fn batch_top_k_with<E: ScoringEngine + ?Sized>(
     engine: &E,
     users: &[UserId],
@@ -93,11 +169,15 @@ pub fn batch_top_k_with<E: ScoringEngine + ?Sized>(
 ) -> Vec<Vec<ItemId>> {
     let mut scores = scratch.matrix(users.len(), engine.catalog_len());
     engine.score_batch(users, &mut scores);
+    let mut cand = scratch.take_pairs();
     let lists = users
         .iter()
         .enumerate()
-        .map(|(i, &u)| top_k_from_scores(scores.row(i), k, |v| engine.is_seen(u, v)))
+        .map(|(i, &u)| {
+            top_k_from_scores_into(scores.row(i), k, |v| engine.is_seen(u, v), &mut cand)
+        })
         .collect();
+    scratch.put_pairs(cand);
     scratch.recycle(scores);
     lists
 }
@@ -117,11 +197,20 @@ pub fn single_top_k<E: ScoringEngine + ?Sized>(engine: &E, user: UserId, k: usiz
     batch_top_k(engine, &[user], k).pop().expect("one list per user")
 }
 
+/// The user-batch chunk grid: `ca_par::even_chunks`, so the thread knob
+/// and the actual fan-out agree (`min(threads, users)` chunks, sizes
+/// within one — the old `⌈n/t⌉` split could produce *fewer* chunks than
+/// threads, e.g. 9 users at 4 threads → 3 chunks).
+fn user_chunks(users: &[UserId], threads: usize) -> Vec<&[UserId]> {
+    ca_par::even_chunks(users.len(), threads).into_iter().map(|r| &users[r]).collect()
+}
+
 /// Data-parallel batched Top-k: the user batch is split into `threads`
-/// contiguous chunks, each scored through the deterministic `ca_par`
-/// runtime (ordered output, no raw thread handling here). Result order
-/// matches `users`, and every list equals the sequential path exactly —
-/// the split is over users, whose scores are independent.
+/// contiguous chunks on `ca_par`'s fixed even grid, each scored through
+/// the deterministic `ca_par` runtime (ordered output, no raw thread
+/// handling here). Result order matches `users`, and every list equals the
+/// sequential path exactly — the split is over users, whose scores are
+/// independent.
 pub fn par_batch_top_k<E: ScoringEngine + Sync + ?Sized>(
     engine: &E,
     users: &[UserId],
@@ -133,8 +222,7 @@ pub fn par_batch_top_k<E: ScoringEngine + Sync + ?Sized>(
     if threads <= 1 {
         return batch_top_k(engine, users, k);
     }
-    let chunk = users.len().div_ceil(threads);
-    let chunks: Vec<&[UserId]> = users.chunks(chunk).collect();
+    let chunks = user_chunks(users, threads);
     ca_par::map(&chunks, |_, chunk_users| batch_top_k(engine, chunk_users, k))
         .into_iter()
         .flatten()
@@ -261,6 +349,42 @@ mod tests {
         let first = batch_top_k(&engine, &users, 5);
         let second = batch_top_k(&engine, &users, 5);
         assert_eq!(first, second);
-        ENGINE_SCRATCH.with(|s| assert!(s.borrow().idle() >= 1));
+        ENGINE_SCRATCH.with(|s| {
+            assert!(s.borrow().idle() >= 1, "score matrix must return to the pool");
+            assert!(s.borrow().idle_pairs() >= 1, "candidate buffer must return to the pool");
+        });
+    }
+
+    #[test]
+    fn buffered_ranking_matches_the_allocating_path() {
+        let engine = Toy::new(91);
+        let users: Vec<UserId> = (0..9u32).map(UserId).collect();
+        let mut scores = Matrix::zeros(users.len(), engine.catalog_len());
+        engine.score_batch(&users, &mut scores);
+        let mut cand = Vec::new();
+        for (i, &u) in users.iter().enumerate() {
+            let is_seen = |v: ItemId| engine.is_seen(u, v);
+            let buffered = top_k_from_scores_into(scores.row(i), 7, is_seen, &mut cand);
+            let fresh = top_k_from_scores(scores.row(i), 7, is_seen);
+            assert_eq!(buffered, fresh, "user {u}");
+        }
+    }
+
+    #[test]
+    fn chunk_grid_matches_thread_request() {
+        // Regression: ⌈9/4⌉ = 3 chunking used to fan out to only 3 of the
+        // 4 requested workers; the even grid must give exactly 4 chunks.
+        let users: Vec<UserId> = (0..9u32).map(UserId).collect();
+        let chunks = user_chunks(&users, 4);
+        assert_eq!(chunks.len(), 4);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 9);
+        assert!(sizes.iter().all(|&s| (2..=3).contains(&s)), "unbalanced {sizes:?}");
+        // More threads than users: one chunk per user, no empties.
+        assert_eq!(user_chunks(&users, 64).len(), 9);
+        // And the parallel path still matches sequential on that shape.
+        let engine = Toy::new(57);
+        let seq = batch_top_k(&engine, &users, 5);
+        assert_eq!(par_batch_top_k(&engine, &users, 5, 4), seq);
     }
 }

@@ -38,8 +38,8 @@ pub mod split;
 pub use blackbox::{BlackBoxRecommender, FallibleBlackBox, MeteredFallible, MeteredRecommender};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use engine::{
-    auto_batch_top_k, batch_top_k, batch_top_k_with, par_batch_top_k, single_top_k,
-    top_k_from_scores, ScoringEngine,
+    auto_batch_top_k, batch_top_k, batch_top_k_with, par_batch_top_k, select_top_k, single_top_k,
+    top_k_from_scores, top_k_from_scores_into, EmbeddingEngine, RetrievalMode, ScoringEngine,
 };
 pub use eval::{RankingEval, Scorer};
 pub use faults::{FaultConfig, FaultStats, FaultyRecommender, RateLimit, RecError, SplitMix64};

@@ -1,5 +1,7 @@
 //! Service-layer configuration.
 
+use ca_recsys::RetrievalMode;
+
 /// Everything that shapes a [`LivePlatform`](crate::LivePlatform) run:
 /// sharding, organic load, retrain cadence, checkpointing, and the seeded
 /// fault injection the supervisor must survive.
@@ -40,6 +42,11 @@ pub struct ServeConfig {
     /// Deterministic forced crashes `(tick, shard)` — the chaos-test hook
     /// for reproducing an exact mid-campaign shard loss.
     pub scripted_crashes: Vec<(u64, usize)>,
+    /// How snapshots answer Top-k: `Exact` full-catalog scoring (the
+    /// default, and the historical behavior), or `Ivf` approximate
+    /// retrieval over a per-snapshot index — rebuilt at every retrain, so
+    /// drift between versions interacts with cell assignment.
+    pub retrieval: RetrievalMode,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +65,7 @@ impl Default for ServeConfig {
             restart_base: 16,
             restart_max: 256,
             scripted_crashes: Vec::new(),
+            retrieval: RetrievalMode::Exact,
         }
     }
 }
@@ -101,6 +109,11 @@ impl ServeConfig {
                 self.restart_base, self.restart_max
             ));
         }
+        if let RetrievalMode::Ivf { nlist, nprobe } = self.retrieval {
+            if nlist == 0 || nprobe == 0 {
+                return Err(format!("ivf retrieval needs nlist {nlist} and nprobe {nprobe} > 0"));
+            }
+        }
         Ok(())
     }
 
@@ -132,6 +145,10 @@ mod tests {
             .validate()
             .is_err());
         assert!(ServeConfig { organic_rate: f64::NAN, ..Default::default() }.validate().is_err());
+        let bad_ivf = RetrievalMode::Ivf { nlist: 8, nprobe: 0 };
+        assert!(ServeConfig { retrieval: bad_ivf, ..Default::default() }.validate().is_err());
+        let ok_ivf = RetrievalMode::Ivf { nlist: 8, nprobe: 2 };
+        assert!(ServeConfig { retrieval: ok_ivf, ..Default::default() }.validate().is_ok());
     }
 
     #[test]

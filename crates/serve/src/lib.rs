@@ -36,6 +36,6 @@ pub mod service;
 pub mod shard;
 
 pub use config::ServeConfig;
-pub use model::ModelVersion;
+pub use model::{ModelVersion, SketchedKnn};
 pub use service::{LivePlatform, ServeStats};
 pub use shard::{Shard, ShardCheckpoint, ShardState, ShardStats};

@@ -143,7 +143,7 @@ impl LivePlatform {
         }
         let pairs: Vec<(u32, Vec<ItemId>)> =
             data.users().map(|u| (u.0, data.profile(u).to_vec())).collect();
-        let v0 = Arc::new(ModelVersion::build(0, 0, &pairs, data.n_items()));
+        let v0 = Arc::new(ModelVersion::build_with(0, 0, &pairs, data.n_items(), cfg.retrieval));
         let mut parts: Vec<BTreeMap<u32, Vec<ItemId>>> = vec![BTreeMap::new(); cfg.n_shards];
         for (uid, profile) in pairs {
             parts[uid as usize % cfg.n_shards].insert(uid, profile);
@@ -240,7 +240,13 @@ impl LivePlatform {
             .collect();
         pairs.sort_by_key(|&(uid, _)| uid);
         self.version_counter += 1;
-        let m = Arc::new(ModelVersion::build(self.version_counter, t, &pairs, self.n_items));
+        let m = Arc::new(ModelVersion::build_with(
+            self.version_counter,
+            t,
+            &pairs,
+            self.n_items,
+            self.cfg.retrieval,
+        ));
         self.stats.models_built += 1;
         self.model_cache = Some((t, m.clone()));
         m

@@ -15,9 +15,15 @@ use crate::Matrix;
 /// `matrix`/`recycle`) are deliberately explicit rather than guard-based:
 /// the engine's scoring loop threads one `Scratch` through several stages,
 /// which borrow-splitting RAII guards would make awkward.
+///
+/// A second, independent pool recycles `Vec<(f32, u32)>` candidate buffers
+/// (`take_pairs`/`put_pairs`): the ranking stage of every Top-k query
+/// builds a scored-candidate list, and pooling it keeps steady-state
+/// ranking allocation-free alongside the score matrices.
 #[derive(Debug, Default)]
 pub struct Scratch {
     pool: Vec<Vec<f32>>,
+    pairs: Vec<Vec<(f32, u32)>>,
 }
 
 impl Scratch {
@@ -52,9 +58,30 @@ impl Scratch {
         self.put(m.into_vec());
     }
 
-    /// Number of idle buffers currently held.
+    /// An empty candidate buffer, reusing the pooled allocation with the
+    /// largest capacity when one exists. Unlike [`Scratch::take`], the
+    /// buffer comes back *empty* (length 0): ranking fills it by pushing
+    /// survivors, so pre-zeroing would be wasted work.
+    pub fn take_pairs(&mut self) -> Vec<(f32, u32)> {
+        let best = (0..self.pairs.len()).max_by_key(|&i| self.pairs[i].capacity());
+        let mut buf = best.map(|i| self.pairs.swap_remove(i)).unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a candidate buffer to the pool.
+    pub fn put_pairs(&mut self, buf: Vec<(f32, u32)>) {
+        self.pairs.push(buf);
+    }
+
+    /// Number of idle `f32` buffers currently held.
     pub fn idle(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Number of idle candidate buffers currently held.
+    pub fn idle_pairs(&self) -> usize {
+        self.pairs.len()
     }
 }
 
@@ -91,6 +118,23 @@ mod tests {
         let buf = s.take(100);
         assert!(buf.capacity() >= 1024, "should grab the 1024-capacity buffer");
         assert_eq!(s.idle(), 2);
+    }
+
+    #[test]
+    fn pair_pool_reuses_allocations_and_is_independent() {
+        let mut s = Scratch::new();
+        let mut buf = s.take_pairs();
+        buf.extend((0..512).map(|i| (i as f32, i)));
+        let ptr = buf.as_ptr();
+        s.put_pairs(buf);
+        assert_eq!(s.idle_pairs(), 1);
+        let again = s.take_pairs();
+        assert!(again.is_empty(), "pair buffers come back empty");
+        assert_eq!(again.as_ptr(), ptr, "pooled pair allocation must be reused");
+        assert!(again.capacity() >= 512);
+        // The float pool is untouched by pair traffic.
+        assert_eq!(s.idle(), 0);
+        s.put_pairs(again);
     }
 
     #[test]

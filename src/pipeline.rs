@@ -15,12 +15,13 @@
 //!    under budget Δ, and measure HR@K / NDCG@K of the target item over
 //!    real users plus the average injected-profile length (Table 2).
 
+use ca_ann::{IvfConfig, IvfRecommender};
 use ca_datagen::{generate, CrossDomainConfig, CrossDomainDataset};
 use ca_gnn::{train_with_features_observed, GnnConfig, PinSageRecommender, TrainReport};
 use ca_mf::{BprConfig, MfModel};
 use ca_recsys::eval::RankingEval;
 use ca_recsys::metrics::MetricAccumulator;
-use ca_recsys::{split_dataset, BlackBoxRecommender, ItemId, Split, UserId};
+use ca_recsys::{split_dataset, BlackBoxRecommender, ItemId, RetrievalMode, Split, UserId};
 use ca_recsys::{FaultConfig, FaultyRecommender};
 use ca_train::{History, StderrProgress, Tee, TrainObserver};
 use copyattack_core::baselines::{random_attack, target_attack, FlatPolicyAgent};
@@ -57,6 +58,12 @@ pub struct PipelineConfig {
     pub n_eval_users: usize,
     /// Length of each pretend user's establishing profile.
     pub pretend_profile_len: usize,
+    /// How the deployed platform answers the attacker's Top-k queries
+    /// during the campaign: `Exact` (the paper's setting) or `Ivf`, where
+    /// the reward signal passes through a realistic approximate-retrieval
+    /// stage (the cold-item-in-cold-cell ablation). Promotion metrics are
+    /// always evaluated on the underlying model.
+    pub retrieval: RetrievalMode,
     /// Master seed for everything not covered by the sub-configs.
     pub seed: u64,
 }
@@ -74,6 +81,7 @@ impl PipelineConfig {
             min_source_pop: 3,
             n_eval_users: 200,
             pretend_profile_len: 15,
+            retrieval: RetrievalMode::Exact,
             seed,
         }
     }
@@ -386,13 +394,47 @@ impl Pipeline {
         target: ItemId,
         attack_cfg: &AttackConfig,
     ) -> (MetricAccumulator, f32) {
-        let src = self.source_domain();
         let target_src =
             self.world.source_item(target).expect("target items are sampled from the overlap");
         let seed = attack_cfg.seed;
+
+        let (polluted, avg_items) = match self.config.retrieval {
+            RetrievalMode::Exact => {
+                self.attack_with(method, target, target_src, attack_cfg, &self.recommender)
+            }
+            mode => {
+                // The campaign's reward signal (every Top-k the attacker
+                // sees) flows through the IVF index; promotion metrics are
+                // still computed on the unwrapped model so the Exact and
+                // Ivf arms of the ablation are directly comparable.
+                let cfg = IvfConfig::from_mode(mode).expect("non-exact mode has an IVF config");
+                let ann = IvfRecommender::deploy(self.recommender.clone(), cfg);
+                let (p, a) = self.attack_with(method, target, target_src, attack_cfg, &ann);
+                (p.into_inner(), a)
+            }
+        };
+        let metrics = self.evaluate_promotion(&polluted, target, seed ^ 0x5EED);
+        (metrics, avg_items)
+    }
+
+    /// Runs the attack phase of one method against `base` — any clonable
+    /// black-box deployment of the target platform — and returns the
+    /// polluted deployment plus the average injected-profile length.
+    /// Extracted from [`Pipeline::run_method_cfg`] so the same campaign
+    /// logic drives both the exact recommender and its IVF-fronted wrap.
+    fn attack_with<R: BlackBoxRecommender + Clone>(
+        &self,
+        method: Method,
+        target: ItemId,
+        target_src: ItemId,
+        attack_cfg: &AttackConfig,
+        base: &R,
+    ) -> (R, f32) {
+        let src = self.source_domain();
+        let seed = attack_cfg.seed;
         let make_env = || {
             AttackEnvironment::new(
-                self.recommender.clone(),
+                base.clone(),
                 self.pretend.clone(),
                 target,
                 attack_cfg.reward_k,
@@ -400,8 +442,8 @@ impl Pipeline {
             )
         };
 
-        let (polluted, avg_items) = match method {
-            Method::WithoutAttack => (self.recommender.clone(), 0.0),
+        match method {
+            Method::WithoutAttack => (base.clone(), 0.0),
             Method::RandomAttack => {
                 let mut env = make_env();
                 let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
@@ -433,9 +475,7 @@ impl Pipeline {
                 let o = agent.execute(&src, &mut env);
                 (env.into_recommender(), o.avg_items_per_profile)
             }
-        };
-        let metrics = self.evaluate_promotion(&polluted, target, seed ^ 0x5EED);
-        (metrics, avg_items)
+        }
     }
 
     /// Runs a method over the first `n_items` sampled target items
@@ -538,6 +578,29 @@ mod tests {
         let row = pipe.run_method_over_targets(Method::WithoutAttack, 3);
         assert!(row.metrics.hr(20) < 0.3, "cold items should rank low: {}", row.metrics.hr(20));
         assert_eq!(row.avg_items_per_profile, 0.0);
+    }
+
+    #[test]
+    fn ivf_retrieval_runs_the_campaign_and_matches_exact_without_attack() {
+        let mut cfg = PipelineConfig::tiny(7);
+        let pipe_exact = Pipeline::build(&cfg);
+        cfg.retrieval = RetrievalMode::Ivf { nlist: 8, nprobe: 4 };
+        let pipe_ivf = Pipeline::build(&cfg);
+        // WithoutAttack never queries the black box, and promotion metrics
+        // are always evaluated on the unwrapped model, so the two retrieval
+        // modes must agree exactly on the no-attack baseline.
+        let none_exact = pipe_exact.run_method_over_targets(Method::WithoutAttack, 2);
+        let none_ivf = pipe_ivf.run_method_over_targets(Method::WithoutAttack, 2);
+        assert_eq!(none_exact.metrics.hr(20), none_ivf.metrics.hr(20));
+        // A real campaign runs end-to-end with the reward signal routed
+        // through the IVF index and still promotes the target.
+        let t70 = pipe_ivf.run_method_over_targets(Method::TargetAttack(70), 2);
+        assert!(
+            t70.metrics.hr(20) > none_ivf.metrics.hr(20),
+            "TargetAttack70 under IVF {} vs none {}",
+            t70.metrics.hr(20),
+            none_ivf.metrics.hr(20)
+        );
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub enum Rule {
     /// query that bypasses the metered/retry `try_top_k*` wrappers and
     /// therefore the query budget of the black-box threat model.
     RawTopK,
+    /// Direct `.inject_user(` / `.try_inject_user(` / `.append_profile(`
+    /// in attack code (`copyattack-core` outside `env.rs`): a profile
+    /// reaching the platform without passing through the
+    /// `AttackEnvironment` injection surface, and therefore outside the
+    /// budget/metering the threat model charges attacks against.
+    EnvInjection,
     /// A library crate whose `lib.rs` does not carry
     /// `#![forbid(unsafe_code)]` (or a justification pragma).
     UnsafeAudit,
@@ -65,12 +71,13 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 13] = [
         Rule::HashCollections,
         Rule::WallClock,
         Rule::AdHocRng,
         Rule::RawThread,
         Rule::RawTopK,
+        Rule::EnvInjection,
         Rule::UnsafeAudit,
         Rule::UnorderedReduce,
         Rule::ServiceSleep,
@@ -88,6 +95,7 @@ impl Rule {
             Rule::AdHocRng => "ad-hoc-rng",
             Rule::RawThread => "raw-thread",
             Rule::RawTopK => "raw-top-k",
+            Rule::EnvInjection => "env-injection",
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::UnorderedReduce => "unordered-reduce",
             Rule::ServiceSleep => "service-sleep",
@@ -113,6 +121,9 @@ impl Rule {
             Rule::AdHocRng => "ambient RNG (thread_rng/from_entropy) outside the seeded discipline",
             Rule::RawThread => "raw std::thread spawn/scope outside the ca-par runtime",
             Rule::RawTopK => "direct .top_k/.top_k_batch call bypasses the metered query path",
+            Rule::EnvInjection => {
+                "direct profile injection bypasses the AttackEnvironment budget surface"
+            }
             Rule::UnsafeAudit => "library crate does not carry #![forbid(unsafe_code)]",
             Rule::UnorderedReduce => {
                 "float reduction over par-produced values outside ca_par::map_reduce"
@@ -147,6 +158,11 @@ impl Rule {
                 "query through FallibleBlackBox::try_top_k/try_top_k_batch (with a \
                  RetryPolicy) so every ranking call is metered against the query budget"
             }
+            Rule::EnvInjection => {
+                "inject through AttackEnvironment::inject/try_inject so every crafted \
+                 profile is charged against the campaign budget; platform-side test fakes \
+                 forwarding to their inner recommender may suppress with a reason"
+            }
             Rule::UnsafeAudit => {
                 "add #![forbid(unsafe_code)] to the crate root, or suppress with a pragma \
                  stating why unsafe is required"
@@ -172,8 +188,8 @@ impl Rule {
             Rule::PragmaMissingReason => "append `— <why this is sound>` after the rule list",
             Rule::PragmaUnknownRule => {
                 "valid rules: hash-collections, wall-clock, ad-hoc-rng, raw-thread, \
-                 raw-top-k, unsafe-audit, unordered-reduce, service-sleep, nested-vec, \
-                 exact-scan"
+                 raw-top-k, env-injection, unsafe-audit, unordered-reduce, service-sleep, \
+                 nested-vec, exact-scan"
             }
         }
     }
@@ -305,6 +321,9 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> Vec<Findi
     }
 
     let in_core = rel_path.starts_with("crates/copyattack-core/src/");
+    // env.rs *is* the injection surface — its platform calls are the
+    // implementation of the budgeted path, not a bypass of it.
+    let in_attack_code = in_core && rel_path != "crates/copyattack-core/src/env.rs";
     let in_service =
         rel_path.starts_with("crates/serve/src/") || rel_path.starts_with("crates/recsys/src/");
     let in_dataplane =
@@ -335,6 +354,18 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> Vec<Findi
                     && toks[i + 2].is_punct('(')
                 {
                     findings.push(Finding::new(rel_path, toks[i + 1].line, Rule::RawTopK));
+                }
+                // `.inject_user(` / `.try_inject_user(` / `.append_profile(`
+                // — a profile reaching the platform around the environment.
+                if in_attack_code
+                    && *c == '.'
+                    && i + 2 < toks.len()
+                    && (toks[i + 1].is_ident("inject_user")
+                        || toks[i + 1].is_ident("try_inject_user")
+                        || toks[i + 1].is_ident("append_profile"))
+                    && toks[i + 2].is_punct('(')
+                {
+                    findings.push(Finding::new(rel_path, toks[i + 1].line, Rule::EnvInjection));
                 }
                 // `.score_batch(` — a full-catalog scan off the shared
                 // retrieval path. Definitions (`fn score_batch(`) have no

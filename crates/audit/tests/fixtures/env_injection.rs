@@ -1,0 +1,25 @@
+//! Known-bad fixture (when placed under `crates/copyattack-core/src/`,
+//! anywhere but `env.rs`): env-injection must fire on every direct
+//! platform-side profile write.
+
+fn smuggle(rec: &mut Platform, profile: &[ItemId]) -> UserId {
+    rec.inject_user(profile) // MARK: inject_user fires
+}
+
+fn smuggle_fallibly(rec: &mut Platform, profile: &[ItemId]) -> Result<UserId, RecError> {
+    rec.try_inject_user(profile) // MARK: try_inject_user fires
+}
+
+fn backfill(data: &mut Dataset, profile: &[ItemId]) -> UserId {
+    data.append_profile(profile) // MARK: append_profile fires
+}
+
+fn budgeted(env: &mut AttackEnvironment<R>, profile: &[ItemId]) -> Option<UserId> {
+    env.try_inject(profile) // the blessed surface: must stay silent
+}
+
+fn define_not_call(profile: &[ItemId]) {
+    // A definition has no leading dot and must stay silent.
+    fn inject_user(_p: &[ItemId]) {}
+    inject_user(profile);
+}

@@ -109,6 +109,28 @@ fn raw_top_k_fires_only_inside_copyattack_core() {
 }
 
 #[test]
+fn env_injection_fires_in_attack_code_but_not_in_the_env_itself() {
+    let src = include_str!("fixtures/env_injection.rs");
+    let expected = vec![
+        ("env-injection", line_of(src, "MARK: inject_user fires")),
+        ("env-injection", line_of(src, "MARK: try_inject_user fires")),
+        ("env-injection", line_of(src, "MARK: append_profile fires")),
+    ];
+    let sorted = |mut v: Vec<(&'static str, u32)>| {
+        v.sort();
+        v
+    };
+    // Attack code anywhere in copyattack-core is in scope.
+    assert_eq!(fired(&strict("crates/copyattack-core/src/baselines.rs", src)), sorted(expected));
+    // env.rs *is* the injection surface: the same calls are its
+    // implementation, not a bypass.
+    assert!(strict("crates/copyattack-core/src/env.rs", src).is_empty());
+    // Outside the attack crate, platform-side code injects freely.
+    assert!(strict("crates/serve/src/shard.rs", src).is_empty());
+    assert!(strict("src/pipeline.rs", src).is_empty());
+}
+
+#[test]
 fn service_sleep_fires_only_in_service_path_crates() {
     let src = include_str!("fixtures/service_sleep.rs");
     let expected = vec![
@@ -243,6 +265,16 @@ fn every_code_rule_is_silenced_by_a_reasoned_pragma_above_the_line() {
             "raw-top-k",
             &["MARK: top_k fires", "MARK: top_k_batch fires"],
             "crates/copyattack-core/src/campaign.rs",
+        ),
+        (
+            include_str!("fixtures/env_injection.rs"),
+            "env-injection",
+            &[
+                "MARK: inject_user fires",
+                "MARK: try_inject_user fires",
+                "MARK: append_profile fires",
+            ],
+            "crates/copyattack-core/src/baselines.rs",
         ),
         (
             include_str!("fixtures/unordered_reduce.rs"),

@@ -14,7 +14,7 @@ fn main() {
     let preset_name = args.get("preset", "small");
     let seed: u64 = args.get_parse("seed", 42);
     let mut cfg = preset(&preset_name, seed);
-    cfg.attack.episodes = args.get_parse("episodes", cfg.attack.episodes);
+    cfg.attack.config.episodes = args.get_parse("episodes", cfg.attack.config.episodes);
     let items: usize = args.get_parse("items", 6);
 
     eprintln!("building pipeline for preset {preset_name} ...");
@@ -36,22 +36,25 @@ fn main() {
 
     // 1. Query cadence: how often the attacker spends queries on feedback.
     for q in [1usize, 3, 5, 10] {
-        run(format!("query_every={q}"), AttackConfig { query_every: q, ..cfg.attack.clone() });
+        run(
+            format!("query_every={q}"),
+            AttackConfig { query_every: q, ..cfg.attack.config.clone() },
+        );
     }
     // 2. Discount factor γ (paper: 0.6).
     for g in [0.0f32, 0.3, 0.6, 0.9] {
-        run(format!("discount={g}"), AttackConfig { discount: g, ..cfg.attack.clone() });
+        run(format!("discount={g}"), AttackConfig { discount: g, ..cfg.attack.config.clone() });
     }
     // 3. Reward cutoff k (the Top-k list length the reward inspects).
     for k in [5usize, 10, 20] {
-        run(format!("reward_k={k}"), AttackConfig { reward_k: k, ..cfg.attack.clone() });
+        run(format!("reward_k={k}"), AttackConfig { reward_k: k, ..cfg.attack.config.clone() });
     }
     // 4. State-encoder cell (the paper says only "an RNN model").
     for (label, kind) in [
         ("encoder=rnn", copyattack::core::config::EncoderKind::Rnn),
         ("encoder=gru", copyattack::core::config::EncoderKind::Gru),
     ] {
-        run(label.to_string(), AttackConfig { encoder: kind, ..cfg.attack.clone() });
+        run(label.to_string(), AttackConfig { encoder: kind, ..cfg.attack.config.clone() });
     }
 
     let header = ["configuration", "HR@20", "NDCG@20", "avg items/profile"];

@@ -48,7 +48,7 @@ fn main() {
         let target_src = pipe.world.source_item(target).expect("overlap");
         let mut rng = StdRng::seed_from_u64(seed ^ target.0 as u64);
 
-        let naive = naive_fake_profiles(clean, target, cfg.attack.budget, 20, &mut rng);
+        let naive = naive_fake_profiles(clean, target, cfg.attack.config.budget, 20, &mut rng);
         let naive_scores: Vec<f32> =
             naive.iter().map(|p| detector.score(&extract_features(p, &pop, item_emb))).collect();
 
@@ -56,7 +56,7 @@ fn main() {
             let mut agent = CopyAttackAgent::new(
                 copyattack::core::AttackConfig {
                     seed: seed ^ target.0 as u64,
-                    ..cfg.attack.clone()
+                    ..cfg.attack.config.clone()
                 },
                 variant,
                 &src,

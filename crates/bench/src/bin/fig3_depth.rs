@@ -17,7 +17,7 @@ fn main() {
     let preset_name = args.get("preset", "small");
     let seed: u64 = args.get_parse("seed", 42);
     let mut cfg = preset(&preset_name, seed);
-    cfg.attack.episodes = args.get_parse("episodes", cfg.attack.episodes);
+    cfg.attack.config.episodes = args.get_parse("episodes", cfg.attack.config.episodes);
     let items: usize = args.get_parse("items", 10);
     let default_depths = if preset_name == "ml20m" { "3,4,5,6,7,8" } else { "2,3,4,5" };
     let depths: Vec<usize> = args
@@ -33,7 +33,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for &d in &depths {
-        let attack_cfg = AttackConfig { tree_depth: d, ..cfg.attack.clone() };
+        let attack_cfg = AttackConfig { tree_depth: d, ..cfg.attack.config.clone() };
         let row = pipe.run_method_over_items(Method::CopyAttack, &chosen, &attack_cfg);
         eprintln!(
             "depth {d}: HR@20 {:.4} NDCG@20 {:.4} ({:.1}s)",

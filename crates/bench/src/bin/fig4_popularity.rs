@@ -21,7 +21,7 @@ fn main() {
     let preset_name = args.get("preset", "small");
     let seed: u64 = args.get_parse("seed", 42);
     let mut cfg = preset(&preset_name, seed);
-    cfg.attack.episodes = args.get_parse("episodes", cfg.attack.episodes);
+    cfg.attack.config.episodes = args.get_parse("episodes", cfg.attack.config.episodes);
     let per_group: usize = args.get_parse("per-group", 5);
     let n_groups: usize = args.get_parse("groups", 10);
 
@@ -46,7 +46,7 @@ fn main() {
             rows.push(vec![format!("{}%", (g + 1) * 10), "-".into(), "-".into(), "0".into()]);
             continue;
         }
-        let attack_cfg = AttackConfig { ..cfg.attack.clone() };
+        let attack_cfg = AttackConfig { ..cfg.attack.config.clone() };
         let row = pipe.run_method_over_items(Method::CopyAttack, &items, &attack_cfg);
         eprintln!(
             "group {g} (top {}%): HR@20 {:.4} over {} items",

@@ -22,8 +22,8 @@ fn main() {
     let seed: u64 = args.get_parse("seed", 42);
     let mut cfg = preset(&preset_name, seed);
     let items: usize = args.get_parse("items", cfg.n_target_items.min(20));
-    cfg.attack.episodes = args.get_parse("episodes", cfg.attack.episodes);
-    cfg.attack.reward_k = args.get_parse("reward-k", cfg.attack.reward_k);
+    cfg.attack.config.episodes = args.get_parse("episodes", cfg.attack.config.episodes);
+    cfg.attack.config.reward_k = args.get_parse("reward-k", cfg.attack.config.reward_k);
     let skip_flat: bool = args.get_parse("skip-flat", preset_name == "ml20m");
 
     eprintln!("building pipeline for preset {preset_name} (seed {seed}) ...");

@@ -11,7 +11,7 @@ pub fn run(default_preset: &str, figure: &str) {
     let preset_name = args.get("preset", default_preset);
     let seed: u64 = args.get_parse("seed", 42);
     let mut cfg = preset(&preset_name, seed);
-    cfg.attack.episodes = args.get_parse("episodes", cfg.attack.episodes);
+    cfg.attack.config.episodes = args.get_parse("episodes", cfg.attack.config.episodes);
     let items: usize = args.get_parse("items", 10);
     let budgets: Vec<usize> = args
         .get("budgets", "3,9,15,21,27,33,39,45")
@@ -40,8 +40,8 @@ pub fn run(default_preset: &str, figure: &str) {
         for method in methods {
             let attack_cfg = AttackConfig {
                 budget,
-                query_every: cfg.attack.query_every.min(budget),
-                ..cfg.attack.clone()
+                query_every: cfg.attack.config.query_every.min(budget),
+                ..cfg.attack.config.clone()
             };
             let row = pipe.run_method_over_items(method, &chosen, &attack_cfg);
             eprintln!(

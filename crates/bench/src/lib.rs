@@ -141,8 +141,8 @@ mod tests {
     #[test]
     fn presets_resolve() {
         assert_eq!(preset("tiny", 1).n_target_items, 4);
-        assert_eq!(preset("ml10m", 1).attack.tree_depth, 3);
-        assert_eq!(preset("ml20m", 1).attack.tree_depth, 6);
+        assert_eq!(preset("ml10m", 1).attack.config.tree_depth, 3);
+        assert_eq!(preset("ml20m", 1).attack.config.tree_depth, 6);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! REINFORCE training (§4), including the CopyAttack−Masking and
 //! CopyAttack−Length ablations.
 
+use crate::arena::AttackError;
 use crate::config::AttackConfig;
 use crate::crafting::{clip_around_target, CraftingPolicy, CraftingSample};
 use crate::env::AttackEnvironment;
@@ -85,7 +86,7 @@ fn build_mask(
     tree: &ClusterTree,
     src: &SourceDomain<'_>,
     target_src: ItemId,
-) -> Result<TreeMask, String> {
+) -> Result<TreeMask, AttackError> {
     let mask = if variant.masking {
         match goal {
             crate::config::AttackGoal::Promote => {
@@ -99,9 +100,7 @@ fn build_mask(
         TreeMask::allow_all(tree)
     };
     if !mask.any_allowed() {
-        return Err(format!(
-            "no selectable source user for target item {target_src} under goal {goal:?}"
-        ));
+        return Err(AttackError::NoSelectableUser { target_src, goal });
     }
     Ok(mask)
 }
@@ -136,8 +135,8 @@ impl CopyAttackAgent {
         variant: CopyAttackVariant,
         src: &SourceDomain<'_>,
         target_src: ItemId,
-    ) -> Result<Self, String> {
-        cfg.validate().map_err(|e| format!("invalid attack config: {e}"))?;
+    ) -> Result<Self, AttackError> {
+        cfg.validate().map_err(AttackError::InvalidConfig)?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let tree = ClusterTree::build_with_depth(&src.user_embeddings(), cfg.tree_depth, &mut rng);
         let policy =
@@ -195,7 +194,7 @@ impl CopyAttackAgent {
         &mut self,
         src: &SourceDomain<'_>,
         target_src: ItemId,
-    ) -> Result<(), String> {
+    ) -> Result<(), AttackError> {
         let mask = build_mask(self.variant, self.cfg.goal, self.policy.tree(), src, target_src)?;
         self.mask = mask;
         self.target_src = target_src;

@@ -1,6 +1,7 @@
 //! The paper's baseline attacks (§5.1.4): RandomAttack, the
 //! TargetAttack-{40,70,100} family, and the flat PolicyNetwork agent.
 
+use crate::arena::AttackError;
 use crate::attack::AttackOutcome;
 use crate::config::AttackConfig;
 use crate::crafting::{clip_around_target, CraftingPolicy, CraftingSample};
@@ -9,7 +10,7 @@ use crate::reinforce::{discounted_returns, Baseline};
 use crate::selection::{FlatPolicy, FlatSample};
 use crate::source::SourceDomain;
 use ca_nn::GradClip;
-use ca_recsys::{BlackBoxRecommender, ItemId, UserId};
+use ca_recsys::{FallibleBlackBox, ItemId, UserId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -17,7 +18,7 @@ use rand::{Rng, SeedableRng};
 /// RandomAttack: copies uniformly random source-domain user profiles, no
 /// constraint, no crafting. "Randomly sample cross-domain user profiles to
 /// attack the target recommender systems."
-pub fn random_attack<R: BlackBoxRecommender>(
+pub fn random_attack<R: FallibleBlackBox>(
     src: &SourceDomain<'_>,
     env: &mut AttackEnvironment<R>,
     rng: &mut impl Rng,
@@ -40,15 +41,34 @@ pub fn random_attack<R: BlackBoxRecommender>(
 ///
 /// Users are drawn without replacement until the carrier pool is exhausted,
 /// then with replacement.
-pub fn target_attack<R: BlackBoxRecommender>(
+///
+/// Panicking wrapper over [`try_target_attack`].
+///
+/// # Panics
+/// Panics when the target item has no carrier in the source domain.
+pub fn target_attack<R: FallibleBlackBox>(
     src: &SourceDomain<'_>,
     env: &mut AttackEnvironment<R>,
     target_src: ItemId,
     fraction: f32,
     rng: &mut impl Rng,
 ) -> AttackOutcome {
+    try_target_attack(src, env, target_src, fraction, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`target_attack`]: returns [`AttackError::NoCarriers`] instead
+/// of panicking when no source profile contains the target item.
+pub fn try_target_attack<R: FallibleBlackBox>(
+    src: &SourceDomain<'_>,
+    env: &mut AttackEnvironment<R>,
+    target_src: ItemId,
+    fraction: f32,
+    rng: &mut impl Rng,
+) -> Result<AttackOutcome, AttackError> {
     let mut pool = src.users_with_item(target_src);
-    assert!(!pool.is_empty(), "target item {target_src} has no carrier in the source domain");
+    if pool.is_empty() {
+        return Err(AttackError::NoCarriers { target_src });
+    }
     pool.shuffle(rng);
     let mut selected = Vec::new();
     let mut total_items = 0usize;
@@ -63,10 +83,10 @@ pub fn target_attack<R: BlackBoxRecommender>(
         env.inject(&profile);
         selected.push(u);
     }
-    finish(env, selected, total_items)
+    Ok(finish(env, selected, total_items))
 }
 
-fn finish<R: BlackBoxRecommender>(
+fn finish<R: FallibleBlackBox>(
     env: &mut AttackEnvironment<R>,
     selected: Vec<UserId>,
     total_items: usize,
@@ -103,9 +123,14 @@ pub struct FlatPolicyAgent {
 }
 
 impl FlatPolicyAgent {
-    /// Builds the agent with the target-item user mask.
-    pub fn new(cfg: AttackConfig, src: &SourceDomain<'_>, target_src: ItemId) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid attack config: {e}"));
+    /// Builds the agent with the target-item user mask, failing on an
+    /// invalid config or a carrierless target item.
+    pub fn try_new(
+        cfg: AttackConfig,
+        src: &SourceDomain<'_>,
+        target_src: ItemId,
+    ) -> Result<Self, AttackError> {
+        cfg.validate().map_err(AttackError::InvalidConfig)?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let policy = FlatPolicy::new(&mut rng, src.n_users(), src.dim(), cfg.hidden);
         let crafting = CraftingPolicy::new(&mut rng, src.dim(), cfg.hidden, cfg.clip_fractions());
@@ -118,17 +143,24 @@ impl FlatPolicyAgent {
                 }
             })
             .collect();
-        assert!(
-            user_mask.iter().any(|&m| m),
-            "target item {target_src} has no carrier in the source domain"
-        );
+        if !user_mask.iter().any(|&m| m) {
+            return Err(AttackError::NoCarriers { target_src });
+        }
         let baseline = Baseline::new(cfg.budget);
-        Self { baseline, user_mask, target_src, rng, policy, crafting, cfg }
+        Ok(Self { baseline, user_mask, target_src, rng, policy, crafting, cfg })
+    }
+
+    /// Panicking wrapper over [`FlatPolicyAgent::try_new`].
+    ///
+    /// # Panics
+    /// Panics on an invalid config or a carrierless target item.
+    pub fn new(cfg: AttackConfig, src: &SourceDomain<'_>, target_src: ItemId) -> Self {
+        Self::try_new(cfg, src, target_src).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Trains for `cfg.episodes` episodes (see
     /// [`crate::attack::CopyAttackAgent::train`]).
-    pub fn train<R: BlackBoxRecommender>(
+    pub fn train<R: FallibleBlackBox>(
         &mut self,
         src: &SourceDomain<'_>,
         mut make_env: impl FnMut() -> AttackEnvironment<R>,
@@ -143,7 +175,7 @@ impl FlatPolicyAgent {
     }
 
     /// One evaluation episode without learning.
-    pub fn execute<R: BlackBoxRecommender>(
+    pub fn execute<R: FallibleBlackBox>(
         &mut self,
         src: &SourceDomain<'_>,
         env: &mut AttackEnvironment<R>,
@@ -151,7 +183,7 @@ impl FlatPolicyAgent {
         self.episode(src, env, false)
     }
 
-    fn episode<R: BlackBoxRecommender>(
+    fn episode<R: FallibleBlackBox>(
         &mut self,
         src: &SourceDomain<'_>,
         env: &mut AttackEnvironment<R>,
@@ -255,7 +287,7 @@ impl FlatPolicyAgent {
 mod tests {
     use super::*;
     use ca_mf::BprConfig;
-    use ca_recsys::{Dataset, DatasetBuilder};
+    use ca_recsys::{BlackBoxRecommender, Dataset, DatasetBuilder};
 
     /// Trivial platform: top-1 list is always item 0; reward only meaningful
     /// through the metering (these tests target selection/crafting logic).

@@ -24,6 +24,7 @@
 //! target's shared scoring engine in a single pass; metering still charges
 //! one query per user, so campaign-level query budgets are unaffected.
 
+use crate::arena::AttackError;
 use crate::attack::{AttackOutcome, CopyAttackAgent, CopyAttackVariant};
 use crate::config::AttackConfig;
 use crate::env::AttackEnvironment;
@@ -99,9 +100,9 @@ impl Campaign {
         variant: CopyAttackVariant,
         src: &SourceDomain<'_>,
         targets: Vec<ItemId>,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, AttackError> {
         if targets.is_empty() {
-            return Err("a campaign needs at least one target".into());
+            return Err(AttackError::EmptyTargets);
         }
         let agent = CopyAttackAgent::try_new(cfg, variant, src, targets[0])?;
         let mut campaign = Self { agent, targets, completed_episodes: 0, curve: Vec::new() };
@@ -378,16 +379,16 @@ mod tests {
         let err = Campaign::try_new(cfg(), CopyAttackVariant::full(), &src, vec![])
             .err()
             .expect("empty target set");
-        assert!(err.contains("at least one target"), "{err}");
+        assert_eq!(err, crate::arena::AttackError::EmptyTargets);
         let err = Campaign::try_new(cfg(), CopyAttackVariant::full(), &src, vec![ItemId(99)])
             .err()
             .expect("uncarried target");
-        assert!(err.contains("no selectable source user"), "{err}");
+        assert!(err.to_string().contains("no selectable source user"), "{err}");
         let bad_cfg = AttackConfig { budget: 0, ..cfg() };
         let err = Campaign::try_new(bad_cfg, CopyAttackVariant::full(), &src, vec![ItemId(3)])
             .err()
             .expect("invalid config");
-        assert!(err.contains("invalid attack config"), "{err}");
+        assert!(err.to_string().contains("invalid attack config"), "{err}");
     }
 
     #[test]
@@ -462,6 +463,7 @@ mod tests {
                 self.refusals_left -= 1;
                 return Err(RecError::AccountSuspended);
             }
+            // ca-audit: allow(env-injection) — test fake forwarding to its inner in-memory platform
             Ok(self.inner.inject_user(p))
         }
         fn catalog_size(&self) -> usize {

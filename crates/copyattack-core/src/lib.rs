@@ -27,6 +27,7 @@
 //! rewards and re-establishes suspended pretend users, and [`campaign`]
 //! checkpoints/resumes training across platform outages.
 
+pub mod arena;
 pub mod attack;
 pub mod baselines;
 pub mod campaign;
@@ -39,6 +40,7 @@ pub mod retry;
 pub mod selection;
 pub mod source;
 
+pub use arena::{Attack, AttackError, AttackRegistry, FakeProfileAttack, ItemKnowledge, KgAttack};
 pub use attack::{AttackOutcome, CopyAttackAgent, CopyAttackVariant};
 pub use campaign::{Campaign, CampaignCheckpoint, CampaignRun};
 pub use config::{AttackConfig, AttackGoal};

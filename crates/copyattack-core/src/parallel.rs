@@ -19,6 +19,7 @@
 //! [`CampaignCheckpoint`]s, and [`ParallelCampaign::resume`] continues each
 //! target from its own snapshot (already-completed targets are no-ops).
 
+use crate::arena::AttackError;
 use crate::attack::{AttackOutcome, CopyAttackVariant};
 use crate::campaign::{Campaign, CampaignCheckpoint, CampaignRun};
 use crate::config::AttackConfig;
@@ -81,9 +82,9 @@ impl ParallelCampaign {
         variant: CopyAttackVariant,
         src: &SourceDomain<'_>,
         targets: Vec<ItemId>,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, AttackError> {
         if targets.is_empty() {
-            return Err("a campaign needs at least one target".into());
+            return Err(AttackError::EmptyTargets);
         }
         let campaigns = targets
             .iter()
@@ -403,6 +404,7 @@ mod tests {
                 self.refusals_left -= 1;
                 return Err(RecError::AccountSuspended);
             }
+            // ca-audit: allow(env-injection) — test fake forwarding to its inner in-memory platform
             Ok(self.inner.inject_user(p))
         }
         fn catalog_size(&self) -> usize {

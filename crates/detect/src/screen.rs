@@ -15,6 +15,7 @@ use ca_recsys::{BlackBoxRecommender, ItemId, UserId};
 use ca_tensor::Matrix;
 
 /// A platform that screens new accounts with an anomaly detector.
+#[derive(Clone)]
 pub struct ScreenedRecommender<R> {
     inner: R,
     detector: ZScoreDetector,
@@ -23,6 +24,7 @@ pub struct ScreenedRecommender<R> {
     threshold: f32,
     accepted: usize,
     rejected: usize,
+    scores: Vec<f32>,
 }
 
 impl<R: BlackBoxRecommender> ScreenedRecommender<R> {
@@ -36,7 +38,16 @@ impl<R: BlackBoxRecommender> ScreenedRecommender<R> {
         item_emb: Matrix,
         threshold: f32,
     ) -> Self {
-        Self { inner, detector, pop, item_emb, threshold, accepted: 0, rejected: 0 }
+        Self {
+            inner,
+            detector,
+            pop,
+            item_emb,
+            threshold,
+            accepted: 0,
+            rejected: 0,
+            scores: Vec::new(),
+        }
     }
 
     /// Profiles that passed screening.
@@ -47,6 +58,13 @@ impl<R: BlackBoxRecommender> ScreenedRecommender<R> {
     /// Profiles the screen rejected.
     pub fn rejected(&self) -> usize {
         self.rejected
+    }
+
+    /// Anomaly scores of every profile that hit the screen, in injection
+    /// order (accepted and rejected alike) — the raw material for
+    /// detector precision/recall at any threshold.
+    pub fn screened_scores(&self) -> &[f32] {
+        &self.scores
     }
 
     /// Unwraps the platform.
@@ -69,7 +87,9 @@ impl<R: BlackBoxRecommender> BlackBoxRecommender for ScreenedRecommender<R> {
     /// returned id is a dead account (the platform "shadow-bans" it), so
     /// the attacker's budget is still spent.
     fn inject_user(&mut self, profile: &[ItemId]) -> UserId {
-        if self.score_profile(profile) > self.threshold {
+        let score = self.score_profile(profile);
+        self.scores.push(score);
+        if score > self.threshold {
             self.rejected += 1;
             // Shadow account: visible to the attacker, invisible to the model.
             UserId(u32::MAX - self.rejected as u32)

@@ -15,11 +15,18 @@
 //!   (`v ← β·v + g`, `param[i] += ±lr · v[i]`), lazily allocated on first
 //!   touch — per-pair sparse updates (two item rows out of millions) cost
 //!   state proportional to what they actually touch.
+//! - [`Optimizer::Adam`] keeps first/second moment buffers and a step
+//!   counter per block key and applies the bias-corrected update
+//!   `param[i] += ±lr · m̂ / (√v̂ + ε)` — elementwise bitwise identical to
+//!   [`ca_nn::optim::Adam::step`] on the same block, with the per-block
+//!   counter playing the per-tensor `t` (each block is its own Adam
+//!   instance, so sparsely-touched embedding rows bias-correct by how
+//!   often *they* were updated, not by global pair count).
 //!
 //! Determinism: all state lives in [`OptState`], owned by the driver and
 //! mutated only from the serial in-pair-order apply phase. Block keys are a
 //! pure function of the model layout (never of thread count or timing), so
-//! a momentum run is as reproducible as a plain-SGD run.
+//! a momentum or Adam run is as reproducible as a plain-SGD run.
 
 /// The update rule applied to every parameter block.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -35,31 +42,63 @@ pub enum Optimizer {
         /// velocity copy of the gradient.
         beta: f32,
     },
+    /// Adam (Kingma & Ba): per block `m ← β₁·m + (1−β₁)·g`,
+    /// `v ← β₂·v + (1−β₂)·g²`, bias-corrected by the block's own step
+    /// count, then `param += ±lr · m̂ / (√v̂ + ε)`. Use [`Optimizer::adam`]
+    /// for the standard hyper-parameters.
+    Adam {
+        /// First-moment decay β₁ ∈ \[0, 1).
+        beta1: f32,
+        /// Second-moment decay β₂ ∈ \[0, 1).
+        beta2: f32,
+        /// Denominator fuzz ε > 0.
+        eps: f32,
+    },
 }
 
-/// Optimizer state across one training run: one velocity buffer per
-/// parameter-block key, lazily grown. Plain SGD keeps this empty.
+impl Optimizer {
+    /// Adam with the standard (0.9, 0.999, 1e-8) hyper-parameters —
+    /// the same defaults as [`ca_nn::optim::Adam::new`].
+    pub fn adam() -> Self {
+        Optimizer::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+/// Per-block Adam state: first/second moment buffers plus the block's own
+/// bias-correction step counter.
+#[derive(Clone, Debug, Default)]
+struct AdamMoments {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: i32,
+}
+
+/// Optimizer state across one training run: one velocity (momentum) or
+/// moment-pair (Adam) buffer per parameter-block key, lazily grown. Plain
+/// SGD keeps both empty.
 #[derive(Clone, Debug)]
 pub struct OptState {
     opt: Optimizer,
     vel: Vec<Vec<f32>>,
+    moments: Vec<AdamMoments>,
 }
 
 impl OptState {
-    /// Fresh (zero-velocity) state for `opt`.
+    /// Fresh (zero-state) optimizer state for `opt`.
     pub fn new(opt: Optimizer) -> Self {
-        Self { opt, vel: Vec::new() }
+        Self { opt, vel: Vec::new(), moments: Vec::new() }
     }
 
     /// Borrows a [`Step`] at learning rate `lr` for one apply call.
     pub fn step(&mut self, lr: f32) -> Step<'_> {
-        Step { lr, opt: self.opt, vel: &mut self.vel }
+        Step { lr, opt: self.opt, vel: &mut self.vel, moments: &mut self.moments }
     }
 
-    /// Number of parameter blocks with live velocity state (telemetry /
+    /// Number of parameter blocks with live optimizer state (telemetry /
     /// tests; always 0 for plain SGD).
     pub fn live_blocks(&self) -> usize {
         self.vel.iter().filter(|v| !v.is_empty()).count()
+            + self.moments.iter().filter(|s| !s.m.is_empty()).count()
     }
 }
 
@@ -73,6 +112,7 @@ pub struct Step<'a> {
     lr: f32,
     opt: Optimizer,
     vel: &'a mut Vec<Vec<f32>>,
+    moments: &'a mut Vec<AdamMoments>,
 }
 
 impl Step<'_> {
@@ -140,6 +180,30 @@ impl Step<'_> {
                     *p += rate * *vi;
                 }
             }
+            Optimizer::Adam { beta1, beta2, eps } => {
+                if self.moments.len() <= key {
+                    self.moments.resize_with(key + 1, AdamMoments::default);
+                }
+                let s = &mut self.moments[key];
+                if s.m.len() < param.len() {
+                    s.m.resize(param.len(), 0.0);
+                    s.v.resize(param.len(), 0.0);
+                }
+                s.t += 1;
+                let b1t = 1.0 - beta1.powi(s.t);
+                let b2t = 1.0 - beta2.powi(s.t);
+                // Same expression shape (and so the same rounding) as
+                // `ca_nn::optim::Adam::step`; `rate = -lr` reproduces its
+                // descent bit for bit because IEEE negation is exact.
+                for i in 0..param.len() {
+                    let g = grad[i];
+                    s.m[i] = beta1 * s.m[i] + (1.0 - beta1) * g;
+                    s.v[i] = beta2 * s.v[i] + (1.0 - beta2) * g * g;
+                    let mhat = s.m[i] / b1t;
+                    let vhat = s.v[i] / b2t;
+                    param[i] += rate * mhat / (vhat.sqrt() + eps);
+                }
+            }
         }
     }
 }
@@ -205,6 +269,58 @@ mod tests {
         // β = 0 ⇒ v = 0·v + g = g exactly; the parameter moves identically.
         assert_eq!(sgd[0].to_bits(), mom[0].to_bits());
         assert_eq!(sgd[1].to_bits(), mom[1].to_bits());
+    }
+
+    #[test]
+    fn adam_descent_is_bitwise_the_nn_reference() {
+        // One OptState block must behave exactly like one ca_nn Adam
+        // instance: same moments, same bias correction, same rounding.
+        let grads = [
+            [0.123_f32, -7.5e-3, 1.0e-20, -3.0],
+            [0.5, 0.5, -0.25, 2.0e-10],
+            [-1.0, 0.0, 4.0, 0.125],
+        ];
+        let lr = 0.05_f32;
+        let mut via_step = [1.0_f32, -2.0, 0.5, 1.0e-19];
+        let mut reference = via_step;
+
+        let mut state = OptState::new(Optimizer::adam());
+        let mut nn = ca_nn::optim::Adam::new(reference.len());
+        for g in &grads {
+            state.step(lr).descend(2, &mut via_step, g);
+            nn.step(&mut reference, g, lr);
+        }
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&via_step), bits(&reference));
+        assert_eq!(state.live_blocks(), 1);
+    }
+
+    #[test]
+    fn adam_blocks_bias_correct_independently() {
+        // A block touched once must see the t = 1 bias correction no matter
+        // how often *other* blocks were updated.
+        let mut state = OptState::new(Optimizer::adam());
+        let (mut hot, mut cold, mut fresh) = ([0.0_f32], [0.0_f32], [0.0_f32]);
+        for _ in 0..5 {
+            state.step(0.1).descend(0, &mut hot, &[1.0]);
+        }
+        state.step(0.1).descend(9, &mut cold, &[1.0]);
+        OptState::new(Optimizer::adam()).step(0.1).descend(0, &mut fresh, &[1.0]);
+        assert_eq!(cold[0].to_bits(), fresh[0].to_bits());
+        assert_eq!(state.live_blocks(), 2);
+    }
+
+    #[test]
+    fn adam_ascend_is_negated_descent() {
+        let grad = [0.25_f32, -0.5, 1.0e-6];
+        let mut up = [1.0_f32, 1.0, 1.0];
+        let mut down = up;
+        OptState::new(Optimizer::adam()).step(0.1).ascend(0, &mut up, &grad);
+        OptState::new(Optimizer::adam()).step(0.1).descend(0, &mut down, &grad);
+        for (u, d) in up.iter().zip(&down) {
+            // Both sit at 1.0 ± the same bias-corrected step.
+            assert_eq!((u - 1.0).to_bits(), (-(d - 1.0)).to_bits());
+        }
     }
 
     #[test]

@@ -27,8 +27,12 @@ fn main() {
     let target_src = pipe.world.source_item(target).expect("overlap");
 
     // Train CopyAttack against the GNN black box.
-    let mut agent =
-        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.config.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
     agent.train(&src, || pipe.make_env(target));
     let mut env = pipe.make_env(target);
     let outcome = agent.execute(&src, &mut env);

@@ -47,8 +47,12 @@ fn main() {
         naive.iter().map(|p| detector.score(&extract_features(p, &pop, item_emb))).collect();
 
     // (b) CopyAttack's injected profiles.
-    let mut agent =
-        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.config.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
     agent.train(&src, || pipe.make_env(target));
     let mut env = pipe.make_env(target);
     let outcome = agent.execute(&src, &mut env);

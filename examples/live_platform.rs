@@ -67,7 +67,7 @@ fn main() {
     // replays the same drifting world, so the curve is reproducible.
     let template = live.clone();
     let mut campaign =
-        Campaign::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, vec![target_src]);
+        Campaign::new(cfg.attack.config.clone(), CopyAttackVariant::full(), &src, vec![target_src]);
     let run = campaign.train_resilient(&src, |_t| {
         let mut env_platform = template.clone();
         let accounts: Vec<UserId> = pipe
@@ -79,8 +79,8 @@ fn main() {
             env_platform,
             accounts,
             target,
-            cfg.attack.reward_k,
-            cfg.attack.budget,
+            cfg.attack.config.reward_k,
+            cfg.attack.config.budget,
         )
         .with_resilience(ResilienceConfig::default())
         .with_pretend_profiles(pipe.pretend_profiles.clone())

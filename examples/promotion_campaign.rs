@@ -39,7 +39,7 @@ fn main() {
             pipe.recommender.clone(),
             pipe.pretend.clone(),
             target,
-            cfg.attack.reward_k,
+            cfg.attack.config.reward_k,
             budget,
         );
         let mut rng = StdRng::seed_from_u64(11);
@@ -48,7 +48,7 @@ fn main() {
         let hr_ta = pipe.evaluate_promotion(&env.into_recommender(), target, 99).hr(20);
 
         // CopyAttack at this budget.
-        let mut attack_cfg = cfg.attack.clone();
+        let mut attack_cfg = cfg.attack.config.clone();
         attack_cfg.budget = budget;
         attack_cfg.query_every = attack_cfg.query_every.min(budget);
         let mut agent =
@@ -93,8 +93,12 @@ fn main() {
         },
         ..ResilienceConfig::default()
     };
-    let mut agent =
-        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.config.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
     let mut env = pipe.make_faulty_env(target, FaultConfig::chaos(7), resilience);
     let outcome = agent.execute(&src, &mut env);
     println!(

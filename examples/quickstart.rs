@@ -24,7 +24,10 @@ fn main() {
         "target model trained: validation HR@10 = {:.3} ({} epochs)",
         pipe.train_report.best_val_hr10, pipe.train_report.epochs_run
     );
-    println!("attacking {} cold target items, budget Δ = {} copied profiles", 3, cfg.attack.budget);
+    println!(
+        "attacking {} cold target items, budget Δ = {} copied profiles",
+        3, cfg.attack.config.budget
+    );
 
     let before = pipe.run_method_over_targets(Method::WithoutAttack, 3);
     println!(

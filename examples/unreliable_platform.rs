@@ -28,10 +28,10 @@ fn main() {
     let target = pipe.target_items[0];
     let target_src = pipe.world.source_item(target).expect("overlap");
     let resilience = ResilienceConfig::default();
-    let episodes = cfg.attack.episodes;
+    let episodes = cfg.attack.config.episodes;
 
     let mut campaign =
-        Campaign::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, vec![target_src]);
+        Campaign::new(cfg.attack.config.clone(), CopyAttackVariant::full(), &src, vec![target_src]);
 
     // Phase 1: a flaky-but-alive platform, except the platform goes
     // completely dark partway through the campaign.

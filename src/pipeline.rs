@@ -24,15 +24,14 @@ use ca_recsys::metrics::MetricAccumulator;
 use ca_recsys::{split_dataset, BlackBoxRecommender, ItemId, RetrievalMode, Split, UserId};
 use ca_recsys::{FaultConfig, FaultyRecommender};
 use ca_train::{History, StderrProgress, Tee, TrainObserver};
-use copyattack_core::baselines::{random_attack, target_attack, FlatPolicyAgent};
 use copyattack_core::env::plan_pretend_profiles;
 use copyattack_core::{
-    AttackConfig, AttackEnvironment, CopyAttackAgent, CopyAttackVariant, ResilienceConfig,
-    SourceDomain,
+    AttackConfig, AttackEnvironment, AttackRegistry, ItemKnowledge, ResilienceConfig, SourceDomain,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Everything needed to run one dataset's worth of experiments.
 #[derive(Clone, Debug)]
@@ -45,8 +44,11 @@ pub struct PipelineConfig {
     pub target_mf: BprConfig,
     /// Target-model training.
     pub gnn: GnnConfig,
-    /// Attack settings (budget Δ, pretend users, γ, …).
-    pub attack: AttackConfig,
+    /// Which registered attack the configured campaign runs, and its
+    /// settings (budget Δ, pretend users, γ, …). Any name in the
+    /// pipeline's [`AttackRegistry`] routes through the same
+    /// campaign/retry/IVF machinery.
+    pub attack: AttackSpec,
     /// Number of cold target items to attack (paper: 50).
     pub n_target_items: usize,
     /// Cold threshold: fewer than this many target-domain interactions
@@ -75,7 +77,10 @@ impl PipelineConfig {
             source_mf: BprConfig { max_epochs: 15, seed, ..Default::default() },
             target_mf: BprConfig { max_epochs: 15, seed: seed ^ 1, ..Default::default() },
             gnn: GnnConfig { seed: seed ^ 2, ..Default::default() },
-            attack: AttackConfig { seed: seed ^ 3, ..Default::default() },
+            attack: AttackSpec::new(
+                "CopyAttack",
+                AttackConfig { seed: seed ^ 3, ..Default::default() },
+            ),
             n_target_items: 50,
             max_target_pop: 10,
             min_source_pop: 3,
@@ -93,9 +98,9 @@ impl PipelineConfig {
         cfg.n_eval_users = 60;
         cfg.min_source_pop = 2;
         cfg.pretend_profile_len = 8;
-        cfg.attack.episodes = 15;
-        cfg.attack.n_pretend = 10;
-        cfg.attack.tree_depth = 2;
+        cfg.attack.config.episodes = 15;
+        cfg.attack.config.n_pretend = 10;
+        cfg.attack.config.tree_depth = 2;
         cfg.gnn.max_epochs = 20;
         cfg
     }
@@ -105,9 +110,9 @@ impl PipelineConfig {
         let mut cfg = Self::with_world(CrossDomainConfig::small(seed), seed);
         cfg.n_target_items = 10;
         cfg.n_eval_users = 150;
-        cfg.attack.episodes = 30;
-        cfg.attack.n_pretend = 25;
-        cfg.attack.tree_depth = 3;
+        cfg.attack.config.episodes = 30;
+        cfg.attack.config.n_pretend = 25;
+        cfg.attack.config.tree_depth = 3;
         cfg.gnn.max_epochs = 30;
         cfg
     }
@@ -115,14 +120,14 @@ impl PipelineConfig {
     /// The ML10M-Flixster-shaped experiment (§5.1.1, tree depth 3).
     pub fn ml10m_fx(seed: u64) -> Self {
         let mut cfg = Self::with_world(CrossDomainConfig::ml10m_fx_like(seed), seed);
-        cfg.attack.tree_depth = 3;
+        cfg.attack.config.tree_depth = 3;
         cfg
     }
 
     /// The ML20M-Netflix-shaped experiment (§5.1.1, tree depth 6).
     pub fn ml20m_nf(seed: u64) -> Self {
         let mut cfg = Self::with_world(CrossDomainConfig::ml20m_nf_like(seed), seed);
-        cfg.attack.tree_depth = 6;
+        cfg.attack.config.tree_depth = 6;
         cfg
     }
 }
@@ -174,6 +179,51 @@ impl Method {
             Method::CopyAttack,
         ]
     }
+
+    /// The [`AttackRegistry`] key this method routes through, or `None`
+    /// for the injection-free "Without Attack" row. The key equals
+    /// [`Method::label`], which is exactly how the built-in registry names
+    /// its entries.
+    pub fn registry_key(&self) -> Option<String> {
+        match self {
+            Method::WithoutAttack => None,
+            m => Some(m.label()),
+        }
+    }
+}
+
+/// A registry-routed attack selection: *which* attack to run (any key in
+/// the pipeline's [`AttackRegistry`], built-in or custom) and under what
+/// configuration. This is what [`PipelineConfig`] carries, so swapping the
+/// campaign's attacker is a config edit, not a code path.
+#[derive(Clone, Debug)]
+pub struct AttackSpec {
+    /// Registry key — a Table 2 label ("CopyAttack", "RandomAttack", …) or
+    /// a rival entry ("FakeProfile", "KgAttack").
+    pub name: String,
+    /// Attack hyper-parameters.
+    pub config: AttackConfig,
+}
+
+impl AttackSpec {
+    /// Bundles a registry key with its configuration.
+    pub fn new(name: impl Into<String>, config: AttackConfig) -> Self {
+        Self { name: name.into(), config }
+    }
+}
+
+/// An arena row: promotion metrics of one registered attack aggregated
+/// over target items (the registry-keyed sibling of [`MethodRow`]).
+#[derive(Clone, Debug)]
+pub struct AttackRow {
+    /// The registry key the row was produced by.
+    pub name: String,
+    /// HR@K / NDCG@K of the target items over the evaluation users.
+    pub metrics: MetricAccumulator,
+    /// Mean injected-profile length, averaged over target items.
+    pub avg_items_per_profile: f32,
+    /// Wall-clock seconds spent attacking (all target items).
+    pub attack_seconds: f64,
 }
 
 /// A Table 2 row: promotion metrics aggregated over target items.
@@ -235,6 +285,9 @@ pub struct Pipeline {
     pub eval_users: Vec<UserId>,
     /// The sampled cold target items (target-domain ids).
     pub target_items: Vec<ItemId>,
+    /// Item-side knowledge over the target catalog (drives the `KgAttack`
+    /// registry entry).
+    pub knowledge: Arc<ItemKnowledge>,
     /// Target-model training report.
     pub train_report: TrainReport,
     /// Epoch-level telemetry of the three training runs.
@@ -276,7 +329,7 @@ impl Pipeline {
         let mut pretend_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(202));
         let pretend_profiles = plan_pretend_profiles(
             &split.train,
-            cfg.attack.n_pretend,
+            cfg.attack.config.n_pretend,
             cfg.pretend_profile_len,
             &mut pretend_rng,
         );
@@ -302,8 +355,16 @@ impl Pipeline {
             "world contains no attackable cold items — increase catalog size"
         );
 
+        // The KGAttack rival's knowledge graph: the generator's ground-truth
+        // latent structure over the target catalog.
+        let knowledge = Arc::new(ItemKnowledge::new(
+            world.truth.item_vecs.clone(),
+            world.truth.item_cluster.clone(),
+        ));
+
         Self {
             world,
+            knowledge,
             split,
             source_mf,
             recommender,
@@ -332,8 +393,8 @@ impl Pipeline {
             self.recommender.clone(),
             self.pretend.clone(),
             target,
-            self.config.attack.reward_k,
-            self.config.attack.budget,
+            self.config.attack.config.reward_k,
+            self.config.attack.config.budget,
         )
     }
 
@@ -352,8 +413,8 @@ impl Pipeline {
             FaultyRecommender::new(self.recommender.clone(), faults),
             self.pretend.clone(),
             target,
-            self.config.attack.reward_k,
-            self.config.attack.budget,
+            self.config.attack.config.reward_k,
+            self.config.attack.config.budget,
         )
         .with_resilience(resilience)
         .with_pretend_profiles(self.pretend_profiles.clone())
@@ -380,7 +441,7 @@ impl Pipeline {
         target: ItemId,
         seed: u64,
     ) -> (MetricAccumulator, f32) {
-        let attack_cfg = AttackConfig { seed, ..self.config.attack.clone() };
+        let attack_cfg = AttackConfig { seed, ..self.config.attack.config.clone() };
         self.run_method_cfg(method, target, &attack_cfg)
     }
 
@@ -394,13 +455,43 @@ impl Pipeline {
         target: ItemId,
         attack_cfg: &AttackConfig,
     ) -> (MetricAccumulator, f32) {
+        self.run_named(method.registry_key().as_deref(), target, attack_cfg)
+    }
+
+    /// Runs one *registered* attack (any [`AttackRegistry`] key) against
+    /// one target item — the registry-keyed sibling of
+    /// [`Pipeline::run_method_cfg`], sharing the same retrieval routing
+    /// and evaluation.
+    ///
+    /// # Panics
+    /// Panics when the name is not registered or the attack cannot be
+    /// built for this target (see [`copyattack_core::AttackError`]).
+    pub fn run_attack_cfg(
+        &self,
+        name: &str,
+        target: ItemId,
+        attack_cfg: &AttackConfig,
+    ) -> (MetricAccumulator, f32) {
+        self.run_named(Some(name), target, attack_cfg)
+    }
+
+    /// Shared core of the method- and registry-keyed entry points:
+    /// resolves the target's source id, routes the campaign through the
+    /// configured retrieval mode, and evaluates promotion on the unwrapped
+    /// model. `None` is the injection-free baseline.
+    fn run_named(
+        &self,
+        name: Option<&str>,
+        target: ItemId,
+        attack_cfg: &AttackConfig,
+    ) -> (MetricAccumulator, f32) {
         let target_src =
             self.world.source_item(target).expect("target items are sampled from the overlap");
         let seed = attack_cfg.seed;
 
         let (polluted, avg_items) = match self.config.retrieval {
             RetrievalMode::Exact => {
-                self.attack_with(method, target, target_src, attack_cfg, &self.recommender)
+                self.attack_with(name, target, target_src, attack_cfg, &self.recommender)
             }
             mode => {
                 // The campaign's reward signal (every Top-k the attacker
@@ -409,7 +500,7 @@ impl Pipeline {
                 // Ivf arms of the ablation are directly comparable.
                 let cfg = IvfConfig::from_mode(mode).expect("non-exact mode has an IVF config");
                 let ann = IvfRecommender::deploy(self.recommender.clone(), cfg);
-                let (p, a) = self.attack_with(method, target, target_src, attack_cfg, &ann);
+                let (p, a) = self.attack_with(name, target, target_src, attack_cfg, &ann);
                 (p.into_inner(), a)
             }
         };
@@ -417,22 +508,43 @@ impl Pipeline {
         (metrics, avg_items)
     }
 
-    /// Runs the attack phase of one method against `base` — any clonable
-    /// black-box deployment of the target platform — and returns the
-    /// polluted deployment plus the average injected-profile length.
-    /// Extracted from [`Pipeline::run_method_cfg`] so the same campaign
-    /// logic drives both the exact recommender and its IVF-fronted wrap.
-    fn attack_with<R: BlackBoxRecommender + Clone>(
+    /// The pipeline's attack registry over platform type `R`: every
+    /// built-in attacker plus `KgAttack` over this world's ground-truth
+    /// item knowledge.
+    pub fn registry<R: BlackBoxRecommender + Clone + 'static>(&self) -> AttackRegistry<R> {
+        let mut reg = AttackRegistry::with_builtins();
+        reg.register_kg_attack(self.knowledge.clone());
+        reg
+    }
+
+    /// Runs the attack phase of one registered attack against `base` — any
+    /// clonable black-box deployment of the target platform — and returns
+    /// the polluted deployment plus the average injected-profile length.
+    /// `None` skips injection entirely (the "Without Attack" row).
+    ///
+    /// The registry factory constructs the attacker exactly as the old
+    /// hard-wired dispatch did (same constructor order, same seeds), then
+    /// `prepare` trains it against fresh environments and `run` executes
+    /// the evaluation episode on an episode RNG seeded `seed ^ 0xABCD` —
+    /// bitwise-identical to the pre-registry pipeline, pinned by the
+    /// golden hashes in `tests/arena.rs`.
+    fn attack_with<R: BlackBoxRecommender + Clone + 'static>(
         &self,
-        method: Method,
+        name: Option<&str>,
         target: ItemId,
         target_src: ItemId,
         attack_cfg: &AttackConfig,
         base: &R,
     ) -> (R, f32) {
+        let Some(name) = name else {
+            return (base.clone(), 0.0);
+        };
         let src = self.source_domain();
         let seed = attack_cfg.seed;
-        let make_env = || {
+        let registry = self.registry::<R>();
+        let mut attack =
+            registry.build(name, attack_cfg, &src, target_src).unwrap_or_else(|e| panic!("{e}"));
+        let mut make_env = || {
             AttackEnvironment::new(
                 base.clone(),
                 self.pretend.clone(),
@@ -441,48 +553,18 @@ impl Pipeline {
                 attack_cfg.budget,
             )
         };
-
-        match method {
-            Method::WithoutAttack => (base.clone(), 0.0),
-            Method::RandomAttack => {
-                let mut env = make_env();
-                let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
-                let o = random_attack(&src, &mut env, &mut rng);
-                (env.into_recommender(), o.avg_items_per_profile)
-            }
-            Method::TargetAttack(pct) => {
-                let mut env = make_env();
-                let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
-                let o = target_attack(&src, &mut env, target_src, pct as f32 / 100.0, &mut rng);
-                (env.into_recommender(), o.avg_items_per_profile)
-            }
-            Method::PolicyNetwork => {
-                let mut agent = FlatPolicyAgent::new(attack_cfg.clone(), &src, target_src);
-                agent.train(&src, make_env);
-                let mut env = make_env();
-                let o = agent.execute(&src, &mut env);
-                (env.into_recommender(), o.avg_items_per_profile)
-            }
-            Method::CopyAttack | Method::CopyAttackNoMasking | Method::CopyAttackNoLength => {
-                let variant = match method {
-                    Method::CopyAttack => CopyAttackVariant::full(),
-                    Method::CopyAttackNoMasking => CopyAttackVariant::no_masking(),
-                    _ => CopyAttackVariant::no_crafting(),
-                };
-                let mut agent = CopyAttackAgent::new(attack_cfg.clone(), variant, &src, target_src);
-                agent.train(&src, make_env);
-                let mut env = make_env();
-                let o = agent.execute(&src, &mut env);
-                (env.into_recommender(), o.avg_items_per_profile)
-            }
-        }
+        attack.prepare(&src, &mut make_env);
+        let mut env = make_env();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let o = attack.run(&mut env, &src, target_src, &mut rng);
+        (env.into_recommender(), o.avg_items_per_profile)
     }
 
     /// Runs a method over the first `n_items` sampled target items
     /// (in parallel across items) and aggregates a Table 2 row.
     pub fn run_method_over_targets(&self, method: Method, n_items: usize) -> MethodRow {
         let items: Vec<ItemId> = self.target_items.iter().copied().take(n_items).collect();
-        self.run_method_over_items(method, &items, &self.config.attack.clone())
+        self.run_method_over_items(method, &items, &self.config.attack.config.clone())
     }
 
     /// Like [`Pipeline::run_method_over_targets`] but with explicit items
@@ -513,6 +595,39 @@ impl Pipeline {
         avg_items /= results.len().max(1) as f32;
         MethodRow {
             method,
+            metrics,
+            avg_items_per_profile: avg_items,
+            attack_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Runs the *configured* attack ([`PipelineConfig::attack`]) over the
+    /// first `n_items` sampled target items.
+    pub fn run_spec_over_targets(&self, n_items: usize) -> AttackRow {
+        let items: Vec<ItemId> = self.target_items.iter().copied().take(n_items).collect();
+        self.run_spec_over_items(&self.config.attack, &items)
+    }
+
+    /// Runs one registry-keyed attack over explicit target items, in
+    /// parallel across items with the same seed isolation as
+    /// [`Pipeline::run_method_over_items`] (`spec.config.seed ^ item id`).
+    pub fn run_spec_over_items(&self, spec: &AttackSpec, items: &[ItemId]) -> AttackRow {
+        let items: Vec<ItemId> = items.to_vec();
+        // ca-audit: allow(wall-clock) — AttackRow.seconds is reporting telemetry, never an input
+        let start = std::time::Instant::now();
+        let results: Vec<(MetricAccumulator, f32)> = ca_par::map(&items, |_, &t| {
+            let cfg = AttackConfig { seed: spec.config.seed ^ t.0 as u64, ..spec.config.clone() };
+            self.run_attack_cfg(&spec.name, t, &cfg)
+        });
+        let mut metrics = MetricAccumulator::new(&[20, 10, 5]);
+        let mut avg_items = 0.0;
+        for (m, a) in &results {
+            metrics.merge(m);
+            avg_items += a;
+        }
+        avg_items /= results.len().max(1) as f32;
+        AttackRow {
+            name: spec.name.clone(),
             metrics,
             avg_items_per_profile: avg_items,
             attack_seconds: start.elapsed().as_secs_f64(),
@@ -554,7 +669,7 @@ mod tests {
         let cfg = PipelineConfig::tiny(7);
         let pipe = Pipeline::build(&cfg);
         assert!(!pipe.target_items.is_empty());
-        assert_eq!(pipe.pretend.len(), cfg.attack.n_pretend);
+        assert_eq!(pipe.pretend.len(), cfg.attack.config.n_pretend);
         assert!(pipe.train_report.best_val_hr10 > 0.1);
         // Pretend users were appended after the real users.
         for &p in &pipe.pretend {

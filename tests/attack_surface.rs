@@ -13,19 +13,23 @@ fn query_count_follows_the_cadence() {
     let target = pipe.target_items[0];
     let target_src = pipe.world.source_item(target).unwrap();
 
-    let mut agent =
-        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.config.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
     let mut env = pipe.make_env(target);
     let outcome = agent.execute(&src, &mut env);
 
     // One reward query (over n_pretend users) per `query_every` injections,
     // plus the forced terminal query; each reward query costs n_pretend
     // Top-k requests.
-    let budget = cfg.attack.budget;
-    let q = cfg.attack.query_every;
+    let budget = cfg.attack.config.budget;
+    let q = cfg.attack.config.query_every;
     let reward_rounds_upper = budget.div_ceil(q) + 1;
-    assert!(outcome.queries as usize <= reward_rounds_upper * cfg.attack.n_pretend);
-    assert!(outcome.queries as usize >= cfg.attack.n_pretend, "at least one reward round");
+    assert!(outcome.queries as usize <= reward_rounds_upper * cfg.attack.config.n_pretend);
+    assert!(outcome.queries as usize >= cfg.attack.config.n_pretend, "at least one reward round");
     assert!(outcome.injections <= budget);
 }
 
@@ -64,11 +68,15 @@ fn attack_only_queries_attacker_controlled_accounts() {
         guarded,
         pipe.pretend.clone(),
         target,
-        cfg.attack.reward_k,
-        cfg.attack.budget,
+        cfg.attack.config.reward_k,
+        cfg.attack.config.budget,
     );
-    let mut agent =
-        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.config.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
     // Must complete without tripping the guard.
     let outcome = agent.execute(&src, &mut env);
     assert!(outcome.injections > 0);
@@ -81,10 +89,14 @@ fn learning_curve_is_recorded_per_episode() {
     let src = pipe.source_domain();
     let target = pipe.target_items[0];
     let target_src = pipe.world.source_item(target).unwrap();
-    let mut agent =
-        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.config.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
     let curve = agent.train(&src, || pipe.make_env(target));
-    assert_eq!(curve.len(), cfg.attack.episodes);
+    assert_eq!(curve.len(), cfg.attack.config.episodes);
     assert_eq!(agent.episode_rewards(), &curve[..]);
     assert!(curve.iter().all(|r| (0.0..=1.0).contains(r)));
 }

@@ -44,7 +44,7 @@ fn chaos_run(pipe: &Pipeline, target: ItemId) -> (f32, usize, u64, u64, u64, Fau
     let src = pipe.source_domain();
     let target_src = pipe.world.source_item(target).unwrap();
     let mut agent = CopyAttackAgent::new(
-        pipe.config.attack.clone(),
+        pipe.config.attack.config.clone(),
         CopyAttackVariant::full(),
         &src,
         target_src,
@@ -90,7 +90,7 @@ fn full_attack_survives_twenty_percent_fault_rate() {
 
     // Fault-free reference with the same agent seed.
     let mut ref_agent = CopyAttackAgent::new(
-        pipe.config.attack.clone(),
+        pipe.config.attack.config.clone(),
         CopyAttackVariant::full(),
         &src,
         target_src,
@@ -121,7 +121,7 @@ fn full_attack_survives_twenty_percent_fault_rate() {
     );
     // Budget accounting: crafted injections never exceed Δ even though
     // re-establishment and retries add platform calls on top.
-    assert!(injections <= pipe.config.attack.budget);
+    assert!(injections <= pipe.config.attack.config.budget);
     assert!(inject_attempts as usize >= injections);
 }
 
@@ -187,7 +187,7 @@ fn shard_crash_interrupts_the_campaign_and_resume_replays_the_curve() {
     let target = pipe.target_items[0];
     let target_src = pipe.world.source_item(target).unwrap();
     let src = pipe.source_domain();
-    let attack_cfg = AttackConfig { episodes: 8, ..pipe.config.attack.clone() };
+    let attack_cfg = AttackConfig { episodes: 8, ..pipe.config.attack.config.clone() };
 
     let (healthy, pretend) = live_service(&pipe, healthy_serve_cfg());
     let (doomed, doomed_pretend) =
@@ -260,7 +260,7 @@ fn mid_campaign_shard_crash_with_recovery_still_completes() {
     let target = pipe.target_items[0];
     let target_src = pipe.world.source_item(target).unwrap();
     let src = pipe.source_domain();
-    let attack_cfg = AttackConfig { episodes: 6, ..pipe.config.attack.clone() };
+    let attack_cfg = AttackConfig { episodes: 6, ..pipe.config.attack.config.clone() };
 
     let crash_at = pipe.pretend_profiles.len() as u64 + 10;
     let serve_cfg = ServeConfig {

@@ -72,8 +72,12 @@ fn copyattack_survives_the_screen_better_than_generated_fakes() {
 
     // Run the attack against the *screened* platform. The agent is unaware
     // of the defense; rejected injections simply waste budget.
-    let mut agent =
-        CopyAttackAgent::new(cfg.attack.clone(), CopyAttackVariant::full(), &src, target_src);
+    let mut agent = CopyAttackAgent::new(
+        cfg.attack.config.clone(),
+        CopyAttackVariant::full(),
+        &src,
+        target_src,
+    );
     let make_env = || {
         AttackEnvironment::new(
             ScreenedRecommender::new(
@@ -85,8 +89,8 @@ fn copyattack_survives_the_screen_better_than_generated_fakes() {
             ),
             pipe.pretend.clone(),
             target,
-            cfg.attack.reward_k,
-            cfg.attack.budget,
+            cfg.attack.config.reward_k,
+            cfg.attack.config.budget,
         )
     };
     agent.train(&src, make_env);
@@ -109,7 +113,8 @@ fn copyattack_survives_the_screen_better_than_generated_fakes() {
         acc / n.max(1) as f32
     };
     let mut rng = StdRng::seed_from_u64(2);
-    let fakes = naive_fake_profiles(&pipe.split.train, target, cfg.attack.budget, 30, &mut rng);
+    let fakes =
+        naive_fake_profiles(&pipe.split.train, target, cfg.attack.config.budget, 30, &mut rng);
     let fake_mean: f32 =
         fakes.iter().map(|p| screened.score_profile(p)).sum::<f32>() / fakes.len() as f32;
     assert!(

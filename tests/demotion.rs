@@ -53,7 +53,7 @@ fn demotion_lowers_target_item_exposure() {
     let before = exposure(&pipe.recommender);
     assert!(before > 0.05, "need a visible item to demote, exposure = {before}");
 
-    let attack_cfg = AttackConfig { goal: AttackGoal::Demote, ..cfg.attack.clone() };
+    let attack_cfg = AttackConfig { goal: AttackGoal::Demote, ..cfg.attack.config.clone() };
     let mut agent = CopyAttackAgent::new(attack_cfg, CopyAttackVariant::full(), &src, target_src);
     agent.train(&src, || pipe.make_env(target));
     let mut env = pipe.make_env(target);

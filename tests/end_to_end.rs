@@ -93,7 +93,7 @@ fn injected_profiles_only_contain_overlap_items() {
     let src = pipe.source_domain();
     let target_src = pipe.world.source_item(target).unwrap();
     let mut agent = copyattack::core::CopyAttackAgent::new(
-        pipe.config.attack.clone(),
+        pipe.config.attack.config.clone(),
         copyattack::core::CopyAttackVariant::full(),
         &src,
         target_src,
@@ -117,7 +117,7 @@ fn injected_profiles_only_contain_overlap_items() {
 fn budget_is_respected_across_methods() {
     let pipe = pipeline();
     let target = pipe.target_items[0];
-    let budget = pipe.config.attack.budget;
+    let budget = pipe.config.attack.config.budget;
     for method in [Method::RandomAttack, Method::TargetAttack(70), Method::CopyAttack] {
         let src = pipe.source_domain();
         let target_src = pipe.world.source_item(target).unwrap();
@@ -140,7 +140,7 @@ fn budget_is_respected_across_methods() {
             }
             _ => {
                 let mut agent = copyattack::core::CopyAttackAgent::new(
-                    pipe.config.attack.clone(),
+                    pipe.config.attack.config.clone(),
                     copyattack::core::CopyAttackVariant::full(),
                     &src,
                     target_src,

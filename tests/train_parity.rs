@@ -261,11 +261,47 @@ fn momentum_training_is_thread_count_invariant_and_distinct_from_sgd() {
     assert_eq!(base.user_emb.as_slice(), wide.user_emb.as_slice(), "momentum broke determinism");
     assert_eq!(base.item_emb.as_slice(), wide.item_emb.as_slice(), "momentum broke determinism");
     assert_eq!(base.item_bias, wide.item_bias, "momentum broke determinism");
+
+    // Captured before `Optimizer::Adam` was added: growing the strategy
+    // enum (and the Adam state in `OptState`) must leave the momentum
+    // trajectory bitwise-inert.
+    let mut h = FNV_OFFSET;
+    hash_f32s(&mut h, base.user_emb.as_slice());
+    hash_f32s(&mut h, base.item_emb.as_slice());
+    hash_f32s(&mut h, &base.item_bias);
+    assert_eq!(h, 0xb0573ea233e9b521, "momentum mf golden diverged from the pre-Adam capture");
     assert_ne!(
         base.user_emb.as_slice(),
         sgd.user_emb.as_slice(),
         "momentum with beta 0.9 must change the trajectory"
     );
+}
+
+/// Adam is the third pluggable strategy: per-block moments and bias
+/// correction live in driver-owned `OptState`, updated only in the serial
+/// apply phase, so an Adam run must be thread-count-invariant like the
+/// other two — while taking a genuinely different trajectory.
+#[test]
+fn adam_training_is_thread_count_invariant_and_distinct() {
+    let ds = golden_world();
+    let sgd_cfg = BprConfig { max_epochs: 4, seed: 11, ..Default::default() };
+    let adam_cfg = BprConfig { optimizer: Optimizer::adam(), ..sgd_cfg.clone() };
+    let mom_cfg = BprConfig { optimizer: Optimizer::Momentum { beta: 0.9 }, ..sgd_cfg.clone() };
+
+    par::set_threads(Some(1));
+    let base = copyattack::mf::train(&ds, &adam_cfg);
+    let sgd = copyattack::mf::train(&ds, &sgd_cfg);
+    let mom = copyattack::mf::train(&ds, &mom_cfg);
+    par::set_threads(Some(4));
+    let wide = copyattack::mf::train(&ds, &adam_cfg);
+    par::set_threads(None);
+
+    assert_eq!(base.user_emb.as_slice(), wide.user_emb.as_slice(), "adam broke determinism");
+    assert_eq!(base.item_emb.as_slice(), wide.item_emb.as_slice(), "adam broke determinism");
+    assert_eq!(base.item_bias, wide.item_bias, "adam broke determinism");
+    assert!(base.user_emb.as_slice().iter().all(|x| x.is_finite()), "adam blew up");
+    assert_ne!(base.user_emb.as_slice(), sgd.user_emb.as_slice(), "adam must differ from SGD");
+    assert_ne!(base.user_emb.as_slice(), mom.user_emb.as_slice(), "adam must differ from momentum");
 }
 
 /// The NCF and GNN trainers route their MLP towers through the same block
@@ -308,5 +344,11 @@ fn momentum_tower_training_is_thread_count_invariant() {
     par::set_threads(None);
 
     assert_eq!(base, wide, "momentum tower training diverged across thread counts");
+    // Pre-Adam capture (see the mf golden above): the third strategy must
+    // not perturb the momentum tower path either.
+    assert_eq!(
+        base, 0xaa3ea18451980010,
+        "momentum tower golden diverged from the pre-Adam capture"
+    );
     assert!(base_finite, "momentum with beta 0.5 must keep NCF embeddings finite");
 }

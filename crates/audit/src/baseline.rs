@@ -1,0 +1,212 @@
+//! The ratchet baseline: a checked-in ledger of known findings.
+//!
+//! The baseline lets a new rule land at `Deny` severity without blocking
+//! the tree on pre-existing debt: known findings are suppressed, new ones
+//! still fail. The ledger only ratchets *down* — when a file's real count
+//! drops below its baselined count, the stale entry is itself a failure
+//! until the ledger is regenerated (`--write-baseline`), so fixed debt can
+//! never silently regress. `DESIGN.md` §16 states the policy.
+//!
+//! Format: one entry per line, `<rule-id> <count> <path>`, sorted by
+//! (rule, path). `#` starts a comment; blank lines are ignored. The file
+//! is regenerated, never hand-edited, so the grammar stays minimal.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Parsed baseline: `(rule-id, path) → accepted count`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+/// A baseline entry whose debt has (partly) been paid: the ledger says
+/// `baselined` findings but the tree now has `actual`. The ratchet demands
+/// the ledger shrink to match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// Rule id of the entry.
+    pub rule: String,
+    /// File path of the entry.
+    pub file: String,
+    /// Count recorded in the baseline.
+    pub baselined: usize,
+    /// Count actually found (strictly less than `baselined`).
+    pub actual: usize,
+}
+
+impl Baseline {
+    /// An empty baseline (suppresses nothing).
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Parses baseline text; malformed lines are errors (a typo that
+    /// silently suppressed nothing would defeat the ledger).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(count), Some(path), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("baseline line {}: expected `<rule> <count> <path>`", no + 1));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count {count:?}", no + 1))?;
+            if count == 0 {
+                return Err(format!("baseline line {}: zero-count entry is dead weight", no + 1));
+            }
+            if crate::rules::Rule::from_id(rule).is_none() {
+                return Err(format!("baseline line {}: unknown rule {rule:?}", no + 1));
+            }
+            if entries.insert((rule.to_string(), path.to_string()), count).is_some() {
+                return Err(format!("baseline line {}: duplicate entry", no + 1));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline that would accept exactly `findings`.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule.id().to_string(), f.file.clone())).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# ca-audit ratchet baseline — regenerate with `cargo run -p ca-audit -- \
+             --write-baseline`.\n# One accepted-debt entry per line: <rule> <count> <path>. \
+             Counts may only shrink.\n",
+        );
+        for ((rule, path), n) in &counts {
+            out.push_str(&format!("{rule} {n} {path}\n"));
+        }
+        out
+    }
+
+    /// Number of entries in the ledger.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Applies the ratchet: returns `(surviving findings, suppressed
+    /// count, stale entries)`.
+    ///
+    /// Per `(rule, file)` group: actual count ≤ baselined suppresses the
+    /// whole group (strictly less also reports the entry as stale — the
+    /// ratchet must be tightened); actual > baselined reports **all** of
+    /// the group's findings, not just the excess, since line numbers
+    /// shift and there is no stable identity to diff by.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize, Vec<StaleEntry>) {
+        let mut actual: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in &findings {
+            *actual.entry((f.rule.id().to_string(), f.file.clone())).or_insert(0) += 1;
+        }
+        let mut suppressed = 0usize;
+        let survivors: Vec<Finding> = findings
+            .into_iter()
+            .filter(|f| {
+                let key = (f.rule.id().to_string(), f.file.clone());
+                let keep = match self.entries.get(&key) {
+                    Some(&accepted) => actual.get(&key).copied().unwrap_or(0) > accepted,
+                    None => true,
+                };
+                if !keep {
+                    suppressed += 1;
+                }
+                keep
+            })
+            .collect();
+        let mut stale = Vec::new();
+        for ((rule, file), &accepted) in &self.entries {
+            let n = actual.get(&(rule.clone(), file.clone())).copied().unwrap_or(0);
+            if n < accepted {
+                stale.push(StaleEntry {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    baselined: accepted,
+                    actual: n,
+                });
+            }
+        }
+        (survivors, suppressed, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(rule: Rule, file: &str, line: u32) -> Finding {
+        Finding { file: file.to_string(), line, rule, message: rule.message().to_string() }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let findings = vec![
+            finding(Rule::WallClock, "src/a.rs", 3),
+            finding(Rule::WallClock, "src/a.rs", 9),
+            finding(Rule::NestedVec, "crates/x/src/b.rs", 1),
+        ];
+        let text = Baseline::render(&findings);
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.len(), 2);
+        let (left, suppressed, stale) = b.apply(findings);
+        assert!(left.is_empty());
+        assert_eq!(suppressed, 3);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn exceeding_the_baseline_reports_the_whole_group() {
+        let b = Baseline::parse("wall-clock 1 src/a.rs\n").unwrap();
+        let findings =
+            vec![finding(Rule::WallClock, "src/a.rs", 3), finding(Rule::WallClock, "src/a.rs", 9)];
+        let (left, suppressed, stale) = b.apply(findings);
+        assert_eq!(left.len(), 2, "no stable identity: the whole group resurfaces");
+        assert_eq!(suppressed, 0);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn paid_debt_makes_the_entry_stale() {
+        let b = Baseline::parse("wall-clock 2 src/a.rs\n# comment\n\n").unwrap();
+        let (left, suppressed, stale) = b.apply(vec![finding(Rule::WallClock, "src/a.rs", 3)]);
+        assert!(left.is_empty());
+        assert_eq!(suppressed, 1);
+        assert_eq!(
+            stale,
+            vec![StaleEntry {
+                rule: "wall-clock".into(),
+                file: "src/a.rs".into(),
+                baselined: 2,
+                actual: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(Baseline::parse("wall-clock src/a.rs\n").is_err(), "missing count");
+        assert!(Baseline::parse("wall-clock x src/a.rs\n").is_err(), "bad count");
+        assert!(Baseline::parse("wall-clock 0 src/a.rs\n").is_err(), "zero count");
+        assert!(Baseline::parse("no-such-rule 1 src/a.rs\n").is_err(), "unknown rule");
+        assert!(
+            Baseline::parse("wall-clock 1 src/a.rs\nwall-clock 2 src/a.rs\n").is_err(),
+            "duplicate"
+        );
+        assert!(Baseline::parse("wall-clock 1 a b\n").is_err(), "trailing field");
+    }
+}

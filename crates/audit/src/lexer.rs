@@ -12,15 +12,20 @@
 //! Line comments are *captured* rather than dropped: suppression pragmas
 //! (`// ca-audit: allow(<rule>) — <reason>`) live in them.
 
-/// What a token is: the rules only ever distinguish identifiers (matched by
-/// name) from single punctuation characters (matched to recognize paths
-/// like `Instant::now` or chains like `.top_k(`).
+/// What a token is: the rules distinguish identifiers (matched by name),
+/// single punctuation characters (matched to recognize paths like
+/// `Instant::now` or chains like `.top_k(`), and numeric literals (the
+/// seed-discipline rule must tell `seed_from_u64(42)` from
+/// `seed_from_u64(cfg.seed)`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TokKind {
-    /// An identifier or keyword.
+    /// An identifier or keyword. Raw identifiers (`r#match`) arrive with
+    /// the `r#` prefix stripped, matching Rust name-resolution semantics.
     Ident(String),
     /// One punctuation character (`::` arrives as two `:` tokens).
     Punct(char),
+    /// A numeric literal, verbatim (suffix and underscores included).
+    Number(String),
 }
 
 /// One token with the 1-based line it starts on.
@@ -50,6 +55,19 @@ impl Tok {
     /// Whether this token is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct(c)
+    }
+
+    /// Whether this token is a numeric literal.
+    pub fn is_number(&self) -> bool {
+        matches!(self.kind, TokKind::Number(_))
+    }
+
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
     }
 }
 
@@ -140,9 +158,23 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                     }
                     if j < n && b[j] == '"' {
                         i = skip_raw_string(&b, j + 1, hashes, &mut line);
+                    } else if ident == "r"
+                        && hashes == 1
+                        && j < n
+                        && (b[j] == '_' || b[j].is_alphabetic())
+                    {
+                        // Raw identifier `r#match`: lex as the bare name,
+                        // which is what it resolves to.
+                        let start = j;
+                        i = j;
+                        while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
+                            i += 1;
+                        }
+                        let name: String = b[start..i].iter().collect();
+                        toks.push(Tok { kind: TokKind::Ident(name), line });
                     } else {
-                        // Raw identifier (`r#match`) or stray hash: keep the
-                        // prefix as an ordinary identifier.
+                        // Stray hash: keep the prefix as an ordinary
+                        // identifier.
                         toks.push(Tok { kind: TokKind::Ident(ident), line });
                     }
                 } else {
@@ -152,6 +184,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
             _ if c.is_ascii_digit() => {
                 // Numeric literal (including suffixes); consume a fraction
                 // only when a digit follows the dot, so `0..n` stays `..`.
+                let start = i;
                 i += 1;
                 while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
                     i += 1;
@@ -162,6 +195,8 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                         i += 1;
                     }
                 }
+                let lit: String = b[start..i].iter().collect();
+                toks.push(Tok { kind: TokKind::Number(lit), line });
             }
             _ => {
                 toks.push(Tok { kind: TokKind::Punct(c), line });
@@ -220,7 +255,7 @@ mod tests {
             .into_iter()
             .filter_map(|t| match t.kind {
                 TokKind::Ident(s) => Some(s),
-                TokKind::Punct(_) => None,
+                _ => None,
             })
             .collect()
     }
@@ -266,5 +301,27 @@ mod tests {
         // `0..10` must leave two '.' puncts and then the `.sum` chain.
         let dots = toks.iter().filter(|t| t.is_punct('.')).count();
         assert_eq!(dots, 3);
+    }
+
+    #[test]
+    fn numeric_literals_are_tokens_with_their_text() {
+        let (toks, _) = lex("seed_from_u64(0xFEED); let x = 1_000u64 + 2.5f32;");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Number(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0xFEED", "1_000u64", "2.5f32"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let ids = idents("fn r#match(r#type: u32) {} let a = r#\"not an ident\"#;");
+        assert!(ids.contains(&"match".to_string()));
+        assert!(ids.contains(&"type".to_string()));
+        assert!(!ids.iter().any(|s| s.contains('#')));
+        assert!(!ids.iter().any(|s| s.contains("not")));
     }
 }

@@ -14,31 +14,51 @@
 //!    `BlackBoxRecommender`/`FallibleBlackBox` wrappers; a direct
 //!    `.top_k(…)` in attack code is a soundness bug, not a style issue.
 //!
-//! This crate machine-checks both on every build: a hand-rolled
-//! comment/string-aware tokenizer ([`lexer`]), a rule engine over the token
-//! stream ([`rules`]), a reviewed allowlist ([`config`]), and human/JSON
-//! reporters ([`report`]). It ships three ways:
+//! The engine machine-checks both on every build, in two tiers. Token
+//! rules run per file over a hand-rolled comment/string-aware tokenizer
+//! ([`lexer`]). The **symbol-aware** tier parses every file to an item
+//! skeleton ([`parser`]), assembles a workspace symbol table ([`symbols`])
+//! and an approximate call graph ([`callgraph`]), and proves cross-file
+//! properties no per-file scan can see: seed literals flowing through a
+//! parameter into an RNG two crates away ([`rules::Rule::SeedDiscipline`]),
+//! hash-iteration order leaking into float accumulators through a helper
+//! ([`rules::Rule::IterationOrder`]), and raw ranking calls reachable from
+//! attack code without crossing the metered surface
+//! ([`rules::Rule::UnmeteredQuery`]).
 //!
-//! - `cargo run -p ca-audit [-- --format json]` — the CLI;
-//! - `tests/audit.rs` at the workspace root — the tier-1 gate asserting
-//!   zero findings;
-//! - a CI job running the JSON reporter.
+//! Per-file analysis fans out through `ca_par::map`, so the pass scales
+//! with `CA_THREADS` while the report stays **byte-identical** at any
+//! thread count (findings merge in fixed path order). The crate's only
+//! dependency is the in-workspace `ca-par` runtime, so the auditor builds
+//! even when the network does not.
 //!
-//! Single sites are suppressed inline with
-//! `// ca-audit: allow(<rule>) — <reason>`; the reason is mandatory
-//! (a reasonless pragma suppresses nothing and is itself a finding).
-//! The crate is dependency-free so the auditor builds even when the rest
-//! of the workspace does not.
+//! Suppression is layered (see `DESIGN.md` §16):
+//!
+//! - inline pragmas `// ca-audit: allow(<rule>) — <reason>` (reason
+//!   mandatory) for single sites;
+//! - a reviewed path-prefix allowlist ([`config`]) for whole trees;
+//! - a checked-in ratchet baseline ([`baseline`], `audit.baseline`) for
+//!   accepted debt that may only shrink.
+//!
+//! It ships three ways: the CLI (`cargo run -p ca-audit`, with
+//! `--format human|json|github`, `--write-baseline`, `--self-check`),
+//! the tier-1 gate at `tests/audit.rs`, and a CI job emitting GitHub
+//! annotations.
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 
+pub use baseline::{Baseline, StaleEntry};
 pub use config::{AllowEntry, AuditConfig};
-pub use rules::{analyze_source, Finding, Rule};
+pub use rules::{analyze_source, analyze_sources, Finding, Rule, Severity};
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -48,27 +68,54 @@ use std::path::{Path, PathBuf};
 /// deliberately outside the contract.
 pub const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
 
-/// Audits the workspace at `root` under [`AuditConfig::workspace_default`].
-pub fn audit_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    audit_workspace_with(root, &AuditConfig::workspace_default())
+/// The full result of a workspace audit: surviving findings plus the
+/// baseline bookkeeping the exit policy needs.
+#[derive(Clone, Debug, Default)]
+pub struct AuditOutcome {
+    /// Findings not suppressed by pragma, allowlist, or baseline, in
+    /// (path, line, rule) order.
+    pub findings: Vec<Finding>,
+    /// Number of findings the ratchet baseline absorbed.
+    pub baselined: usize,
+    /// Baseline entries whose debt has shrunk: the ledger must be
+    /// regenerated (ratchet violation — fails the run like a Deny).
+    pub stale: Vec<StaleEntry>,
 }
 
-/// Audits the workspace at `root` under an explicit configuration.
-///
-/// Files are visited in sorted path order, so the finding list (and the
-/// JSON report derived from it) is itself deterministic.
-pub fn audit_workspace_with(root: &Path, cfg: &AuditConfig) -> io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
+impl AuditOutcome {
+    /// Whether the run should fail: any Deny-severity finding or any
+    /// stale baseline entry. Warn findings alone pass.
+    pub fn failed(&self) -> bool {
+        !self.stale.is_empty() || self.findings.iter().any(|f| f.severity() == Severity::Deny)
+    }
+
+    /// Whether anything at all was reported.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Reads every auditable source file under `root`, as
+/// `(workspace-relative path, contents)` in sorted path order — the order
+/// every report derives from. `prefix` (workspace-relative, forward
+/// slashes) restricts the walk; the CLI's `--self-check` passes
+/// `crates/audit/` to audit the auditor alone.
+pub fn collect_sources(
+    root: &Path,
+    cfg: &AuditConfig,
+    prefix: Option<&str>,
+) -> io::Result<Vec<(String, String)>> {
+    let mut paths = Vec::new();
     for top in SCAN_ROOTS {
         let dir = root.join(top);
         if dir.is_dir() {
-            collect_rs(&dir, &mut files)?;
+            collect_rs(&dir, &mut paths)?;
         }
     }
-    files.sort();
+    paths.sort();
 
-    let mut findings = Vec::new();
-    for path in files {
+    let mut files = Vec::new();
+    for path in paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
@@ -79,10 +126,43 @@ pub fn audit_workspace_with(root: &Path, cfg: &AuditConfig) -> io::Result<Vec<Fi
         if cfg.is_file_skipped(&rel) {
             continue;
         }
+        if prefix.is_some_and(|p| !rel.starts_with(p)) {
+            continue;
+        }
         let src = std::fs::read_to_string(&path)?;
-        findings.extend(analyze_source(&rel, &src, cfg));
+        files.push((rel, src));
     }
-    Ok(findings)
+    Ok(files)
+}
+
+/// Audits the workspace at `root` under [`AuditConfig::workspace_default`],
+/// with **no baseline** applied (the strict view of the tree).
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    audit_workspace_with(root, &AuditConfig::workspace_default())
+}
+
+/// Audits the workspace at `root` under an explicit configuration, with
+/// no baseline applied.
+pub fn audit_workspace_with(root: &Path, cfg: &AuditConfig) -> io::Result<Vec<Finding>> {
+    let files = collect_sources(root, cfg, None)?;
+    let refs: Vec<(&str, &str)> = files.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+    Ok(analyze_sources(&refs, cfg))
+}
+
+/// The full pipeline behind the CLI and the tier-1 gate: walk (optionally
+/// restricted to `prefix`), analyze as one workspace, ratchet through
+/// `baseline`.
+pub fn audit_workspace_outcome(
+    root: &Path,
+    cfg: &AuditConfig,
+    baseline: &Baseline,
+    prefix: Option<&str>,
+) -> io::Result<AuditOutcome> {
+    let files = collect_sources(root, cfg, prefix)?;
+    let refs: Vec<(&str, &str)> = files.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+    let findings = analyze_sources(&refs, cfg);
+    let (findings, baselined, stale) = baseline.apply(findings);
+    Ok(AuditOutcome { findings, baselined, stale })
 }
 
 /// Recursively collects `.rs` files under `dir` (skipping `target/`).

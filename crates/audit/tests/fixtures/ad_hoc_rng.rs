@@ -9,7 +9,7 @@ fn fresh() -> rand::rngs::StdRng {
     rand::rngs::StdRng::from_entropy() // MARK: from_entropy fires
 }
 
-fn fine() -> rand::rngs::StdRng {
+fn fine(cfg_seed: u64) -> rand::rngs::StdRng {
     use rand::SeedableRng;
-    rand::rngs::StdRng::seed_from_u64(42) // seeded: must stay silent
+    rand::rngs::StdRng::seed_from_u64(cfg_seed ^ 1) // seeded: must stay silent
 }

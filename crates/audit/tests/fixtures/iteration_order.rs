@@ -1,0 +1,43 @@
+//! Fixture for the iteration-order rule. Never compiled; the workspace
+//! audit skips this tree via the allowlist.
+//!
+//! Iterating a HashMap/HashSet into an order-sensitive sink — float
+//! accumulation, Vec collection, hashing — fires; ordered collections and
+//! order-insensitive uses stay silent. (The HashMap *declarations* here
+//! also trip hash-collections; the fixture tests filter to this rule.)
+
+fn direct_sum(counts: &HashMap<u32, f32>) -> f32 {
+    counts.values().sum() // MARK: direct sum fires
+}
+
+fn loop_accumulate(tags: HashSet<u64>) -> u64 {
+    let mut acc = 0u64;
+    for t in &tags { // MARK: loop accumulation fires
+        acc += t;
+    }
+    acc
+}
+
+fn export_order(counts: &HashMap<u32, f32>) -> Vec<u32> {
+    counts.keys().copied().collect() // MARK: collect fires
+}
+
+fn two_hops_away(counts: &HashMap<u32, f32>) -> f32 {
+    export_order(counts).iter().map(|k| *k as f32).sum() // MARK: tainted caller fires
+}
+
+fn btree_collect_is_fine(counts: &HashMap<u32, f32>) -> BTreeSet<u32> {
+    counts.keys().copied().collect::<BTreeSet<u32>>() // decoy: ordered target
+}
+
+fn membership_is_fine(tags: &HashSet<u64>, probe: u64) -> bool {
+    tags.contains(&probe) // decoy: no iteration at all
+}
+
+fn counting_is_fine(counts: &HashMap<u32, f32>) -> usize {
+    let mut seen = 0usize;
+    for _k in counts.keys() { // decoy: loop body never accumulates values
+        seen = seen.max(1);
+    }
+    seen
+}

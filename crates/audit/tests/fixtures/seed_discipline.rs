@@ -1,0 +1,38 @@
+//! Fixture for the seed-discipline rule. Never compiled; the workspace
+//! audit skips this tree via the allowlist.
+//!
+//! RNG constructions must derive their seed from the split_seed /
+//! config-seed discipline. Literals fire — directly, or propagated one
+//! call-graph hop through a bare seed parameter.
+
+fn build_direct() -> StdRng {
+    StdRng::seed_from_u64(42) // MARK: literal fires
+}
+
+fn build_from(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed) // decoy: bare seed parameter, judged at callers
+}
+
+fn caller_literal() -> StdRng {
+    build_from(0xDEAD_BEEF) // MARK: propagated literal fires
+}
+
+fn caller_disciplined(cfg_seed: u64) -> StdRng {
+    let derived = split_seed(cfg_seed, 3); // decoy: split_seed derivation
+    let _ = build_from(derived);
+    let _ = StdRng::seed_from_u64(cfg_seed ^ 7); // decoy: config-seed expression
+    build_from(split_seed(cfg_seed, 4)) // decoy: derived at the call site
+}
+
+fn opaque_is_silent(knobs: &Knobs) -> StdRng {
+    StdRng::seed_from_u64(knobs.fingerprint()) // decoy: unresolvable, silent by design
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_pin_literal_seeds() {
+        let _ = StdRng::seed_from_u64(7); // decoy: test code is exempt
+        let _ = build_from(99); // decoy: literal through the parameter, still test code
+    }
+}

@@ -1,0 +1,36 @@
+//! Fixture for the unmetered-query rule. Never compiled; the workspace
+//! audit skips this tree via the allowlist.
+//!
+//! Analyzed at a `crates/copyattack-core/src/` path, every non-test fn
+//! here is an attack-side reachability root. Raw `.top_k(…)` calls that
+//! the roots reach without crossing the metered surface fire; surface
+//! impls and test code are exempt automatically.
+
+fn greedy_rank(platform: &Platform) -> Vec<u32> {
+    platform.top_k(7, 10) // MARK: planted unmetered top_k fires
+}
+
+fn batch_rank(platform: &Platform) -> Vec<RankList> {
+    platform.top_k_batch(&[1, 2], 10) // MARK: planted unmetered batch fires
+}
+
+fn helper_indirect(platform: &Platform) -> usize {
+    greedy_rank(platform).len() // decoy: flagged at the callee's line, not here
+}
+
+fn metered_path(env: &AttackEnvironment) -> Vec<u32> {
+    env.try_top_k(7, 10).unwrap() // decoy: the metered surface entry point
+}
+
+impl FallibleBlackBox for LocalFake {
+    fn try_top_k(&self, user: u32, k: usize) -> Result<Vec<u32>, Fault> {
+        Ok(self.inner.top_k(user, k)) // decoy: surface trait impl is exempt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn probe(platform: &Platform) -> Vec<u32> {
+        platform.top_k(1, 5) // decoy: test code is exempt
+    }
+}

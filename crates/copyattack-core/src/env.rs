@@ -606,7 +606,6 @@ mod tests {
                     self.suspended.push(u);
                     return Err(RecError::AccountSuspended);
                 }
-                // ca-audit: allow(raw-top-k) — this IS the test fake implementing the metered wrapper
                 Ok(self.inner.top_k(u, k))
             }
             fn try_inject_user(&mut self, p: &[ItemId]) -> Result<UserId, RecError> {

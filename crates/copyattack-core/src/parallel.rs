@@ -396,7 +396,6 @@ mod tests {
     }
     impl ca_recsys::FallibleBlackBox for DownThenUp {
         fn try_top_k(&mut self, u: UserId, k: usize) -> Result<Vec<ItemId>, RecError> {
-            // ca-audit: allow(raw-top-k) — this IS the test fake implementing the metered wrapper
             Ok(self.inner.top_k(u, k))
         }
         fn try_inject_user(&mut self, p: &[ItemId]) -> Result<UserId, RecError> {

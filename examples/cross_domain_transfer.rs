@@ -11,6 +11,7 @@
 //! Run with: `cargo run --release --example cross_domain_transfer`
 
 use copyattack::core::{CopyAttackAgent, CopyAttackVariant};
+use copyattack::par::split_seed;
 use copyattack::pipeline::{Pipeline, PipelineConfig};
 use copyattack::recsys::eval::RankingEval;
 use copyattack::recsys::knn::ItemKnnRecommender;
@@ -45,18 +46,19 @@ fn main() {
         .collect();
 
     // GNN promotion.
-    let hr_gnn_before = pipe.evaluate_promotion(&pipe.recommender, target, 77).hr(20);
-    let hr_gnn_after = pipe.evaluate_promotion(&polluted_gnn, target, 77).hr(20);
+    let eval_seed = split_seed(cfg.seed, 3);
+    let hr_gnn_before = pipe.evaluate_promotion(&pipe.recommender, target, eval_seed).hr(20);
+    let hr_gnn_after = pipe.evaluate_promotion(&polluted_gnn, target, eval_seed).hr(20);
 
     // Replay against ItemKNN deployed on the same clean data.
     let mut knn = ItemKnnRecommender::deploy(pipe.split.train.clone());
     let ev = RankingEval::standard(&pipe.split.train);
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = StdRng::seed_from_u64(split_seed(cfg.seed, 1));
     let hr_knn_before = ev.evaluate_promotion(&knn, &pipe.eval_users, target, &mut rng).hr(20);
     for p in &injected {
         knn.inject_user(p);
     }
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = StdRng::seed_from_u64(split_seed(cfg.seed, 2));
     let hr_knn_after = ev.evaluate_promotion(&knn, &pipe.eval_users, target, &mut rng).hr(20);
 
     println!("{} copied profiles, trained against the GNN only", injected.len());

@@ -14,6 +14,7 @@ use copyattack::detect::features::PopularityIndex;
 use copyattack::detect::{
     detection_auc, extract_features, naive_fake_profiles, precision_at_n, ZScoreDetector,
 };
+use copyattack::par::split_seed;
 use copyattack::pipeline::{Pipeline, PipelineConfig};
 use copyattack::recsys::{ItemId, UserId};
 use rand::rngs::StdRng;
@@ -41,7 +42,7 @@ fn main() {
     let genuine_scores: Vec<f32> = genuine_features.iter().map(|f| detector.score(f)).collect();
 
     // (a) classical generated fakes.
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = StdRng::seed_from_u64(split_seed(cfg.seed, 1));
     let naive: Vec<Vec<ItemId>> = naive_fake_profiles(clean, target, 30, 20, &mut rng);
     let naive_scores: Vec<f32> =
         naive.iter().map(|p| detector.score(&extract_features(p, &pop, item_emb))).collect();

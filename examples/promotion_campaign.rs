@@ -15,6 +15,7 @@ use copyattack::core::baselines::target_attack;
 use copyattack::core::{
     AttackEnvironment, CopyAttackAgent, CopyAttackVariant, ResilienceConfig, RetryPolicy,
 };
+use copyattack::par::split_seed;
 use copyattack::pipeline::{Pipeline, PipelineConfig};
 use copyattack::recsys::FaultConfig;
 use rand::rngs::StdRng;
@@ -42,10 +43,11 @@ fn main() {
             cfg.attack.config.reward_k,
             budget,
         );
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = StdRng::seed_from_u64(split_seed(cfg.seed, budget as u64));
         let target_src = pipe.world.source_item(target).expect("overlap");
         target_attack(&src, &mut env, target_src, 0.7, &mut rng);
-        let hr_ta = pipe.evaluate_promotion(&env.into_recommender(), target, 99).hr(20);
+        let eval_seed = split_seed(cfg.seed, 1 + budget as u64);
+        let hr_ta = pipe.evaluate_promotion(&env.into_recommender(), target, eval_seed).hr(20);
 
         // CopyAttack at this budget.
         let mut attack_cfg = cfg.attack.config.clone();
@@ -70,7 +72,7 @@ fn main() {
             budget,
         );
         agent.execute(&src, &mut env);
-        let hr_ca = pipe.evaluate_promotion(&env.into_recommender(), target, 99).hr(20);
+        let hr_ca = pipe.evaluate_promotion(&env.into_recommender(), target, eval_seed).hr(20);
 
         println!("{budget:>8} {hr_ta:>16.4} {hr_ca:>16.4}");
     }

@@ -1,22 +1,40 @@
 //! Tier-1 gate: the workspace must be audit-clean.
 //!
-//! Runs the full `ca-audit` static pass over every Rust source in the
-//! repository and fails if any determinism, query-discipline, unsafe, or
-//! pragma-hygiene rule fires. New violations either get fixed or carry a
-//! `// ca-audit: allow(<rule>) — <reason>` pragma; reasonless pragmas are
-//! themselves findings, so this test cannot be silenced without a paper
-//! trail.
+//! Runs the full `ca-audit` static pass — per-file token rules plus the
+//! cross-file symbol-aware families (seed-discipline, iteration-order,
+//! unmetered-query) — over every Rust source in the repository, ratcheted
+//! through the checked-in `audit.baseline`. The gate fails on any Deny
+//! finding and on any stale baseline entry (debt that shrank without the
+//! ledger being regenerated). New violations either get fixed, carry a
+//! `// ca-audit: allow(<rule>) — <reason>` pragma, or are accepted into
+//! the baseline; reasonless pragmas are themselves findings, so this test
+//! cannot be silenced without a paper trail.
 
 use std::path::Path;
+
+use ca_audit::{audit_workspace_outcome, report, AuditConfig, Baseline};
 
 #[test]
 fn workspace_is_audit_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let findings = ca_audit::audit_workspace(root).expect("audit walk must succeed");
+    let baseline_path = root.join("audit.baseline");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text).expect("checked-in audit.baseline must parse"),
+        Err(_) => Baseline::empty(),
+    };
+    let outcome = audit_workspace_outcome(root, &AuditConfig::workspace_default(), &baseline, None)
+        .expect("audit walk must succeed");
     assert!(
-        findings.is_empty(),
-        "ca-audit found {} violation(s):\n{}",
-        findings.len(),
-        ca_audit::report::human(&findings)
+        !outcome.failed(),
+        "ca-audit gate failed ({} finding(s), {} stale baseline entr(ies)):\n{}",
+        outcome.findings.len(),
+        outcome.stale.len(),
+        report::human(&outcome)
+    );
+    assert!(
+        outcome.findings.is_empty(),
+        "ca-audit found {} warning-level violation(s):\n{}",
+        outcome.findings.len(),
+        report::human(&outcome)
     );
 }
